@@ -1,0 +1,316 @@
+//! Closed-form redundancy analysis (paper §2.3 + §3.1.2, Table 1).
+//!
+//! Per-method computation operations, input memory accesses and parameter
+//! memory accesses for a Box-2D stencil of radius `r` applied to an `A×B`
+//! grid, updating `c×c` points per tile. All formulas are transcribed
+//! directly from the paper; the §2.3 factors-vs-lower-bound (2.12×, 2.94×,
+//! 5.85×, …) and the Table 2 numbers fall out of them (see tests).
+
+/// The methods characterized by the paper's Table 1 plus SPIDER (§3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    LowerBound,
+    ConvStencil,
+    TcStencil,
+    LoRaStencil,
+    Spider,
+}
+
+impl Method {
+    pub fn all() -> [Method; 5] {
+        [
+            Method::LowerBound,
+            Method::ConvStencil,
+            Method::TcStencil,
+            Method::LoRaStencil,
+            Method::Spider,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::LowerBound => "Lower Bound",
+            Method::ConvStencil => "ConvStencil",
+            Method::TcStencil => "TCStencil",
+            Method::LoRaStencil => "LoRAStencil",
+            Method::Spider => "SPIDER",
+        }
+    }
+}
+
+/// Per-point cost triple (the paper's three Table 1/2 columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointCost {
+    /// Computation operations (MACs) per updated point.
+    pub comp: f64,
+    /// Input memory accesses (elements) per updated point.
+    pub input: f64,
+    /// Parameter memory accesses (elements) per updated point.
+    pub param: f64,
+}
+
+/// Problem configuration for the analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Grid extent `A` (rows).
+    pub a: u64,
+    /// Grid extent `B` (columns).
+    pub b: u64,
+    /// Stencil radius `r`.
+    pub r: u64,
+    /// Points updated per tile edge (`c`; the paper evaluates `c = 8`).
+    pub c: u64,
+}
+
+impl CostModel {
+    /// The paper's Table 2 configuration: Box-2D3R on (10240, 10240), c=8.
+    pub fn table2() -> Self {
+        Self {
+            a: 10240,
+            b: 10240,
+            r: 3,
+            c: 8,
+        }
+    }
+
+    fn points(&self) -> f64 {
+        (self.a * self.b) as f64
+    }
+
+    /// Per-point cost of `method`, from the paper's formulas.
+    pub fn cost(&self, method: Method) -> PointCost {
+        match method {
+            Method::LowerBound => self.lower_bound(),
+            Method::ConvStencil => self.convstencil(),
+            Method::TcStencil => self.tcstencil(),
+            Method::LoRaStencil => self.lorastencil(),
+            Method::Spider => self.spider(),
+        }
+    }
+
+    /// Factor over the lower bound for the same column.
+    pub fn factor_vs_lb(&self, method: Method) -> PointCost {
+        let lb = self.lower_bound();
+        let m = self.cost(method);
+        PointCost {
+            comp: m.comp / lb.comp,
+            input: m.input / lb.input,
+            param: m.param / lb.param,
+        }
+    }
+
+    /// Lower bound: `AB(2r+1)²` MACs, `AB(c+2r)²/c²` input elements,
+    /// `AB(2r+1)²/c²` parameter elements.
+    pub fn lower_bound(&self) -> PointCost {
+        let (r, c) = (self.r as f64, self.c as f64);
+        let taps = (2.0 * r + 1.0) * (2.0 * r + 1.0);
+        PointCost {
+            comp: taps,
+            input: (c + 2.0 * r) * (c + 2.0 * r) / (c * c),
+            param: taps / (c * c),
+        }
+    }
+
+    /// ConvStencil row of Table 1.
+    pub fn convstencil(&self) -> PointCost {
+        let (a, b, r, c) = (self.a, self.b, self.r, self.c);
+        let taps4 = ((2 * r + 1) * (2 * r + 1)).div_ceil(4);
+        let strips = a.div_ceil(2 * c * (r + 1));
+        let c8 = c.div_ceil(8);
+        let comp = (512 * b * strips * c8 * (r + 1).div_ceil(4) * taps4) as f64;
+        let input = (64 * b * taps4 * strips * c8) as f64;
+        let param = (64 * b * taps4 * (r + 1).div_ceil(4) * strips * c8) as f64;
+        PointCost {
+            comp: comp / self.points(),
+            input: input / self.points(),
+            param: param / self.points(),
+        }
+    }
+
+    /// TCStencil row of Table 1 (fixed `L = 16`; the paper's footnote grants
+    /// it its native 100-points-per-tile configuration, `(L−2r)² = 100` at
+    /// r = 3).
+    pub fn tcstencil(&self) -> PointCost {
+        let r = self.r as f64;
+        let l = 16.0f64;
+        let valid = (l - 2.0 * r) * (l - 2.0 * r);
+        PointCost {
+            comp: l * l * l * (2.0 * r + 1.0) / valid,
+            input: l * l * (2.0 * r + 1.0) / valid,
+            param: l * l * (2.0 * r + 1.0) / valid,
+        }
+    }
+
+    /// LoRAStencil row of Table 1.
+    pub fn lorastencil(&self) -> PointCost {
+        let (r, c) = (self.r, self.c);
+        let w = 2 * r + c;
+        let cc = (c * c) as f64;
+        let comp =
+            (256 * r * c.div_ceil(8) * w.div_ceil(4) * (w.div_ceil(8) + c.div_ceil(8))) as f64
+                / cc;
+        let input = (32 * w.div_ceil(4) * w.div_ceil(8)) as f64 / cc;
+        let param = (4 * r) as f64 / r.div_ceil(4) as f64;
+        PointCost {
+            comp,
+            input,
+            param,
+        }
+    }
+
+    /// SPIDER (§3.1.2 formulas). The paper's Table 2 evaluates the
+    /// computation row with the exact value of `(2r+c)/4` (3.5 at r=3, c=8 →
+    /// 56) but the memory rows with its ceiling (→ 14 and 7); this method
+    /// follows the paper so Table 2 reproduces digit-for-digit. See
+    /// [`CostModel::spider_ceiled`] for the uniformly-ceiled variant.
+    pub fn spider(&self) -> PointCost {
+        let (r, c) = (self.r, self.c);
+        let cc = (c * c) as f64;
+        let c8 = c.div_ceil(8) as f64;
+        let w4_exact = (2 * r + c) as f64 / 4.0;
+        let w4_ceil = (2 * r + c).div_ceil(4) as f64;
+        PointCost {
+            comp: 256.0 * (r as f64 + 1.0) * c8 * c8 * w4_exact / cc,
+            input: 32.0 * (2.0 * r as f64 + 1.0) * c8 * w4_ceil / cc,
+            param: 16.0 * (2.0 * r as f64 + 1.0) * c8 * w4_ceil / cc,
+        }
+    }
+
+    /// SPIDER with every ceiling applied as written in §3.1.2.
+    pub fn spider_ceiled(&self) -> PointCost {
+        let (r, c) = (self.r, self.c);
+        let cc = (c * c) as f64;
+        let c8 = c.div_ceil(8) as f64;
+        let w4 = (2 * r + c).div_ceil(4) as f64;
+        PointCost {
+            comp: 256.0 * (r as f64 + 1.0) * c8 * c8 * w4 / cc,
+            input: 32.0 * (2.0 * r as f64 + 1.0) * c8 * w4 / cc,
+            param: 16.0 * (2.0 * r as f64 + 1.0) * c8 * w4 / cc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2() -> CostModel {
+        CostModel::table2()
+    }
+
+    #[test]
+    fn table2_lower_bound_row() {
+        let lb = t2().lower_bound();
+        assert_eq!(lb.comp, 49.0);
+        assert!((lb.input - 3.06).abs() < 0.005);
+        assert!((lb.param - 0.77).abs() < 0.005);
+    }
+
+    #[test]
+    fn table2_convstencil_row() {
+        let c = t2().convstencil();
+        assert!((c.comp - 104.0).abs() < 0.01, "{}", c.comp);
+        assert!((c.input - 13.0).abs() < 0.01);
+        assert!((c.param - 13.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_tcstencil_row() {
+        let c = t2().tcstencil();
+        assert!((c.comp - 286.72).abs() < 0.01, "{}", c.comp);
+        assert!((c.input - 17.92).abs() < 0.01);
+        assert!((c.param - 17.92).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_lorastencil_row() {
+        let c = t2().lorastencil();
+        assert!((c.comp - 144.0).abs() < 0.01, "{}", c.comp);
+        assert!((c.input - 4.0).abs() < 0.01);
+        assert!((c.param - 12.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_spider_row() {
+        // The paper's row: 56 / 14 / 7.
+        let c = t2().spider();
+        assert!((c.comp - 56.0).abs() < 0.01, "{}", c.comp);
+        assert!((c.input - 14.0).abs() < 0.01, "{}", c.input);
+        assert!((c.param - 7.0).abs() < 0.01, "{}", c.param);
+        // The uniformly-ceiled variant reads 64 for computation.
+        assert!((t2().spider_ceiled().comp - 64.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn section23_computation_factors() {
+        // §2.3: ConvStencil 2.12x, LoRAStencil 2.94x, TCStencil 5.85x the LB.
+        let m = t2();
+        assert!((m.factor_vs_lb(Method::ConvStencil).comp - 2.12).abs() < 0.01);
+        assert!((m.factor_vs_lb(Method::LoRaStencil).comp - 2.94).abs() < 0.01);
+        assert!((m.factor_vs_lb(Method::TcStencil).comp - 5.85).abs() < 0.01);
+    }
+
+    #[test]
+    fn section23_input_factors() {
+        // §2.3: 4.24x, 1.31x, 5.85x.
+        let m = t2();
+        assert!((m.factor_vs_lb(Method::ConvStencil).input - 4.24).abs() < 0.01);
+        assert!((m.factor_vs_lb(Method::LoRaStencil).input - 1.31).abs() < 0.01);
+        assert!((m.factor_vs_lb(Method::TcStencil).input - 5.85).abs() < 0.01);
+    }
+
+    #[test]
+    fn section23_param_factors() {
+        // §2.3: 16.98x, 15.67x, 23.41x.
+        let m = t2();
+        assert!((m.factor_vs_lb(Method::ConvStencil).param - 16.98).abs() < 0.01);
+        assert!((m.factor_vs_lb(Method::LoRaStencil).param - 15.67).abs() < 0.01);
+        assert!((m.factor_vs_lb(Method::TcStencil).param - 23.41).abs() < 0.01);
+    }
+
+    #[test]
+    fn spider_beats_every_tc_method_on_comp_and_param() {
+        for r in 1..=3 {
+            let m = CostModel {
+                r,
+                ..CostModel::table2()
+            };
+            let s = m.spider();
+            for other in [Method::ConvStencil, Method::TcStencil, Method::LoRaStencil] {
+                let o = m.cost(other);
+                assert!(s.comp < o.comp, "r={r} comp vs {}", other.name());
+                assert!(s.param < o.param, "r={r} param vs {}", other.name());
+            }
+        }
+    }
+
+    #[test]
+    fn lorastencil_wins_input_as_paper_concedes() {
+        // §3.1.2: "our method is comparable to or better than alternative
+        // approaches, except for LoRAStencil" (symmetric-kernel-only).
+        let m = t2();
+        assert!(m.lorastencil().input < m.spider().input);
+    }
+
+    #[test]
+    fn conv_table1_inequalities() {
+        // Table 1 parenthetical bounds: ConvStencil >= 2 LB comp,
+        // >= 1.62 LB input, >= 2.25 LB param.
+        for r in 1..=7 {
+            let m = CostModel {
+                r,
+                ..CostModel::table2()
+            };
+            let f = m.factor_vs_lb(Method::ConvStencil);
+            assert!(f.comp >= 2.0 - 0.01, "r={r}: {}", f.comp);
+            assert!(f.input >= 1.62 - 0.01, "r={r}: {}", f.input);
+            assert!(f.param >= 2.25 - 0.01, "r={r}: {}", f.param);
+        }
+    }
+
+    #[test]
+    fn methods_enumerate() {
+        assert_eq!(Method::all().len(), 5);
+        assert_eq!(Method::Spider.name(), "SPIDER");
+    }
+}

@@ -1,0 +1,10 @@
+//! # spider-analysis
+//!
+//! Closed-form cost model reproducing the paper's redundancy analysis:
+//! Table 1 (symbolic computation / input / parameter cost per method) and
+//! Table 2 (the Box-2D3R, 8×8-tile numeric comparison).
+
+pub mod cost;
+pub mod tables;
+
+pub use cost::{CostModel, Method, PointCost};

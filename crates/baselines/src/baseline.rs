@@ -1,0 +1,201 @@
+//! The common interface all baseline systems implement.
+//!
+//! Each baseline provides (a) a *functional* sweep whose numerical output is
+//! verified against the scalar oracle, and (b) per-sweep [`PerfCounters`]
+//! reflecting its published transformation's operation and data volumes.
+//! TCStencil, LoRAStencil and FlashFFTStencil execute their actual
+//! transformations structurally; cuDNN-like, DRStencil and ConvStencil charge
+//! the cost structure of their published designs (ConvStencil's via the
+//! paper's own Table 1 formulas) around a functionally equivalent sweep.
+//! DESIGN.md records the fidelity level per system.
+
+use spider_gpu_sim::counters::PerfCounters;
+use spider_gpu_sim::timing::{KernelReport, LaunchDims};
+use spider_gpu_sim::GpuDevice;
+use spider_stencil::{Grid1D, Grid2D, StencilKernel};
+
+/// Identifies a baseline in tables and sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    CudnnLike,
+    DrStencil,
+    TcStencil,
+    ConvStencil,
+    LoRaStencil,
+    FlashFft,
+}
+
+impl BaselineKind {
+    pub fn all() -> [BaselineKind; 6] {
+        [
+            BaselineKind::CudnnLike,
+            BaselineKind::DrStencil,
+            BaselineKind::TcStencil,
+            BaselineKind::ConvStencil,
+            BaselineKind::LoRaStencil,
+            BaselineKind::FlashFft,
+        ]
+    }
+
+    /// Construct the baseline implementation.
+    pub fn instantiate(self) -> Box<dyn Baseline> {
+        match self {
+            BaselineKind::CudnnLike => Box::new(crate::cudnn_like::CudnnLike::default()),
+            BaselineKind::DrStencil => Box::new(crate::drstencil::DrStencil::default()),
+            BaselineKind::TcStencil => Box::new(crate::tcstencil::TcStencil::default()),
+            BaselineKind::ConvStencil => Box::new(crate::convstencil::ConvStencil::default()),
+            BaselineKind::LoRaStencil => Box::new(crate::lorastencil::LoRaStencil::default()),
+            BaselineKind::FlashFft => Box::new(crate::flashfft::FlashFftStencil::default()),
+        }
+    }
+}
+
+/// A comparison system from the paper's §4.1 baseline list.
+pub trait Baseline: Sync + Send {
+    fn name(&self) -> &'static str;
+
+    fn kind(&self) -> BaselineKind;
+
+    /// Factor applied to raw throughput to normalize numerical precision
+    /// across methods, following the paper's §4.1 convention (×4 for FP64
+    /// tensor-core methods vs FP16 ones).
+    fn precision_normalization(&self) -> f64 {
+        1.0
+    }
+
+    /// Whether the method handles this kernel (LoRAStencil requires
+    /// symmetric kernels; everything else is general).
+    fn supports(&self, kernel: &StencilKernel) -> bool {
+        let _ = kernel;
+        true
+    }
+
+    /// One functional 2D sweep (in place) plus per-sweep counters.
+    fn sweep_2d(
+        &self,
+        kernel: &StencilKernel,
+        grid: &mut Grid2D<f32>,
+    ) -> Result<PerfCounters, String>;
+
+    /// One functional 1D sweep plus per-sweep counters.
+    fn sweep_1d(
+        &self,
+        kernel: &StencilKernel,
+        grid: &mut Grid1D<f32>,
+    ) -> Result<PerfCounters, String>;
+
+    /// Closed-form per-sweep counters for an arbitrary problem size.
+    fn counters_2d(&self, kernel: &StencilKernel, rows: usize, cols: usize) -> PerfCounters;
+
+    fn counters_1d(&self, kernel: &StencilKernel, n: usize) -> PerfCounters;
+
+    /// Simulated thread blocks launched for the problem (occupancy model).
+    fn blocks_2d(&self, kernel: &StencilKernel, rows: usize, cols: usize) -> u64;
+
+    fn blocks_1d(&self, kernel: &StencilKernel, n: usize) -> u64;
+
+    /// Run `steps` functional sweeps, returning the merged report.
+    fn run_2d(
+        &self,
+        kernel: &StencilKernel,
+        grid: &mut Grid2D<f32>,
+        steps: usize,
+        device: &GpuDevice,
+    ) -> Result<KernelReport, String> {
+        let dims = LaunchDims::new(self.blocks_2d(kernel, grid.rows(), grid.cols()), 256);
+        let points = (grid.rows() * grid.cols()) as u64;
+        let mut report: Option<KernelReport> = None;
+        for _ in 0..steps.max(1) {
+            let c = self.sweep_2d(kernel, grid)?;
+            let r = device.report(c, dims, points);
+            report = Some(match report {
+                None => r,
+                Some(p) => p.merge_sequential(&r),
+            });
+        }
+        Ok(report.expect("at least one step"))
+    }
+
+    /// Run `steps` functional 1D sweeps.
+    fn run_1d(
+        &self,
+        kernel: &StencilKernel,
+        grid: &mut Grid1D<f32>,
+        steps: usize,
+        device: &GpuDevice,
+    ) -> Result<KernelReport, String> {
+        let dims = LaunchDims::new(self.blocks_1d(kernel, grid.len()), 256);
+        let points = grid.len() as u64;
+        let mut report: Option<KernelReport> = None;
+        for _ in 0..steps.max(1) {
+            let c = self.sweep_1d(kernel, grid)?;
+            let r = device.report(c, dims, points);
+            report = Some(match report {
+                None => r,
+                Some(p) => p.merge_sequential(&r),
+            });
+        }
+        Ok(report.expect("at least one step"))
+    }
+
+    /// Performance estimate from closed-form counters (no functional work).
+    fn estimate_2d(
+        &self,
+        kernel: &StencilKernel,
+        rows: usize,
+        cols: usize,
+        device: &GpuDevice,
+    ) -> KernelReport {
+        let c = self.counters_2d(kernel, rows, cols);
+        let dims = LaunchDims::new(self.blocks_2d(kernel, rows, cols), 256);
+        device.report(c, dims, (rows * cols) as u64)
+    }
+
+    fn estimate_1d(&self, kernel: &StencilKernel, n: usize, device: &GpuDevice) -> KernelReport {
+        let c = self.counters_1d(kernel, n);
+        let dims = LaunchDims::new(self.blocks_1d(kernel, n), 256);
+        device.report(c, dims, n as u64)
+    }
+
+    /// Precision-normalized throughput (the paper's Fig 10/11 y-axis).
+    fn normalized_gstencils(&self, report: &KernelReport) -> f64 {
+        report.gstencils_per_sec() * self.precision_normalization()
+    }
+}
+
+/// Functional direct sweep in f32 — shared by the baselines whose numerics
+/// are mathematically identical to the point-wise formulation.
+pub(crate) fn direct_sweep_2d(kernel: &StencilKernel, grid: &mut Grid2D<f32>) {
+    let mut scratch = grid.clone();
+    spider_stencil::exec::parallel::step_2d(kernel, grid, &mut scratch);
+    std::mem::swap(grid, &mut scratch);
+}
+
+pub(crate) fn direct_sweep_1d(kernel: &StencilKernel, grid: &mut Grid1D<f32>) {
+    let mut scratch = grid.clone();
+    spider_stencil::exec::parallel::step_1d(kernel, grid, &mut scratch);
+    std::mem::swap(grid, &mut scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_instantiate() {
+        for kind in BaselineKind::all() {
+            let b = kind.instantiate();
+            assert_eq!(b.kind(), kind);
+            assert!(!b.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<&str> = BaselineKind::all()
+            .iter()
+            .map(|k| k.instantiate().name())
+            .collect();
+        assert_eq!(names.len(), 6);
+    }
+}

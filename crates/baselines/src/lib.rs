@@ -1,0 +1,25 @@
+//! # spider-baselines
+//!
+//! From-scratch reimplementations of the six systems the paper compares
+//! against (§4.1), each executing functionally on `spider-gpu-sim` and
+//! reporting transaction-level counters:
+//!
+//! * [`cudnn_like`] — im2col + dense GEMM convolution (vendor-library proxy).
+//! * [`drstencil`] — auto-tuned CUDA-core stencil with register reuse.
+//! * [`tcstencil`] — row-replicated `L×L` dense-MMA stencil (ICS'22).
+//! * [`convstencil`] — stencil2row + dual-tessellation GEMM (PPoPP'24, FP64).
+//! * [`lorastencil`] — low-rank symmetric decomposition (SC'24).
+//! * [`flashfft`] — FFT-based stencil on tensor cores (PPoPP'25).
+//!
+//! All baselines implement the common [`Baseline`] trait so the benchmark
+//! harness can sweep them uniformly.
+
+pub mod baseline;
+pub mod convstencil;
+pub mod cudnn_like;
+pub mod drstencil;
+pub mod flashfft;
+pub mod lorastencil;
+pub mod tcstencil;
+
+pub use baseline::{Baseline, BaselineKind};

@@ -1,0 +1,51 @@
+//! CPU substrate benchmarks: scalar oracle vs cache-blocked vs rayon
+//! executors (the point-wise implementations of the paper's §2.2 lineage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spider_stencil::exec::{parallel, reference, tiled};
+use spider_stencil::{Grid2D, StencilKernel, StencilShape};
+
+fn bench_executors(c: &mut Criterion) {
+    let kernel = StencilKernel::random(StencilShape::box_2d(2), 1);
+    let mut group = c.benchmark_group("cpu_reference");
+    for n in [128usize, 512] {
+        let base = Grid2D::<f64>::random(n, n, 2, 3);
+        group.bench_with_input(BenchmarkId::new("scalar", n), &base, |b, base| {
+            b.iter_batched(
+                || (base.clone(), base.clone()),
+                |(src, mut dst)| {
+                    reference::step_2d(&kernel, &src, &mut dst);
+                    dst
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", n), &base, |b, base| {
+            b.iter_batched(
+                || (base.clone(), base.clone()),
+                |(src, mut dst)| {
+                    tiled::step_2d(&kernel, &src, &mut dst, tiled::TileSize::default());
+                    dst
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", n), &base, |b, base| {
+            b.iter_batched(
+                || (base.clone(), base.clone()),
+                |(src, mut dst)| {
+                    parallel::step_2d(&kernel, &src, &mut dst);
+                    dst
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_executors}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! End-to-end simulated sweeps: SPIDER (all three ablation arms) and the
+//! structurally-simulated baselines on a fixed 2D problem. Wall time here is
+//! *host* simulation cost; the simulated-GPU metrics come from the `repro`
+//! binary — this bench guards against regressions in the simulation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spider_baselines::BaselineKind;
+use spider_core::{ExecMode, SpiderExecutor, SpiderPlan};
+use spider_gpu_sim::GpuDevice;
+use spider_stencil::{Grid2D, StencilKernel};
+
+const N: usize = 256;
+
+fn kernel() -> StencilKernel {
+    StencilKernel::gaussian_2d(2)
+}
+
+fn bench_spider_modes(c: &mut Criterion) {
+    let dev = GpuDevice::a100();
+    let k = kernel();
+    let plan = SpiderPlan::compile(&k).unwrap();
+    let base = Grid2D::<f32>::random(N, N, k.radius(), 1);
+    let mut group = c.benchmark_group("end_to_end/spider");
+    for (name, mode) in [
+        ("dense_tc", ExecMode::DenseTc),
+        ("sparse_tc", ExecMode::SparseTc),
+        ("sparse_tc_co", ExecMode::SparseTcOptimized),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut g| {
+                    SpiderExecutor::new(&dev, mode)
+                        .run_2d(&plan, &mut g, 1)
+                        .unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let dev = GpuDevice::a100();
+    let k = kernel();
+    let base = Grid2D::<f32>::random(N, N, k.radius(), 2);
+    let mut group = c.benchmark_group("end_to_end/baseline");
+    for kind in BaselineKind::all() {
+        let b = kind.instantiate();
+        if !b.supports(&k) {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b.name()),
+            &kind,
+            |bench, &kind| {
+                bench.iter_batched(
+                    || (kind.instantiate(), base.clone()),
+                    |(b, mut g)| b.run_2d(&k, &mut g, 1, &dev).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_spider_modes, bench_baselines}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Simulator micro-benchmarks: functional dense vs sparse MMA, 2:4
+//! compression, and the strided-swap transformation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_core::kernel_matrix::BandedKernelMatrix;
+use spider_core::swap::{strided_swap_banded, SwapParity};
+use spider_gpu_sim::counters::PerfCounters;
+use spider_gpu_sim::sparse::Sparse24Operand;
+use spider_gpu_sim::tensor_core::{mma_m16n8k16, mma_sp_m16n8k16};
+
+fn operands() -> ([[f32; 16]; 16], Sparse24Operand, [[f32; 8]; 16]) {
+    let row: Vec<f32> = (0..7).map(|i| i as f32 * 0.25 + 0.5).collect();
+    let banded = BandedKernelMatrix::build(&row);
+    let swapped = strided_swap_banded(&banded.data, SwapParity::Even);
+    let mut dense = [[0.0f32; 16]; 16];
+    for i in 0..16 {
+        dense[i].copy_from_slice(&swapped[i][..16]);
+    }
+    let sparse = Sparse24Operand::compress(&dense).unwrap();
+    let mut b = [[0.0f32; 8]; 16];
+    for (k, row) in b.iter_mut().enumerate() {
+        for (n, v) in row.iter_mut().enumerate() {
+            *v = ((k * 8 + n) % 17) as f32 * 0.1;
+        }
+    }
+    (dense, sparse, b)
+}
+
+fn bench_mma(c: &mut Criterion) {
+    let (dense, sparse, b) = operands();
+    let mut group = c.benchmark_group("mma");
+    group.bench_function("dense_m16n8k16", |bench| {
+        bench.iter(|| {
+            let mut counters = PerfCounters::new();
+            let mut acc = [[0.0f32; 8]; 16];
+            mma_m16n8k16(&mut counters, std::hint::black_box(&dense), &b, &mut acc);
+            acc
+        })
+    });
+    group.bench_function("sparse_m16n8k16", |bench| {
+        bench.iter(|| {
+            let mut counters = PerfCounters::new();
+            let mut acc = [[0.0f32; 8]; 16];
+            mma_sp_m16n8k16(&mut counters, std::hint::black_box(&sparse), &b, &mut acc);
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let (dense, _, _) = operands();
+    c.bench_function("sparse/compress_16x16", |bench| {
+        bench.iter(|| Sparse24Operand::compress(std::hint::black_box(&dense)).unwrap())
+    });
+}
+
+fn bench_swap(c: &mut Criterion) {
+    let row: Vec<f32> = (0..15).map(|i| i as f32 + 1.0).collect();
+    let banded = BandedKernelMatrix::build(&row);
+    c.bench_function("swap/strided_swap_16x32", |bench| {
+        bench.iter(|| strided_swap_banded(std::hint::black_box(&banded.data), SwapParity::Even))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mma, bench_compress, bench_swap}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Offline-transformation cost (paper §4.2's preparation-overhead argument):
+//! SPIDER's O(1) rule-based compile vs LoRAStencil's O(d³) eigendecomposition
+//! vs FlashFFTStencil's O(L² log L) spectrum preparation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spider_baselines::lorastencil::LoRaStencil;
+use spider_core::SpiderPlan;
+use spider_fft::radix2::fft;
+use spider_fft::Complex64;
+use spider_stencil::{StencilKernel, StencilShape};
+
+fn symmetric_kernel(r: usize) -> StencilKernel {
+    StencilKernel::gaussian_2d(r)
+}
+
+fn bench_spider_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform/spider_compile");
+    for r in [1usize, 2, 3, 7] {
+        let kernel = StencilKernel::random(StencilShape::box_2d(r), r as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &kernel, |b, k| {
+            b.iter(|| SpiderPlan::compile(std::hint::black_box(k)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_lora_decompose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform/lora_decompose");
+    for r in [1usize, 2, 3] {
+        let kernel = symmetric_kernel(r);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &kernel, |b, k| {
+            b.iter(|| LoRaStencil::decompose(std::hint::black_box(k)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft_spectrum(c: &mut Criterion) {
+    // FlashFFT's offline kernel-spectrum FFT at the padded tile size.
+    let mut g = c.benchmark_group("transform/fft_spectrum");
+    for p in [256usize, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let mut buf: Vec<Complex64> = (0..p)
+                .map(|i| Complex64::new((i % 7) as f64, 0.0))
+                .collect();
+            b.iter(|| {
+                fft(std::hint::black_box(&mut buf));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+    bench_spider_compile,
+    bench_lora_decompose,
+    bench_fft_spectrum
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all            # everything below
+//! repro table1         # redundancy formulas
+//! repro table2         # Box-2D3R cost per point
+//! repro table3         # row-swap zero-cost comparison
+//! repro fig10          # performance comparison (8 shapes x 7 methods)
+//! repro fig11          # scaling trend (5 panels x 6 methods)
+//! repro fig12          # ablation breakdown
+//!
+//! options:
+//!   --scale N          # divide grid extents by N (default 1 = paper sizes)
+//!   --csv              # emit CSV after each text table
+//! ```
+
+use spider_analysis::cost::CostModel;
+use spider_bench::report::{render, render_csv};
+use spider_bench::{fig10, fig11, fig12, table3};
+use spider_gpu_sim::GpuDevice;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what: Vec<String> = Vec::new();
+    let mut scale = 1usize;
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs an integer");
+            }
+            "--csv" => csv = true,
+            other => what.push(other.to_string()),
+        }
+    }
+    if what.is_empty() || what.iter().any(|w| w == "all") {
+        what = ["table1", "table2", "table3", "fig10", "fig11", "fig12"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let device = GpuDevice::a100();
+    println!("device: {}\n", device.specs().name);
+
+    for w in &what {
+        match w.as_str() {
+            "table1" => {
+                println!("{}", spider_analysis::tables::table1(&CostModel::table2()));
+            }
+            "table2" => {
+                println!("{}", spider_analysis::tables::table2());
+            }
+            "table3" => {
+                let rows = table3::run(&device, scale);
+                println!("{}", table3::render(&rows));
+            }
+            "fig10" => {
+                let f = fig10::run(&device, scale);
+                println!(
+                    "{}",
+                    render(
+                        "Figure 10 — Performance comparison (GStencils/s, precision-normalized)",
+                        "Method \\ Shape",
+                        &f.shapes,
+                        &f.series
+                    )
+                );
+                print!("{:<22}", "SPIDER speedup (x)");
+                for s in &f.spider_speedup {
+                    print!("{s:>14.2}");
+                }
+                println!("\n");
+                for m in [
+                    "cuDNN",
+                    "DRStencil",
+                    "TCStencil",
+                    "ConvStencil",
+                    "LoRAStencil",
+                    "FlashFFTStencil",
+                ] {
+                    println!(
+                        "  mean speedup vs {:<16} {:>6.2}x",
+                        m,
+                        fig10::mean_speedup(&f, m)
+                    );
+                }
+                println!();
+                if csv {
+                    println!("{}", render_csv("shape", &f.shapes, &f.series));
+                }
+            }
+            "fig11" => {
+                for panel in fig11::run(&device) {
+                    let xs: Vec<String> =
+                        panel.sizes.iter().map(|s| s.to_string()).collect();
+                    println!(
+                        "{}",
+                        render(
+                            &format!(
+                                "Figure 11 — Scaling trend, {} (GStencils/s)",
+                                panel.shape.name()
+                            ),
+                            "Method \\ Size",
+                            &xs,
+                            &panel.series
+                        )
+                    );
+                    if csv {
+                        println!("{}", render_csv("size", &xs, &panel.series));
+                    }
+                }
+            }
+            "fig12" => {
+                let f = fig12::run(&device);
+                let xs: Vec<String> = f.sizes.iter().map(|s| format!("{s}^2")).collect();
+                println!(
+                    "{}",
+                    render(
+                        "Figure 12 — Ablation breakdown, Box-2D2R (speedup over TCStencil)",
+                        "Arm \\ Size",
+                        &xs,
+                        &f.series
+                    )
+                );
+                println!(
+                    "  incremental: w.TC {:.2}x | +SpTC {:.2}x | +CO {:.2}x\n",
+                    fig12::incremental_gain(&f, 0, 1),
+                    fig12::incremental_gain(&f, 1, 2),
+                    fig12::incremental_gain(&f, 2, 3)
+                );
+                if csv {
+                    println!("{}", render_csv("size", &xs, &f.series));
+                }
+            }
+            other => eprintln!("unknown target: {other}"),
+        }
+    }
+}

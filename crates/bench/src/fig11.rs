@@ -1,0 +1,159 @@
+//! Figure 11: performance trend with increasing problem size.
+//!
+//! Five panels (1D1R, 1D2R, Box-2D1R, Box-2D2R, Box-2D3R), six methods
+//! (FlashFFTStencil is absent from the paper's Fig 11), sweeping from
+//! under-occupied small grids to the saturation plateau.
+
+use crate::report::Series;
+use crate::suite::{baseline_result, benchmark_kernel, spider_result};
+use spider_baselines::BaselineKind;
+use spider_core::ExecMode;
+use spider_gpu_sim::GpuDevice;
+use spider_stencil::StencilShape;
+
+/// One panel of the figure.
+pub struct Panel {
+    pub shape: StencilShape,
+    pub sizes: Vec<usize>,
+    pub series: Vec<Series>,
+}
+
+/// The five panels' shapes, in paper order.
+pub fn panel_shapes() -> [StencilShape; 5] {
+    [
+        StencilShape::d1(1),
+        StencilShape::d1(2),
+        StencilShape::box_2d(1),
+        StencilShape::box_2d(2),
+        StencilShape::box_2d(3),
+    ]
+}
+
+/// Problem sizes for a panel (paper §4.3 ranges).
+pub fn sizes_for(shape: StencilShape) -> Vec<usize> {
+    match shape.dim {
+        spider_stencil::Dim::D1 => vec![
+            1024 * 256,
+            1024 * 8192,
+            1024 * 16384,
+            1024 * 24576,
+            1024 * 32768,
+            1024 * 40960,
+        ],
+        spider_stencil::Dim::D2 => vec![512, 2048, 4096, 6144, 8192, 10240],
+    }
+}
+
+/// Methods plotted in the paper's Fig 11.
+const METHODS: [BaselineKind; 5] = [
+    BaselineKind::CudnnLike,
+    BaselineKind::DrStencil,
+    BaselineKind::TcStencil,
+    BaselineKind::ConvStencil,
+    BaselineKind::LoRaStencil,
+];
+
+/// Compute one panel.
+pub fn panel(device: &GpuDevice, shape: StencilShape) -> Panel {
+    let kernel = benchmark_kernel(shape, 0xF11);
+    let sizes = sizes_for(shape);
+    let mut series: Vec<Series> = Vec::new();
+    for kind in METHODS {
+        let name = kind.instantiate().name().to_string();
+        let values = sizes
+            .iter()
+            .map(|&n| {
+                let (rows, cols) = extent(shape, n);
+                baseline_result(device, kind, &kernel, rows, cols)
+                    .map(|r| r.gstencils)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        series.push(Series { name, values });
+    }
+    let spider = sizes
+        .iter()
+        .map(|&n| {
+            let (rows, cols) = extent(shape, n);
+            spider_result(device, &kernel, rows, cols, ExecMode::SparseTcOptimized).gstencils
+        })
+        .collect();
+    series.push(Series {
+        name: "SPIDER".into(),
+        values: spider,
+    });
+    Panel {
+        shape,
+        sizes,
+        series,
+    }
+}
+
+fn extent(shape: StencilShape, n: usize) -> (usize, usize) {
+    match shape.dim {
+        spider_stencil::Dim::D1 => (1, n),
+        spider_stencil::Dim::D2 => (n, n),
+    }
+}
+
+/// All five panels.
+pub fn run(device: &GpuDevice) -> Vec<Panel> {
+    panel_shapes().into_iter().map(|s| panel(device, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spider_rises_to_a_plateau() {
+        // §4.3: progressive gains with size until a stable plateau.
+        let p = panel(&GpuDevice::a100(), StencilShape::box_2d(2));
+        let spider = &p.series.last().unwrap().values;
+        assert!(spider[0] < spider[2], "small sizes under-occupied");
+        let plateau = spider[4] / spider[5];
+        assert!(
+            (0.9..=1.1).contains(&plateau),
+            "large sizes plateau: {spider:?}"
+        );
+    }
+
+    #[test]
+    fn spider_wins_at_the_plateau() {
+        // §4.3: at the plateau SPIDER delivers ~1.86x the best baseline.
+        for shape in [StencilShape::box_2d(1), StencilShape::box_2d(3)] {
+            let p = panel(&GpuDevice::a100(), shape);
+            let spider = p.series.last().unwrap().values.last().copied().unwrap();
+            let best = p.series[..p.series.len() - 1]
+                .iter()
+                .filter_map(|s| s.values.last().copied())
+                .filter(|v| v.is_finite())
+                .fold(0.0f64, f64::max);
+            assert!(spider > best, "{}: {spider} vs {best}", shape.name());
+        }
+    }
+
+    #[test]
+    fn small_sizes_can_favor_baselines() {
+        // §4.3: ConvStencil/LoRAStencil may beat SPIDER at small sizes
+        // because SPIDER's large tiles under-occupy the device. Check that
+        // SPIDER's *relative* advantage grows from the smallest size to the
+        // plateau.
+        let p = panel(&GpuDevice::a100(), StencilShape::box_2d(2));
+        let spider = &p.series.last().unwrap().values;
+        let conv = &p.series.iter().find(|s| s.name == "ConvStencil").unwrap().values;
+        let small_ratio = spider[0] / conv[0];
+        let large_ratio = spider[5] / conv[5];
+        assert!(
+            large_ratio > small_ratio,
+            "advantage should grow: {small_ratio} -> {large_ratio}"
+        );
+    }
+
+    #[test]
+    fn panels_have_six_methods() {
+        let p = panel(&GpuDevice::a100(), StencilShape::d1(1));
+        assert_eq!(p.series.len(), 6);
+        assert_eq!(p.sizes.len(), 6);
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 12: ablation breakdown of SPIDER's optimizations.
+//!
+//! Box-2D2R at sizes 1280²…10240², four arms:
+//! TCStencil (reference) → `SPIDER w. TC` (the §3.1.1 GEMM formulation on
+//! dense tensor cores) → `w. SpTC` (strided swapping + sparse MMA) →
+//! `w. SpTC+CO` (plus §3.3 packing). Values are speedups over TCStencil.
+
+use crate::report::Series;
+use crate::suite::{baseline_result, benchmark_kernel, spider_result};
+use spider_baselines::BaselineKind;
+use spider_core::ExecMode;
+use spider_gpu_sim::GpuDevice;
+use spider_stencil::StencilShape;
+
+/// The figure's problem sizes (square grids).
+pub const SIZES: [usize; 4] = [1280, 2560, 5120, 10240];
+
+/// Ablation data: speedups over the TCStencil reference per size.
+pub struct Fig12 {
+    pub sizes: Vec<usize>,
+    pub series: Vec<Series>,
+}
+
+pub fn run(device: &GpuDevice) -> Fig12 {
+    let shape = StencilShape::box_2d(2);
+    let kernel = benchmark_kernel(shape, 0xF12);
+    let mut tc = Vec::new();
+    let mut arms: Vec<(String, Vec<f64>)> = vec![
+        ("TCStencil".into(), Vec::new()),
+        ("SPIDER w. TC".into(), Vec::new()),
+        ("SPIDER w. SpTC".into(), Vec::new()),
+        ("SPIDER w. SpTC+CO".into(), Vec::new()),
+    ];
+    for &n in &SIZES {
+        let tcs = baseline_result(device, BaselineKind::TcStencil, &kernel, n, n)
+            .expect("TCStencil supports the kernel")
+            .gstencils;
+        tc.push(tcs);
+        arms[0].1.push(1.0);
+        for (arm, mode) in [
+            (1, ExecMode::DenseTc),
+            (2, ExecMode::SparseTc),
+            (3, ExecMode::SparseTcOptimized),
+        ] {
+            let g = spider_result(device, &kernel, n, n, mode).gstencils;
+            arms[arm].1.push(g / tcs);
+        }
+    }
+    Fig12 {
+        sizes: SIZES.to_vec(),
+        series: arms
+            .into_iter()
+            .map(|(name, values)| Series { name, values })
+            .collect(),
+    }
+}
+
+/// Average incremental speedup of arm `i+1` over arm `i`.
+pub fn incremental_gain(fig: &Fig12, from: usize, to: usize) -> f64 {
+    let a = &fig.series[from].values;
+    let b = &fig.series[to].values;
+    let ratios: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| y / x).collect();
+    ratios.iter().sum::<f64>() / ratios.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig12 {
+        run(&GpuDevice::a100())
+    }
+
+    #[test]
+    fn every_arm_improves_on_the_previous() {
+        let f = fig();
+        assert!(incremental_gain(&f, 0, 1) > 1.0, "w.TC over TCStencil");
+        assert!(incremental_gain(&f, 1, 2) > 1.0, "SpTC over TC");
+        assert!(incremental_gain(&f, 2, 3) >= 1.0, "CO over SpTC");
+    }
+
+    #[test]
+    fn sptc_gain_is_the_largest_lever() {
+        // §4.4: the strided-swap + SpTC step contributes the biggest jump
+        // (1.66x average in the paper, vs 1.08x for CO).
+        let f = fig();
+        let sptc = incremental_gain(&f, 1, 2);
+        let co = incremental_gain(&f, 2, 3);
+        assert!(sptc > co, "SpTC {sptc} vs CO {co}");
+    }
+
+    #[test]
+    fn small_size_has_lower_sptc_gain() {
+        // §4.4: at 1280^2 the SpTC speedup is below its large-size value
+        // (occupancy under-utilization).
+        let f = fig();
+        let gain_at = |i: usize| f.series[2].values[i] / f.series[1].values[i];
+        assert!(
+            gain_at(0) <= gain_at(3) + 1e-9,
+            "{} vs {}",
+            gain_at(0),
+            gain_at(3)
+        );
+    }
+
+    #[test]
+    fn full_spider_beats_tcstencil_everywhere() {
+        let f = fig();
+        assert!(f.series[3].values.iter().all(|&v| v > 1.0));
+    }
+}

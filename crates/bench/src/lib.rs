@@ -1,0 +1,23 @@
+//! # spider-bench
+//!
+//! The reproduction harness: one driver per table/figure of the paper's
+//! evaluation (§4), shared by the `repro` binary and the Criterion benches.
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Table 1 (redundancy formulas)    | `spider_analysis::tables::table1` |
+//! | Table 2 (Box-2D3R cost/point)    | `spider_analysis::tables::table2` |
+//! | Table 3 (row-swap zero cost)     | [`table3`] |
+//! | Fig 10 (performance comparison)  | [`fig10`] |
+//! | Fig 11 (scaling trend)           | [`fig11`] |
+//! | Fig 12 (ablation breakdown)      | [`fig12`] |
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod report;
+pub mod suite;
+pub mod table3;
+
+pub use report::{render, Series};
+pub use suite::{benchmark_kernel, MethodResult};

@@ -1,0 +1,102 @@
+//! Table 3: row-swapping cost evaluation.
+//!
+//! Runs SPIDER with the three [`RowSwapStrategy`] variants on the §3.2
+//! worked example (Box-2D7R — `L = 16`, two `mma.sp.m16n8k16` invocations)
+//! at the paper's (10240, 10240) extent and reports the paper's three
+//! metrics: memory throughput, instruction count and duration. The paper's
+//! claim — implicit swapping is indistinguishable from no swapping — shows
+//! up as *identical* instruction counts and throughput here, while the
+//! rejected explicit-copy variant is measurably worse.
+
+use spider_core::exec::ExecConfig;
+use spider_core::{ExecMode, RowSwapStrategy, SpiderExecutor, SpiderPlan};
+use spider_gpu_sim::GpuDevice;
+use spider_stencil::StencilShape;
+
+/// One strategy's measurements.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub strategy: &'static str,
+    pub memory_throughput_gbps: f64,
+    pub instructions_k: f64,
+    pub duration_us: f64,
+}
+
+/// Run the comparison (at `scale`; 1 = the paper's extent).
+pub fn run(device: &GpuDevice, scale: usize) -> Vec<Row> {
+    let n = (10_240 / scale).max(256);
+    let kernel = crate::suite::benchmark_kernel(StencilShape::box_2d(7), 0x7AB3);
+    let plan = SpiderPlan::compile(&kernel).expect("r=7 compiles (L=16, two k16 slices)");
+    [
+        ("Without (no swap)", RowSwapStrategy::None),
+        ("With (implicit)", RowSwapStrategy::Implicit),
+        ("Explicit copy", RowSwapStrategy::ExplicitCopy),
+    ]
+    .into_iter()
+    .map(|(name, strategy)| {
+        let cfg = ExecConfig {
+            row_swap: strategy,
+            ..Default::default()
+        };
+        let exec = SpiderExecutor::with_config(device, ExecMode::SparseTcOptimized, cfg);
+        let report = exec.estimate_2d(&plan, n, n);
+        Row {
+            strategy: name,
+            memory_throughput_gbps: report.memory_throughput_gbps(),
+            instructions_k: report.counters.instructions as f64 / 1e3,
+            duration_us: report.time_s() * 1e6,
+        }
+    })
+    .collect()
+}
+
+/// Render as text.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3 — Row swapping cost (Box-2D7R)\n");
+    out.push_str(&format!(
+        "{:<20} {:>18} {:>18} {:>14}\n",
+        "Strategy", "Mem thpt (GB/s)", "Instructions (K)", "Duration (us)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>18.2} {:>18.1} {:>14.2}\n",
+            r.strategy, r.memory_throughput_gbps, r.instructions_k, r.duration_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_swap_is_free() {
+        let rows = run(&GpuDevice::a100(), 8);
+        let without = &rows[0];
+        let with = &rows[1];
+        assert_eq!(without.instructions_k, with.instructions_k);
+        let thpt_delta =
+            (without.memory_throughput_gbps - with.memory_throughput_gbps).abs()
+                / without.memory_throughput_gbps;
+        assert!(thpt_delta < 1e-9, "throughput delta {thpt_delta}");
+        let dur_delta = (without.duration_us - with.duration_us).abs() / without.duration_us;
+        assert!(dur_delta < 1e-9, "duration delta {dur_delta}");
+    }
+
+    #[test]
+    fn explicit_copy_costs_extra() {
+        let rows = run(&GpuDevice::a100(), 8);
+        assert!(rows[2].instructions_k > rows[1].instructions_k);
+        assert!(rows[2].duration_us >= rows[1].duration_us);
+    }
+
+    #[test]
+    fn renders_all_strategies() {
+        let rows = run(&GpuDevice::a100(), 16);
+        let s = render(&rows);
+        assert!(s.contains("implicit"));
+        assert!(s.contains("Explicit"));
+    }
+}

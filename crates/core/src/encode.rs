@@ -1,0 +1,228 @@
+//! Parameter encoding (paper §3.1.2, stage ➌): compress the swapped kernel
+//! matrix into the SpTC value+metadata format, sliced per MMA invocation.
+//!
+//! Each compiled kernel row yields two `mma.sp.m16n8k16` K-slices (columns
+//! `0..16` and `16..32` of the padded matrix). Compression reuses the
+//! hardware format from `spider-gpu-sim::sparse`; this module adds the
+//! slicing, size accounting (parameter-memory traffic in the cost model) and
+//! the uniform-rule property the paper highlights: for a given radius the
+//! *metadata* is identical for every kernel row and every stencil, because
+//! the band structure — not the coefficient values — determines it.
+
+use crate::swap::{strided_swap_banded, SwapParity};
+use crate::{kernel_matrix::BandedKernelMatrix, K_PAD, M_TILE};
+use spider_gpu_sim::sparse::{Not2To4, Sparse24Operand};
+
+/// One stencil-kernel row, compiled: swapped, compressed and sliced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sparse24Kernel {
+    /// The two K-slices consumed by the two `mma.sp.m16n8k16` invocations.
+    pub slices: [Sparse24Operand; 2],
+    /// Dense swapped matrix (kept for the dense-TC ablation arm and tests).
+    pub swapped: [[f32; K_PAD]; M_TILE],
+    /// Dense *unswapped* banded matrix (the §3.1.1 form).
+    pub banded: [[f32; K_PAD]; M_TILE],
+    pub radius: usize,
+    pub parity: SwapParity,
+}
+
+impl Sparse24Kernel {
+    /// Compile one kernel row end to end: band → swap → 2:4 compress.
+    pub fn compile(row: &[f32], parity: SwapParity) -> Result<Self, Not2To4> {
+        let banded = BandedKernelMatrix::build(row);
+        let swapped = strided_swap_banded(&banded.data, parity);
+        let slice = |k0: usize| -> Result<Sparse24Operand, Not2To4> {
+            let mut dense = [[0.0f32; 16]; 16];
+            for (i, dst) in dense.iter_mut().enumerate() {
+                dst.copy_from_slice(&swapped[i][k0..k0 + 16]);
+            }
+            Sparse24Operand::compress(&dense)
+        };
+        Ok(Self {
+            slices: [slice(0)?, slice(16)?],
+            swapped,
+            banded: banded.data,
+            radius: banded.radius,
+            parity,
+        })
+    }
+
+    /// Reconstruct the swapped dense matrix from the compressed slices
+    /// (consistency oracle).
+    pub fn decompress(&self) -> [[f32; K_PAD]; M_TILE] {
+        let mut out = [[0.0f32; K_PAD]; M_TILE];
+        for (s, slice) in self.slices.iter().enumerate() {
+            let dense = slice.decompress();
+            for i in 0..M_TILE {
+                out[i][16 * s..16 * s + 16].copy_from_slice(&dense[i]);
+            }
+        }
+        out
+    }
+
+    /// Bytes of compressed values (FP16): `M_TILE × K_PAD/2 × 2`.
+    pub fn value_bytes(&self) -> usize {
+        M_TILE * (K_PAD / 2) * 2
+    }
+
+    /// Bytes of metadata: 2 bits per kept element.
+    pub fn metadata_bytes(&self) -> usize {
+        M_TILE * (K_PAD / 2) * 2 / 8
+    }
+
+    /// Bytes the *uncompressed* operand would occupy (FP16).
+    pub fn dense_bytes(&self) -> usize {
+        M_TILE * K_PAD * 2
+    }
+
+    /// Dense A-operand slices of the unswapped banded matrix, for the
+    /// `SPIDER w. TC` ablation arm (dense MMA, no 2:4).
+    pub fn dense_slices(&self) -> [[[f32; 16]; 16]; 2] {
+        let mut out = [[[0.0f32; 16]; 16]; 2];
+        for s in 0..2 {
+            for i in 0..M_TILE {
+                out[s][i].copy_from_slice(&self.banded[i][16 * s..16 * s + 16]);
+            }
+        }
+        out
+    }
+}
+
+/// The paper's "predefined extraction rule": metadata depends only on the
+/// radius (band structure), not on coefficient values. Returns the shared
+/// metadata of any radius-`r` row with all-non-zero taps.
+pub fn canonical_metadata(radius: usize, parity: SwapParity) -> [[[u8; 8]; 16]; 2] {
+    let row: Vec<f32> = (0..2 * radius + 1).map(|i| i as f32 + 1.0).collect();
+    let k = Sparse24Kernel::compile(&row, parity).expect("canonical row is 2:4");
+    [k.slices[0].meta, k.slices[1].meta]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(r: usize) -> Vec<f32> {
+        (0..2 * r + 1).map(|i| (i as f32 + 1.0) * 0.25).collect()
+    }
+
+    #[test]
+    fn compile_roundtrips_through_compression() {
+        for r in 1..=7 {
+            let k = Sparse24Kernel::compile(&row(r), SwapParity::Even).unwrap();
+            assert_eq!(k.decompress(), k.swapped, "r={r}");
+        }
+    }
+
+    #[test]
+    fn swapped_differs_from_banded_but_same_values() {
+        let k = Sparse24Kernel::compile(&row(3), SwapParity::Even).unwrap();
+        assert_ne!(k.swapped, k.banded);
+        let mut a: Vec<u32> = k.banded.iter().flatten().map(|v| v.to_bits()).collect();
+        let mut b: Vec<u32> = k.swapped.iter().flatten().map(|v| v.to_bits()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compression_halves_value_storage() {
+        let k = Sparse24Kernel::compile(&row(2), SwapParity::Even).unwrap();
+        assert_eq!(k.value_bytes() * 2, k.dense_bytes());
+        // Metadata adds 1/16 of the dense size (2 bits per kept fp16).
+        assert_eq!(k.metadata_bytes(), k.dense_bytes() / 16);
+    }
+
+    #[test]
+    fn metadata_is_value_independent() {
+        // Same radius, different coefficients -> identical metadata.
+        let a = Sparse24Kernel::compile(&[1.0, 2.0, 3.0, 4.0, 5.0], SwapParity::Even).unwrap();
+        let b =
+            Sparse24Kernel::compile(&[-9.0, 0.5, 7.25, 11.0, -2.0], SwapParity::Even).unwrap();
+        assert_eq!(a.slices[0].meta, b.slices[0].meta);
+        assert_eq!(a.slices[1].meta, b.slices[1].meta);
+        let canon = canonical_metadata(2, SwapParity::Even);
+        assert_eq!(canon[0], a.slices[0].meta);
+        assert_eq!(canon[1], a.slices[1].meta);
+    }
+
+    #[test]
+    fn star_rows_with_single_tap_compile() {
+        // A star-kernel off-center row: single non-zero at the center tap.
+        let mut r3 = vec![0.0f32; 7];
+        r3[3] = 0.75;
+        let k = Sparse24Kernel::compile(&r3, SwapParity::Even).unwrap();
+        let dec = k.decompress();
+        // The decompressed swapped matrix holds exactly 16 non-zeros
+        // (one per matrix row).
+        let nz = dec.iter().flatten().filter(|&&v| v != 0.0).count();
+        assert_eq!(nz, 16);
+        assert_eq!(k.decompress(), k.swapped);
+    }
+
+    #[test]
+    fn dense_slices_cover_banded() {
+        let k = Sparse24Kernel::compile(&row(1), SwapParity::Even).unwrap();
+        let s = k.dense_slices();
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(s[0][i][j], k.banded[i][j]);
+                assert_eq!(s[1][i][j], k.banded[i][16 + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn both_parities_compile_all_radii() {
+        for r in 1..=7 {
+            for p in [SwapParity::Even, SwapParity::Odd] {
+                Sparse24Kernel::compile(&row(r), p).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn mma_on_slices_equals_banded_multiply() {
+        // The compressed slices, fed through the functional sparse MMA with a
+        // row-swapped input, must reproduce K_banded · X exactly.
+        use spider_gpu_sim::counters::PerfCounters;
+        use spider_gpu_sim::tensor_core::mma_sp_m16n8k16;
+
+        let k = Sparse24Kernel::compile(&row(3), SwapParity::Even).unwrap();
+        let banded = BandedKernelMatrix {
+            radius: 3,
+            width: 22,
+            data: k.banded,
+        };
+        // Random-ish input window 32 x 8.
+        let mut x = [[0.0f32; 8]; K_PAD];
+        for (j, xr) in x.iter_mut().enumerate() {
+            for (c, v) in xr.iter_mut().enumerate() {
+                *v = ((j * 17 + c * 5) % 23) as f32 * 0.125 - 1.0;
+            }
+        }
+        let expect = banded.multiply(&x);
+
+        // Row-swapped input: B_k[dy] = X[perm(16k + dy)].
+        let mut acc = [[0.0f32; 8]; 16];
+        let mut c = PerfCounters::new();
+        for (s, slice) in k.slices.iter().enumerate() {
+            let mut b = [[0.0f32; 8]; 16];
+            for (dy, br) in b.iter_mut().enumerate() {
+                let src = crate::swap::swap_perm(16 * s + dy, M_TILE, SwapParity::Even);
+                *br = x[src];
+            }
+            mma_sp_m16n8k16(&mut c, slice, &b, &mut acc);
+        }
+        for i in 0..16 {
+            for j in 0..8 {
+                assert!(
+                    (acc[i][j] - expect[i][j]).abs() < 1e-4,
+                    "({i},{j}): {} vs {}",
+                    acc[i][j],
+                    expect[i][j]
+                );
+            }
+        }
+        assert_eq!(c.mma_sparse_f16, 2, "two k16 slices per §3.2");
+    }
+}

@@ -1,0 +1,215 @@
+//! 3D SPIDER execution by plane decomposition — an extension beyond the
+//! paper's 1D/2D evaluation (its §2.2 defines 3D stencils; §6 leaves them
+//! to future work).
+//!
+//! A Box-3D kernel of radius `r` splits into `2r+1` 2D plane slices:
+//! `out[z] = Σ_dz stencil2d(k[dz], in[z+dz])`. Each slice compiles through
+//! the ordinary 2D pipeline (band → strided swap → 2:4), so the SpTC
+//! machinery — including the zero-cost row swap — is reused unchanged; the
+//! executor accumulates the per-slice partials plane by plane. Star-3D
+//! kernels work automatically: their off-center slices hold a single tap
+//! and compile to one-unit plans.
+
+use crate::exec::{ExecMode, SpiderExecutor};
+use crate::plan::{PlanError, SpiderPlan};
+use spider_gpu_sim::counters::PerfCounters;
+use spider_gpu_sim::half::F16;
+use spider_gpu_sim::timing::{KernelReport, LaunchDims};
+use spider_gpu_sim::GpuDevice;
+use spider_stencil::dim3::{Grid3D, Kernel3D};
+
+/// Compiled 3D plan: one 2D plan per non-zero kernel slice.
+#[derive(Debug, Clone)]
+pub struct Spider3DPlan {
+    radius: usize,
+    /// `(dz, 2D plan)` for every non-zero plane slice.
+    slices: Vec<(isize, SpiderPlan)>,
+}
+
+impl Spider3DPlan {
+    pub fn compile(kernel: &Kernel3D) -> Result<Self, PlanError> {
+        let r = kernel.radius() as isize;
+        let mut slices = Vec::new();
+        for dz in -r..=r {
+            if let Some(k2) = kernel.slice(dz) {
+                slices.push((dz, SpiderPlan::compile(&k2)?));
+            }
+        }
+        if slices.is_empty() {
+            return Err(PlanError::EmptyKernel);
+        }
+        Ok(Self {
+            radius: kernel.radius(),
+            slices,
+        })
+    }
+
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    pub fn slices(&self) -> &[(isize, SpiderPlan)] {
+        &self.slices
+    }
+
+    /// Total `mma.sp` K-slices per MMA tile across all plane slices.
+    pub fn total_mma_slices(&self) -> usize {
+        self.slices.iter().map(|(_, p)| p.slices()).sum()
+    }
+}
+
+/// 3D executor: drives the 2D [`SpiderExecutor`] per plane slice.
+pub struct Spider3DExecutor<'d> {
+    device: &'d GpuDevice,
+    exec: SpiderExecutor<'d>,
+}
+
+impl<'d> Spider3DExecutor<'d> {
+    pub fn new(device: &'d GpuDevice, mode: ExecMode) -> Self {
+        Self {
+            device,
+            exec: SpiderExecutor::new(device, mode),
+        }
+    }
+
+    /// Run `steps` sweeps of a 3D stencil, updating `grid` in place.
+    pub fn run(
+        &self,
+        plan: &Spider3DPlan,
+        grid: &mut Grid3D<f32>,
+        steps: usize,
+    ) -> Result<KernelReport, String> {
+        if grid.halo() < plan.radius() {
+            return Err(format!(
+                "grid halo {} < stencil radius {}",
+                grid.halo(),
+                plan.radius()
+            ));
+        }
+        for z in 0..grid.planes() {
+            for i in 0..grid.rows() {
+                for j in 0..grid.cols() {
+                    grid.set(z, i, j, F16::quantize(grid.get(z, i, j)));
+                }
+            }
+        }
+        let points = grid.points() as u64;
+        let mut total = PerfCounters::new();
+        for _ in 0..steps.max(1) {
+            let mut next = grid.clone();
+            for z in 0..grid.planes() {
+                let mut acc =
+                    spider_stencil::Grid2D::<f32>::zeros(grid.rows(), grid.cols(), plan.radius());
+                for (dz, plan2d) in plan.slices() {
+                    let src_plane = grid.plane_ext(z as isize + dz);
+                    let (partial, counters) = self.exec.sweep_plane(plan2d, &src_plane)?;
+                    total += counters;
+                    for i in 0..grid.rows() {
+                        for j in 0..grid.cols() {
+                            acc.set(i, j, acc.get(i, j) + partial.get(i, j));
+                        }
+                    }
+                }
+                for i in 0..grid.rows() {
+                    for j in 0..grid.cols() {
+                        next.set(z, i, j, F16::quantize(acc.get(i, j)));
+                    }
+                }
+            }
+            *grid = next;
+        }
+        // Launch geometry: planes × 2D block grid per sweep.
+        let t = crate::tiling::TilingConfig::default();
+        let dims = LaunchDims::new(
+            grid.planes() as u64 * t.blocks_2d(grid.rows(), grid.cols()),
+            t.threads_per_block(),
+        );
+        Ok(self
+            .device
+            .report(total, dims, points * steps.max(1) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_stencil::dim3::step_3d;
+
+    fn oracle(kernel: &Kernel3D, grid: &Grid3D<f32>) -> Grid3D<f64> {
+        // FP16-quantized kernel + input, f64 arithmetic.
+        let qk = Kernel3D::from_fn(kernel.radius(), |dz, dx, dy| {
+            F16::quantize(kernel.at(dz, dx, dy) as f32) as f64
+        });
+        let src: Grid3D<f64> = grid.convert();
+        let mut dst = src.clone();
+        step_3d(&qk, &src, &mut dst);
+        dst
+    }
+
+    fn quantize(g: &mut Grid3D<f32>) {
+        for z in 0..g.planes() {
+            for i in 0..g.rows() {
+                for j in 0..g.cols() {
+                    g.set(z, i, j, F16::quantize(g.get(z, i, j)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_3d_matches_oracle() {
+        let dev = GpuDevice::a100();
+        for r in 1..=2 {
+            let kernel = Kernel3D::random_box(r, 5 + r as u64);
+            let plan = Spider3DPlan::compile(&kernel).unwrap();
+            assert_eq!(plan.slices().len(), 2 * r + 1);
+            let mut g = Grid3D::<f32>::random(6, 24, 40, r, 6);
+            quantize(&mut g);
+            let expect = oracle(&kernel, &g);
+            let exec = Spider3DExecutor::new(&dev, ExecMode::SparseTcOptimized);
+            let report = exec.run(&plan, &mut g, 1).unwrap();
+            let got: Grid3D<f64> = g.convert();
+            let err = expect.max_abs_diff(&got);
+            assert!(err < 2e-2, "r={r}: {err}");
+            assert!(report.counters.mma_sparse_f16 > 0);
+        }
+    }
+
+    #[test]
+    fn star_3d_matches_oracle() {
+        let dev = GpuDevice::a100();
+        let kernel = Kernel3D::star_7point(-6.0, 1.0);
+        let plan = Spider3DPlan::compile(&kernel).unwrap();
+        // Off-center slices are single-tap plans.
+        assert_eq!(plan.slices().len(), 3);
+        let mut g = Grid3D::<f32>::random(5, 20, 36, 1, 8);
+        quantize(&mut g);
+        let expect = oracle(&kernel, &g);
+        Spider3DExecutor::new(&dev, ExecMode::SparseTcOptimized)
+            .run(&plan, &mut g, 1)
+            .unwrap();
+        let got: Grid3D<f64> = g.convert();
+        // Laplacian sums reach ~|6|; one f16 ulp at that scale is ~4e-3.
+        assert!(expect.max_abs_diff(&got) < 5e-2, "{}", expect.max_abs_diff(&got));
+    }
+
+    #[test]
+    fn insufficient_halo_rejected() {
+        let dev = GpuDevice::a100();
+        let kernel = Kernel3D::random_box(2, 1);
+        let plan = Spider3DPlan::compile(&kernel).unwrap();
+        let mut g = Grid3D::<f32>::random(4, 16, 16, 1, 2);
+        assert!(Spider3DExecutor::new(&dev, ExecMode::SparseTcOptimized)
+            .run(&plan, &mut g, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn mma_slice_budget_scales_with_radius() {
+        let p1 = Spider3DPlan::compile(&Kernel3D::random_box(1, 2)).unwrap();
+        let p2 = Spider3DPlan::compile(&Kernel3D::random_box(2, 2)).unwrap();
+        // (2r+1) planes × (2r+1) rows × 2 slices.
+        assert_eq!(p1.total_mma_slices(), 3 * 3 * 2);
+        assert_eq!(p2.total_mma_slices(), 5 * 5 * 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! The ahead-of-time transformation product: a [`SpiderPlan`].
+//!
+//! Compiling a plan is the paper's entire offline pipeline — row
+//! decomposition, banded-matrix construction, strided swapping, 2:4
+//! compression and packing metadata. Its cost is `O(1)` in the grid size
+//! (it touches only the `(2r+1)²` kernel coefficients), the property §4.2
+//! contrasts against DRStencil's hour-long tuning, FlashFFTStencil's
+//! `O(L² log L)` transforms and LoRAStencil's `O(L³)` decomposition.
+
+use crate::encode::Sparse24Kernel;
+use crate::swap::SwapParity;
+use crate::kernel_matrix;
+use spider_gpu_sim::half::F16;
+use spider_stencil::{Dim, StencilKernel};
+
+/// One compiled decomposition unit: a kernel-row chunk as a 2:4 operand pair
+/// plus the input-window offsets that position its partial contribution.
+#[derive(Debug, Clone)]
+pub struct PlanUnit {
+    /// Compiled, swapped, compressed kernel-row chunk.
+    pub sparse: Sparse24Kernel,
+    /// Input grid-row offset relative to the output row (`m − r`; 0 in 1D).
+    pub dx: isize,
+    /// Input grid-column offset (non-zero only for wide-row splits).
+    pub dy: isize,
+    /// Effective radius of this unit's band (`≤ MAX_NATIVE_RADIUS`).
+    pub radius: usize,
+}
+
+/// The ahead-of-time compilation product for one stencil kernel.
+#[derive(Debug, Clone)]
+pub struct SpiderPlan {
+    kernel: StencilKernel,
+    units: Vec<PlanUnit>,
+    parity: SwapParity,
+}
+
+/// Errors surfaced during plan compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A swapped kernel-row chunk failed 2:4 validation (cannot happen for
+    /// band widths within the native radius — kept for API honesty).
+    NotTwoFour(String),
+    /// Kernel has no non-zero coefficients.
+    EmptyKernel,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NotTwoFour(e) => write!(f, "2:4 violation: {e}"),
+            PlanError::EmptyKernel => write!(f, "kernel has no non-zero coefficients"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl SpiderPlan {
+    /// Compile with the default (paper §3.2) even swap parity.
+    pub fn compile(kernel: &StencilKernel) -> Result<Self, PlanError> {
+        Self::compile_with_parity(kernel, SwapParity::Even)
+    }
+
+    /// Compile with an explicit swap parity.
+    pub fn compile_with_parity(
+        kernel: &StencilKernel,
+        parity: SwapParity,
+    ) -> Result<Self, PlanError> {
+        let r = kernel.radius();
+        let mut units = Vec::new();
+        for m in 0..kernel.num_rows() {
+            let row = kernel.row(m);
+            if row.iter().all(|&c| c == 0.0) {
+                continue; // star kernels: fully-zero rows need no GEMM
+            }
+            // Model FP16 storage of the coefficients.
+            let row_f16: Vec<f32> = row.iter().map(|&c| F16::quantize(c as f32)).collect();
+            let dx = match kernel.shape().dim {
+                Dim::D1 => 0isize,
+                Dim::D2 => m as isize - r as isize,
+            };
+            for (chunk, dy) in kernel_matrix::split_wide_row(&row_f16) {
+                let sparse = Sparse24Kernel::compile(&chunk, parity)
+                    .map_err(|e| PlanError::NotTwoFour(e.to_string()))?;
+                units.push(PlanUnit {
+                    radius: sparse.radius,
+                    sparse,
+                    dx,
+                    dy,
+                });
+            }
+        }
+        if units.is_empty() {
+            return Err(PlanError::EmptyKernel);
+        }
+        Ok(Self {
+            kernel: kernel.clone(),
+            units,
+            parity,
+        })
+    }
+
+    pub fn kernel(&self) -> &StencilKernel {
+        &self.kernel
+    }
+
+    pub fn units(&self) -> &[PlanUnit] {
+        &self.units
+    }
+
+    pub fn parity(&self) -> SwapParity {
+        self.parity
+    }
+
+    /// Stencil radius of the source kernel.
+    pub fn radius(&self) -> usize {
+        self.kernel.radius()
+    }
+
+    /// Total `mma.sp` K-slices per MMA tile (two per unit — §3.2's "twice").
+    pub fn slices(&self) -> usize {
+        self.units.len() * 2
+    }
+
+    /// Compressed parameter bytes (values + metadata) the plan ships to the
+    /// device — the "Parameter Memory Access" unit of the paper's Table 2.
+    pub fn parameter_bytes(&self) -> usize {
+        self.units
+            .iter()
+            .map(|u| u.sparse.value_bytes() + u.sparse.metadata_bytes())
+            .sum()
+    }
+
+    /// Parameter bytes without 2:4 compression (the dense-TC ablation arm).
+    pub fn parameter_bytes_dense(&self) -> usize {
+        self.units.iter().map(|u| u.sparse.dense_bytes()).sum()
+    }
+
+    pub fn is_1d(&self) -> bool {
+        self.kernel.shape().dim == Dim::D1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MAX_NATIVE_RADIUS;
+    use spider_stencil::shape::StencilShape;
+
+    #[test]
+    fn box_2d_plan_has_one_unit_per_row() {
+        for r in 1..=3 {
+            let k = StencilKernel::random(StencilShape::box_2d(r), 1);
+            let p = SpiderPlan::compile(&k).unwrap();
+            assert_eq!(p.units().len(), 2 * r + 1);
+            assert_eq!(p.slices(), 2 * (2 * r + 1));
+            for (m, u) in p.units().iter().enumerate() {
+                assert_eq!(u.dx, m as isize - r as isize);
+                assert_eq!(u.dy, 0);
+                assert_eq!(u.radius, r);
+            }
+        }
+    }
+
+    #[test]
+    fn star_2d_plan_keeps_all_rows() {
+        // Star rows still have their center tap, so every row compiles
+        // (zero off-axis taps make the band mostly zeros — still 2:4).
+        let k = StencilKernel::random(StencilShape::star_2d(2), 2);
+        let p = SpiderPlan::compile(&k).unwrap();
+        assert_eq!(p.units().len(), 5);
+    }
+
+    #[test]
+    fn d1_plan_is_single_unit() {
+        let k = StencilKernel::random(StencilShape::d1(2), 3);
+        let p = SpiderPlan::compile(&k).unwrap();
+        assert_eq!(p.units().len(), 1);
+        assert_eq!(p.units()[0].dx, 0);
+        assert!(p.is_1d());
+    }
+
+    #[test]
+    fn zero_rows_are_skipped() {
+        // Custom kernel with an all-zero top row.
+        let mut coeffs = vec![0.0; 9];
+        coeffs[4] = 1.0;
+        coeffs[7] = 0.5;
+        let k = StencilKernel::box_2d(1, &coeffs);
+        let p = SpiderPlan::compile(&k).unwrap();
+        assert_eq!(p.units().len(), 2, "rows 1 and 2 only");
+        assert_eq!(p.units()[0].dx, 0);
+        assert_eq!(p.units()[1].dx, 1);
+    }
+
+    #[test]
+    fn empty_kernel_rejected() {
+        let k = StencilKernel::box_2d(1, &[0.0; 9]);
+        assert!(matches!(
+            SpiderPlan::compile(&k),
+            Err(PlanError::EmptyKernel)
+        ));
+    }
+
+    #[test]
+    fn wide_radius_splits_into_chunks() {
+        let k = StencilKernel::random(StencilShape::d1(10), 4); // r=10 > 7
+        let p = SpiderPlan::compile(&k).unwrap();
+        assert!(p.units().len() >= 2);
+        for u in p.units() {
+            assert!(u.radius <= MAX_NATIVE_RADIUS);
+        }
+        // Chunks cover distinct column offsets.
+        let mut dys: Vec<isize> = p.units().iter().map(|u| u.dy).collect();
+        dys.dedup();
+        assert_eq!(dys.len(), p.units().len());
+    }
+
+    #[test]
+    fn parameter_bytes_reflect_compression() {
+        let k = StencilKernel::random(StencilShape::box_2d(3), 5);
+        let p = SpiderPlan::compile(&k).unwrap();
+        let compressed = p.parameter_bytes();
+        let dense = p.parameter_bytes_dense();
+        // values halve; metadata adds 1/16 of dense.
+        assert_eq!(compressed, dense / 2 + dense / 16);
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let k = StencilKernel::random(StencilShape::box_2d(2), 9);
+        let a = SpiderPlan::compile(&k).unwrap();
+        let b = SpiderPlan::compile(&k).unwrap();
+        assert_eq!(a.units().len(), b.units().len());
+        for (ua, ub) in a.units().iter().zip(b.units()) {
+            assert_eq!(ua.sparse, ub.sparse);
+        }
+    }
+}

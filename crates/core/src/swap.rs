@@ -1,0 +1,235 @@
+//! The strided swapping transformation (paper §3.1.2, Fig 5).
+//!
+//! The banded kernel matrix aggregates its non-zeros in a diagonal band,
+//! violating the 2:4 pattern. Strided swapping exchanges column `j` with
+//! column `j+L` (for one parity class of `j`, within each `2L`-wide column
+//! block), scattering the band so that every contiguous 4-element group
+//! holds at most two non-zeros.
+//!
+//! ## Why it works (the bandwidth argument)
+//!
+//! After swapping even columns, position `2t` holds original column `2t±L`
+//! and position `2t+1` holds original column `2t+1`. A 4-segment
+//! `[4s..4s+4)` therefore sources from `{e, e+2, o, o+2}` where the even
+//! pair and the odd pair are mutually `L±1` or `L±3` apart. Any three of
+//! these four source columns span at least `L−1` columns, but a kernel row's
+//! non-zeros occupy a contiguous band of width `2r+1 ≤ L−1`, whose extreme
+//! columns are only `L−2` apart — so at most **two** of the four sources can
+//! be non-zero. The same argument applies to odd-column swapping (the
+//! paper's Fig 5 draws the odd variant 1-indexed; its §3.2 offset formula
+//! uses the even variant — both are implemented and tested).
+
+use crate::{K_PAD, M_TILE};
+
+/// Which column parity is exchanged with its `+L` partner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwapParity {
+    /// Swap columns `j ∈ {0, 2, 4, …}` with `j+L` — matches the paper's §3.2
+    /// runtime offset formula (`i mod 2 ≡ 0` elements move by `16·(−1)^k`).
+    #[default]
+    Even,
+    /// Swap columns `j ∈ {1, 3, 5, …}` with `j+L` — the variant drawn in the
+    /// paper's Fig 5 (which indexes columns from 1).
+    Odd,
+}
+
+impl SwapParity {
+    fn selects(self, j: usize) -> bool {
+        match self {
+            SwapParity::Even => j % 2 == 0,
+            SwapParity::Odd => j % 2 == 1,
+        }
+    }
+}
+
+/// The strided-swap permutation on column index `j` within `2L`-wide blocks:
+/// selected-parity columns exchange with their partner `L` away. The
+/// permutation is an involution (`swap_perm ∘ swap_perm = id`).
+pub fn swap_perm(j: usize, l: usize, parity: SwapParity) -> usize {
+    let block = j / (2 * l);
+    let local = j % (2 * l);
+    let swapped = if parity.selects(local) {
+        if local < l {
+            local + l
+        } else {
+            local - l
+        }
+    } else {
+        local
+    };
+    block * 2 * l + swapped
+}
+
+/// Apply strided swapping to the columns of a row-major matrix whose width
+/// is a multiple of `2L`. Returns the permuted matrix.
+pub fn strided_swap(rows: &[Vec<f32>], l: usize, parity: SwapParity) -> Vec<Vec<f32>> {
+    rows.iter()
+        .map(|row| {
+            assert_eq!(row.len() % (2 * l), 0, "width must be a multiple of 2L");
+            (0..row.len())
+                .map(|j| row[swap_perm(j, l, parity)])
+                .collect()
+        })
+        .collect()
+}
+
+/// Apply the swap to a fixed-size banded kernel matrix (`L = M_TILE`).
+pub fn strided_swap_banded(
+    data: &[[f32; K_PAD]; M_TILE],
+    parity: SwapParity,
+) -> [[f32; K_PAD]; M_TILE] {
+    let mut out = [[0.0f32; K_PAD]; M_TILE];
+    for (i, row) in data.iter().enumerate() {
+        for j in 0..K_PAD {
+            out[i][j] = row[swap_perm(j, M_TILE, parity)];
+        }
+    }
+    out
+}
+
+/// True if every row of the matrix satisfies the 2:4 pattern.
+pub fn is_2to4(rows: &[Vec<f32>]) -> bool {
+    rows.iter()
+        .all(|r| spider_gpu_sim::sparse::is_2to4_row(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel_matrix::BandedKernelMatrix;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perm_is_involution() {
+        for l in [4usize, 8, 16] {
+            for parity in [SwapParity::Even, SwapParity::Odd] {
+                for j in 0..4 * l {
+                    assert_eq!(swap_perm(swap_perm(j, l, parity), l, parity), j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perm_is_bijection() {
+        let l = 16;
+        let mut seen = vec![false; 2 * l];
+        for j in 0..2 * l {
+            let p = swap_perm(j, l, SwapParity::Even);
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn even_parity_moves_even_columns_only() {
+        let l = 8;
+        for j in 0..2 * l {
+            let p = swap_perm(j, l, SwapParity::Even);
+            if j % 2 == 0 {
+                assert_eq!(p, if j < l { j + l } else { j - l });
+            } else {
+                assert_eq!(p, j);
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_example_r3_l8() {
+        // The paper's illustration: r=3, L=8, 8x16 matrix with band A..G.
+        // Build it with the paper's own L (not the executor M_TILE).
+        let coeffs: Vec<f32> = (1..=7).map(|v| v as f32).collect();
+        let rows: Vec<Vec<f32>> = (0..8)
+            .map(|i| {
+                let mut r = vec![0.0f32; 16];
+                for (j, &c) in coeffs.iter().enumerate() {
+                    r[i + j] = c;
+                }
+                r
+            })
+            .collect();
+        // Band violates 2:4 before the swap…
+        assert!(!is_2to4(&rows));
+        // …and satisfies it after, for both parities.
+        for parity in [SwapParity::Even, SwapParity::Odd] {
+            let swapped = strided_swap(&rows, 8, parity);
+            assert!(is_2to4(&swapped), "{parity:?}");
+        }
+        // Spot-check the even-parity permutation of row 0:
+        // original [A B C D E F G 0 | 0 0 0 0 0 0 0 0] with A..G at 0..6.
+        let swapped = strided_swap(&rows, 8, SwapParity::Even);
+        let expect: Vec<f32> = vec![
+            0., 2., 0., 4., 0., 6., 0., 0., // evens swapped away, odds stay
+            1., 0., 3., 0., 5., 0., 7., 0., // evens of the band land here
+        ];
+        assert_eq!(swapped[0], expect);
+    }
+
+    #[test]
+    fn all_native_radii_become_2to4() {
+        for r in 1..=7usize {
+            let row: Vec<f32> = (0..2 * r + 1).map(|i| i as f32 + 1.0).collect();
+            let m = BandedKernelMatrix::build(&row);
+            for parity in [SwapParity::Even, SwapParity::Odd] {
+                let sw = strided_swap_banded(&m.data, parity);
+                for (i, row) in sw.iter().enumerate() {
+                    assert!(
+                        spider_gpu_sim::sparse::is_2to4_row(row),
+                        "r={r} {parity:?} row {i}: {row:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_preserves_multiset_of_values() {
+        let row: Vec<f32> = (0..15).map(|i| i as f32 * 0.5 + 1.0).collect();
+        let m = BandedKernelMatrix::build(&row);
+        let sw = strided_swap_banded(&m.data, SwapParity::Even);
+        for i in 0..M_TILE {
+            let mut a: Vec<u32> = m.data[i].iter().map(|v| v.to_bits()).collect();
+            let mut b: Vec<u32> = sw[i].iter().map(|v| v.to_bits()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "row {i}");
+        }
+    }
+
+    proptest! {
+        /// The §3.1.2 guarantee, property-tested: any band of width ≤ L−1 at
+        /// any offset becomes 2:4 after the swap, for any coefficients.
+        #[test]
+        fn any_band_swaps_to_2to4(
+            r in 1usize..=7,
+            seed in 0u64..1000,
+            parity in prop::sample::select(vec![SwapParity::Even, SwapParity::Odd]),
+        ) {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32 / 1e4 + 0.01
+            };
+            let row: Vec<f32> = (0..2 * r + 1).map(|_| next()).collect();
+            let m = BandedKernelMatrix::build(&row);
+            let sw = strided_swap_banded(&m.data, parity);
+            for row in sw.iter() {
+                prop_assert!(spider_gpu_sim::sparse::is_2to4_row(row));
+            }
+        }
+
+        /// Swapping twice restores the original matrix.
+        #[test]
+        fn double_swap_is_identity(r in 1usize..=7, parity_even in any::<bool>()) {
+            let parity = if parity_even { SwapParity::Even } else { SwapParity::Odd };
+            let row: Vec<f32> = (0..2 * r + 1).map(|i| (i + 1) as f32).collect();
+            let m = BandedKernelMatrix::build(&row);
+            let once = strided_swap_banded(&m.data, parity);
+            let twice = strided_swap_banded(&once, parity);
+            prop_assert_eq!(twice, m.data);
+        }
+    }
+}

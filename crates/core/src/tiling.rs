@@ -1,0 +1,178 @@
+//! Hierarchical tiling (paper §3.3.1, Fig 7).
+//!
+//! Three levels over the GPU memory hierarchy:
+//!
+//! * **block-level** — each thread block computes a `block_x × block_y`
+//!   output tile, staging the `(block_x + 2r) × (block_y + 2r)` input region
+//!   (interior + HALO) in shared memory;
+//! * **warp-level** — each warp owns a `warp_x × warp_y` sub-tile, moving
+//!   data from shared memory to registers;
+//! * **mma-level** — `(M, N, K) = (16, 8, 16)`, the `mma.sp.m16n8k16` shape.
+//!
+//! Here `x` is the grid-row direction (the MMA N extent) and `y` the
+//! grid-column direction (the MMA M extent, along which the kernel matrix
+//! band runs). The kernel matrix itself bypasses shared memory and lives in
+//! registers for the whole computation, as the paper prescribes.
+
+use crate::M_TILE;
+
+/// MMA tile N extent (grid rows per MMA).
+pub const N_TILE: usize = 8;
+
+/// Tiling parameters for the SPIDER executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingConfig {
+    /// Output grid rows (x) per thread block.
+    pub block_x: usize,
+    /// Output grid columns (y) per thread block.
+    pub block_y: usize,
+    /// Output grid rows (x) per warp.
+    pub warp_x: usize,
+    /// Output grid columns (y) per warp.
+    pub warp_y: usize,
+    /// Outputs per thread block for 1D problems.
+    pub block_1d: usize,
+}
+
+impl Default for TilingConfig {
+    fn default() -> Self {
+        // The paper notes SPIDER favors large tiles for memory efficiency
+        // (§4.3). 32×64 outputs/block at 4 warps balances occupancy against
+        // shared-memory footprint on Ampere.
+        Self {
+            block_x: 32,
+            block_y: 64,
+            warp_x: 16,
+            warp_y: 32,
+            block_1d: 2048,
+        }
+    }
+}
+
+impl TilingConfig {
+    /// Validate divisibility constraints between the three levels.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks = [
+            (self.warp_y % M_TILE == 0, "warp_y must be a multiple of 16"),
+            (self.warp_x % N_TILE == 0, "warp_x must be a multiple of 8"),
+            (
+                self.block_y % self.warp_y == 0,
+                "block_y must be a multiple of warp_y",
+            ),
+            (
+                self.block_x % self.warp_x == 0,
+                "block_x must be a multiple of warp_x",
+            ),
+            (
+                self.block_1d % (M_TILE * N_TILE) == 0,
+                "block_1d must be a multiple of 128",
+            ),
+        ];
+        for (ok, msg) in checks {
+            if !ok {
+                return Err(msg.to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Warps per thread block (2D path).
+    pub fn warps_per_block(&self) -> usize {
+        (self.block_x / self.warp_x) * (self.block_y / self.warp_y)
+    }
+
+    /// MMA tiles (16×8 outputs) per warp.
+    pub fn mma_tiles_per_warp(&self) -> usize {
+        (self.warp_x / N_TILE) * (self.warp_y / M_TILE)
+    }
+
+    /// Shared-memory input staging elements for a 2D block at radius `r`
+    /// (interior plus halo in both directions).
+    pub fn smem_elems_2d(&self, r: usize) -> usize {
+        (self.block_x + 2 * r) * (self.block_y + 2 * r)
+    }
+
+    /// Shared-memory bytes for the FP16 input stage.
+    pub fn smem_bytes_2d(&self, r: usize) -> usize {
+        self.smem_elems_2d(r) * 2
+    }
+
+    /// Thread blocks needed for a `rows × cols` 2D grid.
+    pub fn blocks_2d(&self, rows: usize, cols: usize) -> u64 {
+        (rows.div_ceil(self.block_x) * cols.div_ceil(self.block_y)) as u64
+    }
+
+    /// Thread blocks needed for a length-`n` 1D grid.
+    pub fn blocks_1d(&self, n: usize) -> u64 {
+        n.div_ceil(self.block_1d) as u64
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        (self.warps_per_block() * 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let t = TilingConfig::default();
+        t.validate().unwrap();
+        assert_eq!(t.warps_per_block(), 4);
+        assert_eq!(t.mma_tiles_per_warp(), 4);
+        assert_eq!(t.threads_per_block(), 128);
+    }
+
+    #[test]
+    fn smem_fits_a100() {
+        let t = TilingConfig::default();
+        for r in 1..=7 {
+            assert!(
+                t.smem_bytes_2d(r) < 164 * 1024,
+                "r={r}: {} B",
+                t.smem_bytes_2d(r)
+            );
+        }
+        assert_eq!(t.smem_elems_2d(1), 34 * 66);
+    }
+
+    #[test]
+    fn block_counts_cover_grid() {
+        let t = TilingConfig::default();
+        assert_eq!(t.blocks_2d(32, 64), 1);
+        assert_eq!(t.blocks_2d(33, 64), 2);
+        assert_eq!(t.blocks_2d(10240, 10240), (10240 / 32) as u64 * (10240 / 64) as u64);
+        assert_eq!(t.blocks_1d(2048), 1);
+        assert_eq!(t.blocks_1d(2049), 2);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut t = TilingConfig::default();
+        t.warp_y = 24;
+        assert!(t.validate().is_err());
+        let mut t = TilingConfig::default();
+        t.block_x = 40; // not a multiple of warp_x=16
+        assert!(t.validate().is_err());
+        let mut t = TilingConfig::default();
+        t.block_1d = 100;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn bigger_blocks_mean_fewer_blocks() {
+        let small = TilingConfig::default();
+        let big = TilingConfig {
+            block_x: 64,
+            block_y: 128,
+            warp_x: 32,
+            warp_y: 64,
+            ..small
+        };
+        big.validate().unwrap();
+        assert!(big.blocks_2d(1024, 1024) < small.blocks_2d(1024, 1024));
+    }
+}

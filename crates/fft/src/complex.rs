@@ -1,0 +1,132 @@
+//! A minimal double-precision complex number.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// Complex number over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex64 {
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    pub fn from_re(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, o: Self) {
+        *self = *self * o;
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex64::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex64::new(4.0, 1.5));
+        // (1+2i)(-3+0.5i) = -3 + 0.5i - 6i + i^2 = -4 - 5.5i
+        assert_eq!(a * b, Complex64::new(-4.0, -5.5));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..8 {
+            let t = k as f64 * std::f64::consts::FRAC_PI_4;
+            assert!((Complex64::cis(t).norm() - 1.0).abs() < 1e-15);
+        }
+        let i = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!((i.re).abs() < 1e-15 && (i.im - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conj_mul_gives_norm_squared() {
+        let a = Complex64::new(3.0, 4.0);
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < 1e-12);
+        assert!(p.im.abs() < 1e-12);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+    }
+}

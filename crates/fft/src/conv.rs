@@ -1,0 +1,128 @@
+//! FFT-based convolution (the computational core of FlashFFTStencil).
+//!
+//! A stencil sweep is a *correlation* of the grid with the kernel; with the
+//! kernel flipped it becomes a convolution, which the frequency domain turns
+//! into a pointwise product. Padding to the next power of two makes the
+//! circular convolution linear over the region of interest.
+
+use crate::complex::Complex64;
+use crate::fft2d::{fft2d, ifft2d};
+use crate::radix2::{fft, ifft};
+
+/// Full linear convolution of two real signals (`len = a + b - 1`).
+pub fn conv1d(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let out_len = a.len() + b.len() - 1;
+    let n = out_len.next_power_of_two();
+    let mut fa: Vec<Complex64> = a.iter().map(|&v| Complex64::from_re(v)).collect();
+    let mut fb: Vec<Complex64> = b.iter().map(|&v| Complex64::from_re(v)).collect();
+    fa.resize(n, Complex64::ZERO);
+    fb.resize(n, Complex64::ZERO);
+    fft(&mut fa);
+    fft(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    ifft(&mut fa);
+    fa[..out_len].iter().map(|v| v.re).collect()
+}
+
+/// Full 2D linear convolution of row-major real images.
+pub fn conv2d(
+    a: &[f64],
+    (ar, ac): (usize, usize),
+    b: &[f64],
+    (br, bc): (usize, usize),
+) -> Vec<f64> {
+    assert_eq!(a.len(), ar * ac);
+    assert_eq!(b.len(), br * bc);
+    let or = ar + br - 1;
+    let oc = ac + bc - 1;
+    let pr = or.next_power_of_two();
+    let pc = oc.next_power_of_two();
+
+    let embed = |src: &[f64], (r, c): (usize, usize)| -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; pr * pc];
+        for i in 0..r {
+            for j in 0..c {
+                out[i * pc + j] = Complex64::from_re(src[i * c + j]);
+            }
+        }
+        out
+    };
+    let mut fa = embed(a, (ar, ac));
+    let mut fb = embed(b, (br, bc));
+    fft2d(&mut fa, pr, pc);
+    fft2d(&mut fb, pr, pc);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    ifft2d(&mut fa, pr, pc);
+    let mut out = vec![0.0; or * oc];
+    for i in 0..or {
+        for j in 0..oc {
+            out[i * oc + j] = fa[i * pc + j].re;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_conv1d(a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                out[i + j] += x * y;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv1d_matches_naive() {
+        let a: Vec<f64> = (0..37).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let b = vec![0.5, -1.0, 2.0, 0.25, 1.5];
+        let fast = conv1d(&a, &b);
+        let slow = naive_conv1d(&a, &b);
+        assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn conv1d_identity() {
+        let a = vec![1.0, 2.0, 3.0];
+        let out = conv1d(&a, &[1.0]);
+        assert_eq!(out.len(), 3);
+        for (x, y) in out.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_naive() {
+        let (ar, ac) = (9, 7);
+        let (br, bc) = (3, 3);
+        let a: Vec<f64> = (0..ar * ac).map(|i| ((i * 13) % 17) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..br * bc).map(|i| i as f64 - 4.0).collect();
+        let fast = conv2d(&a, (ar, ac), &b, (br, bc));
+        // Naive 2D convolution.
+        let (or_, oc) = (ar + br - 1, ac + bc - 1);
+        let mut slow = vec![0.0; or_ * oc];
+        for i in 0..ar {
+            for j in 0..ac {
+                for p in 0..br {
+                    for q in 0..bc {
+                        slow[(i + p) * oc + (j + q)] += a[i * ac + j] * b[p * bc + q];
+                    }
+                }
+            }
+        }
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

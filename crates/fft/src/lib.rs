@@ -1,0 +1,17 @@
+//! # spider-fft
+//!
+//! Minimal FFT substrate built from scratch for the FlashFFTStencil baseline
+//! (paper §4.1): complex radix-2 Cooley–Tukey transforms, 2D row-column
+//! transforms and FFT-based linear convolution.
+//!
+//! FlashFFTStencil's published approach computes stencils as circular
+//! convolutions in the frequency domain on tensor cores; its `O(L² log L)`
+//! transform cost (paper §4.2) is exactly what [`conv`] reproduces.
+
+pub mod complex;
+pub mod conv;
+pub mod fft2d;
+pub mod radix2;
+
+pub use complex::Complex64;
+pub use radix2::{fft, ifft};

@@ -1,0 +1,156 @@
+//! Iterative in-place radix-2 Cooley–Tukey FFT.
+
+use crate::complex::Complex64;
+
+/// In-place bit-reversal permutation; `data.len()` must be a power of two.
+pub fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Forward DFT, in place: `X[k] = Σ_n x[n] e^{-2πi kn/N}`.
+pub fn fft(data: &mut [Complex64]) {
+    transform(data, -1.0);
+}
+
+/// Inverse DFT, in place, normalized by `1/N`.
+pub fn ifft(data: &mut [Complex64]) {
+    transform(data, 1.0);
+    let scale = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+fn transform(data: &mut [Complex64], sign: f64) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for chunk in data.chunks_exact_mut(len) {
+            let mut w = Complex64::ONE;
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Number of complex multiply-adds a radix-2 FFT of length `n` performs
+/// (`(n/2)·log2 n` butterflies) — used by the FlashFFTStencil cost model.
+pub fn butterfly_count(n: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    (n as u64 / 2) * n.trailing_zeros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex64::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc += v * Complex64::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s >> 12;
+                s ^= s << 25;
+                s ^= s >> 27;
+                let a = (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+                s ^= s >> 13;
+                let b = (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+                Complex64::new(a - 0.5, b - 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 32, 128] {
+            let x = rand_signal(n, 42);
+            let mut y = x.clone();
+            fft(&mut y);
+            let expect = naive_dft(&x);
+            for (a, b) in y.iter().zip(&expect) {
+                assert!((*a - *b).norm() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        for n in [1usize, 2, 16, 256, 1024] {
+            let x = rand_signal(n, 7);
+            let mut y = x.clone();
+            fft(&mut y);
+            ifft(&mut y);
+            for (a, b) in y.iter().zip(&x) {
+                assert!((*a - *b).norm() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 64];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((*v - Complex64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x = rand_signal(512, 3);
+        let t_energy: f64 = x.iter().map(|v| v.norm() * v.norm()).sum();
+        let mut y = x.clone();
+        fft(&mut y);
+        let f_energy: f64 = y.iter().map(|v| v.norm() * v.norm()).sum::<f64>() / 512.0;
+        assert!((t_energy - f_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn butterfly_counts() {
+        assert_eq!(butterfly_count(2), 1);
+        assert_eq!(butterfly_count(8), 12);
+        assert_eq!(butterfly_count(1024), 5120);
+    }
+}

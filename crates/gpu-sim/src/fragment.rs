@@ -1,0 +1,164 @@
+//! PTX matrix-fragment layouts for `mma.m16n8k16` / `mma.sp.m16n8k16`.
+//!
+//! A warp's 32 lanes collectively hold each MMA operand; the mapping from
+//! `(lane, register_index)` to `(row, col)` is fixed by the PTX ISA. SPIDER's
+//! zero-cost row swapping (paper §3.2) is expressed as an offset adjustment
+//! *inside this mapping* for the B (RHS) fragment, so the reproduction keeps
+//! the exact hardware layout:
+//!
+//! * each lane belongs to `group = lane / 4` with `tig = lane % 4`
+//!   ("threadID-in-group");
+//! * B fragment element `i ∈ 0..4` lives at
+//!   `row = 2·tig + 8·⌊i/2⌋ + (i mod 2)`, `col = group` — exactly the
+//!   `offset_row` formula printed in the paper.
+
+/// Lanes per warp.
+pub const WARP: u32 = 32;
+
+/// `group = lane / 4` (the "groupID" of the PTX tables).
+#[inline]
+pub fn group_of(lane: u32) -> u32 {
+    lane >> 2
+}
+
+/// `tig = lane % 4` (the "threadID_in_group").
+#[inline]
+pub fn tig_of(lane: u32) -> u32 {
+    lane & 3
+}
+
+/// Dense A fragment (16×16 f16, 8 elements per lane): `(row, col)` of
+/// element `i ∈ 0..8` held by `lane`.
+#[inline]
+pub fn a_dense(lane: u32, i: u32) -> (u32, u32) {
+    debug_assert!(lane < WARP && i < 8);
+    let row = group_of(lane) + 8 * ((i >> 1) & 1);
+    let col = 2 * tig_of(lane) + (i & 1) + 8 * (i >> 2);
+    (row, col)
+}
+
+/// B fragment (16×8 f16, 4 elements per lane): `(row, col)` of element
+/// `i ∈ 0..4`. `row` is the K index, `col` the N index.
+#[inline]
+pub fn b_dense(lane: u32, i: u32) -> (u32, u32) {
+    debug_assert!(lane < WARP && i < 4);
+    let row = 2 * tig_of(lane) + 8 * (i >> 1) + (i & 1);
+    let col = group_of(lane);
+    (row, col)
+}
+
+/// C/D accumulator fragment (16×8 f32, 4 elements per lane).
+#[inline]
+pub fn cd(lane: u32, i: u32) -> (u32, u32) {
+    debug_assert!(lane < WARP && i < 4);
+    let row = group_of(lane) + 8 * (i >> 1);
+    let col = 2 * tig_of(lane) + (i & 1);
+    (row, col)
+}
+
+/// Sparse A fragment (compressed 16×8 f16 values of the 16×16 2:4 operand,
+/// 4 elements per lane): `(row, compressed_col)` of element `i ∈ 0..4`.
+#[inline]
+pub fn a_sparse(lane: u32, i: u32) -> (u32, u32) {
+    debug_assert!(lane < WARP && i < 4);
+    let row = group_of(lane) + 8 * (i >> 1);
+    let col = 2 * tig_of(lane) + (i & 1);
+    (row, col)
+}
+
+/// The paper's §3.2 B-fragment row formula, verbatim:
+/// `offset_row = 2·(lane mod 4) + 8·⌊i/2⌋ + (i mod 2)`.
+#[inline]
+pub fn paper_offset_row(lane: u32, i: u32) -> u32 {
+    2 * (lane % 4) + 8 * (i / 2) + (i % 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_exact_cover(
+        rows: u32,
+        cols: u32,
+        elems: u32,
+        f: impl Fn(u32, u32) -> (u32, u32),
+    ) {
+        let mut seen = HashSet::new();
+        for lane in 0..WARP {
+            for i in 0..elems {
+                let (r, c) = f(lane, i);
+                assert!(r < rows && c < cols, "lane {lane} i {i} -> ({r},{c})");
+                assert!(seen.insert((r, c)), "duplicate ({r},{c})");
+            }
+        }
+        assert_eq!(seen.len() as u32, rows * cols, "incomplete coverage");
+    }
+
+    #[test]
+    fn a_dense_covers_16x16_once() {
+        assert_exact_cover(16, 16, 8, a_dense);
+    }
+
+    #[test]
+    fn b_dense_covers_16x8_once() {
+        assert_exact_cover(16, 8, 4, b_dense);
+    }
+
+    #[test]
+    fn cd_covers_16x8_once() {
+        assert_exact_cover(16, 8, 4, cd);
+    }
+
+    #[test]
+    fn a_sparse_covers_16x8_once() {
+        assert_exact_cover(16, 8, 4, a_sparse);
+    }
+
+    #[test]
+    fn b_row_matches_paper_formula() {
+        // Paper §3.2: the thread-to-row mapping for the i-th element.
+        for lane in 0..WARP {
+            for i in 0..4 {
+                let (row, _) = b_dense(lane, i);
+                assert_eq!(row, paper_offset_row(lane, i), "lane {lane} i {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn b_col_is_group() {
+        for lane in 0..WARP {
+            for i in 0..4 {
+                assert_eq!(b_dense(lane, i).1, lane / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn even_b_elements_map_to_even_rows() {
+        // The row-swap rule targets elements with i mod 2 == 0; those are
+        // exactly the even K rows — the columns the strided swap permutes.
+        for lane in 0..WARP {
+            for i in [0u32, 2] {
+                assert_eq!(b_dense(lane, i).0 % 2, 0);
+            }
+            for i in [1u32, 3] {
+                assert_eq!(b_dense(lane, i).0 % 2, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn spot_check_documented_positions() {
+        // From the PTX ISA tables: lane 0 holds a0 at (0,0), a2 at (8,0),
+        // a4 at (0,8); lane 5 (group 1, tig 1) holds b0 at row 2, col 1.
+        assert_eq!(a_dense(0, 0), (0, 0));
+        assert_eq!(a_dense(0, 2), (8, 0));
+        assert_eq!(a_dense(0, 4), (0, 8));
+        assert_eq!(a_dense(0, 7), (8, 9));
+        assert_eq!(b_dense(5, 0), (2, 1));
+        assert_eq!(b_dense(5, 3), (11, 1));
+        assert_eq!(cd(31, 3), (15, 7));
+    }
+}

@@ -1,0 +1,207 @@
+//! Software IEEE 754 binary16 ("half", FP16).
+//!
+//! Tensor cores consume FP16 operands; this type models that precision
+//! without external crates. Conversion follows round-to-nearest-even,
+//! including subnormal and infinity handling, so quantization effects in the
+//! simulated pipeline match real hardware inputs.
+
+/// IEEE binary16 value stored as its bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct F16(pub u16);
+
+impl F16 {
+    pub const ZERO: F16 = F16(0);
+    pub const ONE: F16 = F16(0x3C00);
+    pub const INFINITY: F16 = F16(0x7C00);
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// Largest finite f16 (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+
+    /// Convert from f32 with round-to-nearest-even.
+    pub fn from_f32(v: f32) -> Self {
+        let bits = v.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN
+            let payload = if man != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | payload);
+        }
+
+        // Unbiased exponent.
+        let e = exp - 127;
+        if e > 15 {
+            return F16(sign | 0x7C00); // overflow -> inf
+        }
+        if e >= -14 {
+            // Normal range: 10-bit mantissa, round-to-nearest-even on the
+            // 13 dropped bits.
+            let mant = man >> 13;
+            let rest = man & 0x1FFF;
+            let mut h = sign | (((e + 15) as u16) << 10) | mant as u16;
+            if rest > 0x1000 || (rest == 0x1000 && (mant & 1) == 1) {
+                h = h.wrapping_add(1); // may carry into exponent: correct
+            }
+            return F16(h);
+        }
+        if e >= -25 {
+            // Subnormal: shift in the implicit leading 1.
+            let shift = (-14 - e) as u32; // 1..=11
+            let full = 0x0080_0000 | man; // 24-bit significand
+            let drop = 13 + shift;
+            let mant = full >> drop;
+            let rest = full & ((1 << drop) - 1);
+            let half = 1u32 << (drop - 1);
+            let mut h = sign | mant as u16;
+            if rest > half || (rest == half && (mant & 1) == 1) {
+                h = h.wrapping_add(1);
+            }
+            return F16(h);
+        }
+        F16(sign) // underflow to signed zero
+    }
+
+    /// Convert to f32 (exact).
+    pub fn to_f32(self) -> f32 {
+        let h = self.0 as u32;
+        let sign = (h & 0x8000) << 16;
+        let exp = (h >> 10) & 0x1F;
+        let man = h & 0x03FF;
+        let bits = if exp == 0 {
+            if man == 0 {
+                sign
+            } else {
+                // Subnormal: normalize.
+                let mut e = -1i32;
+                let mut m = man;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x03FF;
+                sign | (((114 + e) as u32) << 23) | (m << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (man << 13)
+        } else {
+            sign | ((exp + 112) << 23) | (man << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Round-trip quantization: the f32 value nearest-representable in f16.
+    pub fn quantize(v: f32) -> f32 {
+        Self::from_f32(v).to_f32()
+    }
+
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+}
+
+/// Quantize a slice in place (models staging f32 data through f16 storage).
+pub fn quantize_slice(values: &mut [f32]) {
+    for v in values {
+        *v = F16::quantize(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        assert_eq!(F16::from_f32(1.0).0, 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).0, 0xC000);
+        assert_eq!(F16::from_f32(0.5).0, 0x3800);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7BFF);
+        assert_eq!(F16::from_f32(1.5).0, 0x3E00);
+        assert_eq!(F16::from_f32(0.099975586).0, 0x2E66);
+    }
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -65504.0, 0.25] {
+            assert_eq!(F16::quantize(v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(F16::from_f32(1e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e6), F16::NEG_INFINITY);
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY); // above MAX rounds up
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).0, 0x0001);
+        assert_eq!(F16(0x0001).to_f32(), tiny);
+        // Largest subnormal: (1023/1024) * 2^-14.
+        let big_sub = (1023.0 / 1024.0) * 2.0f32.powi(-14);
+        assert_eq!(F16::from_f32(big_sub).0, 0x03FF);
+        // Underflow to zero.
+        assert_eq!(F16::from_f32(2.0f32.powi(-26)).0, 0x0000);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10 -> rounds to even (1.0).
+        let v = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(v).0, 0x3C00);
+        // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9 -> rounds to even (1+2^-9).
+        let v = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(v).0, 0x3C02);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let n = F16::from_f32(f32::NAN);
+        assert!(n.is_nan());
+        assert!(n.to_f32().is_nan());
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        // Relative error of f16 quantization is at most 2^-11 for normals.
+        let mut x = 0.001f32;
+        while x < 60000.0 {
+            let q = F16::quantize(x);
+            assert!(((q - x) / x).abs() <= 2.0f32.powi(-11), "{x} -> {q}");
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_finite_f16() {
+        // Every finite f16 must roundtrip exactly through f32.
+        for bits in 0..=0xFFFFu16 {
+            let h = F16(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.0, bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn quantize_slice_in_place() {
+        let mut v = vec![1.0f32, 0.1, 3.14159];
+        quantize_slice(&mut v);
+        assert_eq!(v[0], 1.0);
+        assert!((v[1] - 0.1).abs() < 1e-4);
+        assert!((v[2] - 3.14159).abs() < 2e-3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Simulated kernel launches: per-block execution with counter reduction.
+//!
+//! Thread blocks are independent by construction on real hardware; the
+//! simulator exploits exactly that independence to run them as rayon tasks.
+//! Each block returns its own result and [`PerfCounters`]; the launcher
+//! reduces the counters and hands back the per-block payloads (typically
+//! output tiles the executor then scatters into the destination grid).
+
+use crate::counters::PerfCounters;
+use rayon::prelude::*;
+
+/// Run `blocks` simulated thread blocks in parallel. `f(block_id, counters)`
+/// executes one block, recording events into its private counters.
+///
+/// Returns the per-block results in block order plus the summed counters.
+pub fn run_blocks<R, F>(blocks: u64, f: F) -> (Vec<R>, PerfCounters)
+where
+    R: Send,
+    F: Fn(u64, &mut PerfCounters) -> R + Sync,
+{
+    let mut pairs: Vec<(R, PerfCounters)> = (0..blocks)
+        .into_par_iter()
+        .map(|b| {
+            let mut c = PerfCounters::new();
+            let r = f(b, &mut c);
+            (r, c)
+        })
+        .collect();
+    let mut total = PerfCounters::new();
+    let results = pairs
+        .drain(..)
+        .map(|(r, c)| {
+            total += c;
+            r
+        })
+        .collect();
+    (results, total)
+}
+
+/// 2D block grid helper: ceil-division tiling of a `rows × cols` domain into
+/// `block_rows × block_cols` output tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockGrid {
+    pub rows: usize,
+    pub cols: usize,
+    pub block_rows: usize,
+    pub block_cols: usize,
+}
+
+impl BlockGrid {
+    pub fn new(rows: usize, cols: usize, block_rows: usize, block_cols: usize) -> Self {
+        assert!(block_rows > 0 && block_cols > 0);
+        Self {
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+        }
+    }
+
+    pub fn blocks_y(&self) -> usize {
+        self.rows.div_ceil(self.block_rows)
+    }
+
+    pub fn blocks_x(&self) -> usize {
+        self.cols.div_ceil(self.block_cols)
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks_x() * self.blocks_y()
+    }
+
+    /// Rectangle of interior coordinates covered by `block_id`
+    /// (`row0, row1, col0, col1`; half-open).
+    pub fn rect(&self, block_id: u64) -> (usize, usize, usize, usize) {
+        let bx = self.blocks_x();
+        let by = (block_id as usize) / bx;
+        let bxi = (block_id as usize) % bx;
+        let row0 = by * self.block_rows;
+        let col0 = bxi * self.block_cols;
+        (
+            row0,
+            (row0 + self.block_rows).min(self.rows),
+            col0,
+            (col0 + self.block_cols).min(self.cols),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_reduce_across_blocks() {
+        let (results, total) = run_blocks(64, |b, c| {
+            c.mma_sparse();
+            c.gmem_read(128, 4);
+            b * 2
+        });
+        assert_eq!(results.len(), 64);
+        assert_eq!(results[10], 20);
+        assert_eq!(total.mma_sparse_f16, 64);
+        assert_eq!(total.gmem_read_sectors, 256);
+    }
+
+    #[test]
+    fn results_keep_block_order() {
+        let (results, _) = run_blocks(1000, |b, _| b);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, i as u64);
+        }
+    }
+
+    #[test]
+    fn block_grid_covers_domain_exactly() {
+        let g = BlockGrid::new(100, 70, 32, 16);
+        assert_eq!(g.blocks_y(), 4);
+        assert_eq!(g.blocks_x(), 5);
+        let mut covered = vec![false; 100 * 70];
+        for b in 0..g.num_blocks() as u64 {
+            let (r0, r1, c0, c1) = g.rect(b);
+            for i in r0..r1 {
+                for j in c0..c1 {
+                    assert!(!covered[i * 70 + j], "double cover at ({i},{j})");
+                    covered[i * 70 + j] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&x| x), "gaps in coverage");
+    }
+
+    #[test]
+    fn edge_blocks_are_clamped() {
+        let g = BlockGrid::new(10, 10, 8, 8);
+        let (r0, r1, c0, c1) = g.rect(3); // bottom-right block
+        assert_eq!((r0, r1, c0, c1), (8, 10, 8, 10));
+    }
+
+    #[test]
+    fn zero_blocks_is_empty() {
+        let (results, total) = run_blocks(0, |_, _| 0u64);
+        assert!(results.is_empty());
+        assert_eq!(total, PerfCounters::new());
+    }
+}

@@ -1,0 +1,4 @@
+//! Memory hierarchy models: global memory coalescing and shared-memory banks.
+
+pub mod global;
+pub mod shared;

@@ -1,0 +1,257 @@
+//! 2:4 structured sparsity: validation, compression and metadata encoding.
+//!
+//! The SpTC consumes the LHS operand in compressed form (paper Fig 1):
+//! a value matrix holding the (up to) 2 non-zeros of every contiguous
+//! 4-element group *in their original order*, plus 2-bit metadata giving each
+//! kept element's position within its group. Groups with fewer than two
+//! non-zeros keep explicit zero placeholders (paper Fig 5, stage 3).
+
+/// Error returned when a row violates the 2:4 pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Not2To4 {
+    pub row: usize,
+    pub group: usize,
+    pub nonzeros: usize,
+}
+
+impl std::fmt::Display for Not2To4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "row {} group {} has {} non-zeros (max 2 allowed by 2:4)",
+            self.row, self.group, self.nonzeros
+        )
+    }
+}
+
+impl std::error::Error for Not2To4 {}
+
+/// True if every contiguous 4-element group of `row` has at most 2 non-zeros.
+/// `row.len()` must be a multiple of 4.
+pub fn is_2to4_row(row: &[f32]) -> bool {
+    assert_eq!(row.len() % 4, 0, "2:4 check needs width divisible by 4");
+    row.chunks_exact(4)
+        .all(|g| g.iter().filter(|&&v| v != 0.0).count() <= 2)
+}
+
+/// Compress one 4-element group into `(values[2], meta[2])`.
+///
+/// Metadata entries are strictly increasing positions in `0..4`; when the
+/// group has fewer than two non-zeros, zero placeholders take positions that
+/// keep the ordering valid (paper's `0G00 -> G0 / 01 10` example).
+pub fn compress_group(g: &[f32; 4]) -> Result<([f32; 2], [u8; 2]), usize> {
+    let nz: Vec<usize> = (0..4).filter(|&i| g[i] != 0.0).collect();
+    match nz.len() {
+        0 => Ok(([0.0, 0.0], [0, 1])),
+        1 => {
+            let i = nz[0];
+            if i < 3 {
+                // Placeholder zero sits right after the value.
+                Ok(([g[i], 0.0], [i as u8, (i + 1) as u8]))
+            } else {
+                // Value in the last slot: placeholder must precede it.
+                Ok(([0.0, g[i]], [2, 3]))
+            }
+        }
+        2 => Ok(([g[nz[0]], g[nz[1]]], [nz[0] as u8, nz[1] as u8])),
+        n => Err(n),
+    }
+}
+
+/// Decompress `(values, meta)` back into the dense 4-element group.
+pub fn decompress_group(values: [f32; 2], meta: [u8; 2]) -> [f32; 4] {
+    let mut g = [0.0; 4];
+    g[meta[0] as usize] = values[0];
+    g[meta[1] as usize] = values[1];
+    g
+}
+
+/// A 16×16 2:4-sparse MMA A-operand in compressed form: 16×8 values plus
+/// 16×8 2-bit metadata (stored one byte per entry for clarity; the packed
+/// register image is produced by [`Sparse24Operand::metadata_words`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sparse24Operand {
+    pub values: [[f32; 8]; 16],
+    pub meta: [[u8; 8]; 16],
+}
+
+impl Sparse24Operand {
+    /// Compress a dense 16×16 matrix. Fails if any group has >2 non-zeros.
+    pub fn compress(dense: &[[f32; 16]; 16]) -> Result<Self, Not2To4> {
+        let mut values = [[0.0; 8]; 16];
+        let mut meta = [[0u8; 8]; 16];
+        for (r, row) in dense.iter().enumerate() {
+            for g in 0..4 {
+                let group: [f32; 4] = row[4 * g..4 * g + 4].try_into().unwrap();
+                let (v, m) = compress_group(&group).map_err(|n| Not2To4 {
+                    row: r,
+                    group: g,
+                    nonzeros: n,
+                })?;
+                values[r][2 * g] = v[0];
+                values[r][2 * g + 1] = v[1];
+                meta[r][2 * g] = m[0];
+                meta[r][2 * g + 1] = m[1];
+            }
+        }
+        Ok(Self { values, meta })
+    }
+
+    /// Reconstruct the dense 16×16 matrix.
+    pub fn decompress(&self) -> [[f32; 16]; 16] {
+        let mut dense = [[0.0; 16]; 16];
+        for r in 0..16 {
+            for g in 0..4 {
+                let vals = [self.values[r][2 * g], self.values[r][2 * g + 1]];
+                let meta = [self.meta[r][2 * g], self.meta[r][2 * g + 1]];
+                let group = decompress_group(vals, meta);
+                dense[r][4 * g..4 * g + 4].copy_from_slice(&group);
+            }
+        }
+        dense
+    }
+
+    /// Dense element at `(row, k)`, resolved through the metadata.
+    pub fn dense_at(&self, row: usize, k: usize) -> f32 {
+        let g = k / 4;
+        let pos = (k % 4) as u8;
+        for slot in [2 * g, 2 * g + 1] {
+            if self.meta[row][slot] == pos {
+                return self.values[row][slot];
+            }
+        }
+        0.0
+    }
+
+    /// Pack the metadata into per-row 16-bit words (8 entries × 2 bits,
+    /// least-significant first — the paper's "stored in an increasing order,
+    /// starting from the least significant bit within each segment").
+    pub fn metadata_row_word(&self, row: usize) -> u16 {
+        let mut w = 0u16;
+        for slot in 0..8 {
+            w |= (self.meta[row][slot] as u16 & 0b11) << (2 * slot);
+        }
+        w
+    }
+
+    /// All 16 row words packed into the 8 × 32-bit registers the hardware
+    /// expects: word `t` holds rows `t` (low half) and `t+8` (high half),
+    /// matching the thread-pair layout of `mma.sp` metadata.
+    pub fn metadata_words(&self) -> [u32; 8] {
+        std::array::from_fn(|t| {
+            (self.metadata_row_word(t) as u32)
+                | ((self.metadata_row_word(t + 8) as u32) << 16)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure5_examples() {
+        // "E0G0" -> values EG, metadata 00 10 (positions 0 and 2).
+        let (v, m) = compress_group(&[5.0, 0.0, 7.0, 0.0]).unwrap();
+        assert_eq!(v, [5.0, 7.0]);
+        assert_eq!(m, [0b00, 0b10]);
+        // "0G00" -> values G0, metadata 01 10 (value at 1, placeholder at 2).
+        let (v, m) = compress_group(&[0.0, 7.0, 0.0, 0.0]).unwrap();
+        assert_eq!(v, [7.0, 0.0]);
+        assert_eq!(m, [0b01, 0b10]);
+    }
+
+    #[test]
+    fn all_two_nonzero_patterns_roundtrip() {
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let mut g = [0.0f32; 4];
+                g[a] = 1.5;
+                g[b] = -2.5;
+                let (v, m) = compress_group(&g).unwrap();
+                assert!(m[0] < m[1], "metadata must be increasing");
+                assert_eq!(decompress_group(v, m), g);
+            }
+        }
+    }
+
+    #[test]
+    fn single_nonzero_last_slot() {
+        // "000G": value must land in the second compressed slot.
+        let (v, m) = compress_group(&[0.0, 0.0, 0.0, 9.0]).unwrap();
+        assert_eq!(v, [0.0, 9.0]);
+        assert_eq!(m, [2, 3]);
+        assert_eq!(decompress_group(v, m), [0.0, 0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_group() {
+        let (v, m) = compress_group(&[0.0; 4]).unwrap();
+        assert_eq!(v, [0.0, 0.0]);
+        assert!(m[0] < m[1]);
+    }
+
+    #[test]
+    fn three_nonzeros_rejected() {
+        assert_eq!(compress_group(&[1.0, 2.0, 3.0, 0.0]), Err(3));
+    }
+
+    #[test]
+    fn is_2to4_row_checks_groups() {
+        assert!(is_2to4_row(&[1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        assert!(!is_2to4_row(&[1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn operand_roundtrip_banded_matrix() {
+        // A banded matrix like SPIDER's swapped kernel matrix: row i holds
+        // non-zeros at alternating columns.
+        let mut dense = [[0.0f32; 16]; 16];
+        for (i, row) in dense.iter_mut().enumerate() {
+            for c in 0..8 {
+                row[(2 * c + i) % 16] = (i * 8 + c) as f32 + 1.0;
+            }
+        }
+        let op = Sparse24Operand::compress(&dense).unwrap();
+        assert_eq!(op.decompress(), dense);
+        for (r, row) in dense.iter().enumerate() {
+            for (k, &expect) in row.iter().enumerate() {
+                assert_eq!(op.dense_at(r, k), expect, "({r},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn operand_rejects_dense_matrix() {
+        let dense = [[1.0f32; 16]; 16];
+        let err = Sparse24Operand::compress(&dense).unwrap_err();
+        assert_eq!(err.nonzeros, 4);
+        assert_eq!(err.row, 0);
+    }
+
+    #[test]
+    fn metadata_word_layout() {
+        let mut dense = [[0.0f32; 16]; 16];
+        // Row 0: non-zeros at positions 0,2 | 1,3 | 0,1 | 2,3 per group.
+        for (g, &(a, b)) in [(0usize, 2usize), (1, 3), (0, 1), (2, 3)].iter().enumerate() {
+            dense[0][4 * g + a] = 1.0;
+            dense[0][4 * g + b] = 2.0;
+        }
+        let op = Sparse24Operand::compress(&dense).unwrap();
+        let w = op.metadata_row_word(0);
+        // Little-endian 2-bit fields: 0,2 | 1,3 | 0,1 | 2,3.
+        let expect = 0b11_10_01_00_11_01_10_00u16;
+        assert_eq!(w, expect, "{w:#018b} vs {expect:#018b}");
+    }
+
+    #[test]
+    fn metadata_words_pack_row_pairs() {
+        let mut dense = [[0.0f32; 16]; 16];
+        dense[3][0] = 1.0; // row 3, group 0: meta [0,1]
+        dense[11][4] = 1.0; // row 11, group 1: meta [0,1] in group 1
+        let op = Sparse24Operand::compress(&dense).unwrap();
+        let words = op.metadata_words();
+        assert_eq!(words[3] & 0xFFFF, op.metadata_row_word(3) as u32);
+        assert_eq!(words[3] >> 16, op.metadata_row_word(11) as u32);
+    }
+}

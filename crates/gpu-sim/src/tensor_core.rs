@@ -1,0 +1,297 @@
+//! Functional tensor-core MMA units.
+//!
+//! Operand conventions: `A[m][k]` (16×16), `B[k][n]` (16×8), accumulator
+//! `D[m][n] = Σ_k A[m][k]·B[k][n] + C[m][n]` (16×8). Values are `f32`; real
+//! hardware consumes FP16 inputs and accumulates FP32 — callers wanting
+//! FP16-faithful numerics quantize operands through [`crate::half::F16`]
+//! first (the executors do this when modeling FP16 methods).
+
+use crate::counters::PerfCounters;
+use crate::sparse::Sparse24Operand;
+
+/// Dense A operand for `mma.m16n8k16`.
+pub type DenseA = [[f32; 16]; 16];
+/// B operand (`[k][n]`).
+pub type MatB = [[f32; 8]; 16];
+/// Accumulator (`[m][n]`).
+pub type Acc = [[f32; 8]; 16];
+
+/// Functional dense `mma.m16n8k16`: `acc += A·B`, one counter issue.
+pub fn mma_m16n8k16(c: &mut PerfCounters, a: &DenseA, b: &MatB, acc: &mut Acc) {
+    for m in 0..16 {
+        for n in 0..8 {
+            let mut sum = acc[m][n];
+            for k in 0..16 {
+                sum = a[m][k].mul_add(b[k][n], sum);
+            }
+            acc[m][n] = sum;
+        }
+    }
+    c.mma_dense();
+}
+
+/// Functional sparse `mma.sp.m16n8k16`: the A operand is 2:4-compressed;
+/// the select stage (paper Fig 1) picks 2-of-4 B values per group via the
+/// metadata before the MAC stage. `acc += decompress(A)·B`, half the MAC
+/// work of the dense unit, one counter issue.
+pub fn mma_sp_m16n8k16(c: &mut PerfCounters, a: &Sparse24Operand, b: &MatB, acc: &mut Acc) {
+    for m in 0..16 {
+        for n in 0..8 {
+            let mut sum = acc[m][n];
+            for g in 0..4 {
+                // Metadata-guided select: exactly two MACs per 4-group.
+                for slot in [2 * g, 2 * g + 1] {
+                    let k = 4 * g + a.meta[m][slot] as usize;
+                    sum = a.values[m][slot].mul_add(b[k][n], sum);
+                }
+            }
+            acc[m][n] = sum;
+        }
+    }
+    c.mma_sparse();
+}
+
+/// B operand for the wide-K sparse shape (`[k][n]`, 32×8).
+pub type MatB32 = [[f32; 8]; 32];
+
+/// Functional sparse `mma.sp.m16n8k32` — the second Ampere sparse FP16
+/// shape: a 16×32 2:4 A operand (two compressed 16×16 halves) against a
+/// 32×8 B, at the same doubled rate. Counts as two `mma.sp.m16n8k16`-
+/// equivalents of work in the timing model.
+pub fn mma_sp_m16n8k32(
+    c: &mut PerfCounters,
+    a: &[Sparse24Operand; 2],
+    b: &MatB32,
+    acc: &mut Acc,
+) {
+    for (half, op) in a.iter().enumerate() {
+        for m in 0..16 {
+            for n in 0..8 {
+                let mut sum = acc[m][n];
+                for g in 0..4 {
+                    for slot in [2 * g, 2 * g + 1] {
+                        let k = 16 * half + 4 * g + op.meta[m][slot] as usize;
+                        sum = op.values[m][slot].mul_add(b[k][n], sum);
+                    }
+                }
+                acc[m][n] = sum;
+            }
+        }
+    }
+    c.mma_sparse_f16 += 2;
+    c.instructions += 1; // one wide instruction issues both halves
+}
+
+/// Functional FP64 tensor-core GEMM tile (`dmma`-class): `acc += A·B` for an
+/// `8×8×4` tile, the shape ConvStencil's FP64 path is modeled with.
+pub fn dmma_m8n8k4(
+    c: &mut PerfCounters,
+    a: &[[f64; 4]; 8],
+    b: &[[f64; 8]; 4],
+    acc: &mut [[f64; 8]; 8],
+) {
+    for m in 0..8 {
+        for n in 0..8 {
+            let mut sum = acc[m][n];
+            for (k, bk) in b.iter().enumerate() {
+                sum = a[m][k].mul_add(bk[n], sum);
+            }
+            acc[m][n] = sum;
+        }
+    }
+    c.mma_dense_fp64();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_a() -> DenseA {
+        let mut a = [[0.0; 16]; 16];
+        for (m, row) in a.iter_mut().enumerate() {
+            for (k, v) in row.iter_mut().enumerate() {
+                *v = (m * 16 + k) as f32 * 0.01;
+            }
+        }
+        a
+    }
+
+    fn seq_b() -> MatB {
+        let mut b = [[0.0; 8]; 16];
+        for (k, row) in b.iter_mut().enumerate() {
+            for (n, v) in row.iter_mut().enumerate() {
+                *v = ((k * 8 + n) % 13) as f32 * 0.1 - 0.5;
+            }
+        }
+        b
+    }
+
+    fn reference_gemm(a: &DenseA, b: &MatB) -> Acc {
+        let mut d = [[0.0; 8]; 16];
+        for m in 0..16 {
+            for n in 0..8 {
+                for k in 0..16 {
+                    d[m][n] += a[m][k] as f64 as f32 * b[k][n];
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn dense_mma_matches_reference() {
+        let a = seq_a();
+        let b = seq_b();
+        let mut acc = [[0.0; 8]; 16];
+        let mut c = PerfCounters::new();
+        mma_m16n8k16(&mut c, &a, &b, &mut acc);
+        let expect = reference_gemm(&a, &b);
+        for m in 0..16 {
+            for n in 0..8 {
+                assert!((acc[m][n] - expect[m][n]).abs() < 1e-3, "({m},{n})");
+            }
+        }
+        assert_eq!(c.mma_dense_f16, 1);
+        assert_eq!(c.dense_tc_macs(), 2048);
+    }
+
+    #[test]
+    fn dense_mma_accumulates() {
+        let a = seq_a();
+        let b = seq_b();
+        let mut acc = [[1.0; 8]; 16];
+        let mut c = PerfCounters::new();
+        mma_m16n8k16(&mut c, &a, &b, &mut acc);
+        let expect = reference_gemm(&a, &b);
+        assert!((acc[0][0] - (expect[0][0] + 1.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sparse_mma_equals_dense_on_24_pattern() {
+        // Banded 2:4 matrix: two non-zeros per 4-group.
+        let mut dense = [[0.0f32; 16]; 16];
+        for (m, row) in dense.iter_mut().enumerate() {
+            for g in 0..4 {
+                row[4 * g + (m % 3) % 4] = (m + g) as f32 * 0.3 + 0.1;
+                let second = ((m % 3) % 4 + 2) % 4;
+                row[4 * g + second.max((m % 3 + 1) % 4)] = 0.7;
+            }
+        }
+        // Repair any group that accidentally got <2 distinct positions: fine,
+        // fewer non-zeros is still valid 2:4.
+        let sp = Sparse24Operand::compress(&dense).expect("pattern is 2:4");
+        let b = seq_b();
+
+        let mut acc_sparse = [[0.0; 8]; 16];
+        let mut acc_dense = [[0.0; 8]; 16];
+        let mut c = PerfCounters::new();
+        mma_sp_m16n8k16(&mut c, &sp, &b, &mut acc_sparse);
+        mma_m16n8k16(&mut c, &dense, &b, &mut acc_dense);
+
+        for m in 0..16 {
+            for n in 0..8 {
+                assert!(
+                    (acc_sparse[m][n] - acc_dense[m][n]).abs() < 1e-4,
+                    "({m},{n}): {} vs {}",
+                    acc_sparse[m][n],
+                    acc_dense[m][n]
+                );
+            }
+        }
+        assert_eq!(c.mma_sparse_f16, 1);
+        assert_eq!(c.sparse_tc_macs(), 1024);
+    }
+
+    #[test]
+    fn sparse_mma_respects_placeholders() {
+        // Single non-zero per group exercises the placeholder metadata path.
+        let mut dense = [[0.0f32; 16]; 16];
+        for (m, row) in dense.iter_mut().enumerate() {
+            for g in 0..4 {
+                row[4 * g + 3] = (m + g + 1) as f32;
+            }
+        }
+        let sp = Sparse24Operand::compress(&dense).unwrap();
+        let b = seq_b();
+        let mut acc_sparse = [[0.0; 8]; 16];
+        let mut acc_dense = [[0.0; 8]; 16];
+        let mut c = PerfCounters::new();
+        mma_sp_m16n8k16(&mut c, &sp, &b, &mut acc_sparse);
+        mma_m16n8k16(&mut c, &dense, &b, &mut acc_dense);
+        for m in 0..16 {
+            for n in 0..8 {
+                assert!((acc_sparse[m][n] - acc_dense[m][n]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_k32_equals_two_k16() {
+        // One m16n8k32 must equal two k16 invocations over the K halves.
+        let mut dense0 = [[0.0f32; 16]; 16];
+        let mut dense1 = [[0.0f32; 16]; 16];
+        for m in 0..16 {
+            for g in 0..4 {
+                dense0[m][4 * g + m % 4] = (m + g) as f32 * 0.2 + 0.1;
+                dense1[m][4 * g + (m + 1) % 4] = (m * g) as f32 * 0.1 - 0.4;
+            }
+        }
+        let a = [
+            Sparse24Operand::compress(&dense0).unwrap(),
+            Sparse24Operand::compress(&dense1).unwrap(),
+        ];
+        let mut b32 = [[0.0f32; 8]; 32];
+        for (k, row) in b32.iter_mut().enumerate() {
+            for (n, v) in row.iter_mut().enumerate() {
+                *v = ((k * 3 + n) % 11) as f32 * 0.25 - 1.0;
+            }
+        }
+        let mut c = PerfCounters::new();
+        let mut wide = [[0.0f32; 8]; 16];
+        mma_sp_m16n8k32(&mut c, &a, &b32, &mut wide);
+        assert_eq!(c.mma_sparse_f16, 2);
+        assert_eq!(c.instructions, 1);
+
+        let mut narrow = [[0.0f32; 8]; 16];
+        let mut c2 = PerfCounters::new();
+        for half in 0..2 {
+            let mut b = [[0.0f32; 8]; 16];
+            for k in 0..16 {
+                b[k] = b32[16 * half + k];
+            }
+            let op = if half == 0 { &a[0] } else { &a[1] };
+            mma_sp_m16n8k16(&mut c2, op, &b, &mut narrow);
+        }
+        for m in 0..16 {
+            for n in 0..8 {
+                assert!((wide[m][n] - narrow[m][n]).abs() < 1e-4, "({m},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn dmma_matches_reference() {
+        let mut a = [[0.0f64; 4]; 8];
+        let mut b = [[0.0f64; 8]; 4];
+        for m in 0..8 {
+            for k in 0..4 {
+                a[m][k] = (m * 4 + k) as f64 * 0.25;
+            }
+        }
+        for k in 0..4 {
+            for n in 0..8 {
+                b[k][n] = 1.0 / (1.0 + (k * 8 + n) as f64);
+            }
+        }
+        let mut acc = [[0.0f64; 8]; 8];
+        let mut c = PerfCounters::new();
+        dmma_m8n8k4(&mut c, &a, &b, &mut acc);
+        let mut expect = 0.0;
+        for k in 0..4 {
+            expect += a[3][k] * b[k][5];
+        }
+        assert!((acc[3][5] - expect).abs() < 1e-12);
+        assert_eq!(c.mma_dense_f64, 1);
+        assert_eq!(c.dense_tc_f64_macs(), 256);
+    }
+}

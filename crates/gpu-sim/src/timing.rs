@@ -1,0 +1,271 @@
+//! Roofline timing model: counters → simulated execution time → GStencils/s.
+//!
+//! `time = launch_overhead + max(compute, dram, shared) / occupancy(blocks)`.
+//!
+//! * **compute** sums the time each functional-unit class needs for its
+//!   recorded operations at published peak throughput — sparse MMAs complete
+//!   the same effective work as dense ones in half the time (paper §2.1).
+//! * **dram** charges every 32-byte sector at HBM bandwidth, so coalescing
+//!   waste directly shows up as time (the quantity the paper's Table 2
+//!   memory-access columns model).
+//! * **shared** charges one wave per cycle per SM, so bank conflicts
+//!   serialize (the paper's Table 3 metric).
+//! * **occupancy** ramps linearly until the grid offers
+//!   `sm_count × blocks_per_sm_for_peak` blocks — reproducing the rising
+//!   limb of the paper's Fig 11 and the small-size penalty of its Fig 12.
+
+use crate::counters::PerfCounters;
+use crate::specs::{ComputeUnit, GpuSpecs};
+
+/// Launch geometry of a simulated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDims {
+    /// Total thread blocks in the grid.
+    pub blocks: u64,
+    /// Threads per block (bookkeeping; occupancy uses blocks).
+    pub threads_per_block: u32,
+}
+
+impl LaunchDims {
+    pub fn new(blocks: u64, threads_per_block: u32) -> Self {
+        Self {
+            blocks,
+            threads_per_block,
+        }
+    }
+}
+
+/// Which roofline term bounds the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    Compute,
+    Dram,
+    Shared,
+}
+
+/// Per-term time breakdown (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    pub compute_s: f64,
+    pub dram_s: f64,
+    pub smem_s: f64,
+    /// Warp-instruction issue time (schedulers are a real bottleneck for
+    /// instruction-heavy unpacked layouts — the +CO ablation lever).
+    pub issue_s: f64,
+    pub launch_s: f64,
+    /// Fraction of peak throughput reachable with this grid size (0, 1].
+    pub occupancy: f64,
+}
+
+impl TimeBreakdown {
+    pub fn bound(&self) -> Bound {
+        if self.dram_s >= self.compute_s && self.dram_s >= self.smem_s {
+            Bound::Dram
+        } else if self.compute_s >= self.smem_s {
+            Bound::Compute
+        } else {
+            Bound::Shared
+        }
+    }
+
+    /// Total modeled time.
+    pub fn total_s(&self) -> f64 {
+        self.launch_s
+            + self
+                .compute_s
+                .max(self.dram_s)
+                .max(self.smem_s)
+                .max(self.issue_s)
+                / self.occupancy
+    }
+}
+
+/// Result of one simulated kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    pub counters: PerfCounters,
+    pub dims: LaunchDims,
+    pub breakdown: TimeBreakdown,
+    /// Stencil points updated by this kernel.
+    pub points: u64,
+}
+
+impl KernelReport {
+    pub fn new(specs: &GpuSpecs, counters: PerfCounters, dims: LaunchDims, points: u64) -> Self {
+        let compute_s = compute_time(specs, &counters);
+        let dram_s = counters.gmem_transaction_bytes() as f64 / specs.hbm_bytes_per_s;
+        let smem_waves = counters.smem_read_waves + counters.smem_write_waves;
+        // One wave per SM per clock across the device.
+        let smem_s = smem_waves as f64 / (specs.sm_count as f64 * specs.clock_ghz * 1e9);
+        // Four warp schedulers per SM, one instruction each per clock.
+        let issue_s =
+            counters.instructions as f64 / (specs.sm_count as f64 * 4.0 * specs.clock_ghz * 1e9);
+        let breakdown = TimeBreakdown {
+            compute_s,
+            dram_s,
+            smem_s,
+            issue_s,
+            launch_s: specs.launch_overhead_s,
+            occupancy: occupancy(specs, dims.blocks),
+        };
+        Self {
+            counters,
+            dims,
+            breakdown,
+            points,
+        }
+    }
+
+    /// Simulated wall time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.breakdown.total_s()
+    }
+
+    /// The paper's headline metric: 10⁹ point updates per second.
+    pub fn gstencils_per_sec(&self) -> f64 {
+        self.points as f64 / self.time_s() / 1e9
+    }
+
+    /// Effective DRAM throughput (GB/s) — the paper's Table 3 metric.
+    pub fn memory_throughput_gbps(&self) -> f64 {
+        self.counters.gmem_transaction_bytes() as f64 / self.time_s() / 1e9
+    }
+
+    /// Merge two sequential kernel reports (e.g. multi-step runs): times and
+    /// counters add; launch overhead is charged per kernel.
+    pub fn merge_sequential(&self, other: &KernelReport) -> KernelReport {
+        let mut merged = self.clone();
+        merged.counters += other.counters;
+        merged.points += other.points;
+        merged.breakdown = TimeBreakdown {
+            compute_s: self.breakdown.compute_s + other.breakdown.compute_s,
+            dram_s: self.breakdown.dram_s + other.breakdown.dram_s,
+            smem_s: self.breakdown.smem_s + other.breakdown.smem_s,
+            issue_s: self.breakdown.issue_s + other.breakdown.issue_s,
+            launch_s: self.breakdown.launch_s + other.breakdown.launch_s,
+            // Occupancy of the combined run: weighted toward the larger part.
+            occupancy: (self.breakdown.occupancy + other.breakdown.occupancy) / 2.0,
+        };
+        merged
+    }
+}
+
+/// Time to drain all recorded compute through the respective units.
+fn compute_time(specs: &GpuSpecs, c: &PerfCounters) -> f64 {
+    let u = specs.tc_utilization;
+    let dense = c.dense_tc_macs() as f64 / (specs.macs_per_s(ComputeUnit::DenseTcF16) * u);
+    // Each mma.sp completes 2048 effective MACs at the sparse unit's doubled
+    // rate — i.e. half the wall time of the dense equivalent.
+    let sparse = (c.mma_sparse_f16 * PerfCounters::MACS_PER_MMA_16816) as f64
+        / (specs.macs_per_s(ComputeUnit::SparseTcF16) * u);
+    let f64tc = c.dense_tc_f64_macs() as f64 / (specs.macs_per_s(ComputeUnit::DenseTcF64) * u);
+    let cuda32 = c.cuda_fma_f32 as f64 / specs.macs_per_s(ComputeUnit::CudaF32);
+    let cuda64 = c.cuda_fma_f64 as f64 / specs.macs_per_s(ComputeUnit::CudaF64);
+    dense + sparse + f64tc + cuda32 + cuda64
+}
+
+/// Linear occupancy ramp: full throughput once the grid supplies
+/// `sm_count × blocks_per_sm_for_peak` blocks; never below 1/64 of peak.
+fn occupancy(specs: &GpuSpecs, blocks: u64) -> f64 {
+    let needed = (specs.sm_count * specs.blocks_per_sm_for_peak) as f64;
+    ((blocks as f64 / needed).min(1.0)).max(1.0 / 64.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> GpuSpecs {
+        GpuSpecs::a100_pcie_80gb()
+    }
+
+    fn full_grid() -> LaunchDims {
+        LaunchDims::new(100_000, 256)
+    }
+
+    #[test]
+    fn sparse_mma_takes_half_the_time_of_dense() {
+        let mut dense = PerfCounters::new();
+        let mut sparse = PerfCounters::new();
+        for _ in 0..1000 {
+            dense.mma_dense();
+            sparse.mma_sparse();
+        }
+        let td = KernelReport::new(&specs(), dense, full_grid(), 1).breakdown.compute_s;
+        let ts = KernelReport::new(&specs(), sparse, full_grid(), 1).breakdown.compute_s;
+        assert!((td / ts - 2.0).abs() < 1e-9, "dense/sparse = {}", td / ts);
+    }
+
+    #[test]
+    fn memory_bound_detection() {
+        let mut c = PerfCounters::new();
+        // Tons of DRAM traffic, one mma.
+        c.gmem_read(1 << 30, 1 << 25);
+        c.mma_dense();
+        let r = KernelReport::new(&specs(), c, full_grid(), 1);
+        assert_eq!(r.breakdown.bound(), Bound::Dram);
+        // 1 GiB at ~1935 GB/s ≈ 0.55 ms.
+        assert!(r.breakdown.dram_s > 4e-4 && r.breakdown.dram_s < 8e-4);
+    }
+
+    #[test]
+    fn compute_bound_detection() {
+        let mut c = PerfCounters::new();
+        for _ in 0..1_000_000 {
+            c.mma_dense();
+        }
+        c.gmem_read(1024, 32);
+        let r = KernelReport::new(&specs(), c, full_grid(), 1);
+        assert_eq!(r.breakdown.bound(), Bound::Compute);
+    }
+
+    #[test]
+    fn occupancy_ramps_with_blocks() {
+        let s = specs();
+        let mut c = PerfCounters::new();
+        c.gmem_read(1 << 20, 1 << 15);
+        let small = KernelReport::new(&s, c, LaunchDims::new(10, 256), 1 << 20);
+        let large = KernelReport::new(&s, c, LaunchDims::new(10_000, 256), 1 << 20);
+        assert!(small.breakdown.occupancy < large.breakdown.occupancy);
+        assert_eq!(large.breakdown.occupancy, 1.0);
+        assert!(small.gstencils_per_sec() < large.gstencils_per_sec());
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let c = PerfCounters::new();
+        let r = KernelReport::new(&specs(), c, LaunchDims::new(1, 32), 100);
+        assert!(r.time_s() >= specs().launch_overhead_s);
+    }
+
+    #[test]
+    fn gstencils_metric() {
+        let mut c = PerfCounters::new();
+        c.gmem_read(1 << 28, 1 << 23); // 0.25 GiB useful, perfectly coalesced
+        let r = KernelReport::new(&specs(), c, full_grid(), 100_000_000);
+        let g = r.gstencils_per_sec();
+        // 2^23 sectors = 256 MiB / 1935 GB/s ≈ 139 µs -> ~720 GStencils/s.
+        assert!(g > 400.0 && g < 1000.0, "{g}");
+    }
+
+    #[test]
+    fn memory_throughput_reporting() {
+        let mut c = PerfCounters::new();
+        c.gmem_read(1 << 30, 1 << 25);
+        let r = KernelReport::new(&specs(), c, full_grid(), 1);
+        let bw = r.memory_throughput_gbps();
+        // Must be below peak but in its vicinity for a DRAM-bound kernel.
+        assert!(bw > 1000.0 && bw <= 1935.0, "{bw}");
+    }
+
+    #[test]
+    fn merge_sequential_adds_time() {
+        let mut c = PerfCounters::new();
+        c.gmem_read(1 << 20, 1 << 15);
+        let r1 = KernelReport::new(&specs(), c, full_grid(), 1000);
+        let r2 = KernelReport::new(&specs(), c, full_grid(), 1000);
+        let m = r1.merge_sequential(&r2);
+        assert_eq!(m.points, 2000);
+        assert!((m.time_s() - 2.0 * r1.time_s()).abs() < 1e-9);
+    }
+}

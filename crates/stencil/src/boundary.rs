@@ -1,0 +1,169 @@
+//! Boundary conditions: how the halo ring is refilled between timesteps.
+
+use crate::grid::{Grid1D, Grid2D};
+use crate::scalar::Scalar;
+
+/// Halo fill policy applied before each stencil sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundaryCondition {
+    /// Halo is zero (the paper's benchmarks update interior points only and
+    /// treat out-of-domain neighbors as zero).
+    #[default]
+    DirichletZero,
+    /// Halo wraps around the domain.
+    Periodic,
+    /// Halo mirrors the interior (reflect-101 style, edge not duplicated).
+    Reflect,
+}
+
+impl BoundaryCondition {
+    /// Refill the halo of a 1D grid in place.
+    pub fn apply_1d<T: Scalar>(self, grid: &mut Grid1D<T>) {
+        let h = grid.halo() as isize;
+        let n = grid.len() as isize;
+        if h == 0 {
+            return;
+        }
+        let map = |i: isize| -> Option<isize> {
+            match self {
+                BoundaryCondition::DirichletZero => None,
+                BoundaryCondition::Periodic => Some(i.rem_euclid(n)),
+                BoundaryCondition::Reflect => {
+                    let mut v = i;
+                    while v < 0 || v >= n {
+                        if v < 0 {
+                            v = -v;
+                        }
+                        if v >= n {
+                            v = 2 * n - 2 - v;
+                        }
+                    }
+                    Some(v)
+                }
+            }
+        };
+        for i in (-h..0).chain(n..n + h) {
+            let v = match map(i) {
+                Some(s) => grid.get(s as usize),
+                None => T::ZERO,
+            };
+            grid.set_ext_1d(i, v);
+        }
+    }
+
+    /// Refill the halo of a 2D grid in place (corners included, resolved via
+    /// two passes: rows then columns over the padded extent).
+    pub fn apply_2d<T: Scalar>(self, grid: &mut Grid2D<T>) {
+        let h = grid.halo();
+        if h == 0 {
+            return;
+        }
+        let rows = grid.rows() as isize;
+        let cols = grid.cols() as isize;
+        let hh = h as isize;
+
+        let map = |i: isize, n: isize| -> Option<isize> {
+            match self {
+                BoundaryCondition::DirichletZero => {
+                    if i < 0 || i >= n {
+                        None
+                    } else {
+                        Some(i)
+                    }
+                }
+                BoundaryCondition::Periodic => Some(i.rem_euclid(n)),
+                BoundaryCondition::Reflect => {
+                    let mut v = i;
+                    // reflect-101: -1 -> 1, n -> n-2
+                    while v < 0 || v >= n {
+                        if v < 0 {
+                            v = -v;
+                        }
+                        if v >= n {
+                            v = 2 * n - 2 - v;
+                        }
+                    }
+                    Some(v)
+                }
+            }
+        };
+
+        // Vertical halo rows (including corners), then horizontal strips.
+        for i in -hh..rows + hh {
+            for j in -hh..cols + hh {
+                let inside = (0..rows).contains(&i) && (0..cols).contains(&j);
+                if inside {
+                    continue;
+                }
+                let v = match (map(i, rows), map(j, cols)) {
+                    (Some(si), Some(sj)) => grid.get(si as usize, sj as usize),
+                    _ => T::ZERO,
+                };
+                grid.set_ext(i, j, v);
+            }
+        }
+    }
+}
+
+impl<T: Scalar> Grid1D<T> {
+    /// Helper mirroring [`Grid2D::set_ext`] for signed 1D coordinates.
+    pub fn set_ext_1d(&mut self, i: isize, v: T) {
+        let idx = (i + self.halo() as isize) as usize;
+        self.padded_mut()[idx] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirichlet_zeroes_halo_2d() {
+        let mut g = Grid2D::<f64>::from_fn(3, 3, 1, |i, j| (i * 3 + j + 1) as f64);
+        g.set_ext(-1, 0, 99.0);
+        BoundaryCondition::DirichletZero.apply_2d(&mut g);
+        assert_eq!(g.get_ext(-1, 0), 0.0);
+        assert_eq!(g.get_ext(3, 3), 0.0);
+        assert_eq!(g.get(1, 1), 5.0); // interior untouched
+    }
+
+    #[test]
+    fn periodic_wraps_2d() {
+        let mut g = Grid2D::<f64>::from_fn(3, 3, 1, |i, j| (i * 3 + j) as f64);
+        BoundaryCondition::Periodic.apply_2d(&mut g);
+        assert_eq!(g.get_ext(-1, 0), g.get(2, 0));
+        assert_eq!(g.get_ext(3, 1), g.get(0, 1));
+        assert_eq!(g.get_ext(0, -1), g.get(0, 2));
+        assert_eq!(g.get_ext(-1, -1), g.get(2, 2)); // corner
+    }
+
+    #[test]
+    fn reflect_mirrors_2d() {
+        let mut g = Grid2D::<f64>::from_fn(4, 4, 2, |i, j| (i * 4 + j) as f64);
+        BoundaryCondition::Reflect.apply_2d(&mut g);
+        // reflect-101: index -1 mirrors to 1, -2 to 2.
+        assert_eq!(g.get_ext(-1, 0), g.get(1, 0));
+        assert_eq!(g.get_ext(-2, 3), g.get(2, 3));
+        assert_eq!(g.get_ext(4, 0), g.get(2, 0));
+        assert_eq!(g.get_ext(0, 5), g.get(0, 1));
+    }
+
+    #[test]
+    fn periodic_wraps_1d() {
+        let mut g = Grid1D::<f64>::from_fn(5, 2, |i| i as f64);
+        BoundaryCondition::Periodic.apply_1d(&mut g);
+        assert_eq!(g.get_ext(-1), 4.0);
+        assert_eq!(g.get_ext(-2), 3.0);
+        assert_eq!(g.get_ext(5), 0.0);
+        assert_eq!(g.get_ext(6), 1.0);
+    }
+
+    #[test]
+    fn dirichlet_1d() {
+        let mut g = Grid1D::<f64>::from_fn(4, 1, |i| (i + 1) as f64);
+        g.set_ext_1d(-1, 7.0);
+        BoundaryCondition::DirichletZero.apply_1d(&mut g);
+        assert_eq!(g.get_ext(-1), 0.0);
+        assert_eq!(g.get_ext(4), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! CPU executors for stencil computation.
+//!
+//! [`reference`] is the naive point-wise oracle every other system in the
+//! workspace is verified against. [`tiled`] adds cache blocking, and
+//! [`parallel`] adds rayon data-parallelism over grid rows — together they
+//! stand in for the "CPU/CUDA-core point-wise" implementations the paper's
+//! background discusses (§2.2).
+
+pub mod parallel;
+pub mod reference;
+pub mod tiled;
+
+use crate::boundary::BoundaryCondition;
+use crate::grid::{Grid1D, Grid2D};
+use crate::kernel::StencilKernel;
+use crate::scalar::Scalar;
+use crate::shape::Dim;
+
+/// Convert kernel coefficients once into the executor's compute type.
+pub(crate) fn coeffs_as<T: Scalar>(kernel: &StencilKernel) -> Vec<T> {
+    kernel.coeffs().iter().map(|&c| T::from_f64(c)).collect()
+}
+
+/// Validate grid/kernel compatibility for 2D sweeps.
+pub(crate) fn check_2d<T: Scalar>(kernel: &StencilKernel, grid: &Grid2D<T>) {
+    assert_eq!(kernel.shape().dim, Dim::D2, "2D executor needs a 2D kernel");
+    assert!(
+        grid.halo() >= kernel.radius(),
+        "grid halo ({}) must cover the stencil radius ({})",
+        grid.halo(),
+        kernel.radius()
+    );
+}
+
+/// Validate grid/kernel compatibility for 1D sweeps.
+pub(crate) fn check_1d<T: Scalar>(kernel: &StencilKernel, grid: &Grid1D<T>) {
+    assert_eq!(kernel.shape().dim, Dim::D1, "1D executor needs a 1D kernel");
+    assert!(
+        grid.halo() >= kernel.radius(),
+        "grid halo ({}) must cover the stencil radius ({})",
+        grid.halo(),
+        kernel.radius()
+    );
+}
+
+/// Run `steps` sweeps with double buffering: `body(src, dst)` computes one
+/// sweep; the boundary condition refills the halo before each sweep.
+pub(crate) fn iterate_2d<T: Scalar>(
+    grid: &mut Grid2D<T>,
+    steps: usize,
+    bc: BoundaryCondition,
+    mut body: impl FnMut(&Grid2D<T>, &mut Grid2D<T>),
+) {
+    let mut scratch = grid.clone();
+    for _ in 0..steps {
+        bc.apply_2d(grid);
+        body(grid, &mut scratch);
+        std::mem::swap(grid, &mut scratch);
+    }
+}
+
+/// 1D counterpart of [`iterate_2d`].
+pub(crate) fn iterate_1d<T: Scalar>(
+    grid: &mut Grid1D<T>,
+    steps: usize,
+    bc: BoundaryCondition,
+    mut body: impl FnMut(&Grid1D<T>, &mut Grid1D<T>),
+) {
+    let mut scratch = grid.clone();
+    for _ in 0..steps {
+        bc.apply_1d(grid);
+        body(grid, &mut scratch);
+        std::mem::swap(grid, &mut scratch);
+    }
+}

@@ -1,0 +1,156 @@
+//! Rayon-parallel CPU executor: rows of the output are computed concurrently.
+//!
+//! This is the SPMD structure the paper attributes to stencil workloads
+//! (independent point updates, §1) expressed with rayon's parallel iterators.
+//! Each worker owns a disjoint band of destination rows, so the sweep is
+//! data-race free by construction.
+
+use super::{check_1d, check_2d, coeffs_as, iterate_1d, iterate_2d};
+use crate::boundary::BoundaryCondition;
+use crate::grid::{Grid1D, Grid2D};
+use crate::kernel::StencilKernel;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// One parallel 2D sweep.
+pub fn step_2d<T: Scalar>(kernel: &StencilKernel, src: &Grid2D<T>, dst: &mut Grid2D<T>) {
+    check_2d(kernel, src);
+    let r = kernel.radius() as isize;
+    let d = kernel.diameter();
+    let k: Vec<T> = coeffs_as(kernel);
+    let halo = src.halo();
+    let cols = src.cols();
+    let rows = src.rows();
+    let stride = src.stride();
+    let src_data = src.padded();
+
+    dst.padded_mut()
+        .par_chunks_mut(stride)
+        .enumerate()
+        .skip(halo)
+        .take(rows)
+        .for_each(|(pi, dst_row)| {
+            let i = pi - halo; // interior row index
+            for j in 0..cols {
+                let mut acc = T::ZERO;
+                for di in -r..=r {
+                    let srow = ((i + halo) as isize + di) as usize;
+                    let base = srow * stride + j + halo;
+                    let krow = &k[((di + r) as usize) * d..((di + r) as usize + 1) * d];
+                    for (kj, &c) in krow.iter().enumerate() {
+                        if c != T::ZERO {
+                            let dj = kj as isize - r;
+                            acc = c.mul_add(src_data[(base as isize + dj) as usize], acc);
+                        }
+                    }
+                }
+                dst_row[j + halo] = acc;
+            }
+        });
+}
+
+/// One parallel 1D sweep (chunked over output segments).
+pub fn step_1d<T: Scalar>(kernel: &StencilKernel, src: &Grid1D<T>, dst: &mut Grid1D<T>) {
+    check_1d(kernel, src);
+    let r = kernel.radius() as isize;
+    let k: Vec<T> = coeffs_as(kernel);
+    let halo = src.halo();
+    let n = src.len();
+    let src_data = src.padded();
+
+    const CHUNK: usize = 1 << 14;
+    dst.padded_mut()[halo..halo + n]
+        .par_chunks_mut(CHUNK)
+        .enumerate()
+        .for_each(|(ci, out)| {
+            let base = ci * CHUNK;
+            for (o, slot) in out.iter_mut().enumerate() {
+                let i = base + o;
+                let mut acc = T::ZERO;
+                for (kj, &c) in k.iter().enumerate() {
+                    let dj = kj as isize - r;
+                    acc = c.mul_add(src_data[((i + halo) as isize + dj) as usize], acc);
+                }
+                *slot = acc;
+            }
+        });
+}
+
+/// `steps` parallel 2D sweeps with zero-Dirichlet halo.
+pub fn apply_2d<T: Scalar>(kernel: &StencilKernel, grid: &mut Grid2D<T>, steps: usize) {
+    apply_2d_bc(kernel, grid, steps, BoundaryCondition::DirichletZero)
+}
+
+/// `steps` parallel 2D sweeps with an explicit boundary condition.
+pub fn apply_2d_bc<T: Scalar>(
+    kernel: &StencilKernel,
+    grid: &mut Grid2D<T>,
+    steps: usize,
+    bc: BoundaryCondition,
+) {
+    iterate_2d(grid, steps, bc, |src, dst| step_2d(kernel, src, dst));
+}
+
+/// `steps` parallel 1D sweeps with zero-Dirichlet halo.
+pub fn apply_1d<T: Scalar>(kernel: &StencilKernel, grid: &mut Grid1D<T>, steps: usize) {
+    iterate_1d(grid, steps, BoundaryCondition::DirichletZero, |src, dst| {
+        step_1d(kernel, src, dst)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::reference;
+    use crate::shape::StencilShape;
+
+    #[test]
+    fn parallel_2d_matches_reference() {
+        for (shape, seed) in [
+            (StencilShape::box_2d(1), 1u64),
+            (StencilShape::box_2d(3), 2),
+            (StencilShape::star_2d(2), 3),
+        ] {
+            let k = StencilKernel::random(shape, seed);
+            let mut a = Grid2D::<f64>::random(65, 130, shape.radius, seed);
+            let mut b = a.clone();
+            reference::apply_2d(&k, &mut a, 2);
+            apply_2d(&k, &mut b, 2);
+            assert!(a.max_abs_diff(&b) < 1e-12, "{}", shape.name());
+        }
+    }
+
+    #[test]
+    fn parallel_1d_matches_reference() {
+        for r in 1..=2 {
+            let k = StencilKernel::random(StencilShape::d1(r), 7);
+            let mut a = Grid1D::<f64>::random(100_000, r, 5);
+            let mut b = a.clone();
+            reference::apply_1d(&k, &mut a, 2);
+            apply_1d(&k, &mut b, 2);
+            assert!(a.max_abs_diff(&b) < 1e-12, "1D{r}R");
+        }
+    }
+
+    #[test]
+    fn parallel_periodic_matches_reference() {
+        let k = StencilKernel::gaussian_2d(2);
+        let mut a = Grid2D::<f64>::random(40, 40, 2, 11);
+        let mut b = a.clone();
+        reference::apply_2d_bc(&k, &mut a, 4, BoundaryCondition::Periodic);
+        apply_2d_bc(&k, &mut b, 4, BoundaryCondition::Periodic);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn f32_path_is_close_to_f64() {
+        let k = StencilKernel::heat_2d(0.15);
+        let g64 = Grid2D::<f64>::random(32, 32, 1, 13);
+        let mut a = g64.clone();
+        let mut b: Grid2D<f32> = g64.convert();
+        reference::apply_2d(&k, &mut a, 3);
+        apply_2d(&k, &mut b, 3);
+        let b64: Grid2D<f64> = b.convert();
+        assert!(a.max_abs_diff(&b64) < 1e-4);
+    }
+}

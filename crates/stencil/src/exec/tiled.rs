@@ -1,0 +1,152 @@
+//! Cache-blocked CPU executor (rectangle tiling, paper §1's "tiling" lineage).
+//!
+//! Functionally identical to [`crate::exec::reference`]; the loop nest is
+//! split into `tile_i × tile_j` blocks so the working set of a block fits in
+//! cache. Used by the CPU-side benchmarks and as a second, independently
+//! written implementation that cross-checks the oracle.
+
+use super::{check_2d, coeffs_as, iterate_2d};
+use crate::boundary::BoundaryCondition;
+use crate::grid::Grid2D;
+use crate::kernel::StencilKernel;
+use crate::scalar::Scalar;
+
+/// Tile extents for the blocked sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct TileSize {
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl Default for TileSize {
+    fn default() -> Self {
+        // 64 x 64 doubles fit comfortably in L1/L2 together with the halo.
+        Self { rows: 64, cols: 64 }
+    }
+}
+
+/// One blocked 2D sweep.
+pub fn step_2d<T: Scalar>(
+    kernel: &StencilKernel,
+    src: &Grid2D<T>,
+    dst: &mut Grid2D<T>,
+    tile: TileSize,
+) {
+    check_2d(kernel, src);
+    assert!(tile.rows > 0 && tile.cols > 0, "tiles must be non-empty");
+    let r = kernel.radius() as isize;
+    let d = kernel.diameter();
+    let k: Vec<T> = coeffs_as(kernel);
+
+    let mut ti = 0;
+    while ti < src.rows() {
+        let ih = (ti + tile.rows).min(src.rows());
+        let mut tj = 0;
+        while tj < src.cols() {
+            let jh = (tj + tile.cols).min(src.cols());
+            for i in ti..ih {
+                for j in tj..jh {
+                    let mut acc = T::ZERO;
+                    for di in -r..=r {
+                        let krow = &k[((di + r) as usize) * d..((di + r) as usize + 1) * d];
+                        for (kj, &c) in krow.iter().enumerate() {
+                            if c != T::ZERO {
+                                let dj = kj as isize - r;
+                                acc = c
+                                    .mul_add(src.get_ext(i as isize + di, j as isize + dj), acc);
+                            }
+                        }
+                    }
+                    dst.set(i, j, acc);
+                }
+            }
+            tj = jh;
+        }
+        ti = ih;
+    }
+}
+
+/// `steps` blocked sweeps with zero-Dirichlet halo and default tiles.
+pub fn apply_2d<T: Scalar>(kernel: &StencilKernel, grid: &mut Grid2D<T>, steps: usize) {
+    apply_2d_opts(
+        kernel,
+        grid,
+        steps,
+        BoundaryCondition::DirichletZero,
+        TileSize::default(),
+    )
+}
+
+/// Fully parameterized blocked execution.
+pub fn apply_2d_opts<T: Scalar>(
+    kernel: &StencilKernel,
+    grid: &mut Grid2D<T>,
+    steps: usize,
+    bc: BoundaryCondition,
+    tile: TileSize,
+) {
+    iterate_2d(grid, steps, bc, |src, dst| step_2d(kernel, src, dst, tile));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::reference;
+    use crate::shape::StencilShape;
+
+    #[test]
+    fn matches_reference_on_random_kernel() {
+        for r in 1..=3 {
+            let k = StencilKernel::random(StencilShape::box_2d(r), r as u64);
+            let mut a = Grid2D::<f64>::random(50, 70, r, 2);
+            let mut b = a.clone();
+            reference::apply_2d(&k, &mut a, 2);
+            apply_2d(&k, &mut b, 2);
+            assert!(a.max_abs_diff(&b) < 1e-12, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_odd_tile_sizes() {
+        let k = StencilKernel::random(StencilShape::star_2d(2), 5);
+        let mut a = Grid2D::<f64>::random(33, 47, 2, 8);
+        let mut b = a.clone();
+        reference::apply_2d_bc(&k, &mut a, 3, BoundaryCondition::Periodic);
+        apply_2d_opts(
+            &k,
+            &mut b,
+            3,
+            BoundaryCondition::Periodic,
+            TileSize { rows: 7, cols: 13 },
+        );
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn tile_larger_than_grid_ok() {
+        let k = StencilKernel::heat_2d(0.1);
+        let mut a = Grid2D::<f64>::random(8, 8, 1, 3);
+        let mut b = a.clone();
+        reference::apply_2d(&k, &mut a, 1);
+        apply_2d_opts(
+            &k,
+            &mut b,
+            1,
+            BoundaryCondition::DirichletZero,
+            TileSize {
+                rows: 1000,
+                cols: 1000,
+            },
+        );
+        assert!(a.max_abs_diff(&b) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_tile_rejected() {
+        let k = StencilKernel::heat_2d(0.1);
+        let src = Grid2D::<f64>::zeros(4, 4, 1);
+        let mut dst = src.clone();
+        step_2d(&k, &src, &mut dst, TileSize { rows: 0, cols: 4 });
+    }
+}

@@ -1,0 +1,32 @@
+//! # spider-stencil
+//!
+//! Stencil-computation substrate for the SPIDER workspace.
+//!
+//! This crate defines the *problem domain* shared by SPIDER and every
+//! baseline: stencil shapes ([`shape`]), coefficient kernels ([`kernel`]),
+//! halo-padded grids ([`grid`]), boundary conditions ([`boundary`]) and CPU
+//! executors ([`exec`]) that serve as the correctness oracle for all
+//! simulated-GPU implementations.
+//!
+//! Terminology follows the paper (§2.2): a stencil is characterized by its
+//! shape type (*star* or *box*), dimensionality `d` (1D or 2D here — the
+//! paper evaluates no 3D workloads) and radius `r` (its *order*). A
+//! `Box-2D2R` stencil depends on the full `(2r+1)×(2r+1) = 5×5` square of
+//! neighbors; a `Star-2D2R` stencil only on the `4r+1 = 9` axis points.
+
+pub mod boundary;
+pub mod dim3;
+pub mod exec;
+pub mod grid;
+pub mod kernel;
+pub mod problem;
+pub mod scalar;
+pub mod shape;
+pub mod verify;
+
+pub use boundary::BoundaryCondition;
+pub use grid::{Grid1D, Grid2D};
+pub use kernel::StencilKernel;
+pub use problem::ProblemSpec;
+pub use scalar::Scalar;
+pub use shape::{Dim, ShapeKind, StencilShape};

@@ -1,0 +1,140 @@
+//! Benchmark problem definitions matching the paper's evaluation setup (§4.1).
+
+use crate::kernel::StencilKernel;
+use crate::shape::{Dim, StencilShape};
+
+/// A stencil problem: a kernel plus the grid extent it is applied to.
+///
+/// Sizes follow the paper's `(A, B)` convention: 1D problems are
+/// `(1, 10_240_000)`, 2D problems `(10_240, 10_240)` in the headline
+/// comparison (Fig 10).
+#[derive(Debug, Clone)]
+pub struct ProblemSpec {
+    pub kernel: StencilKernel,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl ProblemSpec {
+    pub fn new(kernel: StencilKernel, rows: usize, cols: usize) -> Self {
+        if kernel.shape().dim == Dim::D1 {
+            assert_eq!(rows, 1, "1D problems have a single row");
+        }
+        Self { kernel, rows, cols }
+    }
+
+    /// Total updated points per sweep (`A × B`).
+    pub fn points(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    pub fn shape(&self) -> StencilShape {
+        self.kernel.shape()
+    }
+
+    /// Canonical label, e.g. `Box-2D3R (10240,10240)`.
+    pub fn label(&self) -> String {
+        format!("{} ({},{})", self.shape().name(), self.rows, self.cols)
+    }
+
+    /// The paper's Fig 10 benchmark suite: deterministic non-trivial kernels
+    /// for 1D1R, 1D2R, Box/Star-2D{1,2,3}R at the headline sizes.
+    ///
+    /// `scale` divides the grid extents so tests can run the identical suite
+    /// at laptop scale (`scale = 1` reproduces the paper's sizes).
+    pub fn paper_suite(scale: usize) -> Vec<ProblemSpec> {
+        assert!(scale >= 1);
+        let n1 = (10_240_000 / scale).max(64);
+        let n2 = (10_240 / scale).max(32);
+        let mut out = Vec::new();
+        for r in 1..=2 {
+            out.push(ProblemSpec::new(
+                StencilKernel::random(StencilShape::d1(r), 100 + r as u64),
+                1,
+                n1,
+            ));
+        }
+        for r in 1..=3 {
+            out.push(ProblemSpec::new(
+                StencilKernel::random(StencilShape::box_2d(r), 200 + r as u64),
+                n2,
+                n2,
+            ));
+            out.push(ProblemSpec::new(
+                StencilKernel::random(StencilShape::star_2d(r), 300 + r as u64),
+                n2,
+                n2,
+            ));
+        }
+        out
+    }
+
+    /// Problem-size sweep for the paper's Fig 11 scaling study.
+    ///
+    /// 1D: `(1, 1024·X)` for X in the paper's tick list; 2D: `(X, X)`.
+    pub fn scaling_suite_sizes_1d() -> Vec<usize> {
+        [256, 8192, 16384, 24576, 32768, 40960]
+            .iter()
+            .map(|x| x * 1024)
+            .collect()
+    }
+
+    /// 2D extents used by Fig 11.
+    pub fn scaling_suite_sizes_2d() -> Vec<usize> {
+        vec![512, 2048, 4096, 6144, 8192, 10240]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_shapes() {
+        let suite = ProblemSpec::paper_suite(1);
+        let names: Vec<String> = suite.iter().map(|p| p.shape().name()).collect();
+        assert_eq!(
+            names,
+            [
+                "1D1R",
+                "1D2R",
+                "Box-2D1R",
+                "Star-2D1R",
+                "Box-2D2R",
+                "Star-2D2R",
+                "Box-2D3R",
+                "Star-2D3R"
+            ]
+        );
+        assert_eq!(suite[0].points(), 10_240_000);
+        assert_eq!(suite[2].points(), 10_240 * 10_240);
+    }
+
+    #[test]
+    fn scaled_suite_shrinks() {
+        let suite = ProblemSpec::paper_suite(64);
+        assert_eq!(suite[0].points(), 160_000);
+        assert_eq!(suite[2].rows, 160);
+    }
+
+    #[test]
+    fn labels() {
+        let p = &ProblemSpec::paper_suite(1)[6];
+        assert_eq!(p.label(), "Box-2D3R (10240,10240)");
+    }
+
+    #[test]
+    #[should_panic(expected = "single row")]
+    fn d1_with_rows_panics() {
+        ProblemSpec::new(StencilKernel::random(StencilShape::d1(1), 1), 2, 100);
+    }
+
+    #[test]
+    fn scaling_sizes_match_paper_ticks() {
+        assert_eq!(
+            ProblemSpec::scaling_suite_sizes_2d(),
+            vec![512, 2048, 4096, 6144, 8192, 10240]
+        );
+        assert_eq!(ProblemSpec::scaling_suite_sizes_1d().len(), 6);
+    }
+}

@@ -1,0 +1,105 @@
+//! Floating-point scalar abstraction so grids and executors work for both
+//! `f32` (the simulated-GPU compute type) and `f64` (the oracle type).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Minimal float trait for stencil arithmetic.
+///
+/// Implemented for `f32` and `f64` only; the workspace never needs anything
+/// more exotic (FP16 emulation lives in `spider-gpu-sim::half` and converts
+/// through `f32`).
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    const ZERO: Self;
+    const ONE: Self;
+
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add (`self * a + b`); maps to the hardware FMA.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    fn max_val(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn max_val(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_roundtrip() {
+        assert_eq!(<f32 as Scalar>::ZERO, 0.0f32);
+        assert_eq!(<f64 as Scalar>::ONE, 1.0f64);
+        assert_eq!(f32::from_f64(2.5).to_f64(), 2.5);
+    }
+
+    #[test]
+    fn mul_add_matches_manual() {
+        let v: f64 = 3.0;
+        assert_eq!(v.mul_add(2.0, 1.0), 7.0);
+        let v: f32 = 3.0;
+        assert_eq!(Scalar::mul_add(v, 2.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn abs_and_max() {
+        assert_eq!((-2.0f64).abs(), 2.0);
+        assert_eq!(1.0f32.max_val(4.0), 4.0);
+    }
+}

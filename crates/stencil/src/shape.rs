@@ -1,0 +1,207 @@
+//! Stencil shape descriptors: star/box × dimensionality × radius.
+
+/// Spatial dimensionality of a stencil problem.
+///
+/// The paper's evaluation covers 1D and 2D (its Fig 10/11 benchmark suite);
+/// 3D is out of scope for both the paper's experiments and this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    D1,
+    D2,
+}
+
+impl Dim {
+    /// Number of spatial dimensions as an integer.
+    pub fn rank(self) -> usize {
+        match self {
+            Dim::D1 => 1,
+            Dim::D2 => 2,
+        }
+    }
+}
+
+/// Dependence pattern of the stencil (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeKind {
+    /// Depends only on points along each axis (e.g. the 5-point Laplacian).
+    Star,
+    /// Depends on the full `(2r+1)^d` hypercube of neighbors.
+    Box,
+}
+
+/// A stencil shape: kind, dimensionality and radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StencilShape {
+    pub kind: ShapeKind,
+    pub dim: Dim,
+    pub radius: usize,
+}
+
+impl StencilShape {
+    pub fn new(kind: ShapeKind, dim: Dim, radius: usize) -> Self {
+        assert!(radius >= 1, "stencil radius must be at least 1");
+        Self { kind, dim, radius }
+    }
+
+    /// `Box-2D{r}R`.
+    pub fn box_2d(radius: usize) -> Self {
+        Self::new(ShapeKind::Box, Dim::D2, radius)
+    }
+
+    /// `Star-2D{r}R`.
+    pub fn star_2d(radius: usize) -> Self {
+        Self::new(ShapeKind::Star, Dim::D2, radius)
+    }
+
+    /// `1D{r}R`. 1D star and box coincide, so kind is normalized to `Box`.
+    pub fn d1(radius: usize) -> Self {
+        Self::new(ShapeKind::Box, Dim::D1, radius)
+    }
+
+    /// Side length of the dense coefficient table: `2r + 1`.
+    pub fn diameter(&self) -> usize {
+        2 * self.radius + 1
+    }
+
+    /// Number of points the stencil actually depends on.
+    ///
+    /// Box-2D: `(2r+1)^2` (the paper's Box-2D2R example: 25 points).
+    /// Star-2D: `4r+1`. 1D: `2r+1`.
+    pub fn num_points(&self) -> usize {
+        let d = self.diameter();
+        match (self.dim, self.kind) {
+            (Dim::D1, _) => d,
+            (Dim::D2, ShapeKind::Box) => d * d,
+            (Dim::D2, ShapeKind::Star) => 4 * self.radius + 1,
+        }
+    }
+
+    /// Enumerate the relative offsets `(di, dj)` of dependent points
+    /// (for 1D, `di == 0`).
+    pub fn offsets(&self) -> Vec<(isize, isize)> {
+        let r = self.radius as isize;
+        let mut out = Vec::with_capacity(self.num_points());
+        match self.dim {
+            Dim::D1 => {
+                for dj in -r..=r {
+                    out.push((0, dj));
+                }
+            }
+            Dim::D2 => match self.kind {
+                ShapeKind::Box => {
+                    for di in -r..=r {
+                        for dj in -r..=r {
+                            out.push((di, dj));
+                        }
+                    }
+                }
+                ShapeKind::Star => {
+                    for di in -r..=r {
+                        if di != 0 {
+                            out.push((di, 0));
+                        }
+                    }
+                    for dj in -r..=r {
+                        out.push((0, dj));
+                    }
+                }
+            },
+        }
+        out
+    }
+
+    /// Whether the relative offset participates in this shape.
+    pub fn contains(&self, di: isize, dj: isize) -> bool {
+        let r = self.radius as isize;
+        match self.dim {
+            Dim::D1 => di == 0 && dj.abs() <= r,
+            Dim::D2 => match self.kind {
+                ShapeKind::Box => di.abs() <= r && dj.abs() <= r,
+                ShapeKind::Star => (di == 0 || dj == 0) && di.abs() <= r && dj.abs() <= r,
+            },
+        }
+    }
+
+    /// Canonical benchmark name, e.g. `Box-2D3R`, `Star-2D1R`, `1D2R`.
+    pub fn name(&self) -> String {
+        match self.dim {
+            Dim::D1 => format!("1D{}R", self.radius),
+            Dim::D2 => match self.kind {
+                ShapeKind::Box => format!("Box-2D{}R", self.radius),
+                ShapeKind::Star => format!("Star-2D{}R", self.radius),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_2d2r_has_25_points() {
+        // Paper §2.2: "a Box-2D2R stencil ... involving 25 points in total".
+        let s = StencilShape::box_2d(2);
+        assert_eq!(s.num_points(), 25);
+        assert_eq!(s.offsets().len(), 25);
+    }
+
+    #[test]
+    fn star_2d2r_has_9_points() {
+        let s = StencilShape::star_2d(2);
+        assert_eq!(s.num_points(), 9);
+        assert_eq!(s.offsets().len(), 9);
+    }
+
+    #[test]
+    fn d1_points() {
+        let s = StencilShape::d1(2);
+        assert_eq!(s.num_points(), 5);
+        assert!(s.offsets().iter().all(|&(di, _)| di == 0));
+    }
+
+    #[test]
+    fn star_contains_axis_only() {
+        let s = StencilShape::star_2d(3);
+        assert!(s.contains(0, 3));
+        assert!(s.contains(-3, 0));
+        assert!(!s.contains(1, 1));
+        assert!(!s.contains(0, 4));
+    }
+
+    #[test]
+    fn box_contains_corners() {
+        let s = StencilShape::box_2d(2);
+        assert!(s.contains(2, 2));
+        assert!(s.contains(-2, 1));
+        assert!(!s.contains(3, 0));
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(StencilShape::box_2d(3).name(), "Box-2D3R");
+        assert_eq!(StencilShape::star_2d(1).name(), "Star-2D1R");
+        assert_eq!(StencilShape::d1(2).name(), "1D2R");
+    }
+
+    #[test]
+    fn offsets_unique() {
+        for s in [
+            StencilShape::box_2d(2),
+            StencilShape::star_2d(2),
+            StencilShape::d1(3),
+        ] {
+            let mut v = s.offsets();
+            v.sort();
+            let n = v.len();
+            v.dedup();
+            assert_eq!(v.len(), n, "duplicate offsets in {}", s.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn zero_radius_rejected() {
+        StencilShape::box_2d(0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Numerical verification utilities shared by tests and the repro harness.
+
+use crate::grid::{Grid1D, Grid2D};
+use crate::scalar::Scalar;
+
+/// Summary of the difference between a candidate result and the oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// `max |a - b|`.
+    pub max_abs: f64,
+    /// `max |a - b| / (|b| + eps)`.
+    pub max_rel: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Number of compared elements.
+    pub count: usize,
+}
+
+impl ErrorReport {
+    fn from_pairs(pairs: impl Iterator<Item = (f64, f64)>) -> Self {
+        let mut max_abs = 0.0f64;
+        let mut max_rel = 0.0f64;
+        let mut sq = 0.0f64;
+        let mut count = 0usize;
+        for (a, b) in pairs {
+            let d = (a - b).abs();
+            max_abs = max_abs.max(d);
+            max_rel = max_rel.max(d / (b.abs() + 1e-30));
+            sq += d * d;
+            count += 1;
+        }
+        Self {
+            max_abs,
+            max_rel,
+            rmse: if count == 0 {
+                0.0
+            } else {
+                (sq / count as f64).sqrt()
+            },
+            count,
+        }
+    }
+
+    /// True if the max absolute error is within `tol`.
+    pub fn within(&self, tol: f64) -> bool {
+        self.max_abs <= tol
+    }
+}
+
+/// Compare the interiors of two 2D grids (possibly of different scalar type).
+pub fn compare_2d<A: Scalar, B: Scalar>(a: &Grid2D<A>, b: &Grid2D<B>) -> ErrorReport {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    let pairs = (0..a.rows()).flat_map(move |i| {
+        (0..a.cols()).map(move |j| (a.get(i, j).to_f64(), b.get(i, j).to_f64()))
+    });
+    ErrorReport::from_pairs(pairs)
+}
+
+/// Compare the interiors of two 1D grids.
+pub fn compare_1d<A: Scalar, B: Scalar>(a: &Grid1D<A>, b: &Grid1D<B>) -> ErrorReport {
+    assert_eq!(a.len(), b.len());
+    let pairs = a
+        .interior()
+        .iter()
+        .zip(b.interior())
+        .map(|(&x, &y)| (x.to_f64(), y.to_f64()));
+    ErrorReport::from_pairs(pairs)
+}
+
+/// Tolerance for verifying an FP32 compute path against the f64 oracle after
+/// `steps` sweeps of a kernel whose coefficient magnitudes sum to `gain`.
+///
+/// Error compounds multiplicatively with the kernel gain per sweep; this is a
+/// conservative envelope used across the workspace's integration tests.
+pub fn f32_tolerance(steps: usize, gain: f64) -> f64 {
+    let amp = gain.abs().max(1.0).powi(steps as i32);
+    1e-5 * amp * (steps.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_grids_report_zero() {
+        let a = Grid2D::<f64>::random(10, 10, 1, 1);
+        let r = compare_2d(&a, &a.clone());
+        assert_eq!(r.max_abs, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.count, 100);
+        assert!(r.within(0.0));
+    }
+
+    #[test]
+    fn single_point_difference() {
+        let a = Grid2D::<f64>::zeros(4, 4, 0);
+        let mut b = a.clone();
+        b.set(2, 3, 0.5);
+        let r = compare_2d(&a, &b);
+        assert_eq!(r.max_abs, 0.5);
+        assert!((r.rmse - (0.25 / 16.0f64).sqrt()).abs() < 1e-15);
+        assert!(!r.within(0.4));
+        assert!(r.within(0.5));
+    }
+
+    #[test]
+    fn relative_error_guards_small_denominator() {
+        let mut a = Grid1D::<f64>::zeros(4, 0);
+        let b = Grid1D::<f64>::zeros(4, 0);
+        a.set(0, 1e-20);
+        let r = compare_1d(&a, &b);
+        assert!(r.max_rel.is_finite());
+    }
+
+    #[test]
+    fn tolerance_grows_with_steps_and_gain() {
+        assert!(f32_tolerance(10, 2.0) > f32_tolerance(1, 2.0));
+        assert!(f32_tolerance(5, 3.0) > f32_tolerance(5, 1.0));
+    }
+
+    #[test]
+    fn mixed_precision_compare() {
+        let a = Grid2D::<f64>::random(8, 8, 0, 2);
+        let b: Grid2D<f32> = a.convert();
+        let r = compare_2d(&a, &b);
+        assert!(r.max_abs < 1e-7);
+    }
+}

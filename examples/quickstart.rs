@@ -1,0 +1,65 @@
+//! Quickstart: compile a stencil kernel once, run it on the simulated
+//! Sparse-Tensor-Core GPU, and verify against the scalar CPU oracle.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spider::prelude::*;
+
+fn main() {
+    // A Box-2D1R stencil: 3x3 weighted average (blur-like).
+    let kernel = StencilKernel::box_2d(
+        1,
+        &[
+            0.05, 0.10, 0.05, //
+            0.10, 0.40, 0.10, //
+            0.05, 0.10, 0.05,
+        ],
+    );
+
+    // The ahead-of-time transformation: band -> strided swap -> 2:4 encode.
+    let plan = SpiderPlan::compile(&kernel).expect("kernel compiles to a 2:4 plan");
+    println!("compiled plan: {} kernel-row units, {} mma.sp slices/tile,",
+        plan.units().len(), plan.slices());
+    println!(
+        "               {} B compressed parameters ({} B uncompressed)",
+        plan.parameter_bytes(),
+        plan.parameter_bytes_dense()
+    );
+
+    // A 512x512 grid with random contents (halo = stencil radius).
+    let mut grid = Grid2D::<f32>::random(512, 512, kernel.radius(), 42);
+    let oracle_input: Grid2D<f64> = grid.convert();
+
+    // Run one sweep on the simulated A100.
+    let device = GpuDevice::a100();
+    let exec = SpiderExecutor::new(&device, ExecMode::SparseTcOptimized);
+    let report = exec.run_2d(&plan, &mut grid, 1).expect("sweep runs");
+
+    println!("\nsimulated execution:");
+    println!("  points updated      : {}", report.points);
+    println!("  sparse MMA issues   : {}", report.counters.mma_sparse_f16);
+    println!(
+        "  DRAM traffic        : {:.1} KiB ({:.2} B/point)",
+        report.counters.gmem_transaction_bytes() as f64 / 1024.0,
+        report.counters.gmem_transaction_bytes() as f64 / report.points as f64
+    );
+    println!("  modeled time        : {:.2} us", report.time_s() * 1e6);
+    println!("  throughput          : {:.1} GStencils/s", report.gstencils_per_sec());
+
+    // Verify against the f64 reference executor (inputs quantized to FP16,
+    // matching the modeled pipeline's storage type).
+    let mut expect = oracle_input;
+    for v in expect.padded_mut() {
+        *v = spider::gpu_sim::half::F16::quantize(*v as f32) as f64;
+    }
+    let quantized = StencilKernel::from_fn_2d(kernel.shape(), |di, dj| {
+        spider::gpu_sim::half::F16::quantize(kernel.at(di, dj) as f32) as f64
+    });
+    reference::apply_2d(&quantized, &mut expect, 1);
+    let err = spider::stencil::verify::compare_2d(&expect, &grid);
+    println!("\nverification vs CPU oracle: max |err| = {:.2e}", err.max_abs);
+    assert!(err.within(5e-3), "SPIDER result must match the oracle");
+    println!("OK");
+}

@@ -1,0 +1,248 @@
+//! Cross-crate integration: every execution system in the workspace —
+//! SPIDER's three modes and all six baselines — must produce the oracle's
+//! numbers on a matrix of shapes and radii.
+
+use spider::baselines::BaselineKind;
+use spider::core::{ExecMode, SpiderExecutor, SpiderPlan};
+use spider::gpu_sim::half::F16;
+use spider::prelude::*;
+use spider::stencil::verify::{compare_1d, compare_2d};
+use spider_stencil::exec::reference;
+
+fn quantize2d(g: &mut Grid2D<f32>) {
+    for v in g.padded_mut() {
+        *v = F16::quantize(*v);
+    }
+}
+
+fn quantized_kernel(kernel: &StencilKernel) -> StencilKernel {
+    match kernel.shape().dim {
+        spider::stencil::Dim::D1 => StencilKernel::d1(
+            kernel.radius(),
+            &kernel
+                .coeffs()
+                .iter()
+                .map(|&c| F16::quantize(c as f32) as f64)
+                .collect::<Vec<_>>(),
+        ),
+        spider::stencil::Dim::D2 => StencilKernel::from_fn_2d(kernel.shape(), |di, dj| {
+            F16::quantize(kernel.at(di, dj) as f32) as f64
+        }),
+    }
+}
+
+/// FP16-storage oracle for one sweep.
+fn oracle_2d(kernel: &StencilKernel, grid: &Grid2D<f32>) -> Grid2D<f64> {
+    let mut expect: Grid2D<f64> = grid.convert();
+    let mut out = expect.clone();
+    reference::step_2d(&quantized_kernel(kernel), &expect, &mut out);
+    std::mem::swap(&mut expect, &mut out);
+    expect
+}
+
+#[test]
+fn spider_all_modes_match_oracle_on_shape_matrix() {
+    let dev = GpuDevice::a100();
+    for shape in [
+        StencilShape::box_2d(1),
+        StencilShape::box_2d(2),
+        StencilShape::box_2d(3),
+        StencilShape::star_2d(1),
+        StencilShape::star_2d(3),
+    ] {
+        let kernel = StencilKernel::random(shape, shape.radius as u64 + 11);
+        let plan = SpiderPlan::compile(&kernel).unwrap();
+        let mut base = Grid2D::<f32>::random(72, 96, shape.radius, 3);
+        quantize2d(&mut base);
+        let expect = oracle_2d(&kernel, &base);
+        for mode in [
+            ExecMode::DenseTc,
+            ExecMode::SparseTc,
+            ExecMode::SparseTcOptimized,
+        ] {
+            let mut g = base.clone();
+            SpiderExecutor::new(&dev, mode)
+                .run_2d(&plan, &mut g, 1)
+                .unwrap();
+            let err = compare_2d(&expect, &g);
+            assert!(
+                err.max_abs < 5e-3,
+                "{} {mode:?}: {}",
+                shape.name(),
+                err.max_abs
+            );
+        }
+    }
+}
+
+#[test]
+fn all_baselines_match_oracle_2d() {
+    // Symmetric kernel so LoRAStencil participates.
+    let kernel = spider::stencil::StencilKernel::gaussian_2d(2);
+    let base = Grid2D::<f32>::random(80, 100, 2, 5);
+    let mut expect: Grid2D<f64> = base.convert();
+    let mut out = expect.clone();
+    reference::step_2d(&kernel, &expect, &mut out);
+    std::mem::swap(&mut expect, &mut out);
+
+    for kind in BaselineKind::all() {
+        let b = kind.instantiate();
+        let mut g = base.clone();
+        let counters = b.sweep_2d(&kernel, &mut g).unwrap();
+        // TCStencil quantizes to FP16 internally; allow a looser bound there.
+        let tol = if kind == BaselineKind::TcStencil { 5e-3 } else { 1e-4 };
+        let err = compare_2d(&expect, &g);
+        assert!(err.max_abs < tol, "{}: {}", b.name(), err.max_abs);
+        assert!(counters.instructions > 0, "{} must charge work", b.name());
+    }
+}
+
+#[test]
+fn all_baselines_match_oracle_1d() {
+    let kernel = StencilKernel::d1(2, &[0.1, 0.2, 0.4, 0.2, 0.1]);
+    let base = Grid1D::<f32>::random(20_000, 2, 7);
+    let mut expect: Grid1D<f64> = base.convert();
+    reference::apply_1d(&kernel, &mut expect, 1);
+
+    for kind in BaselineKind::all() {
+        let b = kind.instantiate();
+        let mut g = base.clone();
+        let counters = b.sweep_1d(&kernel, &mut g).unwrap();
+        let tol = if kind == BaselineKind::TcStencil { 5e-3 } else { 1e-4 };
+        let err = compare_1d(&expect, &g);
+        assert!(err.max_abs < tol, "{}: {}", b.name(), err.max_abs);
+        assert!(counters.instructions > 0);
+    }
+}
+
+#[test]
+fn spider_1d_matches_oracle() {
+    let dev = GpuDevice::a100();
+    for r in 1..=2 {
+        let kernel = StencilKernel::random(StencilShape::d1(r), 21 + r as u64);
+        let plan = SpiderPlan::compile(&kernel).unwrap();
+        let mut g = Grid1D::<f32>::random(30_000, r, 9);
+        for v in g.padded_mut() {
+            *v = F16::quantize(*v);
+        }
+        let mut expect: Grid1D<f64> = g.convert();
+        reference::apply_1d(&quantized_kernel(&kernel), &mut expect, 1);
+        SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized)
+            .run_1d(&plan, &mut g, 1)
+            .unwrap();
+        let err = compare_1d(&expect, &g);
+        assert!(err.max_abs < 5e-3, "1D{r}R: {}", err.max_abs);
+    }
+}
+
+#[test]
+fn swap_parity_variants_agree() {
+    // Even (the §3.2 formula) and Odd (the Fig 5 drawing) parities are the
+    // same transformation up to relabeling: identical numerical results.
+    let dev = GpuDevice::a100();
+    // A contraction kernel keeps values in [0, 1), where an FP16 output ulp
+    // is ~5e-4 — the only legitimate divergence between the two layouts
+    // (FP32 summation order differs, occasionally flipping one rounding).
+    let kernel = StencilKernel::gaussian_2d(2);
+    let even = SpiderPlan::compile_with_parity(&kernel, spider::core::SwapParity::Even).unwrap();
+    let odd = SpiderPlan::compile_with_parity(&kernel, spider::core::SwapParity::Odd).unwrap();
+    let mut a = Grid2D::<f32>::random(64, 64, 2, 13);
+    quantize2d(&mut a);
+    let mut b = a.clone();
+    let exec = SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized);
+    exec.run_2d(&even, &mut a, 2).unwrap();
+    exec.run_2d(&odd, &mut b, 2).unwrap();
+    assert!(
+        a.max_abs_diff(&b) < 2e-3,
+        "parity choice must not change the numbers: {}",
+        a.max_abs_diff(&b)
+    );
+}
+
+#[test]
+fn multi_step_spider_tracks_cpu_reference() {
+    let dev = GpuDevice::a100();
+    let kernel = StencilKernel::gaussian_2d(1); // contraction: errors stay bounded
+    let plan = SpiderPlan::compile(&kernel).unwrap();
+    let mut g = Grid2D::<f32>::random(96, 96, 1, 17);
+    quantize2d(&mut g);
+    let mut cpu: Grid2D<f64> = g.convert();
+    let qk = quantized_kernel(&kernel);
+    for _ in 0..10 {
+        let mut scratch = cpu.clone();
+        reference::step_2d(&qk, &cpu, &mut scratch);
+        for v in scratch.padded_mut() {
+            *v = F16::quantize(*v as f32) as f64;
+        }
+        cpu = scratch;
+    }
+    SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized)
+        .run_2d(&plan, &mut g, 10)
+        .unwrap();
+    let err = compare_2d(&cpu, &g);
+    assert!(err.max_abs < 1e-2, "10-step drift: {}", err.max_abs);
+}
+
+#[test]
+fn periodic_boundary_matches_oracle() {
+    use spider::core::exec::ExecConfig;
+    use spider::stencil::BoundaryCondition;
+
+    let dev = GpuDevice::a100();
+    let kernel = StencilKernel::gaussian_2d(1);
+    let plan = SpiderPlan::compile(&kernel).unwrap();
+    let mut g = Grid2D::<f32>::random(64, 64, 1, 23);
+    quantize2d(&mut g);
+
+    // f64 oracle with periodic halo and FP16 storage between sweeps.
+    let mut cpu: Grid2D<f64> = g.convert();
+    let qk = quantized_kernel(&kernel);
+    for _ in 0..3 {
+        BoundaryCondition::Periodic.apply_2d(&mut cpu);
+        let mut scratch = cpu.clone();
+        reference::step_2d(&qk, &cpu, &mut scratch);
+        for v in scratch.padded_mut() {
+            *v = F16::quantize(*v as f32) as f64;
+        }
+        cpu = scratch;
+    }
+
+    let cfg = ExecConfig {
+        boundary: BoundaryCondition::Periodic,
+        ..Default::default()
+    };
+    SpiderExecutor::with_config(&dev, ExecMode::SparseTcOptimized, cfg)
+        .run_2d(&plan, &mut g, 3)
+        .unwrap();
+    let err = compare_2d(&cpu, &g);
+    assert!(err.max_abs < 5e-3, "periodic drift: {}", err.max_abs);
+}
+
+#[test]
+fn spider_3d_integration() {
+    use spider::core::exec3d::{Spider3DExecutor, Spider3DPlan};
+    use spider::stencil::dim3::{step_3d, Grid3D, Kernel3D};
+
+    let dev = GpuDevice::a100();
+    let kernel = Kernel3D::random_box(1, 31);
+    let plan = Spider3DPlan::compile(&kernel).unwrap();
+    let mut g = Grid3D::<f32>::random(4, 20, 32, 1, 32);
+    for z in 0..4 {
+        for i in 0..20 {
+            for j in 0..32 {
+                g.set(z, i, j, F16::quantize(g.get(z, i, j)));
+            }
+        }
+    }
+    let qk = Kernel3D::from_fn(1, |dz, dx, dy| {
+        F16::quantize(kernel.at(dz, dx, dy) as f32) as f64
+    });
+    let src: Grid3D<f64> = g.convert();
+    let mut expect = src.clone();
+    step_3d(&qk, &src, &mut expect);
+    Spider3DExecutor::new(&dev, ExecMode::SparseTcOptimized)
+        .run(&plan, &mut g, 1)
+        .unwrap();
+    let got: Grid3D<f64> = g.convert();
+    assert!(expect.max_abs_diff(&got) < 1e-2);
+}

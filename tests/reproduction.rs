@@ -1,0 +1,122 @@
+//! The headline reproduction claims, asserted as tests (scaled-down sizes;
+//! per-point counter rates are size-invariant and the occupancy ramp is
+//! saturated at these extents).
+
+use spider::analysis::cost::{CostModel, Method};
+use spider::baselines::BaselineKind;
+use spider::core::{ExecMode, SpiderExecutor, SpiderPlan};
+use spider::prelude::*;
+
+#[test]
+fn table2_reproduces_digit_for_digit() {
+    let m = CostModel::table2();
+    let checks: [(Method, [f64; 3]); 5] = [
+        (Method::LowerBound, [49.0, 3.0625, 49.0 / 64.0]),
+        (Method::ConvStencil, [104.0, 13.0, 13.0]),
+        (Method::TcStencil, [286.72, 17.92, 17.92]),
+        (Method::LoRaStencil, [144.0, 4.0, 12.0]),
+        (Method::Spider, [56.0, 14.0, 7.0]),
+    ];
+    for (method, [comp, input, param]) in checks {
+        let c = m.cost(method);
+        assert!((c.comp - comp).abs() < 0.01, "{} comp {}", method.name(), c.comp);
+        assert!((c.input - input).abs() < 0.01, "{} input {}", method.name(), c.input);
+        assert!((c.param - param).abs() < 0.01, "{} param {}", method.name(), c.param);
+    }
+}
+
+#[test]
+fn spider_outperforms_every_baseline_at_scale() {
+    // The Fig 10 claim at a representative 2D problem.
+    let dev = GpuDevice::a100();
+    let kernel = StencilKernel::gaussian_2d(2);
+    let plan = SpiderPlan::compile(&kernel).unwrap();
+    let spider = SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized)
+        .estimate_2d(&plan, 5120, 5120)
+        .gstencils_per_sec();
+    for kind in BaselineKind::all() {
+        let b = kind.instantiate();
+        if !b.supports(&kernel) {
+            continue;
+        }
+        let report = b.estimate_2d(&kernel, 5120, 5120, &dev);
+        let theirs = b.normalized_gstencils(&report);
+        assert!(
+            spider > theirs,
+            "SPIDER {spider:.1} must beat {} at {theirs:.1}",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn ablation_orders_match_figure12() {
+    // w.TC < w.SpTC <= w.SpTC+CO at a saturated size (paper Fig 12).
+    let dev = GpuDevice::a100();
+    let kernel = StencilKernel::gaussian_2d(2);
+    let plan = SpiderPlan::compile(&kernel).unwrap();
+    let run = |mode| {
+        SpiderExecutor::new(&dev, mode)
+            .estimate_2d(&plan, 5120, 5120)
+            .gstencils_per_sec()
+    };
+    let tc = run(ExecMode::DenseTc);
+    let sptc = run(ExecMode::SparseTc);
+    let co = run(ExecMode::SparseTcOptimized);
+    assert!(sptc > tc * 1.2, "SpTC must be the big lever: {tc} -> {sptc}");
+    assert!(co >= sptc, "CO must not regress: {sptc} -> {co}");
+}
+
+#[test]
+fn sparsity_ratio_is_exactly_half_at_paper_l() {
+    // §3.1.1: L = 2r+2 puts the kernel matrix at exactly 50% density.
+    for r in 1..=7 {
+        let l = spider::core::kernel_matrix::paper_l(r);
+        let density = spider::core::kernel_matrix::density_for(r, l);
+        assert!((density - 0.5).abs() < 1e-12, "r={r}");
+    }
+}
+
+#[test]
+fn spider_offline_cost_is_grid_independent() {
+    // §4.2: SPIDER's transformation is O(1) in the problem size — compiling
+    // a plan never touches the grid.
+    let kernel = StencilKernel::random(StencilShape::box_2d(3), 3);
+    let t0 = std::time::Instant::now();
+    let plan = SpiderPlan::compile(&kernel).unwrap();
+    let compile_time = t0.elapsed();
+    assert!(plan.units().len() == 7);
+    // Generous bound: microseconds of real work, never grid-sized.
+    assert!(
+        compile_time.as_millis() < 100,
+        "plan compile took {compile_time:?}"
+    );
+}
+
+#[test]
+fn occupancy_ramp_reproduces_fig11_rise() {
+    let dev = GpuDevice::a100();
+    let kernel = StencilKernel::gaussian_2d(2);
+    let plan = SpiderPlan::compile(&kernel).unwrap();
+    let exec = SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized);
+    let sizes = [512usize, 2048, 4096, 8192];
+    let gs: Vec<f64> = sizes
+        .iter()
+        .map(|&n| exec.estimate_2d(&plan, n, n).gstencils_per_sec())
+        .collect();
+    assert!(gs[0] < gs[1] && gs[1] <= gs[2] * 1.02, "rising limb: {gs:?}");
+    let plateau = (gs[3] - gs[2]).abs() / gs[2];
+    assert!(plateau < 0.15, "plateau: {gs:?}");
+}
+
+#[test]
+fn precision_normalization_follows_paper() {
+    // §4.1: FP64 ConvStencil is scaled by 4; FP16 methods are not.
+    assert_eq!(
+        BaselineKind::ConvStencil.instantiate().precision_normalization(),
+        4.0
+    );
+    for kind in [BaselineKind::TcStencil, BaselineKind::FlashFft] {
+        assert_eq!(kind.instantiate().precision_normalization(), 1.0);
+    }
+}
