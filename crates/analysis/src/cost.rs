@@ -147,15 +147,10 @@ impl CostModel {
         let w = 2 * r + c;
         let cc = (c * c) as f64;
         let comp =
-            (256 * r * c.div_ceil(8) * w.div_ceil(4) * (w.div_ceil(8) + c.div_ceil(8))) as f64
-                / cc;
+            (256 * r * c.div_ceil(8) * w.div_ceil(4) * (w.div_ceil(8) + c.div_ceil(8))) as f64 / cc;
         let input = (32 * w.div_ceil(4) * w.div_ceil(8)) as f64 / cc;
         let param = (4 * r) as f64 / r.div_ceil(4) as f64;
-        PointCost {
-            comp,
-            input,
-            param,
-        }
+        PointCost { comp, input, param }
     }
 
     /// SPIDER (§3.1.2 formulas). The paper's Table 2 evaluates the

@@ -6,5 +6,7 @@
 
 pub mod cost;
 pub mod tables;
+pub mod tuning;
 
 pub use cost::{CostModel, Method, PointCost};
+pub use tuning::{assess_1d, assess_2d, TilingAssessment, TuningProblem};

@@ -82,7 +82,9 @@ mod tests {
     #[test]
     fn table2_matches_paper_digits() {
         let s = table2();
-        for needle in ["56.00", "14.00", "7.00", "286.72", "17.92", "104.00", "3.06"] {
+        for needle in [
+            "56.00", "14.00", "7.00", "286.72", "17.92", "104.00", "3.06",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
     }

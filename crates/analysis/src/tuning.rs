@@ -1,0 +1,222 @@
+//! Closed-form tiling assessment — the autotuner's scoring entry point.
+//!
+//! `spider-runtime`'s autotuner enumerates a lattice of candidate
+//! [`TilingConfig`]s per (kernel, grid, GPU) and needs a cheap, *a-priori*
+//! ranking so only the most promising few are dry-run on the simulator. This
+//! module provides that ranking with the same redundancy algebra as the
+//! paper's Table 1 (see [`crate::cost`]): the dominant tiling-dependent costs
+//! of the SPIDER executor are
+//!
+//! 1. **halo redundancy** — a `bx × by` block stages `(bx+2r)(by+2r)` input
+//!    elements for `bx·by` outputs, the 2D generalization of the lower-bound
+//!    input term `(c+2r)²/c²` of Table 1;
+//! 2. **edge waste** — blocks overhanging the grid edge still run; and
+//! 3. **occupancy** — too few blocks leave SMs idle (the rising limb of the
+//!    paper's Fig 11), mirroring `spider_gpu_sim`'s linear occupancy ramp.
+//!
+//! The combined [`TilingAssessment::score`] is a *relative* cost (lower is
+//! better, 1.0 = ideal): it predicts the ordering of candidates, while the
+//! authoritative comparison stays with the simulator dry-run the tuner
+//! performs on the short-listed configs.
+
+use spider_core::tiling::TilingConfig;
+
+/// The tiling-relevant slice of a problem + device: grid extent, stencil
+/// radius and the occupancy/shared-memory constants of the target GPU.
+#[derive(Debug, Clone, Copy)]
+pub struct TuningProblem {
+    /// Stencil radius.
+    pub radius: usize,
+    /// Grid rows (2D) or total length (1D).
+    pub rows: usize,
+    /// Grid columns (1 for 1D problems).
+    pub cols: usize,
+    /// Streaming multiprocessors on the device.
+    pub sm_count: u32,
+    /// Blocks per SM needed for peak throughput (occupancy ramp knee).
+    pub blocks_per_sm_for_peak: u32,
+    /// Shared-memory capacity per SM in bytes (hard feasibility limit).
+    pub smem_bytes_per_sm: u32,
+}
+
+/// Decomposed score for one candidate tiling.
+#[derive(Debug, Clone, Copy)]
+pub struct TilingAssessment {
+    /// Whether the config is executable at all (divisibility constraints,
+    /// shared memory fits, thread count within hardware bounds).
+    pub feasible: bool,
+    /// Staged input elements per output point (≥ 1; Table 1 input column).
+    pub input_redundancy: f64,
+    /// Fraction of launched output points inside the grid (≤ 1).
+    pub coverage: f64,
+    /// Fraction of peak throughput the block count sustains (0, 1].
+    pub occupancy: f64,
+    /// Combined relative cost: `input_redundancy / (coverage × occupancy)`.
+    /// Lower is better; `f64::INFINITY` when infeasible.
+    pub score: f64,
+}
+
+/// Score a candidate 2D tiling. Infeasible configs get an infinite score so
+/// callers can rank with a plain sort.
+pub fn assess_2d(t: &TilingConfig, p: &TuningProblem) -> TilingAssessment {
+    let r = p.radius;
+    let feasible = t.validate().is_ok()
+        && t.smem_bytes_2d(r) <= p.smem_bytes_per_sm as usize
+        && t.threads_per_block() <= 1024;
+    if !feasible {
+        return infeasible();
+    }
+    let input_redundancy = t.smem_elems_2d(r) as f64 / (t.block_x * t.block_y) as f64;
+    let launched = (p.rows.div_ceil(t.block_x) * t.block_x) as f64
+        * (p.cols.div_ceil(t.block_y) * t.block_y) as f64;
+    let coverage = (p.rows * p.cols) as f64 / launched;
+    let occupancy = occupancy_ramp(t.blocks_2d(p.rows, p.cols), p);
+    finish(input_redundancy, coverage, occupancy)
+}
+
+/// Score a candidate 1D tiling (only `block_1d` matters).
+pub fn assess_1d(t: &TilingConfig, p: &TuningProblem) -> TilingAssessment {
+    let n = p.rows;
+    let feasible = t.validate().is_ok() && t.threads_per_block() <= 1024;
+    if !feasible {
+        return infeasible();
+    }
+    let input_redundancy = (t.block_1d + 2 * p.radius) as f64 / t.block_1d as f64;
+    let launched = (n.div_ceil(t.block_1d) * t.block_1d) as f64;
+    let coverage = n as f64 / launched;
+    let occupancy = occupancy_ramp(t.blocks_1d(n), p);
+    finish(input_redundancy, coverage, occupancy)
+}
+
+fn occupancy_ramp(blocks: u64, p: &TuningProblem) -> f64 {
+    let needed = (p.sm_count * p.blocks_per_sm_for_peak) as f64;
+    (blocks as f64 / needed).clamp(1.0 / 64.0, 1.0)
+}
+
+fn infeasible() -> TilingAssessment {
+    TilingAssessment {
+        feasible: false,
+        input_redundancy: f64::INFINITY,
+        coverage: 0.0,
+        occupancy: 0.0,
+        score: f64::INFINITY,
+    }
+}
+
+fn finish(input_redundancy: f64, coverage: f64, occupancy: f64) -> TilingAssessment {
+    TilingAssessment {
+        feasible: true,
+        input_redundancy,
+        coverage,
+        occupancy,
+        score: input_redundancy / (coverage * occupancy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100_problem(radius: usize, rows: usize, cols: usize) -> TuningProblem {
+        TuningProblem {
+            radius,
+            rows,
+            cols,
+            sm_count: 108,
+            blocks_per_sm_for_peak: 2,
+            smem_bytes_per_sm: 164 * 1024,
+        }
+    }
+
+    #[test]
+    fn default_config_scores_finite_and_sane() {
+        let p = a100_problem(2, 4096, 4096);
+        let a = assess_2d(&TilingConfig::default(), &p);
+        assert!(a.feasible);
+        assert!(a.input_redundancy > 1.0 && a.input_redundancy < 2.0);
+        assert!((a.coverage - 1.0).abs() < 1e-12, "4096 divides evenly");
+        assert_eq!(a.occupancy, 1.0);
+        assert!(a.score >= 1.0 && a.score.is_finite());
+    }
+
+    #[test]
+    fn bigger_blocks_amortize_halo_on_big_grids() {
+        let p = a100_problem(3, 8192, 8192);
+        let small = assess_2d(&TilingConfig::default(), &p);
+        let big = TilingConfig {
+            block_x: 64,
+            block_y: 128,
+            warp_x: 32,
+            warp_y: 64,
+            ..TilingConfig::default()
+        };
+        let big_a = assess_2d(&big, &p);
+        assert!(
+            big_a.score < small.score,
+            "{} vs {}",
+            big_a.score,
+            small.score
+        );
+    }
+
+    #[test]
+    fn small_grids_punish_big_blocks_via_occupancy() {
+        let p = a100_problem(1, 128, 128);
+        let big = TilingConfig {
+            block_x: 64,
+            block_y: 128,
+            warp_x: 32,
+            warp_y: 64,
+            ..TilingConfig::default()
+        };
+        let small_blocks = TilingConfig {
+            block_x: 16,
+            block_y: 32,
+            warp_x: 8,
+            warp_y: 16,
+            ..TilingConfig::default()
+        };
+        let a_big = assess_2d(&big, &p);
+        let a_small = assess_2d(&small_blocks, &p);
+        assert!(a_small.occupancy > a_big.occupancy);
+        assert!(a_small.score < a_big.score);
+    }
+
+    #[test]
+    fn infeasible_configs_rank_last() {
+        let p = a100_problem(7, 1024, 1024);
+        let invalid = TilingConfig {
+            warp_y: 24, // not a multiple of 16
+            ..TilingConfig::default()
+        };
+        assert_eq!(assess_2d(&invalid, &p).score, f64::INFINITY);
+        // A config whose staged slab exceeds shared memory is infeasible too.
+        let huge = TilingConfig {
+            block_x: 256,
+            block_y: 512,
+            warp_x: 32,
+            warp_y: 64,
+            ..TilingConfig::default()
+        };
+        let a = assess_2d(&huge, &p);
+        assert!(!a.feasible);
+    }
+
+    #[test]
+    fn d1_assessment_tracks_chunk_amortization() {
+        let p = a100_problem(4, 1 << 22, 1);
+        let small = TilingConfig {
+            block_1d: 256,
+            ..TilingConfig::default()
+        };
+        let big = TilingConfig {
+            block_1d: 8192,
+            ..TilingConfig::default()
+        };
+        let a_small = assess_1d(&small, &p);
+        let a_big = assess_1d(&big, &p);
+        assert!(a_small.feasible && a_big.feasible);
+        assert!(a_big.input_redundancy < a_small.input_redundancy);
+        assert!(a_big.score < a_small.score);
+    }
+}

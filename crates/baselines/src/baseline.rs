@@ -40,12 +40,12 @@ impl BaselineKind {
     /// Construct the baseline implementation.
     pub fn instantiate(self) -> Box<dyn Baseline> {
         match self {
-            BaselineKind::CudnnLike => Box::new(crate::cudnn_like::CudnnLike::default()),
+            BaselineKind::CudnnLike => Box::new(crate::cudnn_like::CudnnLike),
             BaselineKind::DrStencil => Box::new(crate::drstencil::DrStencil::default()),
-            BaselineKind::TcStencil => Box::new(crate::tcstencil::TcStencil::default()),
-            BaselineKind::ConvStencil => Box::new(crate::convstencil::ConvStencil::default()),
-            BaselineKind::LoRaStencil => Box::new(crate::lorastencil::LoRaStencil::default()),
-            BaselineKind::FlashFft => Box::new(crate::flashfft::FlashFftStencil::default()),
+            BaselineKind::TcStencil => Box::new(crate::tcstencil::TcStencil),
+            BaselineKind::ConvStencil => Box::new(crate::convstencil::ConvStencil),
+            BaselineKind::LoRaStencil => Box::new(crate::lorastencil::LoRaStencil),
+            BaselineKind::FlashFft => Box::new(crate::flashfft::FlashFftStencil),
         }
     }
 }

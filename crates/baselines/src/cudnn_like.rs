@@ -36,7 +36,7 @@ impl CudnnLike {
         let p = Self::patch(kernel);
         const E: u64 = 4; // FP32 input/output
         const EP: u64 = 2; // FP16 patch matrix (tensor-op convolution path)
-        // Input read (streamed once to build patches).
+                           // Input read (streamed once to build patches).
         add_stream_read(&mut c, points * E);
         // im2col patch matrix: write then read back for the GEMM.
         add_stream_write(&mut c, points * p * EP);

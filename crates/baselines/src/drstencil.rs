@@ -98,8 +98,7 @@ impl DrStencil {
         // plus local-memory spill traffic — register pressure grows with the
         // radius (each extra ring keeps 2 more live input rows per column),
         // and spilled values round-trip through local memory.
-        let halo = ((c.tile_x + 2 * r) * (c.tile_y + 2 * r)) as f64
-            / (c.tile_x * c.tile_y) as f64;
+        let halo = ((c.tile_x + 2 * r) * (c.tile_y + 2 * r)) as f64 / (c.tile_x * c.tile_y) as f64;
         let reuse_saving = 1.0 - 0.08 * c.reuse as f64;
         // Spill pressure scales with the live taps, so star shapes (fewer
         // taps) spill less — part of why DRStencil looks better on stars.

@@ -116,7 +116,8 @@ impl LoRaStencil {
     /// Paper Table 1, computation row (MACs).
     pub fn comp_macs(a: u64, b: u64, r: u64) -> u64 {
         let w = 2 * r + C;
-        256 * r * (a * b / (C * C))
+        256 * r
+            * (a * b / (C * C))
             * C.div_ceil(8)
             * w.div_ceil(4)
             * (w.div_ceil(8) + C.div_ceil(8))

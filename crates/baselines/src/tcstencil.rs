@@ -97,7 +97,7 @@ impl Baseline for TcStencil {
     }
 
     fn supports(&self, kernel: &StencilKernel) -> bool {
-        2 * kernel.radius() + 1 <= L
+        2 * kernel.radius() < L
     }
 
     fn sweep_2d(
@@ -337,7 +337,9 @@ mod tests {
         // 1D sweep path checks dim first; the 2D path reports lack of support.
         let k2 = StencilKernel::random(StencilShape::box_2d(1), 40);
         assert!(TcStencil.supports(&k2));
-        assert!(TcStencil.sweep_2d(&k, &mut Grid2D::random(32, 32, 8, 1)).is_err());
+        assert!(TcStencil
+            .sweep_2d(&k, &mut Grid2D::random(32, 32, 8, 1))
+            .is_err());
         let _ = g;
     }
 }

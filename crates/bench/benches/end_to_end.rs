@@ -67,7 +67,7 @@ fn bench_baselines(c: &mut Criterion) {
 }
 
 criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_spider_modes, bench_baselines}
+name = benches;
+config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+targets = bench_spider_modes, bench_baselines}
 criterion_main!(benches);

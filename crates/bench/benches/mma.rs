@@ -64,7 +64,7 @@ fn bench_swap(c: &mut Criterion) {
 }
 
 criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_mma, bench_compress, bench_swap}
+name = benches;
+config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+targets = bench_mma, bench_compress, bench_swap}
 criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Serving-layer throughput: mixed batches through `spider-runtime`.
+//!
+//! Two criterion benches (cold = fresh runtime per batch, warm = shared
+//! runtime with populated caches) plus a direct measured run that writes
+//! `BENCH_runtime.json` — the machine-readable requests/sec + GStencil/s
+//! data point for the performance trajectory.
+
+use criterion::{criterion_group, Criterion};
+use spider_gpu_sim::GpuDevice;
+use spider_runtime::{RuntimeOptions, SpiderRuntime, StencilRequest};
+use spider_stencil::{StencilKernel, StencilShape};
+
+/// The mixed serving workload: six scenario types, `copies` requests each.
+fn build_batch(id_base: u64, copies: usize) -> Vec<StencilRequest> {
+    let kernels_2d = [
+        (StencilKernel::heat_2d(0.12), 256usize, 256usize),
+        (StencilKernel::gaussian_2d(2), 192, 256),
+        (StencilKernel::random(StencilShape::box_2d(3), 31), 128, 160),
+        (
+            StencilKernel::random(StencilShape::star_2d(2), 32),
+            256,
+            192,
+        ),
+        (StencilKernel::jacobi_2d(), 96, 128),
+    ];
+    let mut batch = Vec::new();
+    let mut id = id_base;
+    for (kernel, rows, cols) in kernels_2d {
+        for _ in 0..copies {
+            batch.push(StencilRequest::new_2d(id, kernel.clone(), rows, cols).with_seed(id));
+            id += 1;
+        }
+    }
+    for _ in 0..copies {
+        batch.push(StencilRequest::new_1d(id, StencilKernel::wave_1d(2), 1 << 18).with_seed(id));
+        id += 1;
+    }
+    batch
+}
+
+fn options() -> RuntimeOptions {
+    RuntimeOptions {
+        cache_capacity: 32,
+        ..RuntimeOptions::default()
+    }
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_throughput");
+    group.bench_function("cold_batch_12", |b| {
+        b.iter(|| {
+            let rt = SpiderRuntime::new(GpuDevice::a100(), options());
+            rt.run_batch(&build_batch(0, 2))
+        })
+    });
+    let warm_rt = SpiderRuntime::new(GpuDevice::a100(), options());
+    warm_rt.run_batch(&build_batch(0, 1)); // populate caches
+    group.bench_function("warm_batch_12", |b| {
+        b.iter(|| warm_rt.run_batch(&build_batch(0, 2)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_runtime
+}
+
+/// Direct measurement written to `BENCH_runtime.json` (no criterion
+/// overhead): one cold batch, then `WARM_BATCHES` warm batches.
+fn emit_json() {
+    const WARM_BATCHES: usize = 5;
+    let rt = SpiderRuntime::new(GpuDevice::a100(), options());
+    let cold = rt.run_batch(&build_batch(0, 2));
+    let mut warm_reports = Vec::new();
+    for b in 1..=WARM_BATCHES {
+        warm_reports.push(rt.run_batch(&build_batch(1000 * b as u64, 2)));
+    }
+    let warm_wall: f64 = warm_reports.iter().map(|r| r.wall_s).sum();
+    let warm_requests: usize = warm_reports.iter().map(|r| r.outcomes.len()).sum();
+    let warm_hit_rate =
+        warm_reports.iter().map(|r| r.batch_hit_rate()).sum::<f64>() / WARM_BATCHES as f64;
+    let sim_gsps = warm_reports
+        .last()
+        .map(|r| r.simulated_gstencils_per_sec())
+        .unwrap_or(0.0);
+    let stats = rt.cache_stats();
+
+    let json = format!(
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
+        cold.outcomes.len(),
+        WARM_BATCHES,
+        cold.requests_per_sec(),
+        warm_requests as f64 / warm_wall,
+        warm_hit_rate,
+        sim_gsps,
+        stats.hits,
+        stats.misses,
+        rt.cached_plans(),
+        rt.tuned_scenarios(),
+    );
+    let path = std::env::var("BENCH_RUNTIME_JSON").unwrap_or_else(|_| "BENCH_runtime.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_runtime.json");
+    println!("wrote {path}:\n{json}");
+}
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -39,10 +39,7 @@ fn main() {
         Some("star2") => StencilShape::star_2d(2),
         _ => StencilShape::box_2d(1),
     };
-    let n: usize = args
-        .get(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_240);
+    let n: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(10_240);
     let (rows, cols) = match shape.dim {
         Dim::D1 => (1, n * 1000),
         Dim::D2 => (n, n),

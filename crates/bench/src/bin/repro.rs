@@ -96,8 +96,7 @@ fn main() {
             }
             "fig11" => {
                 for panel in fig11::run(&device) {
-                    let xs: Vec<String> =
-                        panel.sizes.iter().map(|s| s.to_string()).collect();
+                    let xs: Vec<String> = panel.sizes.iter().map(|s| s.to_string()).collect();
                     println!(
                         "{}",
                         render(

@@ -65,7 +65,12 @@ pub fn run(device: &GpuDevice, scale: usize) -> Fig10 {
 
 /// Geometric-mean speedup of SPIDER over one named method across the suite.
 pub fn mean_speedup(fig: &Fig10, method: &str) -> f64 {
-    let spider = &fig.series.iter().find(|s| s.name == "SPIDER").unwrap().values;
+    let spider = &fig
+        .series
+        .iter()
+        .find(|s| s.name == "SPIDER")
+        .unwrap()
+        .values;
     let other = &fig.series.iter().find(|s| s.name == method).unwrap().values;
     let ratios: Vec<f64> = spider
         .iter()
@@ -101,7 +106,7 @@ mod tests {
             "LoRAStencil",
             "FlashFFTStencil",
         ] {
-            let s = mean_speedup(&f, m);
+            let s = mean_speedup(f, m);
             assert!(s > 1.0, "SPIDER vs {m}: {s}");
         }
     }
@@ -111,7 +116,7 @@ mod tests {
         // Paper: cuDNN (6.20x) > DRStencil (4.71x) > TCStencil (3.13x) >
         // ConvStencil (1.88x) > LoRAStencil (1.63x) > FlashFFT (1.35x).
         let f = fig();
-        let s = |m| mean_speedup(&f, m);
+        let s = |m| mean_speedup(f, m);
         assert!(s("cuDNN") > s("TCStencil"));
         assert!(s("TCStencil") > s("ConvStencil"));
         assert!(s("ConvStencil") > s("FlashFFTStencil"));
@@ -148,7 +153,12 @@ mod tests {
         // §4.2: 4.27x (Box-2D1R) -> 8.82x (Box-2D3R).
         let f = fig();
         let spider = &f.series.iter().find(|s| s.name == "SPIDER").unwrap().values;
-        let dr = &f.series.iter().find(|s| s.name == "DRStencil").unwrap().values;
+        let dr = &f
+            .series
+            .iter()
+            .find(|s| s.name == "DRStencil")
+            .unwrap()
+            .values;
         let s1 = spider[2] / dr[2]; // Box-2D1R
         let s3 = spider[6] / dr[6]; // Box-2D3R
         assert!(s3 > s1, "speedup should grow with radius: {s1} -> {s3}");

@@ -98,7 +98,10 @@ fn extent(shape: StencilShape, n: usize) -> (usize, usize) {
 
 /// All five panels.
 pub fn run(device: &GpuDevice) -> Vec<Panel> {
-    panel_shapes().into_iter().map(|s| panel(device, s)).collect()
+    panel_shapes()
+        .into_iter()
+        .map(|s| panel(device, s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -141,7 +144,12 @@ mod tests {
         // plateau.
         let p = panel(&GpuDevice::a100(), StencilShape::box_2d(2));
         let spider = &p.series.last().unwrap().values;
-        let conv = &p.series.iter().find(|s| s.name == "ConvStencil").unwrap().values;
+        let conv = &p
+            .series
+            .iter()
+            .find(|s| s.name == "ConvStencil")
+            .unwrap()
+            .values;
         let small_ratio = spider[0] / conv[0];
         let large_ratio = spider[5] / conv[5];
         assert!(

@@ -55,10 +55,7 @@ pub fn benchmark_kernel(shape: StencilShape, seed: u64) -> StencilKernel {
 pub fn fig10_problems(scale: usize) -> Vec<(StencilShape, usize, usize)> {
     let n1 = (10_240_000 / scale).max(4096);
     let n2 = (10_240 / scale).max(128);
-    let mut out = vec![
-        (StencilShape::d1(1), 1, n1),
-        (StencilShape::d1(2), 1, n1),
-    ];
+    let mut out = vec![(StencilShape::d1(1), 1, n1), (StencilShape::d1(2), 1, n1)];
     for r in 1..=3 {
         out.push((StencilShape::box_2d(r), n2, n2));
         out.push((StencilShape::star_2d(r), n2, n2));

@@ -77,9 +77,8 @@ mod tests {
         let without = &rows[0];
         let with = &rows[1];
         assert_eq!(without.instructions_k, with.instructions_k);
-        let thpt_delta =
-            (without.memory_throughput_gbps - with.memory_throughput_gbps).abs()
-                / without.memory_throughput_gbps;
+        let thpt_delta = (without.memory_throughput_gbps - with.memory_throughput_gbps).abs()
+            / without.memory_throughput_gbps;
         assert!(thpt_delta < 1e-9, "throughput delta {thpt_delta}");
         let dur_delta = (without.duration_us - with.duration_us).abs() / without.duration_us;
         assert!(dur_delta < 1e-9, "duration delta {dur_delta}");

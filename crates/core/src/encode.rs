@@ -136,8 +136,7 @@ mod tests {
     fn metadata_is_value_independent() {
         // Same radius, different coefficients -> identical metadata.
         let a = Sparse24Kernel::compile(&[1.0, 2.0, 3.0, 4.0, 5.0], SwapParity::Even).unwrap();
-        let b =
-            Sparse24Kernel::compile(&[-9.0, 0.5, 7.25, 11.0, -2.0], SwapParity::Even).unwrap();
+        let b = Sparse24Kernel::compile(&[-9.0, 0.5, 7.25, 11.0, -2.0], SwapParity::Even).unwrap();
         assert_eq!(a.slices[0].meta, b.slices[0].meta);
         assert_eq!(a.slices[1].meta, b.slices[1].meta);
         let canon = canonical_metadata(2, SwapParity::Even);

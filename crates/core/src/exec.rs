@@ -96,6 +96,17 @@ impl<'d> SpiderExecutor<'d> {
         self.mode
     }
 
+    /// The executor's effective configuration (tiling, row-swap strategy,
+    /// boundary policy, measurement cap).
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The simulated device this executor targets.
+    pub fn device(&self) -> &'d GpuDevice {
+        self.device
+    }
+
     /// Run `steps` sweeps of a 2D stencil, updating `grid` in place.
     ///
     /// The grid is quantized through FP16 (the storage type of the modeled
@@ -272,7 +283,14 @@ impl<'d> SpiderExecutor<'d> {
             while x0 + tx * N_TILE < x1 {
                 let mut acc = [[0.0f32; 8]; 16];
                 for unit in plan.units() {
-                    self.mma_tile_2d(unit, src, &perm, x0 + tx * N_TILE, y0 + ty * M_TILE, &mut acc);
+                    self.mma_tile_2d(
+                        unit,
+                        src,
+                        &perm,
+                        x0 + tx * N_TILE,
+                        y0 + ty * M_TILE,
+                        &mut acc,
+                    );
                 }
                 // Store (FP16-quantized, matching the modeled output type).
                 for n in 0..N_TILE {
@@ -667,8 +685,14 @@ fn capped_extent_2d(rows: usize, cols: usize, cap: usize, t: &TilingConfig) -> (
     }
     let scale = ((rows * cols) as f64 / cap as f64).sqrt();
     let align = |v: usize, b: usize| ((v.max(b)).div_ceil(b)) * b;
-    let mr = align(((rows as f64 / scale) as usize).max(2 * t.block_x), t.block_x);
-    let mc = align(((cols as f64 / scale) as usize).max(2 * t.block_y), t.block_y);
+    let mr = align(
+        ((rows as f64 / scale) as usize).max(2 * t.block_x),
+        t.block_x,
+    );
+    let mc = align(
+        ((cols as f64 / scale) as usize).max(2 * t.block_y),
+        t.block_y,
+    );
     (mr.min(rows), mc.min(cols))
 }
 
@@ -724,14 +748,26 @@ mod tests {
     #[test]
     fn box_2d_all_radii_match_oracle() {
         for r in 1..=3 {
-            check_2d(StencilShape::box_2d(r), 10 + r as u64, 48, 80, ExecMode::SparseTcOptimized);
+            check_2d(
+                StencilShape::box_2d(r),
+                10 + r as u64,
+                48,
+                80,
+                ExecMode::SparseTcOptimized,
+            );
         }
     }
 
     #[test]
     fn star_2d_matches_oracle() {
         for r in 1..=3 {
-            check_2d(StencilShape::star_2d(r), 20 + r as u64, 48, 80, ExecMode::SparseTcOptimized);
+            check_2d(
+                StencilShape::star_2d(r),
+                20 + r as u64,
+                48,
+                80,
+                ExecMode::SparseTcOptimized,
+            );
         }
     }
 
@@ -748,8 +784,20 @@ mod tests {
     #[test]
     fn non_multiple_grid_sizes_match_oracle() {
         // Grid not divisible by the block tile: edge handling.
-        check_2d(StencilShape::box_2d(1), 35, 50, 70, ExecMode::SparseTcOptimized);
-        check_2d(StencilShape::box_2d(3), 36, 41, 99, ExecMode::SparseTcOptimized);
+        check_2d(
+            StencilShape::box_2d(1),
+            35,
+            50,
+            70,
+            ExecMode::SparseTcOptimized,
+        );
+        check_2d(
+            StencilShape::box_2d(3),
+            36,
+            41,
+            99,
+            ExecMode::SparseTcOptimized,
+        );
     }
 
     #[test]
@@ -881,7 +929,10 @@ mod tests {
             with.counters.smem_read_waves,
             without.counters.smem_read_waves
         );
-        assert_eq!(with.counters.gmem_read_bytes, without.counters.gmem_read_bytes);
+        assert_eq!(
+            with.counters.gmem_read_bytes,
+            without.counters.gmem_read_bytes
+        );
         assert!((with.time_s() - without.time_s()).abs() < 1e-12);
         // The rejected explicit-copy variant is measurably slower.
         assert!(explicit.counters.instructions > with.counters.instructions);

@@ -190,7 +190,11 @@ mod tests {
             .unwrap();
         let got: Grid3D<f64> = g.convert();
         // Laplacian sums reach ~|6|; one f16 ulp at that scale is ~4e-3.
-        assert!(expect.max_abs_diff(&got) < 5e-2, "{}", expect.max_abs_diff(&got));
+        assert!(
+            expect.max_abs_diff(&got) < 5e-2,
+            "{}",
+            expect.max_abs_diff(&got)
+        );
     }
 
     #[test]

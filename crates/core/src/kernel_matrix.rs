@@ -13,7 +13,7 @@
 //! example. Density then sits below 50%; the 2:4 format absorbs the extra
 //! zeros as placeholders and the sparse unit still halves the MAC work.
 
-use crate::{K_PAD, M_TILE, MAX_NATIVE_RADIUS};
+use crate::{K_PAD, MAX_NATIVE_RADIUS, M_TILE};
 
 /// A banded kernel matrix for one stencil-kernel row, padded to the MMA
 /// K-extent ([`K_PAD`]).
@@ -62,12 +62,7 @@ impl BandedKernelMatrix {
 
     /// Fraction of non-zero *values* over the padded extent.
     pub fn density(&self) -> f64 {
-        let nz = self
-            .data
-            .iter()
-            .flatten()
-            .filter(|&&v| v != 0.0)
-            .count();
+        let nz = self.data.iter().flatten().filter(|&&v| v != 0.0).count();
         nz as f64 / (M_TILE * K_PAD) as f64
     }
 
@@ -121,7 +116,7 @@ pub fn split_wide_row(row: &[f32]) -> Vec<(Vec<f32>, isize)> {
     while start < row.len() {
         let mut end = (start + max_taps).min(row.len());
         // Chunks must have odd length so they form a valid sub-row.
-        if (end - start) % 2 == 0 {
+        if (end - start).is_multiple_of(2) {
             end -= 1;
         }
         let chunk = row[start..end].to_vec();

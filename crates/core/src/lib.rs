@@ -30,6 +30,11 @@
 //! steps 5–6 and returns both a numerically verified grid and a
 //! [`spider_gpu_sim::KernelReport`] with simulated performance.
 
+// Fragment/tile math is written with explicit indices on purpose: the loops
+// mirror the PTX thread↔element layouts they model, and iterator rewrites
+// obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
 pub mod encode;
 pub mod exec;
 pub mod exec3d;
@@ -40,7 +45,7 @@ pub mod row_swap;
 pub mod swap;
 pub mod tiling;
 
-pub use exec::{ExecMode, SpiderExecutor};
+pub use exec::{ExecConfig, ExecMode, SpiderExecutor};
 pub use plan::SpiderPlan;
 pub use row_swap::RowSwapStrategy;
 pub use swap::SwapParity;

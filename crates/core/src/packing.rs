@@ -80,11 +80,7 @@ pub fn charge_operand_loads(c: &mut PerfCounters, slices: usize, packed: bool) {
         // Metadata: one 4 B load per lane per *four* slices.
         for g in 0..slices.div_ceil(4) as u64 {
             let addrs: Vec<Option<u64>> = (0..32u64)
-                .map(|lane| {
-                    Some(slices as u64 * VALUE_BYTES_PER_SLICE
-                        + g * 32 * 4
-                        + lane * 4)
-                })
+                .map(|lane| Some(slices as u64 * VALUE_BYTES_PER_SLICE + g * 32 * 4 + lane * 4))
                 .collect();
             cached_read(c, &addrs, 4);
         }

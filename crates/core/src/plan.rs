@@ -8,8 +8,8 @@
 //! `O(L² log L)` transforms and LoRAStencil's `O(L³)` decomposition.
 
 use crate::encode::Sparse24Kernel;
-use crate::swap::SwapParity;
 use crate::kernel_matrix;
+use crate::swap::SwapParity;
 use spider_gpu_sim::half::F16;
 use spider_stencil::{Dim, StencilKernel};
 
@@ -111,6 +111,21 @@ impl SpiderPlan {
 
     pub fn parity(&self) -> SwapParity {
         self.parity
+    }
+
+    /// Stable content fingerprint of the compiled plan: the source kernel's
+    /// [`StencilKernel::fingerprint`] folded with the swap parity.
+    ///
+    /// Because compilation is deterministic (see the `compile_is_deterministic`
+    /// test), two plans with equal fingerprints are interchangeable — the
+    /// contract `spider-runtime`'s plan cache is built on.
+    pub fn fingerprint(&self) -> u64 {
+        let parity_tag: u64 = match self.parity {
+            SwapParity::Even => 0x45,
+            SwapParity::Odd => 0x4f,
+        };
+        // One extra FNV-1a step over the kernel fingerprint.
+        (self.kernel.fingerprint() ^ parity_tag).wrapping_mul(0x100000001b3)
     }
 
     /// Stencil radius of the source kernel.

@@ -38,7 +38,7 @@ pub fn base_offset_row(lane: u32, i: u32) -> u32 {
 #[inline]
 pub fn swapped_offset_row(lane: u32, i: u32, k: u32) -> i64 {
     let base = base_offset_row(lane, i) as i64;
-    if i % 2 == 0 {
+    if i.is_multiple_of(2) {
         base + 16 * if k == 0 { 1 } else { -1 }
     } else {
         base
@@ -173,11 +173,7 @@ mod tests {
                         Some(swapped_window_index(lane, 2 * pair, k) as u64 * row_stride_bytes)
                     })
                     .collect();
-                assert_eq!(
-                    waves_for(&plain),
-                    waves_for(&swapped),
-                    "k={k} pair={pair}"
-                );
+                assert_eq!(waves_for(&plain), waves_for(&swapped), "k={k} pair={pair}");
             }
         }
     }

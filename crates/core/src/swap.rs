@@ -36,7 +36,7 @@ pub enum SwapParity {
 impl SwapParity {
     fn selects(self, j: usize) -> bool {
         match self {
-            SwapParity::Even => j % 2 == 0,
+            SwapParity::Even => j.is_multiple_of(2),
             SwapParity::Odd => j % 2 == 1,
         }
     }
@@ -89,8 +89,7 @@ pub fn strided_swap_banded(
 
 /// True if every row of the matrix satisfies the 2:4 pattern.
 pub fn is_2to4(rows: &[Vec<f32>]) -> bool {
-    rows.iter()
-        .all(|r| spider_gpu_sim::sparse::is_2to4_row(r))
+    rows.iter().all(|r| spider_gpu_sim::sparse::is_2to4_row(r))
 }
 
 #[cfg(test)]

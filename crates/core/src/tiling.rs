@@ -53,18 +53,24 @@ impl TilingConfig {
     /// Validate divisibility constraints between the three levels.
     pub fn validate(&self) -> Result<(), String> {
         let checks = [
-            (self.warp_y % M_TILE == 0, "warp_y must be a multiple of 16"),
-            (self.warp_x % N_TILE == 0, "warp_x must be a multiple of 8"),
             (
-                self.block_y % self.warp_y == 0,
+                self.warp_y.is_multiple_of(M_TILE),
+                "warp_y must be a multiple of 16",
+            ),
+            (
+                self.warp_x.is_multiple_of(N_TILE),
+                "warp_x must be a multiple of 8",
+            ),
+            (
+                self.block_y.is_multiple_of(self.warp_y),
                 "block_y must be a multiple of warp_y",
             ),
             (
-                self.block_x % self.warp_x == 0,
+                self.block_x.is_multiple_of(self.warp_x),
                 "block_x must be a multiple of warp_x",
             ),
             (
-                self.block_1d % (M_TILE * N_TILE) == 0,
+                self.block_1d.is_multiple_of(M_TILE * N_TILE),
                 "block_1d must be a multiple of 128",
             ),
         ];
@@ -144,21 +150,30 @@ mod tests {
         let t = TilingConfig::default();
         assert_eq!(t.blocks_2d(32, 64), 1);
         assert_eq!(t.blocks_2d(33, 64), 2);
-        assert_eq!(t.blocks_2d(10240, 10240), (10240 / 32) as u64 * (10240 / 64) as u64);
+        assert_eq!(
+            t.blocks_2d(10240, 10240),
+            (10240 / 32) as u64 * (10240 / 64) as u64
+        );
         assert_eq!(t.blocks_1d(2048), 1);
         assert_eq!(t.blocks_1d(2049), 2);
     }
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut t = TilingConfig::default();
-        t.warp_y = 24;
+        let t = TilingConfig {
+            warp_y: 24,
+            ..TilingConfig::default()
+        };
         assert!(t.validate().is_err());
-        let mut t = TilingConfig::default();
-        t.block_x = 40; // not a multiple of warp_x=16
+        let t = TilingConfig {
+            block_x: 40, // not a multiple of warp_x=16
+            ..TilingConfig::default()
+        };
         assert!(t.validate().is_err());
-        let mut t = TilingConfig::default();
-        t.block_1d = 100;
+        let t = TilingConfig {
+            block_1d: 100,
+            ..TilingConfig::default()
+        };
         assert!(t.validate().is_err());
     }
 

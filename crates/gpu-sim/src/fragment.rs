@@ -78,12 +78,7 @@ mod tests {
     use super::*;
     use std::collections::HashSet;
 
-    fn assert_exact_cover(
-        rows: u32,
-        cols: u32,
-        elems: u32,
-        f: impl Fn(u32, u32) -> (u32, u32),
-    ) {
+    fn assert_exact_cover(rows: u32, cols: u32, elems: u32, f: impl Fn(u32, u32) -> (u32, u32)) {
         let mut seen = HashSet::new();
         for lane in 0..WARP {
             for i in 0..elems {

@@ -198,10 +198,10 @@ mod tests {
 
     #[test]
     fn quantize_slice_in_place() {
-        let mut v = vec![1.0f32, 0.1, 3.14159];
+        let mut v = vec![1.0f32, 0.1, std::f32::consts::PI];
         quantize_slice(&mut v);
         assert_eq!(v[0], 1.0);
         assert!((v[1] - 0.1).abs() < 1e-4);
-        assert!((v[2] - 3.14159).abs() < 2e-3);
+        assert!((v[2] - std::f32::consts::PI).abs() < 2e-3);
     }
 }

@@ -31,6 +31,11 @@
 //! shared tiles and MMA units directly and aggregate counters per simulated
 //! thread block (see [`launch`]).
 
+// Fragment/operand math is written with explicit indices on purpose: the
+// loops mirror the PTX thread↔element layouts they simulate, and iterator
+// rewrites obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
 pub mod counters;
 pub mod fragment;
 pub mod half;

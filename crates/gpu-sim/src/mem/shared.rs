@@ -29,7 +29,12 @@ pub fn waves_for(addrs: &[Option<u64>]) -> u64 {
     if !any {
         return 0;
     }
-    per_bank.iter().map(|w| w.len() as u64).max().unwrap_or(0).max(1)
+    per_bank
+        .iter()
+        .map(|w| w.len() as u64)
+        .max()
+        .unwrap_or(0)
+        .max(1)
 }
 
 /// A block-local shared-memory tile of `T` elements.
@@ -136,7 +141,7 @@ mod tests {
 
     #[test]
     fn broadcast_is_free() {
-        let addrs = idx(std::iter::repeat(64).take(32));
+        let addrs = idx(std::iter::repeat_n(64, 32));
         assert_eq!(waves_for(&addrs), 1);
     }
 
@@ -165,8 +170,7 @@ mod tests {
     fn tile_write_then_read_roundtrip() {
         let mut c = PerfCounters::new();
         let mut t = SharedTile::<f32>::new(1024, 4, 164 * 1024);
-        let writes: Vec<Option<(usize, f32)>> =
-            (0..32).map(|l| Some((l, l as f32))).collect();
+        let writes: Vec<Option<(usize, f32)>> = (0..32).map(|l| Some((l, l as f32))).collect();
         t.write_warp(&mut c, &writes);
         let reads: Vec<Option<usize>> = (0..32).map(Some).collect();
         let vals = t.read_warp(&mut c, &reads);

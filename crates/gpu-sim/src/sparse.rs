@@ -139,8 +139,7 @@ impl Sparse24Operand {
     /// matching the thread-pair layout of `mma.sp` metadata.
     pub fn metadata_words(&self) -> [u32; 8] {
         std::array::from_fn(|t| {
-            (self.metadata_row_word(t) as u32)
-                | ((self.metadata_row_word(t + 8) as u32) << 16)
+            (self.metadata_row_word(t) as u32) | ((self.metadata_row_word(t + 8) as u32) << 16)
         })
     }
 }
@@ -233,7 +232,10 @@ mod tests {
     fn metadata_word_layout() {
         let mut dense = [[0.0f32; 16]; 16];
         // Row 0: non-zeros at positions 0,2 | 1,3 | 0,1 | 2,3 per group.
-        for (g, &(a, b)) in [(0usize, 2usize), (1, 3), (0, 1), (2, 3)].iter().enumerate() {
+        for (g, &(a, b)) in [(0usize, 2usize), (1, 3), (0, 1), (2, 3)]
+            .iter()
+            .enumerate()
+        {
             dense[0][4 * g + a] = 1.0;
             dense[0][4 * g + b] = 2.0;
         }

@@ -58,12 +58,7 @@ pub type MatB32 = [[f32; 8]; 32];
 /// shape: a 16×32 2:4 A operand (two compressed 16×16 halves) against a
 /// 32×8 B, at the same doubled rate. Counts as two `mma.sp.m16n8k16`-
 /// equivalents of work in the timing model.
-pub fn mma_sp_m16n8k32(
-    c: &mut PerfCounters,
-    a: &[Sparse24Operand; 2],
-    b: &MatB32,
-    acc: &mut Acc,
-) {
+pub fn mma_sp_m16n8k32(c: &mut PerfCounters, a: &[Sparse24Operand; 2], b: &MatB32, acc: &mut Acc) {
     for (half, op) in a.iter().enumerate() {
         for m in 0..16 {
             for n in 0..8 {

@@ -168,7 +168,7 @@ fn compute_time(specs: &GpuSpecs, c: &PerfCounters) -> f64 {
 /// `sm_count × blocks_per_sm_for_peak` blocks; never below 1/64 of peak.
 fn occupancy(specs: &GpuSpecs, blocks: u64) -> f64 {
     let needed = (specs.sm_count * specs.blocks_per_sm_for_peak) as f64;
-    ((blocks as f64 / needed).min(1.0)).max(1.0 / 64.0)
+    (blocks as f64 / needed).clamp(1.0 / 64.0, 1.0)
 }
 
 #[cfg(test)]
@@ -191,8 +191,12 @@ mod tests {
             dense.mma_dense();
             sparse.mma_sparse();
         }
-        let td = KernelReport::new(&specs(), dense, full_grid(), 1).breakdown.compute_s;
-        let ts = KernelReport::new(&specs(), sparse, full_grid(), 1).breakdown.compute_s;
+        let td = KernelReport::new(&specs(), dense, full_grid(), 1)
+            .breakdown
+            .compute_s;
+        let ts = KernelReport::new(&specs(), sparse, full_grid(), 1)
+            .breakdown
+            .compute_s;
         assert!((td / ts - 2.0).abs() < 1e-9, "dense/sparse = {}", td / ts);
     }
 

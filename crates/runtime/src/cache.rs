@@ -1,0 +1,220 @@
+//! The plan cache: content-addressed, LRU-bounded storage of compiled
+//! [`SpiderPlan`]s.
+//!
+//! SPIDER's ahead-of-time compile is `O(1)` in the grid size, but a serving
+//! deployment still pays it once per *request* unless plans are reused — and
+//! the whole point of the paper's preparation-cost argument (§4.2) is that
+//! the transform is paid once per kernel, then amortized over millions of
+//! sweeps. The cache makes that amortization explicit: plans are keyed by
+//! the request's content fingerprint (kernel coefficients + shape + exec
+//! mode), shared via `Arc`, and evicted least-recently-used when the
+//! capacity bound is hit.
+//!
+//! Compilation happens under the cache lock. That is deliberate: a plan
+//! compiles in microseconds (it touches only the `(2r+1)²` kernel
+//! coefficients), so duplicate-compile races cost more than brief
+//! serialization, and the lock makes the hit/miss statistics exact.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use spider_core::plan::{PlanError, SpiderPlan};
+use spider_stencil::StencilKernel;
+
+/// Monotonic counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<SpiderPlan>,
+    /// Recency tick of the most recent touch; also the key into `recency`.
+    tick: u64,
+}
+
+struct Inner {
+    capacity: usize,
+    next_tick: u64,
+    map: HashMap<u64, Entry>,
+    /// tick → cache key, ordered oldest-first (the eviction order).
+    recency: BTreeMap<u64, u64>,
+    stats: CacheStats,
+}
+
+/// LRU-bounded, thread-safe cache of compiled plans.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "plan cache capacity must be at least 1");
+        Self {
+            inner: Mutex::new(Inner {
+                capacity,
+                next_tick: 0,
+                map: HashMap::new(),
+                recency: BTreeMap::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Look up `key`, compiling `kernel` on a miss. Returns the shared plan
+    /// and whether the lookup was a hit.
+    pub fn get_or_compile(
+        &self,
+        key: u64,
+        kernel: &StencilKernel,
+    ) -> Result<(Arc<SpiderPlan>, bool), PlanError> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if let Some(entry) = inner.map.get(&key) {
+            let old_tick = entry.tick;
+            let plan = Arc::clone(&entry.plan);
+            let tick = inner.next_tick;
+            inner.next_tick += 1;
+            inner.recency.remove(&old_tick);
+            inner.recency.insert(tick, key);
+            inner.map.get_mut(&key).expect("entry vanished").tick = tick;
+            inner.stats.hits += 1;
+            return Ok((plan, true));
+        }
+        inner.stats.misses += 1;
+        let plan = Arc::new(SpiderPlan::compile(kernel)?);
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        if inner.map.len() >= inner.capacity {
+            let (_, victim) = inner.recency.pop_first().expect("non-empty recency");
+            inner.map.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                tick,
+            },
+        );
+        inner.recency.insert(tick, key);
+        inner.stats.insertions += 1;
+        Ok((plan, false))
+    }
+
+    /// Peek without compiling or recording a hit/miss (test/introspection).
+    pub fn peek(&self, key: u64) -> Option<Arc<SpiderPlan>> {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        inner.map.get(&key).map(|e| Arc::clone(&e.plan))
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").capacity
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("plan cache poisoned").stats
+    }
+
+    /// Drop every entry (statistics are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.map.clear();
+        inner.recency.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_stencil::{StencilKernel, StencilShape};
+
+    fn kernel(seed: u64) -> StencilKernel {
+        StencilKernel::random(StencilShape::box_2d(1), seed)
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let cache = PlanCache::new(4);
+        let k = kernel(1);
+        let (a, hit_a) = cache.get_or_compile(k.fingerprint(), &k).unwrap();
+        let (b, hit_b) = cache.get_or_compile(k.fingerprint(), &k).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "hits must share the compiled plan");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = PlanCache::new(2);
+        let (k1, k2, k3) = (kernel(1), kernel(2), kernel(3));
+        cache.get_or_compile(k1.fingerprint(), &k1).unwrap();
+        cache.get_or_compile(k2.fingerprint(), &k2).unwrap();
+        // Touch k1 so k2 becomes the LRU victim.
+        cache.get_or_compile(k1.fingerprint(), &k1).unwrap();
+        cache.get_or_compile(k3.fingerprint(), &k3).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(k1.fingerprint()).is_some());
+        assert!(cache.peek(k2.fingerprint()).is_none(), "k2 was coldest");
+        assert!(cache.peek(k3.fingerprint()).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let cache = PlanCache::new(3);
+        for s in 0..20 {
+            let k = kernel(s);
+            cache.get_or_compile(k.fingerprint(), &k).unwrap();
+            assert!(cache.len() <= 3);
+        }
+        assert_eq!(cache.stats().evictions, 17);
+    }
+
+    #[test]
+    fn compile_errors_do_not_occupy_slots() {
+        let cache = PlanCache::new(2);
+        let empty = StencilKernel::box_2d(1, &[0.0; 9]);
+        assert!(cache.get_or_compile(empty.fingerprint(), &empty).is_err());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn clear_keeps_statistics() {
+        let cache = PlanCache::new(2);
+        let k = kernel(5);
+        cache.get_or_compile(k.fingerprint(), &k).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().insertions, 1);
+    }
+}

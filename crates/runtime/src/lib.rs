@@ -1,0 +1,91 @@
+//! # spider-runtime
+//!
+//! The serving layer between user traffic and the SPIDER pipeline: a plan
+//! cache, a tiling autotuner and a batched scheduler behind one
+//! [`SpiderRuntime`] handle.
+//!
+//! The core pipeline (`spider-core`) answers "how do I run *one* stencil as
+//! sparse tensor-core MMAs"; this crate answers "how do I serve *millions*
+//! of heterogeneous stencil requests without recompiling or re-guessing
+//! tilings". SPIDER's selling point — an `O(1)` ahead-of-time compile,
+//! versus DRStencil's hour-long tuning or LoRAStencil's `O(L³)`
+//! decomposition — only pays off if each compiled plan is cached once and
+//! reused across every sweep that shares its kernel; the runtime makes that
+//! reuse structural.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  StencilRequest queue (heterogeneous: 1D/2D, box/star, any radius/size)
+//!        │
+//!        ▼
+//!  ┌─────────────────────── SpiderRuntime::run_batch ───────────────────┐
+//!  │                                                                    │
+//!  │  group by plan_key ──► worker pool (std::thread::scope)            │
+//!  │                           │  │  │                                  │
+//!  │                           ▼  ▼  ▼      per request:                │
+//!  │   ┌───────────┐   ┌─────────────────┐                              │
+//!  │   │ PlanCache │◄──┤ 1. plan lookup  │  fingerprint(kernel, mode)   │
+//!  │   │ LRU, Arc- │   │    (compile on  │  → Arc<SpiderPlan>           │
+//!  │   │ shared    │──►│     miss)       │                              │
+//!  │   └───────────┘   ├─────────────────┤                              │
+//!  │   ┌───────────┐   │ 2. tiling      │  closed-form pre-rank         │
+//!  │   │ AutoTuner │◄──┤    selection   │  (spider-analysis::tuning)    │
+//!  │   │ memoized  │──►│                │  + simulator dry-run          │
+//!  │   └───────────┘   ├────────────────┤                               │
+//!  │                   │ 3. execute     │  SpiderExecutor::run_1d/2d    │
+//!  │                   │    (simulated) │  → KernelReport + checksum    │
+//!  │                   └────────────────┘                               │
+//!  └────────────────────────────┬───────────────────────────────────────┘
+//!                               ▼
+//!                RuntimeReport: per-request outcomes (submission order),
+//!                requests/s, simulated GStencil/s, cache hit statistics
+//! ```
+//!
+//! ## The three subsystems
+//!
+//! * [`cache::PlanCache`] — content-addressed plan storage. Keys are the
+//!   request's [`StencilRequest::plan_key`]: a stable FNV-1a fingerprint of
+//!   the kernel coefficients, shape and execution mode. LRU-bounded, with
+//!   exact hit/miss/eviction counters ([`cache::CacheStats`]).
+//! * [`tuner::AutoTuner`] — per-(plan, grid) tiling selection: enumerate a
+//!   candidate lattice, pre-rank with the closed-form
+//!   [`spider_analysis::tuning`] score, dry-run the short list (plus the
+//!   default config) on the simulator, memoize the winner. The default is
+//!   always in the dry-run set, so the tuned config never loses to it under
+//!   the simulator's metric.
+//! * [`runtime::SpiderRuntime`] — single-request execution
+//!   ([`SpiderRuntime::execute`]) and batched serving
+//!   ([`SpiderRuntime::run_batch`]): requests are grouped by plan key so one
+//!   group member pays compile+tune and the rest hit, then fanned across a
+//!   worker pool; results aggregate into a [`report::RuntimeReport`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spider_runtime::{RuntimeOptions, SpiderRuntime, StencilRequest};
+//! use spider_gpu_sim::GpuDevice;
+//! use spider_stencil::StencilKernel;
+//!
+//! let rt = SpiderRuntime::with_defaults(GpuDevice::a100());
+//! let batch: Vec<StencilRequest> = (0..8)
+//!     .map(|i| StencilRequest::new_2d(i, StencilKernel::gaussian_2d(2), 96, 128))
+//!     .collect();
+//! let report = rt.run_batch(&batch);
+//! assert_eq!(report.outcomes.len(), 8);
+//! // One compile, seven cache hits:
+//! assert_eq!(report.cache.misses, 1);
+//! assert_eq!(report.cache.hits, 7);
+//! ```
+
+pub mod cache;
+pub mod report;
+pub mod request;
+pub mod runtime;
+pub mod tuner;
+
+pub use cache::{CacheStats, PlanCache};
+pub use report::{RequestOutcome, RuntimeReport};
+pub use request::{GridSpec, StencilRequest};
+pub use runtime::{output_checksum, RuntimeError, RuntimeOptions, SpiderRuntime};
+pub use tuner::{AutoTuner, TuneOutcome};

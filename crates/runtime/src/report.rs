@@ -1,0 +1,110 @@
+//! Aggregated results of a batch run.
+
+use spider_core::tiling::TilingConfig;
+use spider_gpu_sim::timing::KernelReport;
+
+use crate::cache::CacheStats;
+
+/// What happened to one request.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    pub id: u64,
+    /// `shape@extent`, e.g. `Box-2D2R@4096x2048`.
+    pub scenario: String,
+    /// Whether the plan lookup hit the cache.
+    pub cache_hit: bool,
+    /// Whether the tiling came from the autotuner (vs. the default config).
+    pub tuned: bool,
+    /// Whether the tuner outcome was served from its memo table.
+    pub tuner_memo_hit: bool,
+    /// The tiling the request executed with.
+    pub tiling: TilingConfig,
+    /// Simulated-GPU execution report (all sweeps merged).
+    pub report: KernelReport,
+    /// FNV-1a over the output grid's bit patterns: a cheap determinism /
+    /// plan-reuse witness (equal inputs + equal plans ⇒ equal checksums).
+    pub checksum: u64,
+}
+
+/// Aggregate of one [`crate::SpiderRuntime::run_batch`] call.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Per-request outcomes, in submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Requests that failed, with their error strings (submission order).
+    pub failures: Vec<(u64, String)>,
+    /// Host wall-clock time for the whole batch.
+    pub wall_s: f64,
+    /// Plan-cache counters *after* this batch (cumulative for the runtime).
+    pub cache: CacheStats,
+}
+
+impl RuntimeReport {
+    /// Completed requests per host wall-clock second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / self.wall_s
+    }
+
+    /// Total stencil points updated (all sweeps of all requests).
+    pub fn total_points(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.report.points).sum()
+    }
+
+    /// Aggregate simulated throughput: total points over total simulated
+    /// GPU time (the serving-side analogue of the paper's GStencils/s).
+    pub fn simulated_gstencils_per_sec(&self) -> f64 {
+        let sim_s: f64 = self.outcomes.iter().map(|o| o.report.time_s()).sum();
+        if sim_s <= 0.0 {
+            return 0.0;
+        }
+        self.total_points() as f64 / sim_s / 1e9
+    }
+
+    /// Fraction of this batch's plan lookups that hit the cache.
+    pub fn batch_hit_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let hits = self.outcomes.iter().filter(|o| o.cache_hit).count();
+        hits as f64 / self.outcomes.len() as f64
+    }
+
+    /// Render a summary table plus aggregate lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>6}  {:<22} {:>5} {:>6} {:>12} {:>14}\n",
+            "id", "scenario", "cache", "tuned", "sim time", "GStencil/s"
+        ));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{:>6}  {:<22} {:>5} {:>6} {:>10.3}us {:>14.2}\n",
+                o.id,
+                o.scenario,
+                if o.cache_hit { "hit" } else { "miss" },
+                if o.tuned { "yes" } else { "no" },
+                o.report.time_s() * 1e6,
+                o.report.gstencils_per_sec()
+            ));
+        }
+        for (id, err) in &self.failures {
+            out.push_str(&format!("{id:>6}  FAILED: {err}\n"));
+        }
+        out.push_str(&format!(
+            "batch: {} ok / {} failed | wall {:.3}s | {:.1} req/s | {:.2} simulated GStencil/s | batch hit rate {:.0}% | cache {}H/{}M/{}E\n",
+            self.outcomes.len(),
+            self.failures.len(),
+            self.wall_s,
+            self.requests_per_sec(),
+            self.simulated_gstencils_per_sec(),
+            self.batch_hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+        ));
+        out
+    }
+}

@@ -1,0 +1,196 @@
+//! Serving-side request and grid descriptors.
+
+use spider_core::ExecMode;
+use spider_stencil::{Grid1D, Grid2D, StencilKernel};
+
+/// The grid a request sweeps over. Requests describe grids by extent + seed
+/// rather than carrying data so a queue of millions stays cheap to hold;
+/// materialization happens on the worker that executes the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GridSpec {
+    /// A 1D line of `len` points.
+    D1 { len: usize },
+    /// A 2D `rows × cols` plane.
+    D2 { rows: usize, cols: usize },
+}
+
+impl GridSpec {
+    /// Stencil points updated per sweep.
+    pub fn points(&self) -> u64 {
+        match *self {
+            GridSpec::D1 { len } => len as u64,
+            GridSpec::D2 { rows, cols } => (rows * cols) as u64,
+        }
+    }
+
+    /// Human-readable extent, e.g. `4096x2048` or `1048576`.
+    pub fn extent_label(&self) -> String {
+        match *self {
+            GridSpec::D1 { len } => format!("{len}"),
+            GridSpec::D2 { rows, cols } => format!("{rows}x{cols}"),
+        }
+    }
+}
+
+/// One unit of serving work: apply `steps` sweeps of `kernel` to a grid.
+///
+/// Two requests with equal kernels and modes share a compiled plan (and a
+/// tuned tiling when their grids match) — the property the batched scheduler
+/// exploits by grouping on [`StencilRequest::plan_key`].
+#[derive(Debug, Clone)]
+pub struct StencilRequest {
+    /// Caller-chosen identifier, echoed in the outcome.
+    pub id: u64,
+    pub kernel: StencilKernel,
+    pub grid: GridSpec,
+    /// Number of sweeps (≥ 1).
+    pub steps: usize,
+    /// Which executor arm to run (production serving uses the optimized arm;
+    /// the ablation arms stay available for measurement traffic).
+    pub mode: ExecMode,
+    /// Seed for the deterministic initial grid contents.
+    pub seed: u64,
+}
+
+impl StencilRequest {
+    /// A 2D request with serving defaults: one sweep, optimized sparse arm.
+    pub fn new_2d(id: u64, kernel: StencilKernel, rows: usize, cols: usize) -> Self {
+        Self {
+            id,
+            kernel,
+            grid: GridSpec::D2 { rows, cols },
+            steps: 1,
+            mode: ExecMode::SparseTcOptimized,
+            seed: id,
+        }
+    }
+
+    /// A 1D request with serving defaults.
+    pub fn new_1d(id: u64, kernel: StencilKernel, len: usize) -> Self {
+        Self {
+            id,
+            kernel,
+            grid: GridSpec::D1 { len },
+            steps: 1,
+            mode: ExecMode::SparseTcOptimized,
+            seed: id,
+        }
+    }
+
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        assert!(steps >= 1, "a request must run at least one sweep");
+        self.steps = steps;
+        self
+    }
+
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The plan-cache key this request resolves to: the kernel's content
+    /// fingerprint folded with the execution mode (the cache stores one
+    /// entry per (coefficients, shape, mode) as the runtime's unit of reuse).
+    pub fn plan_key(&self) -> u64 {
+        let mode_tag: u64 = match self.mode {
+            ExecMode::DenseTc => 0xD1,
+            ExecMode::SparseTc => 0x51,
+            ExecMode::SparseTcOptimized => 0x50,
+        };
+        (self.kernel.fingerprint() ^ mode_tag).wrapping_mul(0x100000001b3)
+    }
+
+    /// Scenario label for reports, e.g. `Box-2D2R@4096x2048`.
+    pub fn scenario(&self) -> String {
+        format!(
+            "{}@{}",
+            self.kernel.shape().name(),
+            self.grid.extent_label()
+        )
+    }
+
+    /// Whether the request's grid dimensionality matches its kernel's.
+    pub fn dims_consistent(&self) -> bool {
+        matches!(
+            (self.grid, self.kernel.shape().dim),
+            (GridSpec::D1 { .. }, spider_stencil::Dim::D1)
+                | (GridSpec::D2 { .. }, spider_stencil::Dim::D2)
+        )
+    }
+
+    /// Materialize the deterministic input grid for a 1D request.
+    pub fn materialize_1d(&self) -> Grid1D<f32> {
+        match self.grid {
+            GridSpec::D1 { len } => Grid1D::random(len, self.kernel.radius(), self.seed),
+            GridSpec::D2 { .. } => panic!("materialize_1d on a 2D request"),
+        }
+    }
+
+    /// Materialize the deterministic input grid for a 2D request.
+    pub fn materialize_2d(&self) -> Grid2D<f32> {
+        match self.grid {
+            GridSpec::D2 { rows, cols } => {
+                Grid2D::random(rows, cols, self.kernel.radius(), self.seed)
+            }
+            GridSpec::D1 { .. } => panic!("materialize_2d on a 1D request"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_stencil::StencilShape;
+
+    #[test]
+    fn plan_key_groups_by_kernel_and_mode() {
+        let k = StencilKernel::gaussian_2d(1);
+        let a = StencilRequest::new_2d(1, k.clone(), 256, 256);
+        let b = StencilRequest::new_2d(2, k.clone(), 512, 128); // different grid
+        assert_eq!(a.plan_key(), b.plan_key(), "grid must not affect the key");
+        let c = StencilRequest::new_2d(3, k, 256, 256).with_mode(ExecMode::DenseTc);
+        assert_ne!(a.plan_key(), c.plan_key(), "mode must affect the key");
+        let d = StencilRequest::new_2d(
+            4,
+            StencilKernel::random(StencilShape::box_2d(1), 9),
+            256,
+            256,
+        );
+        assert_ne!(
+            a.plan_key(),
+            d.plan_key(),
+            "coefficients must affect the key"
+        );
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let k = StencilKernel::jacobi_2d();
+        let r = StencilRequest::new_2d(7, k, 64, 48).with_seed(123);
+        let a = r.materialize_2d();
+        let b = r.materialize_2d();
+        assert_eq!(a.padded(), b.padded());
+        assert_eq!(a.halo(), 1);
+    }
+
+    #[test]
+    fn dims_consistency() {
+        let k1 = StencilKernel::wave_1d(2);
+        let k2 = StencilKernel::jacobi_2d();
+        assert!(StencilRequest::new_1d(1, k1.clone(), 1000).dims_consistent());
+        assert!(!StencilRequest::new_2d(2, k1, 32, 32).dims_consistent());
+        assert!(StencilRequest::new_2d(3, k2, 32, 32).dims_consistent());
+    }
+
+    #[test]
+    fn scenario_labels() {
+        let r = StencilRequest::new_2d(1, StencilKernel::gaussian_2d(2), 1024, 512);
+        assert_eq!(r.scenario(), "Box-2D2R@1024x512");
+        assert_eq!(r.grid.points(), 1024 * 512);
+    }
+}

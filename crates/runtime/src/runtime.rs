@@ -1,0 +1,433 @@
+//! The runtime itself: plan cache + autotuner + batched worker-pool
+//! scheduler behind one handle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use spider_core::exec::{ExecConfig, SpiderExecutor};
+use spider_core::plan::PlanError;
+use spider_core::tiling::TilingConfig;
+use spider_gpu_sim::GpuDevice;
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::report::{RequestOutcome, RuntimeReport};
+use crate::request::{GridSpec, StencilRequest};
+use crate::tuner::AutoTuner;
+
+/// Errors a request can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Plan compilation failed (empty kernel, 2:4 violation).
+    Plan(PlanError),
+    /// Request grid dimensionality does not match its kernel.
+    DimensionMismatch { id: u64, scenario: String },
+    /// The simulated executor rejected the run.
+    Exec(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Plan(e) => write!(f, "plan compilation failed: {e}"),
+            RuntimeError::DimensionMismatch { id, scenario } => {
+                write!(
+                    f,
+                    "request {id} ({scenario}): grid/kernel dimensionality mismatch"
+                )
+            }
+            RuntimeError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<PlanError> for RuntimeError {
+    fn from(e: PlanError) -> Self {
+        RuntimeError::Plan(e)
+    }
+}
+
+/// Construction-time knobs for [`SpiderRuntime`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// Plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Worker threads for batch execution; `0` = half the available cores
+    /// (the per-request simulation is itself block-parallel, so full-width
+    /// batching oversubscribes).
+    pub workers: usize,
+    /// Whether to autotune tilings (`false` = always the default config).
+    pub autotune: bool,
+    /// Functional measurement cap for tuner dry-runs (points).
+    pub tuner_dry_run_cap: usize,
+    /// Candidates (beyond the default) the tuner dry-runs per scenario.
+    pub tuner_shortlist: usize,
+    /// Scenarios the tuner memoizes before FIFO-evicting the oldest.
+    pub tuner_memo_capacity: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 64,
+            workers: 0,
+            autotune: true,
+            tuner_dry_run_cap: 1 << 14,
+            tuner_shortlist: 4,
+            tuner_memo_capacity: 1024,
+        }
+    }
+}
+
+/// The serving layer: owns one simulated device, a plan cache and an
+/// autotuner, and executes single requests or heterogeneous batches.
+pub struct SpiderRuntime {
+    device: GpuDevice,
+    cache: PlanCache,
+    tuner: AutoTuner,
+    options: RuntimeOptions,
+}
+
+impl SpiderRuntime {
+    pub fn new(device: GpuDevice, options: RuntimeOptions) -> Self {
+        Self {
+            cache: PlanCache::new(options.cache_capacity),
+            tuner: AutoTuner::with_memo_capacity(
+                options.tuner_dry_run_cap,
+                options.tuner_shortlist,
+                options.tuner_memo_capacity,
+            ),
+            device,
+            options,
+        }
+    }
+
+    /// A runtime with default options on the given device.
+    pub fn with_defaults(device: GpuDevice) -> Self {
+        Self::new(device, RuntimeOptions::default())
+    }
+
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    pub fn options(&self) -> &RuntimeOptions {
+        &self.options
+    }
+
+    /// Plan-cache statistics (cumulative since construction).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Compiled plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Scenarios with a memoized tuning decision.
+    pub fn tuned_scenarios(&self) -> usize {
+        self.tuner.memo_len()
+    }
+
+    /// Execute one request end to end: plan lookup (compile on miss), tiling
+    /// selection, functional simulated execution, output checksum.
+    pub fn execute(&self, req: &StencilRequest) -> Result<RequestOutcome, RuntimeError> {
+        if !req.dims_consistent() {
+            return Err(RuntimeError::DimensionMismatch {
+                id: req.id,
+                scenario: req.scenario(),
+            });
+        }
+        let plan_key = req.plan_key();
+        let (plan, cache_hit) = self.cache.get_or_compile(plan_key, &req.kernel)?;
+
+        let (tiling, tuned, tuner_memo_hit) = if self.options.autotune {
+            let t = self
+                .tuner
+                .tune(&self.device, &plan, req.mode, req.grid, plan_key);
+            (t.tiling, true, t.memoized)
+        } else {
+            (TilingConfig::default(), false, false)
+        };
+
+        let config = ExecConfig {
+            tiling,
+            ..ExecConfig::default()
+        };
+        let exec = SpiderExecutor::with_config(&self.device, req.mode, config);
+        let (report, checksum) = match req.grid {
+            GridSpec::D1 { .. } => {
+                let mut grid = req.materialize_1d();
+                let report = exec
+                    .run_1d(&plan, &mut grid, req.steps)
+                    .map_err(RuntimeError::Exec)?;
+                (report, output_checksum(grid.padded()))
+            }
+            GridSpec::D2 { .. } => {
+                let mut grid = req.materialize_2d();
+                let report = exec
+                    .run_2d(&plan, &mut grid, req.steps)
+                    .map_err(RuntimeError::Exec)?;
+                (report, output_checksum(grid.padded()))
+            }
+        };
+        Ok(RequestOutcome {
+            id: req.id,
+            scenario: req.scenario(),
+            cache_hit,
+            tuned,
+            tuner_memo_hit,
+            tiling,
+            report,
+            checksum,
+        })
+    }
+
+    /// Execute a heterogeneous batch across the worker pool.
+    ///
+    /// Requests are scheduled in plan-key groups so all requests sharing a
+    /// kernel run adjacently: the first one compiles (or re-uses) the plan
+    /// and tunes the tiling, the rest hit both the plan cache and the tuner
+    /// memo. Results are returned in submission order regardless.
+    pub fn run_batch(&self, requests: &[StencilRequest]) -> RuntimeReport {
+        let start = Instant::now();
+
+        // Group by plan key to amortize compile + tuning within the batch.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_cached_key(|&i| (requests[i].plan_key(), i));
+
+        let workers = if self.options.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| (n.get() / 2).max(1))
+                .unwrap_or(1)
+        } else {
+            self.options.workers
+        }
+        .min(requests.len().max(1));
+
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<Result<RequestOutcome, RuntimeError>>>> =
+            Mutex::new((0..requests.len()).map(|_| None).collect());
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= order.len() {
+                        break;
+                    }
+                    let idx = order[slot];
+                    let result = self.execute(&requests[idx]);
+                    results.lock().expect("results poisoned")[idx] = Some(result);
+                });
+            }
+        });
+
+        let mut outcomes = Vec::with_capacity(requests.len());
+        let mut failures = Vec::new();
+        for (idx, result) in results
+            .into_inner()
+            .expect("results poisoned")
+            .into_iter()
+            .enumerate()
+        {
+            match result.expect("every slot executed") {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(e) => failures.push((requests[idx].id, e.to_string())),
+            }
+        }
+        RuntimeReport {
+            outcomes,
+            failures,
+            wall_s: start.elapsed().as_secs_f64(),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+/// FNV-1a over the bit patterns of a float slice — the checksum recorded in
+/// [`RequestOutcome::checksum`]. Public so callers (and the cache-correctness
+/// property tests) can recompute it against independently produced grids.
+pub fn output_checksum(data: &[f32]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in data {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_core::ExecMode;
+    use spider_stencil::{StencilKernel, StencilShape};
+
+    fn runtime() -> SpiderRuntime {
+        SpiderRuntime::new(
+            GpuDevice::a100(),
+            RuntimeOptions {
+                cache_capacity: 8,
+                workers: 2,
+                tuner_dry_run_cap: 1 << 12,
+                tuner_shortlist: 2,
+                ..RuntimeOptions::default()
+            },
+        )
+    }
+
+    fn mixed_batch(id_base: u64) -> Vec<StencilRequest> {
+        let mut reqs = Vec::new();
+        for (i, kernel) in [
+            StencilKernel::heat_2d(0.12),
+            StencilKernel::gaussian_2d(2),
+            StencilKernel::random(StencilShape::star_2d(2), 5),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for j in 0..2u64 {
+                reqs.push(
+                    StencilRequest::new_2d(id_base + (i as u64) * 10 + j, kernel.clone(), 96, 128)
+                        .with_seed(id_base + j),
+                );
+            }
+        }
+        reqs.push(StencilRequest::new_1d(
+            id_base + 100,
+            StencilKernel::wave_1d(2),
+            40_000,
+        ));
+        reqs
+    }
+
+    #[test]
+    fn single_request_roundtrip() {
+        let rt = runtime();
+        let req = StencilRequest::new_2d(1, StencilKernel::jacobi_2d(), 64, 96);
+        let out = rt.execute(&req).unwrap();
+        assert!(!out.cache_hit, "first lookup must miss");
+        assert!(out.report.gstencils_per_sec() > 0.0);
+        assert_eq!(out.report.points, 64 * 96);
+        // Same request again: plan comes from the cache, result identical.
+        let out2 = rt.execute(&req).unwrap();
+        assert!(out2.cache_hit);
+        assert_eq!(out.checksum, out2.checksum);
+        assert_eq!(out.tiling, out2.tiling);
+    }
+
+    #[test]
+    fn batch_groups_amortize_compiles() {
+        let rt = runtime();
+        let batch = mixed_batch(0);
+        let n = batch.len();
+        let report = rt.run_batch(&batch);
+        assert_eq!(report.outcomes.len(), n);
+        assert!(report.failures.is_empty());
+        // 4 distinct plans for 7 requests: at most 4 misses.
+        let stats = rt.cache_stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits as usize, n - 4);
+        assert!(report.requests_per_sec() > 0.0);
+        assert!(report.simulated_gstencils_per_sec() > 0.0);
+        // Outcomes come back in submission order.
+        let ids: Vec<u64> = report.outcomes.iter().map(|o| o.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "mixed_batch ids are ascending");
+    }
+
+    #[test]
+    fn second_batch_is_all_hits() {
+        let rt = runtime();
+        let first = rt.run_batch(&mixed_batch(0));
+        assert!(first.batch_hit_rate() < 1.0);
+        let second = rt.run_batch(&mixed_batch(1000));
+        assert_eq!(second.batch_hit_rate(), 1.0, "all plans already cached");
+        // Determinism across batches: same kernel+grid+seed ⇒ same checksum.
+        let a = &first.outcomes[0];
+        let b = second
+            .outcomes
+            .iter()
+            .find(|o| o.scenario == a.scenario)
+            .unwrap();
+        assert_eq!(a.tiling, b.tiling, "tuner memo must return the same config");
+    }
+
+    #[test]
+    fn failures_are_isolated() {
+        let rt = runtime();
+        let mut batch = mixed_batch(0);
+        // A kernel/grid dimensionality mismatch...
+        batch.push(StencilRequest::new_2d(
+            999,
+            StencilKernel::wave_1d(1),
+            32,
+            32,
+        ));
+        // ...and an empty kernel.
+        batch.push(StencilRequest::new_2d(
+            998,
+            StencilKernel::box_2d(1, &[0.0; 9]),
+            32,
+            32,
+        ));
+        let n_ok = batch.len() - 2;
+        let report = rt.run_batch(&batch);
+        assert_eq!(report.outcomes.len(), n_ok);
+        assert_eq!(report.failures.len(), 2);
+        let failed_ids: Vec<u64> = report.failures.iter().map(|f| f.0).collect();
+        assert!(failed_ids.contains(&999) && failed_ids.contains(&998));
+    }
+
+    #[test]
+    fn autotune_off_uses_default_tiling() {
+        let rt = SpiderRuntime::new(
+            GpuDevice::a100(),
+            RuntimeOptions {
+                autotune: false,
+                workers: 1,
+                ..RuntimeOptions::default()
+            },
+        );
+        let out = rt
+            .execute(&StencilRequest::new_2d(
+                1,
+                StencilKernel::jacobi_2d(),
+                64,
+                64,
+            ))
+            .unwrap();
+        assert!(!out.tuned);
+        assert_eq!(out.tiling, TilingConfig::default());
+        assert_eq!(rt.tuned_scenarios(), 0);
+    }
+
+    #[test]
+    fn ablation_modes_flow_through() {
+        let rt = runtime();
+        let k = StencilKernel::gaussian_2d(1);
+        let dense = rt
+            .execute(&StencilRequest::new_2d(1, k.clone(), 64, 64).with_mode(ExecMode::DenseTc))
+            .unwrap();
+        let sparse = rt.execute(&StencilRequest::new_2d(2, k, 64, 64)).unwrap();
+        assert!(dense.report.counters.mma_dense_f16 > 0);
+        assert!(sparse.report.counters.mma_sparse_f16 > 0);
+        // Different modes are different cache entries.
+        assert_eq!(rt.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn render_contains_summary() {
+        let rt = runtime();
+        let report = rt.run_batch(&mixed_batch(0));
+        let text = report.render();
+        assert!(text.contains("GStencil/s"));
+        assert!(text.contains("batch:"));
+    }
+}

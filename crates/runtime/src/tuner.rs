@@ -1,0 +1,434 @@
+//! The tiling autotuner: per-(plan, grid, device) selection of a
+//! [`TilingConfig`], memoized so each distinct scenario pays tuning once.
+//!
+//! Strategy, cheapest-first:
+//!
+//! 1. **Enumerate** a candidate lattice of valid tilings (block/warp splits
+//!    for 2D, chunk lengths for 1D).
+//! 2. **Pre-rank** all candidates with the closed-form
+//!    [`spider_analysis::tuning`] score — pure arithmetic, no simulation.
+//! 3. **Dry-run** the short-listed best few *plus the default config* on the
+//!    simulator (`estimate_*` with a small functional measurement cap, so a
+//!    dry-run costs a few thousand stencil points) and keep the lowest
+//!    simulated time.
+//!
+//! Because the default config is always in the dry-run set and selection is
+//! argmin over simulated time, the tuned config can never lose to the
+//! default under the simulator's own metric — the invariant the serving
+//! example asserts per scenario.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use spider_analysis::tuning::{assess_1d, assess_2d, TuningProblem};
+use spider_core::exec::{ExecConfig, ExecMode, SpiderExecutor};
+use spider_core::plan::SpiderPlan;
+use spider_core::tiling::TilingConfig;
+use spider_gpu_sim::GpuDevice;
+
+use crate::request::GridSpec;
+
+/// The tuner's decision for one (plan, grid) scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneOutcome {
+    /// The winning configuration.
+    pub tiling: TilingConfig,
+    /// Simulated time of one sweep under the winning config.
+    pub predicted_time_s: f64,
+    /// Simulated time of one sweep under [`TilingConfig::default`].
+    pub default_time_s: f64,
+    /// Lattice size considered in the closed-form pass.
+    pub candidates: usize,
+    /// Configs actually dry-run on the simulator.
+    pub dry_runs: usize,
+    /// Whether this outcome came from the memo table.
+    pub memoized: bool,
+}
+
+impl TuneOutcome {
+    /// Predicted speedup of the tuned config over the default (≥ 1 by
+    /// construction, modulo floating-point ties).
+    pub fn speedup_vs_default(&self) -> f64 {
+        self.default_time_s / self.predicted_time_s
+    }
+}
+
+/// Memoizing autotuner. One instance serves one device (the memo key does
+/// not include the GPU because a [`crate::SpiderRuntime`] owns exactly one).
+pub struct AutoTuner {
+    memo: Mutex<MemoTable>,
+    /// Functional measurement cap for dry-runs (points); small by design.
+    dry_run_cap: usize,
+    /// How many top-ranked candidates (beyond the default) to dry-run.
+    shortlist: usize,
+}
+
+type ScenarioKey = (u64, GridSpec);
+
+/// Per-scenario memo slot. The outer map hands out `Arc`s so concurrent
+/// workers tuning the *same* scenario serialize on the slot (the second
+/// blocks briefly, then reads the winner) instead of duplicating the
+/// simulator dry-runs, while distinct scenarios never contend.
+type MemoSlot = std::sync::Arc<Mutex<Option<TuneOutcome>>>;
+
+/// FIFO-bounded memo table (a long-lived runtime serving many distinct
+/// scenarios must not grow without bound; FIFO is enough because tuning a
+/// re-arriving scenario again is merely a few dry-runs, not a correctness
+/// issue).
+struct MemoTable {
+    capacity: usize,
+    slots: HashMap<ScenarioKey, MemoSlot>,
+    arrival: std::collections::VecDeque<ScenarioKey>,
+}
+
+impl AutoTuner {
+    pub fn new(dry_run_cap: usize, shortlist: usize) -> Self {
+        Self::with_memo_capacity(dry_run_cap, shortlist, 1024)
+    }
+
+    /// An autotuner remembering at most `memo_capacity` scenarios.
+    pub fn with_memo_capacity(dry_run_cap: usize, shortlist: usize, memo_capacity: usize) -> Self {
+        Self {
+            memo: Mutex::new(MemoTable {
+                capacity: memo_capacity.max(1),
+                slots: HashMap::new(),
+                arrival: std::collections::VecDeque::new(),
+            }),
+            dry_run_cap: dry_run_cap.max(1),
+            shortlist: shortlist.max(1),
+        }
+    }
+
+    /// Scenarios tuned so far.
+    pub fn memo_len(&self) -> usize {
+        self.memo.lock().expect("tuner memo poisoned").slots.len()
+    }
+
+    /// Select a tiling for `plan` on `grid`, reusing a memoized winner when
+    /// this (plan, grid) scenario was tuned before.
+    pub fn tune(
+        &self,
+        device: &GpuDevice,
+        plan: &SpiderPlan,
+        mode: ExecMode,
+        grid: GridSpec,
+        plan_key: u64,
+    ) -> TuneOutcome {
+        let key: ScenarioKey = (plan_key, grid);
+        let slot: MemoSlot = {
+            let mut memo = self.memo.lock().expect("tuner memo poisoned");
+            if let Some(slot) = memo.slots.get(&key) {
+                std::sync::Arc::clone(slot)
+            } else {
+                if memo.slots.len() >= memo.capacity {
+                    if let Some(victim) = memo.arrival.pop_front() {
+                        memo.slots.remove(&victim);
+                    }
+                }
+                let slot = MemoSlot::default();
+                memo.slots.insert(key, std::sync::Arc::clone(&slot));
+                memo.arrival.push_back(key);
+                slot
+            }
+        };
+        // Outer lock released: other scenarios proceed freely. Same-scenario
+        // callers serialize here; whoever arrives second reads the winner.
+        let mut guard = slot.lock().expect("tuner slot poisoned");
+        if let Some(done) = *guard {
+            let mut out = done;
+            out.memoized = true;
+            return out;
+        }
+        let outcome = self.tune_uncached(device, plan, mode, grid);
+        *guard = Some(outcome);
+        outcome
+    }
+
+    fn tune_uncached(
+        &self,
+        device: &GpuDevice,
+        plan: &SpiderPlan,
+        mode: ExecMode,
+        grid: GridSpec,
+    ) -> TuneOutcome {
+        let specs = device.specs();
+        let (rows, cols) = match grid {
+            GridSpec::D1 { len } => (len, 1),
+            GridSpec::D2 { rows, cols } => (rows, cols),
+        };
+        let problem = TuningProblem {
+            radius: plan.radius(),
+            rows,
+            cols,
+            sm_count: specs.sm_count,
+            blocks_per_sm_for_peak: specs.blocks_per_sm_for_peak,
+            smem_bytes_per_sm: specs.smem_bytes_per_sm,
+        };
+
+        // Closed-form pre-ranking over the full lattice.
+        let candidates = match grid {
+            GridSpec::D1 { .. } => candidates_1d(),
+            GridSpec::D2 { .. } => candidates_2d(),
+        };
+        let total = candidates.len();
+        let mut ranked: Vec<(f64, TilingConfig)> = candidates
+            .into_iter()
+            .map(|t| {
+                let a = match grid {
+                    GridSpec::D1 { .. } => assess_1d(&t, &problem),
+                    GridSpec::D2 { .. } => assess_2d(&t, &problem),
+                };
+                (a.score, t)
+            })
+            .filter(|(score, _)| score.is_finite())
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Dry-run the short list plus the default on the simulator.
+        let mut shortlist: Vec<TilingConfig> = vec![TilingConfig::default()];
+        for (_, t) in ranked.into_iter().take(self.shortlist) {
+            if !shortlist.contains(&t) {
+                shortlist.push(t);
+            }
+        }
+        let mut best: Option<(f64, TilingConfig)> = None;
+        let mut default_time_s = f64::INFINITY;
+        let dry_runs = shortlist.len();
+        for t in shortlist {
+            let time_s = self.dry_run(device, plan, mode, t, grid);
+            if t == TilingConfig::default() {
+                default_time_s = time_s;
+            }
+            match best {
+                Some((b, _)) if b <= time_s => {}
+                _ => best = Some((time_s, t)),
+            }
+        }
+        let (predicted_time_s, tiling) = best.expect("shortlist is never empty");
+        TuneOutcome {
+            tiling,
+            predicted_time_s,
+            default_time_s,
+            candidates: total,
+            dry_runs,
+            memoized: false,
+        }
+    }
+
+    /// One simulated sweep under `tiling` with a small measurement cap; the
+    /// estimate extrapolates counters to the true extent and evaluates the
+    /// timing model with the true launch geometry.
+    fn dry_run(
+        &self,
+        device: &GpuDevice,
+        plan: &SpiderPlan,
+        mode: ExecMode,
+        tiling: TilingConfig,
+        grid: GridSpec,
+    ) -> f64 {
+        let config = ExecConfig {
+            tiling,
+            measure_cap: self.dry_run_cap,
+            ..ExecConfig::default()
+        };
+        let exec = SpiderExecutor::with_config(device, mode, config);
+        let report = match grid {
+            GridSpec::D1 { len } => exec.estimate_1d(plan, len),
+            GridSpec::D2 { rows, cols } => exec.estimate_2d(plan, rows, cols),
+        };
+        report.time_s()
+    }
+}
+
+/// The 2D candidate lattice: valid block/warp splits from small
+/// (occupancy-friendly) to large (halo-amortizing) tiles.
+fn candidates_2d() -> Vec<TilingConfig> {
+    let mut out = Vec::new();
+    for block_x in [8usize, 16, 32, 64] {
+        for block_y in [16usize, 32, 64, 128] {
+            for warp_x in [8usize, 16, 32] {
+                if warp_x > block_x || block_x % warp_x != 0 {
+                    continue;
+                }
+                for warp_y in [16usize, 32, 64] {
+                    if warp_y > block_y || block_y % warp_y != 0 {
+                        continue;
+                    }
+                    let t = TilingConfig {
+                        block_x,
+                        block_y,
+                        warp_x,
+                        warp_y,
+                        ..TilingConfig::default()
+                    };
+                    if t.validate().is_ok() && t.warps_per_block() <= 16 {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The 1D candidate lattice: chunk lengths (all multiples of 128).
+fn candidates_1d() -> Vec<TilingConfig> {
+    [512usize, 1024, 2048, 4096, 8192, 16384]
+        .into_iter()
+        .map(|block_1d| TilingConfig {
+            block_1d,
+            ..TilingConfig::default()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_stencil::{StencilKernel, StencilShape};
+
+    fn plan(shape: StencilShape, seed: u64) -> SpiderPlan {
+        SpiderPlan::compile(&StencilKernel::random(shape, seed)).unwrap()
+    }
+
+    #[test]
+    fn lattice_is_nonempty_and_valid() {
+        let c2 = candidates_2d();
+        assert!(c2.len() >= 20, "lattice too small: {}", c2.len());
+        for t in &c2 {
+            t.validate().unwrap();
+        }
+        for t in candidates_1d() {
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn tuned_never_loses_to_default() {
+        let dev = GpuDevice::a100();
+        let tuner = AutoTuner::new(1 << 14, 4);
+        for (shape, grid) in [
+            (
+                StencilShape::box_2d(1),
+                GridSpec::D2 {
+                    rows: 512,
+                    cols: 512,
+                },
+            ),
+            (
+                StencilShape::box_2d(3),
+                GridSpec::D2 {
+                    rows: 4096,
+                    cols: 4096,
+                },
+            ),
+            (
+                StencilShape::star_2d(2),
+                GridSpec::D2 {
+                    rows: 96,
+                    cols: 160,
+                },
+            ),
+        ] {
+            let p = plan(shape, 7);
+            let out = tuner.tune(&dev, &p, ExecMode::SparseTcOptimized, grid, p.fingerprint());
+            assert!(
+                out.predicted_time_s <= out.default_time_s * 1.0000001,
+                "{}: tuned {} vs default {}",
+                shape.name(),
+                out.predicted_time_s,
+                out.default_time_s
+            );
+            assert!(out.dry_runs >= 2);
+        }
+    }
+
+    #[test]
+    fn memoization_fires_on_repeat_scenarios() {
+        let dev = GpuDevice::a100();
+        let tuner = AutoTuner::new(1 << 12, 2);
+        let p = plan(StencilShape::box_2d(2), 3);
+        let grid = GridSpec::D2 {
+            rows: 640,
+            cols: 640,
+        };
+        let first = tuner.tune(&dev, &p, ExecMode::SparseTcOptimized, grid, 42);
+        assert!(!first.memoized);
+        let second = tuner.tune(&dev, &p, ExecMode::SparseTcOptimized, grid, 42);
+        assert!(second.memoized);
+        assert_eq!(first.tiling, second.tiling);
+        assert_eq!(tuner.memo_len(), 1);
+        // A different grid size is a different scenario.
+        let third = tuner.tune(
+            &dev,
+            &p,
+            ExecMode::SparseTcOptimized,
+            GridSpec::D2 {
+                rows: 128,
+                cols: 128,
+            },
+            42,
+        );
+        assert!(!third.memoized);
+        assert_eq!(tuner.memo_len(), 2);
+    }
+
+    #[test]
+    fn memo_is_fifo_bounded() {
+        let dev = GpuDevice::a100();
+        let tuner = AutoTuner::with_memo_capacity(1 << 10, 1, 3);
+        let p = plan(StencilShape::box_2d(1), 1);
+        for i in 0..6 {
+            let grid = GridSpec::D2 {
+                rows: 64 + 16 * i,
+                cols: 64,
+            };
+            tuner.tune(&dev, &p, ExecMode::SparseTcOptimized, grid, 1);
+            assert!(tuner.memo_len() <= 3, "memo exceeded capacity");
+        }
+        // The oldest scenarios were evicted; re-tuning one is a fresh run.
+        let oldest = GridSpec::D2 { rows: 64, cols: 64 };
+        let again = tuner.tune(&dev, &p, ExecMode::SparseTcOptimized, oldest, 1);
+        assert!(!again.memoized, "evicted scenario must re-tune");
+    }
+
+    #[test]
+    fn concurrent_same_scenario_tunes_once() {
+        let dev = GpuDevice::a100();
+        let tuner = AutoTuner::new(1 << 12, 2);
+        let p = plan(StencilShape::box_2d(2), 9);
+        let grid = GridSpec::D2 {
+            rows: 256,
+            cols: 256,
+        };
+        let outcomes: Vec<TuneOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| tuner.tune(&dev, &p, ExecMode::SparseTcOptimized, grid, 5)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one thread did the dry-runs; the rest read its winner.
+        let fresh = outcomes.iter().filter(|o| !o.memoized).count();
+        assert_eq!(fresh, 1, "dry-run tuning must not be duplicated");
+        for o in &outcomes {
+            assert_eq!(o.tiling, outcomes[0].tiling);
+        }
+        assert_eq!(tuner.memo_len(), 1);
+    }
+
+    #[test]
+    fn d1_tuning_runs() {
+        let dev = GpuDevice::a100();
+        let tuner = AutoTuner::new(1 << 12, 3);
+        let p = plan(StencilShape::d1(2), 5);
+        let out = tuner.tune(
+            &dev,
+            &p,
+            ExecMode::SparseTcOptimized,
+            GridSpec::D1 { len: 1 << 20 },
+            1,
+        );
+        assert!(out.predicted_time_s <= out.default_time_s * 1.0000001);
+        assert!(out.predicted_time_s.is_finite());
+    }
+}

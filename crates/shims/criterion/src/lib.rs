@@ -1,0 +1,279 @@
+//! # criterion (workspace shim)
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the criterion API surface the workspace's benches use —
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`/
+//! `iter_batched`, `BatchSize` and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a deliberately simple measurement loop: warm up for
+//! `warm_up_time`, then time samples until `measurement_time` or
+//! `sample_size` samples elapse, and report the mean per-iteration time.
+//!
+//! There is no statistical analysis, outlier rejection or HTML report; the
+//! point is that `cargo bench` runs, prints comparable numbers, and the
+//! bench sources stay byte-compatible with criterion proper.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the shim runs one setup per
+/// measurement regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement settings shared by every bench in a group run.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.clone());
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks (`group/bench_id` labels).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher::new(self.criterion.clone());
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher::new(self.criterion.clone());
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    settings: Criterion,
+    mean_ns: Option<f64>,
+    samples: usize,
+}
+
+impl Bencher {
+    fn new(settings: Criterion) -> Self {
+        Self {
+            settings,
+            mean_ns: None,
+            samples: 0,
+        }
+    }
+
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        self.measure(|| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed()
+        });
+    }
+
+    pub fn iter_batched<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        });
+    }
+
+    /// Warm up, then accumulate timed samples within the configured budget.
+    fn measure(&mut self, mut sample: impl FnMut() -> Duration) {
+        let warm_end = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_end {
+            sample();
+        }
+        let mut total = Duration::ZERO;
+        let mut n = 0usize;
+        let budget = Instant::now() + self.settings.measurement_time;
+        while n < self.settings.sample_size || n == 0 {
+            total += sample();
+            n += 1;
+            if Instant::now() >= budget && n > 0 {
+                break;
+            }
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / n as f64);
+        self.samples = n;
+    }
+
+    fn report(&self, label: &str) {
+        match self.mean_ns {
+            Some(ns) => println!(
+                "{label:<48} time: [{}]  ({} samples)",
+                format_ns(ns),
+                self.samples
+            ),
+            None => println!("{label:<48} (no measurement recorded)"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u32, |b, &x| {
+            b.iter_batched(|| x, |v| v * v, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

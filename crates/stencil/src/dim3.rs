@@ -127,8 +127,8 @@ impl<T: Scalar> Grid3D<T> {
         for z in 0..self.planes {
             for i in 0..self.rows {
                 for j in 0..self.cols {
-                    worst = worst
-                        .max((self.get(z, i, j).to_f64() - other.get(z, i, j).to_f64()).abs());
+                    worst =
+                        worst.max((self.get(z, i, j).to_f64() - other.get(z, i, j).to_f64()).abs());
                 }
             }
         }
@@ -237,7 +237,11 @@ pub fn step_3d<T: Scalar>(kernel: &Kernel3D, src: &Grid3D<T>, dst: &mut Grid3D<T
                             let c = kernel.at(dz, dx, dy);
                             if c != 0.0 {
                                 acc += T::from_f64(c)
-                                    * src.get_ext(z as isize + dz, i as isize + dx, j as isize + dy);
+                                    * src.get_ext(
+                                        z as isize + dz,
+                                        i as isize + dx,
+                                        j as isize + dy,
+                                    );
                             }
                         }
                     }
@@ -265,12 +269,11 @@ pub fn step_3d_parallel(kernel: &Kernel3D, src: &Grid3D<f64>, dst: &mut Grid3D<f
                             for dy in -r..=r {
                                 let c = kernel.at(dz, dx, dy);
                                 if c != 0.0 {
-                                    acc += c
-                                        * src.get_ext(
-                                            z as isize + dz,
-                                            i as isize + dx,
-                                            j as isize + dy,
-                                        );
+                                    acc += c * src.get_ext(
+                                        z as isize + dz,
+                                        i as isize + dx,
+                                        j as isize + dy,
+                                    );
                                 }
                             }
                         }

@@ -52,8 +52,7 @@ pub fn step_2d<T: Scalar>(
                         for (kj, &c) in krow.iter().enumerate() {
                             if c != T::ZERO {
                                 let dj = kj as isize - r;
-                                acc = c
-                                    .mul_add(src.get_ext(i as isize + di, j as isize + dj), acc);
+                                acc = c.mul_add(src.get_ext(i as isize + di, j as isize + dj), acc);
                             }
                         }
                     }

@@ -10,11 +10,42 @@
 use crate::shape::{Dim, StencilShape};
 
 /// A stencil kernel: shape descriptor plus dense coefficient table.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality and hashing compare the coefficient *bit patterns* (plus the
+/// shape), so kernels behave as well-defined map keys: `k1 == k2` implies
+/// `hash(k1) == hash(k2)`, `Eq` is total, and two kernels compare equal
+/// exactly when a compiled plan for one is valid for the other. The only
+/// divergence from numeric `f64` comparison is that `-0.0 != 0.0` and
+/// `NaN == NaN` under this definition — both irrelevant for real stencils
+/// and exactly what a content-addressed plan cache wants.
+#[derive(Debug, Clone)]
 pub struct StencilKernel {
     shape: StencilShape,
     /// Row-major `(2r+1) x (2r+1)` for 2D; length `2r+1` for 1D.
     coeffs: Vec<f64>,
+}
+
+impl PartialEq for StencilKernel {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && self.coeffs.len() == other.coeffs.len()
+            && self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+impl Eq for StencilKernel {}
+
+impl std::hash::Hash for StencilKernel {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.shape.hash(state);
+        for c in &self.coeffs {
+            c.to_bits().hash(state);
+        }
+    }
 }
 
 impl StencilKernel {
@@ -275,6 +306,38 @@ impl StencilKernel {
     pub fn coeff_sum(&self) -> f64 {
         self.coeffs.iter().sum()
     }
+
+    /// Stable 64-bit content fingerprint of the kernel: shape kind,
+    /// dimensionality, radius and every coefficient bit pattern.
+    ///
+    /// FNV-1a over a fixed byte serialization — independent of platform,
+    /// process, `Hasher` implementation and compiler version, so it is safe
+    /// to persist (plan-cache keys, bench baselines) across runs. Two
+    /// kernels share a fingerprint exactly when they are `==` (up to the
+    /// 2^-64 collision probability of any 64-bit content hash).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        eat(match self.shape.kind {
+            crate::shape::ShapeKind::Star => 1,
+            crate::shape::ShapeKind::Box => 2,
+        });
+        eat(self.shape.dim.rank() as u8);
+        for b in (self.shape.radius as u64).to_le_bytes() {
+            eat(b);
+        }
+        for c in &self.coeffs {
+            for b in c.to_bits().to_le_bytes() {
+                eat(b);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -359,5 +422,41 @@ mod tests {
     #[should_panic(expected = "coefficients")]
     fn wrong_coeff_count_panics() {
         StencilKernel::d1(2, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_addressed() {
+        let a = StencilKernel::gaussian_2d(2);
+        let b = StencilKernel::gaussian_2d(2);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different coefficients, same shape.
+        let c = StencilKernel::random(StencilShape::box_2d(2), 3);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Same coefficient table, different shape kind (star stores zeros
+        // off-axis; a box with identical zeros must still differ).
+        let star = StencilKernel::star_2d(1, &[1., 2., 1.], &[3., 2., 3.]);
+        let boxed = StencilKernel::box_2d(1, star.coeffs());
+        assert_ne!(star.fingerprint(), boxed.fingerprint());
+        assert_ne!(star, boxed);
+    }
+
+    #[test]
+    fn fingerprint_golden_value_pins_serialization() {
+        // Guards against accidental format changes: this value may only
+        // change with a deliberate cache-format bump.
+        let k = StencilKernel::d1(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(k.fingerprint(), 0x8a8ce25b43a1fa18);
+    }
+
+    #[test]
+    fn hash_is_consistent_with_eq() {
+        use std::collections::HashMap;
+        let mut m: HashMap<StencilKernel, u32> = HashMap::new();
+        m.insert(StencilKernel::jacobi_2d(), 1);
+        m.insert(StencilKernel::heat_2d(0.1), 2);
+        assert_eq!(m[&StencilKernel::jacobi_2d()], 1);
+        assert_eq!(m[&StencilKernel::heat_2d(0.1)], 2);
+        assert!(!m.contains_key(&StencilKernel::heat_2d(0.2)));
     }
 }

@@ -30,7 +30,9 @@ fn main() {
     let steps = 200;
 
     let exec = SpiderExecutor::new(&device, ExecMode::SparseTcOptimized);
-    let report = exec.run_2d(&plan, &mut grid, steps).expect("diffusion runs");
+    let report = exec
+        .run_2d(&plan, &mut grid, steps)
+        .expect("diffusion runs");
 
     // Physics checks.
     let final_mass = grid.interior_sum();

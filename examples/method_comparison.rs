@@ -21,10 +21,7 @@ fn main() {
     let kernel = StencilKernel::gaussian_2d(2);
     let device = GpuDevice::a100();
 
-    println!(
-        "{} on ({n},{n}) — simulated A100\n",
-        kernel.shape().name()
-    );
+    println!("{} on ({n},{n}) — simulated A100\n", kernel.shape().name());
     println!(
         "{:<18} {:>12} {:>10} {:>12} {:>10}",
         "method", "GStencils/s", "bound", "DRAM B/pt", "norm"

@@ -20,8 +20,11 @@ fn main() {
 
     // The ahead-of-time transformation: band -> strided swap -> 2:4 encode.
     let plan = SpiderPlan::compile(&kernel).expect("kernel compiles to a 2:4 plan");
-    println!("compiled plan: {} kernel-row units, {} mma.sp slices/tile,",
-        plan.units().len(), plan.slices());
+    println!(
+        "compiled plan: {} kernel-row units, {} mma.sp slices/tile,",
+        plan.units().len(),
+        plan.slices()
+    );
     println!(
         "               {} B compressed parameters ({} B uncompressed)",
         plan.parameter_bytes(),
@@ -46,7 +49,10 @@ fn main() {
         report.counters.gmem_transaction_bytes() as f64 / report.points as f64
     );
     println!("  modeled time        : {:.2} us", report.time_s() * 1e6);
-    println!("  throughput          : {:.1} GStencils/s", report.gstencils_per_sec());
+    println!(
+        "  throughput          : {:.1} GStencils/s",
+        report.gstencils_per_sec()
+    );
 
     // Verify against the f64 reference executor (inputs quantized to FP16,
     // matching the modeled pipeline's storage type).
@@ -59,7 +65,10 @@ fn main() {
     });
     reference::apply_2d(&quantized, &mut expect, 1);
     let err = spider::stencil::verify::compare_2d(&expect, &grid);
-    println!("\nverification vs CPU oracle: max |err| = {:.2e}", err.max_abs);
+    println!(
+        "\nverification vs CPU oracle: max |err| = {:.2e}",
+        err.max_abs
+    );
     assert!(err.within(5e-3), "SPIDER result must match the oracle");
     println!("OK");
 }

@@ -46,12 +46,41 @@
 //! assert!(grid.max_abs_diff(&oracle) < 1e-3);
 //! assert!(report.gstencils_per_sec() > 0.0);
 //! ```
+//!
+//! ## Runtime / serving
+//!
+//! The compile-once/run-forever split above is what a serving deployment
+//! wants to exploit at scale: SPIDER's `O(1)` ahead-of-time compile only
+//! beats DRStencil-style tuning if plans are compiled once, cached, and
+//! reused across every request that shares a kernel. [`runtime`]
+//! (`spider-runtime`) packages exactly that: a content-addressed LRU
+//! [`runtime::PlanCache`], a memoizing tiling [`runtime::AutoTuner`] scored
+//! by the [`analysis`] cost model plus simulator dry-runs, and a batched
+//! worker-pool scheduler ([`runtime::SpiderRuntime::run_batch`]) that groups
+//! heterogeneous [`runtime::StencilRequest`]s by plan fingerprint and
+//! reports aggregate throughput. See `examples/serving.rs` for a mixed
+//! workload pushed through the runtime twice (the second batch is all cache
+//! hits).
+//!
+//! ```
+//! use spider::prelude::*;
+//!
+//! let rt = SpiderRuntime::with_defaults(GpuDevice::a100());
+//! let report = rt.run_batch(&[
+//!     StencilRequest::new_2d(0, StencilKernel::heat_2d(0.1), 128, 128),
+//!     StencilRequest::new_2d(1, StencilKernel::heat_2d(0.1), 128, 128),
+//!     StencilRequest::new_1d(2, StencilKernel::wave_1d(2), 1 << 16),
+//! ]);
+//! assert_eq!(report.outcomes.len(), 3);
+//! assert_eq!(report.cache.hits, 1); // requests 0 and 1 share a plan
+//! ```
 
 pub use spider_analysis as analysis;
 pub use spider_baselines as baselines;
 pub use spider_core as core;
 pub use spider_fft as fft;
 pub use spider_gpu_sim as gpu_sim;
+pub use spider_runtime as runtime;
 pub use spider_stencil as stencil;
 
 /// Commonly used items across the workspace.
@@ -64,10 +93,11 @@ pub mod prelude {
         tiling::TilingConfig,
     };
     pub use spider_gpu_sim::{
-        counters::PerfCounters,
-        specs::GpuSpecs,
-        timing::KernelReport,
-        GpuDevice,
+        counters::PerfCounters, specs::GpuSpecs, timing::KernelReport, GpuDevice,
+    };
+    pub use spider_runtime::{
+        CacheStats, GridSpec, RequestOutcome, RuntimeOptions, RuntimeReport, SpiderRuntime,
+        StencilRequest,
     };
     pub use spider_stencil::{
         exec::reference,

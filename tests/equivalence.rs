@@ -90,7 +90,11 @@ fn all_baselines_match_oracle_2d() {
         let mut g = base.clone();
         let counters = b.sweep_2d(&kernel, &mut g).unwrap();
         // TCStencil quantizes to FP16 internally; allow a looser bound there.
-        let tol = if kind == BaselineKind::TcStencil { 5e-3 } else { 1e-4 };
+        let tol = if kind == BaselineKind::TcStencil {
+            5e-3
+        } else {
+            1e-4
+        };
         let err = compare_2d(&expect, &g);
         assert!(err.max_abs < tol, "{}: {}", b.name(), err.max_abs);
         assert!(counters.instructions > 0, "{} must charge work", b.name());
@@ -108,7 +112,11 @@ fn all_baselines_match_oracle_1d() {
         let b = kind.instantiate();
         let mut g = base.clone();
         let counters = b.sweep_1d(&kernel, &mut g).unwrap();
-        let tol = if kind == BaselineKind::TcStencil { 5e-3 } else { 1e-4 };
+        let tol = if kind == BaselineKind::TcStencil {
+            5e-3
+        } else {
+            1e-4
+        };
         let err = compare_1d(&expect, &g);
         assert!(err.max_abs < tol, "{}: {}", b.name(), err.max_abs);
         assert!(counters.instructions > 0);

@@ -1,6 +1,14 @@
 //! The headline reproduction claims, asserted as tests (scaled-down sizes;
 //! per-point counter rates are size-invariant and the occupancy ramp is
 //! saturated at these extents).
+//!
+//! Triage note (first workspace PR): the seed shipped with no Cargo
+//! manifests at all, so `cargo test -q` failed before compiling a single
+//! test — that was the entire "seed tests failing" state. With the
+//! workspace restored (and crates.io stand-ins for rayon/proptest/criterion
+//! under `crates/shims/`, since the build environment has no registry
+//! access), every suite in this file passes as written: no reproduction
+//! tolerance here is intentionally failing.
 
 use spider::analysis::cost::{CostModel, Method};
 use spider::baselines::BaselineKind;
@@ -19,9 +27,24 @@ fn table2_reproduces_digit_for_digit() {
     ];
     for (method, [comp, input, param]) in checks {
         let c = m.cost(method);
-        assert!((c.comp - comp).abs() < 0.01, "{} comp {}", method.name(), c.comp);
-        assert!((c.input - input).abs() < 0.01, "{} input {}", method.name(), c.input);
-        assert!((c.param - param).abs() < 0.01, "{} param {}", method.name(), c.param);
+        assert!(
+            (c.comp - comp).abs() < 0.01,
+            "{} comp {}",
+            method.name(),
+            c.comp
+        );
+        assert!(
+            (c.input - input).abs() < 0.01,
+            "{} input {}",
+            method.name(),
+            c.input
+        );
+        assert!(
+            (c.param - param).abs() < 0.01,
+            "{} param {}",
+            method.name(),
+            c.param
+        );
     }
 }
 
@@ -63,7 +86,10 @@ fn ablation_orders_match_figure12() {
     let tc = run(ExecMode::DenseTc);
     let sptc = run(ExecMode::SparseTc);
     let co = run(ExecMode::SparseTcOptimized);
-    assert!(sptc > tc * 1.2, "SpTC must be the big lever: {tc} -> {sptc}");
+    assert!(
+        sptc > tc * 1.2,
+        "SpTC must be the big lever: {tc} -> {sptc}"
+    );
     assert!(co >= sptc, "CO must not regress: {sptc} -> {co}");
 }
 
@@ -104,7 +130,10 @@ fn occupancy_ramp_reproduces_fig11_rise() {
         .iter()
         .map(|&n| exec.estimate_2d(&plan, n, n).gstencils_per_sec())
         .collect();
-    assert!(gs[0] < gs[1] && gs[1] <= gs[2] * 1.02, "rising limb: {gs:?}");
+    assert!(
+        gs[0] < gs[1] && gs[1] <= gs[2] * 1.02,
+        "rising limb: {gs:?}"
+    );
     let plateau = (gs[3] - gs[2]).abs() / gs[2];
     assert!(plateau < 0.15, "plateau: {gs:?}");
 }
@@ -113,7 +142,9 @@ fn occupancy_ramp_reproduces_fig11_rise() {
 fn precision_normalization_follows_paper() {
     // §4.1: FP64 ConvStencil is scaled by 4; FP16 methods are not.
     assert_eq!(
-        BaselineKind::ConvStencil.instantiate().precision_normalization(),
+        BaselineKind::ConvStencil
+            .instantiate()
+            .precision_normalization(),
         4.0
     );
     for kind in [BaselineKind::TcStencil, BaselineKind::FlashFft] {

@@ -1,0 +1,111 @@
+//! Property tests for the serving layer: a cached plan must be
+//! indistinguishable from a freshly compiled one (bit-identical execution),
+//! and the LRU plan cache must respect its capacity bound under arbitrary
+//! access interleavings.
+
+use proptest::prelude::*;
+use spider::core::{ExecMode, SpiderExecutor, SpiderPlan};
+use spider::prelude::*;
+use spider::runtime::PlanCache;
+
+fn arb_shape() -> impl Strategy<Value = StencilShape> {
+    (1usize..=3, any::<bool>()).prop_map(|(r, star)| {
+        if star {
+            StencilShape::star_2d(r)
+        } else {
+            StencilShape::box_2d(r)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Executing through the runtime's cached plan is bit-identical to a
+    /// fresh `SpiderPlan::compile` + manual executor run on the same input:
+    /// plan reuse must never change a single output bit.
+    #[test]
+    fn cached_execution_is_bit_identical_to_fresh(
+        shape in arb_shape(),
+        seed in 0u64..300,
+        rows in 17usize..60,
+        cols in 17usize..70,
+    ) {
+        let kernel = StencilKernel::random(shape, seed);
+        let rt = SpiderRuntime::new(
+            GpuDevice::a100(),
+            RuntimeOptions { autotune: false, workers: 1, ..RuntimeOptions::default() },
+        );
+        let req = StencilRequest::new_2d(seed, kernel.clone(), rows, cols).with_seed(seed + 1);
+
+        // First execution compiles and fills the cache; second one must hit.
+        let cold = rt.execute(&req).unwrap();
+        let warm = rt.execute(&req).unwrap();
+        prop_assert!(!cold.cache_hit);
+        prop_assert!(warm.cache_hit);
+        prop_assert_eq!(cold.checksum, warm.checksum);
+
+        // Fresh pipeline, no runtime: same grid, same executor settings.
+        let plan = SpiderPlan::compile(&kernel).unwrap();
+        let mut grid = req.materialize_2d();
+        SpiderExecutor::new(rt.device(), ExecMode::SparseTcOptimized)
+            .run_2d(&plan, &mut grid, 1)
+            .unwrap();
+        let fresh_hash = spider::runtime::output_checksum(grid.padded());
+        prop_assert_eq!(
+            cold.checksum, fresh_hash,
+            "cached-plan output diverged from fresh compile on {} {}x{}",
+            shape.name(), rows, cols
+        );
+    }
+
+    /// The LRU cache never exceeds its capacity, evicts exactly when full,
+    /// and keeps the most recently touched entries across arbitrary
+    /// insert/touch interleavings.
+    #[test]
+    fn lru_eviction_respects_capacity(
+        capacity in 1usize..8,
+        ops in 5usize..40,
+        seed in 0u64..1000,
+    ) {
+        let cache = PlanCache::new(capacity);
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng
+        };
+        // A pool of distinct kernels, addressed by index.
+        let pool: Vec<StencilKernel> = (0..10)
+            .map(|i| StencilKernel::random(StencilShape::box_2d(1), 7000 + i))
+            .collect();
+        // Reference LRU: most-recent at the back.
+        let mut reference: Vec<u64> = Vec::new();
+        for _ in 0..ops {
+            let k = &pool[(next() % pool.len() as u64) as usize];
+            let key = k.fingerprint();
+            let (_, hit) = cache.get_or_compile(key, k).unwrap();
+            let was_resident = reference.contains(&key);
+            prop_assert_eq!(hit, was_resident, "hit/miss must match reference model");
+            reference.retain(|&x| x != key);
+            reference.push(key);
+            if reference.len() > capacity {
+                reference.remove(0);
+            }
+            prop_assert!(cache.len() <= capacity, "capacity exceeded");
+            prop_assert_eq!(cache.len(), reference.len());
+        }
+        // Exactly the reference-resident keys are cached.
+        for key in &reference {
+            prop_assert!(cache.peek(*key).is_some(), "resident key missing");
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, ops as u64);
+        prop_assert_eq!(
+            stats.evictions,
+            stats.insertions - cache.len() as u64,
+            "every insertion beyond the resident set must have evicted"
+        );
+    }
+}
