@@ -9,7 +9,8 @@
 //! Counters charge the butterfly MACs (FP16 tensor-core equivalents), the
 //! streaming input/output traffic and the inter-pass staging the fused
 //! design keeps on chip. The `O(L² log L)` offline spectrum preparation the
-//! paper holds against FlashFFTStencil (§4.2) is [`kernel_spectrum_flops`].
+//! paper holds against FlashFFTStencil (§4.2) is
+//! [`FlashFftStencil::kernel_spectrum_flops`].
 
 use crate::baseline::{Baseline, BaselineKind};
 use rayon::prelude::*;

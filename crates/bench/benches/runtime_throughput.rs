@@ -5,9 +5,13 @@
 //! `BENCH_runtime.json` — the machine-readable requests/sec + GStencil/s
 //! data point for the performance trajectory.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, Criterion};
 use spider_gpu_sim::GpuDevice;
-use spider_runtime::{RuntimeOptions, SpiderRuntime, StencilRequest};
+use spider_runtime::{
+    RuntimeOptions, SchedulerOptions, SpiderRuntime, SpiderScheduler, StencilRequest,
+};
 use spider_stencil::{StencilKernel, StencilShape};
 
 /// The mixed serving workload: six scenario types, `copies` requests each.
@@ -58,6 +62,19 @@ fn bench_runtime(c: &mut Criterion) {
     group.bench_function("warm_batch_12", |b| {
         b.iter(|| warm_rt.run_batch(&build_batch(0, 2)))
     });
+    // Async path: submit the same batch through the scheduler and drain.
+    // Plan cache and tuner memos are shared with the warm runtime above.
+    let sched_rt = Arc::new(SpiderRuntime::new(GpuDevice::a100(), options()));
+    sched_rt.run_batch(&build_batch(0, 1));
+    group.bench_function("sched_warm_batch_12", |b| {
+        b.iter(|| {
+            let sched = SpiderScheduler::new(Arc::clone(&sched_rt), SchedulerOptions::default());
+            for req in build_batch(0, 2) {
+                sched.submit(req).expect("Block policy admits everything");
+            }
+            sched.drain()
+        })
+    });
     group.finish();
 }
 
@@ -85,20 +102,36 @@ fn emit_json() {
         .last()
         .map(|r| r.simulated_gstencils_per_sec())
         .unwrap_or(0.0);
-    let stats = rt.cache_stats();
+    // Scheduler (async submit/poll) throughput over the same warm runtime:
+    // submit WARM_BATCHES batches, drain, measure completed requests over
+    // the first-submit → last-completion wall clock.
+    let sched = SpiderScheduler::new(Arc::new(rt), SchedulerOptions::default());
+    for b in 0..WARM_BATCHES {
+        for req in build_batch(10_000 * (b as u64 + 1), 2) {
+            sched.submit(req).expect("Block policy admits everything");
+        }
+    }
+    let sched_report = sched.drain();
+    let sched_rps = sched_report.requests_per_sec();
+    let sched_queue = sched_report.queue.expect("drain attaches queue stats");
+    let stats = sched.runtime().cache_stats();
 
     let json = format!(
-        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"scheduler_requests_per_sec\": {:.3},\n  \"scheduler_mean_wait_ms\": {:.3},\n  \"scheduler_dispatch_waves\": {},\n  \"scheduler_coalesced_groups\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
         cold.outcomes.len(),
         WARM_BATCHES,
         cold.requests_per_sec(),
         warm_requests as f64 / warm_wall,
         warm_hit_rate,
         sim_gsps,
+        sched_rps,
+        sched_queue.mean_wait_s() * 1e3,
+        sched_queue.dispatch_waves,
+        sched_queue.coalesced_groups,
         stats.hits,
         stats.misses,
-        rt.cached_plans(),
-        rt.tuned_scenarios(),
+        sched.runtime().cached_plans(),
+        sched.runtime().tuned_scenarios(),
     );
     let path = std::env::var("BENCH_RUNTIME_JSON").unwrap_or_else(|_| "BENCH_runtime.json".into());
     std::fs::write(&path, &json).expect("write BENCH_runtime.json");

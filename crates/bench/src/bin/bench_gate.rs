@@ -1,0 +1,274 @@
+//! Bench regression gate: compare a freshly emitted `BENCH_runtime.json`
+//! against the committed baseline and fail on throughput regressions.
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json> [tolerance]
+//! ```
+//!
+//! Gated metrics are higher-is-better rates; the gate fails (exit code 1)
+//! when `candidate < baseline * (1 - tolerance)` for any of them. The
+//! default tolerance is 0.15 — a >15% warm-throughput drop blocks the PR.
+//! Metrics present in the candidate but not the baseline are reported as
+//! `new` and pass (the next baseline refresh starts gating them); metrics
+//! that *disappear* from the candidate fail, because a silently vanished
+//! number is indistinguishable from a regression nobody measured.
+//!
+//! The parser handles exactly the flat `{"key": number, ...}` shape the
+//! bench emits — no JSON dependency, the build image has no registry
+//! access.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Metrics the gate enforces (all higher-is-better).
+const GATED_METRICS: &[&str] = &["warm_requests_per_sec", "scheduler_requests_per_sec"];
+
+const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Parse a flat JSON object's numeric fields. Non-numeric values (e.g. the
+/// `"bench"` name string) are skipped.
+fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("not a JSON object (missing braces)")?;
+    let mut fields = BTreeMap::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("malformed pair: {pair:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key in pair: {pair:?}"))?;
+        if let Ok(number) = value.trim().parse::<f64>() {
+            fields.insert(key.to_string(), number);
+        }
+    }
+    Ok(fields)
+}
+
+enum Verdict {
+    Pass,
+    NewMetric,
+    Fail,
+}
+
+struct GateRow {
+    metric: String,
+    baseline: Option<f64>,
+    candidate: Option<f64>,
+    verdict: Verdict,
+}
+
+/// Evaluate the gate. Pure so the regression-injection tests below can
+/// exercise it without touching the filesystem.
+fn evaluate(
+    baseline: &BTreeMap<String, f64>,
+    candidate: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> Vec<GateRow> {
+    GATED_METRICS
+        .iter()
+        .map(|&metric| {
+            let b = baseline.get(metric).copied();
+            let c = candidate.get(metric).copied();
+            let verdict = match (b, c) {
+                (None, Some(_)) => Verdict::NewMetric,
+                (Some(b), Some(c)) if c >= b * (1.0 - tolerance) => Verdict::Pass,
+                // Missing from the candidate, or regressed past tolerance.
+                _ => Verdict::Fail,
+            };
+            GateRow {
+                metric: metric.to_string(),
+                baseline: b,
+                candidate: c,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+fn render(rows: &[GateRow], tolerance: f64) -> (String, bool) {
+    let mut out = String::new();
+    let mut failed = false;
+    out.push_str(&format!(
+        "bench gate (tolerance: {:.0}% regression)\n{:<32} {:>12} {:>12} {:>8}  verdict\n",
+        tolerance * 100.0,
+        "metric",
+        "baseline",
+        "candidate",
+        "delta"
+    ));
+    for row in rows {
+        let fmt = |v: Option<f64>| v.map_or("absent".to_string(), |v| format!("{v:.3}"));
+        let delta = match (row.baseline, row.candidate) {
+            (Some(b), Some(c)) if b > 0.0 => format!("{:+.1}%", (c / b - 1.0) * 100.0),
+            _ => "-".to_string(),
+        };
+        let verdict = match row.verdict {
+            Verdict::Pass => "PASS",
+            Verdict::NewMetric => "new (ungated until baselined)",
+            Verdict::Fail => {
+                failed = true;
+                "FAIL"
+            }
+        };
+        out.push_str(&format!(
+            "{:<32} {:>12} {:>12} {:>8}  {}\n",
+            row.metric,
+            fmt(row.baseline),
+            fmt(row.candidate),
+            delta,
+            verdict
+        ));
+    }
+    (out, failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (baseline_path, candidate_path) = match (args.get(1), args.get(2)) {
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            eprintln!("usage: bench_gate <baseline.json> <candidate.json> [tolerance]");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance = match args.get(3) {
+        None => DEFAULT_TOLERANCE,
+        Some(t) => match t.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!("tolerance must be a fraction in [0, 1), got {t:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let read = |path: &str| -> Result<BTreeMap<String, f64>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, candidate) = match (read(baseline_path), read(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench gate error: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let rows = evaluate(&baseline, &candidate, tolerance);
+    let (table, failed) = render(&rows, tolerance);
+    print!("{table}");
+    if failed {
+        eprintln!("bench gate: FAILED — throughput regressed past tolerance");
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate: OK");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> BTreeMap<String, f64> {
+        parse_flat_json(
+            r#"{
+  "bench": "runtime_throughput",
+  "warm_requests_per_sec": 100.000,
+  "scheduler_requests_per_sec": 80.000,
+  "cache_hits": 66
+}"#,
+        )
+        .unwrap()
+    }
+
+    fn with_throughput(warm: f64, sched: f64) -> BTreeMap<String, f64> {
+        let mut c = baseline();
+        c.insert("warm_requests_per_sec".into(), warm);
+        c.insert("scheduler_requests_per_sec".into(), sched);
+        c
+    }
+
+    fn failed(rows: &[GateRow]) -> Vec<&str> {
+        rows.iter()
+            .filter(|r| matches!(r.verdict, Verdict::Fail))
+            .map(|r| r.metric.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn parser_reads_the_bench_shape_and_skips_strings() {
+        let fields = baseline();
+        assert_eq!(fields["warm_requests_per_sec"], 100.0);
+        assert_eq!(fields["cache_hits"], 66.0);
+        assert!(!fields.contains_key("bench"), "string fields are skipped");
+        assert!(parse_flat_json("not json").is_err());
+    }
+
+    /// The acceptance check: an injected 20% slowdown must fail the gate.
+    #[test]
+    fn injected_20_percent_slowdown_fails() {
+        let candidate = with_throughput(80.0, 64.0); // both -20%
+        let rows = evaluate(&baseline(), &candidate, DEFAULT_TOLERANCE);
+        assert_eq!(
+            failed(&rows),
+            vec!["warm_requests_per_sec", "scheduler_requests_per_sec"]
+        );
+        let (table, any_failed) = render(&rows, DEFAULT_TOLERANCE);
+        assert!(any_failed);
+        assert!(table.contains("-20.0%"), "{table}");
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let rows = evaluate(&baseline(), &with_throughput(90.0, 70.0), DEFAULT_TOLERANCE);
+        assert!(failed(&rows).is_empty(), "-10%/-12.5% are inside 15%");
+        let rows = evaluate(
+            &baseline(),
+            &with_throughput(120.0, 90.0),
+            DEFAULT_TOLERANCE,
+        );
+        assert!(failed(&rows).is_empty(), "speedups always pass");
+    }
+
+    #[test]
+    fn exactly_at_tolerance_passes_and_just_past_fails() {
+        let rows = evaluate(&baseline(), &with_throughput(85.0, 68.0), DEFAULT_TOLERANCE);
+        assert!(failed(&rows).is_empty(), "boundary is inclusive");
+        let rows = evaluate(&baseline(), &with_throughput(84.9, 68.0), DEFAULT_TOLERANCE);
+        assert_eq!(failed(&rows), vec!["warm_requests_per_sec"]);
+    }
+
+    #[test]
+    fn vanished_metric_fails_but_new_metric_passes() {
+        let mut candidate = baseline();
+        candidate.remove("scheduler_requests_per_sec");
+        let rows = evaluate(&baseline(), &candidate, DEFAULT_TOLERANCE);
+        assert_eq!(failed(&rows), vec!["scheduler_requests_per_sec"]);
+
+        let mut old_baseline = baseline();
+        old_baseline.remove("scheduler_requests_per_sec");
+        let rows = evaluate(&old_baseline, &baseline(), DEFAULT_TOLERANCE);
+        assert!(failed(&rows).is_empty(), "new metrics are ungated");
+        assert!(rows.iter().any(|r| matches!(r.verdict, Verdict::NewMetric)));
+    }
+
+    #[test]
+    fn custom_tolerance_is_respected() {
+        let candidate = with_throughput(80.0, 64.0); // -20%
+        let rows = evaluate(&baseline(), &candidate, 0.25);
+        assert!(failed(&rows).is_empty(), "-20% passes a 25% gate");
+        let rows = evaluate(&baseline(), &candidate, 0.05);
+        assert_eq!(failed(&rows).len(), 2, "-20% fails a 5% gate");
+    }
+}

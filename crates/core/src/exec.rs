@@ -67,6 +67,26 @@ impl Default for ExecConfig {
     }
 }
 
+/// Observer driven by the coalesced batch entry points
+/// ([`SpiderExecutor::run_2d_coalesced`] / [`SpiderExecutor::run_1d_coalesced`]).
+///
+/// Grids in a coalesced batch execute strictly in input order; the hook fires
+/// once per grid, immediately after its last sweep, with the grid's index and
+/// merged report. This is the ordering/feedback channel a serving scheduler
+/// uses to observe per-request completion inside a plan-sharing batch without
+/// the executor knowing anything about requests.
+pub trait BatchFeedback {
+    /// Grid `index` finished all its sweeps with the given merged report.
+    fn on_grid_done(&mut self, index: usize, report: &KernelReport);
+}
+
+/// [`BatchFeedback`] that discards every notification.
+pub struct NoFeedback;
+
+impl BatchFeedback for NoFeedback {
+    fn on_grid_done(&mut self, _index: usize, _report: &KernelReport) {}
+}
+
 /// SPIDER's simulated-GPU executor.
 pub struct SpiderExecutor<'d> {
     device: &'d GpuDevice,
@@ -180,6 +200,52 @@ impl<'d> SpiderExecutor<'d> {
             });
         }
         Ok(report.expect("at least one step"))
+    }
+
+    /// Run a coalesced batch of 2D grids under one plan and one executor.
+    ///
+    /// This is the plan/executor-reuse primitive behind request coalescing:
+    /// a serving layer that has grouped requests by kernel fingerprint hands
+    /// the whole group to a single executor instead of constructing one per
+    /// request. Grids execute sequentially in input order (the executor is
+    /// stateless across grids, so each result is bit-identical to a separate
+    /// [`Self::run_2d`] call with the same configuration); `feedback` fires
+    /// after each grid completes. Results are delivered exclusively through
+    /// the hook — collect them with a [`BatchFeedback`] implementation.
+    ///
+    /// Fails fast: the first grid error aborts the batch (grids after it are
+    /// neither executed nor reported).
+    pub fn run_2d_coalesced(
+        &self,
+        plan: &SpiderPlan,
+        grids: &mut [Grid2D<f32>],
+        steps: usize,
+        feedback: &mut dyn BatchFeedback,
+    ) -> Result<(), String> {
+        for (index, grid) in grids.iter_mut().enumerate() {
+            let report = self
+                .run_2d(plan, grid, steps)
+                .map_err(|e| format!("coalesced grid {index}: {e}"))?;
+            feedback.on_grid_done(index, &report);
+        }
+        Ok(())
+    }
+
+    /// 1D counterpart of [`Self::run_2d_coalesced`].
+    pub fn run_1d_coalesced(
+        &self,
+        plan: &SpiderPlan,
+        grids: &mut [Grid1D<f32>],
+        steps: usize,
+        feedback: &mut dyn BatchFeedback,
+    ) -> Result<(), String> {
+        for (index, grid) in grids.iter_mut().enumerate() {
+            let report = self
+                .run_1d(plan, grid, steps)
+                .map_err(|e| format!("coalesced grid {index}: {e}"))?;
+            feedback.on_grid_done(index, &report);
+        }
+        Ok(())
     }
 
     /// Performance estimate for a (possibly huge) 2D problem: functionally
@@ -973,6 +1039,90 @@ mod tests {
             small.gstencils_per_sec(),
             large.gstencils_per_sec()
         );
+    }
+
+    /// [`BatchFeedback`] collector used by the coalesced-path tests.
+    #[derive(Default)]
+    struct Collect {
+        order: Vec<usize>,
+        reports: Vec<KernelReport>,
+    }
+
+    impl BatchFeedback for Collect {
+        fn on_grid_done(&mut self, index: usize, report: &KernelReport) {
+            self.order.push(index);
+            self.reports.push(report.clone());
+        }
+    }
+
+    #[test]
+    fn coalesced_2d_is_bit_identical_to_sequential_runs() {
+        let kernel = StencilKernel::random(StencilShape::box_2d(2), 120);
+        let dev = device();
+        let plan = SpiderPlan::compile(&kernel).unwrap();
+        let exec = SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized);
+        let inputs: Vec<Grid2D<f32>> = (0..4)
+            .map(|s| Grid2D::random(48 + s, 64, 2, 121 + s as u64))
+            .collect();
+        // Reference: one run_2d call per grid.
+        let mut expect = inputs.clone();
+        let mut expect_reports = Vec::new();
+        for g in &mut expect {
+            expect_reports.push(exec.run_2d(&plan, g, 2).unwrap());
+        }
+        // Coalesced: one executor, one call, feedback-driven results.
+        let mut grids = inputs;
+        let mut fb = Collect::default();
+        exec.run_2d_coalesced(&plan, &mut grids, 2, &mut fb)
+            .unwrap();
+        assert_eq!(fb.order, vec![0, 1, 2, 3], "input-order completion");
+        for (i, (got, want)) in grids.iter().zip(&expect).enumerate() {
+            assert_eq!(got.padded(), want.padded(), "grid {i} diverged");
+        }
+        for (got, want) in fb.reports.iter().zip(&expect_reports) {
+            assert_eq!(got.points, want.points);
+            assert_eq!(got.counters.mma_sparse_f16, want.counters.mma_sparse_f16);
+        }
+    }
+
+    #[test]
+    fn coalesced_1d_is_bit_identical_to_sequential_runs() {
+        let kernel = StencilKernel::random(StencilShape::d1(2), 130);
+        let dev = device();
+        let plan = SpiderPlan::compile(&kernel).unwrap();
+        let exec = SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized);
+        let inputs: Vec<Grid1D<f32>> = (0..3).map(|s| Grid1D::random(3000, 2, 131 + s)).collect();
+        let mut expect = inputs.clone();
+        for g in &mut expect {
+            exec.run_1d(&plan, g, 1).unwrap();
+        }
+        let mut grids = inputs;
+        let mut fb = Collect::default();
+        exec.run_1d_coalesced(&plan, &mut grids, 1, &mut fb)
+            .unwrap();
+        assert_eq!(fb.order, vec![0, 1, 2]);
+        for (got, want) in grids.iter().zip(&expect) {
+            assert_eq!(got.padded(), want.padded());
+        }
+    }
+
+    #[test]
+    fn coalesced_error_aborts_without_feedback_for_failed_grid() {
+        let kernel = StencilKernel::random(StencilShape::box_2d(3), 140);
+        let dev = device();
+        let plan = SpiderPlan::compile(&kernel).unwrap();
+        let exec = SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized);
+        // Second grid's halo is too small for radius 3.
+        let mut grids = vec![
+            Grid2D::random(32, 32, 3, 141),
+            Grid2D::random(32, 32, 1, 142),
+        ];
+        let mut fb = Collect::default();
+        let err = exec
+            .run_2d_coalesced(&plan, &mut grids, 1, &mut fb)
+            .unwrap_err();
+        assert!(err.contains("coalesced grid 1"), "{err}");
+        assert_eq!(fb.order, vec![0], "only the completed grid reported");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod row_swap;
 pub mod swap;
 pub mod tiling;
 
-pub use exec::{ExecConfig, ExecMode, SpiderExecutor};
+pub use exec::{BatchFeedback, ExecConfig, ExecMode, NoFeedback, SpiderExecutor};
 pub use plan::SpiderPlan;
 pub use row_swap::RowSwapStrategy;
 pub use swap::SwapParity;

@@ -3,7 +3,7 @@
 //! A warp access is serviced in *waves*. Lanes hitting different words in the
 //! same bank serialize into extra waves (bank conflicts); lanes reading the
 //! same word broadcast within one wave. The paper's Table 3 argues SPIDER's
-//! row swapping "prevent[s] the introduction of additional bank conflicts" —
+//! row swapping "prevent\[s\] the introduction of additional bank conflicts" —
 //! this model is what lets the reproduction check that claim.
 
 use crate::counters::PerfCounters;

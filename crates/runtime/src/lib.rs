@@ -59,6 +59,16 @@
 //!   ([`SpiderRuntime::run_batch`]): requests are grouped by plan key so one
 //!   group member pays compile+tune and the rest hit, then fanned across a
 //!   worker pool; results aggregate into a [`report::RuntimeReport`].
+//! * [`scheduler::SpiderScheduler`] — the async front end: `submit` returns
+//!   a [`scheduler::Ticket`] immediately, `poll` reports progress, `drain`
+//!   blocks until quiescence. A bounded admission queue applies a
+//!   [`scheduler::BackpressurePolicy`] (`Block`/`Reject`/
+//!   `ShedLowestPriority`); requests carry a [`request::Priority`] (aged to
+//!   prevent starvation) and an optional [`request::Deadline`] (expired
+//!   requests never execute). Each dispatch wave coalesces the
+//!   top-priority cohort by plan key through [`SpiderRuntime::run_group`],
+//!   which shares one executor per exec-key subgroup via the
+//!   `spider_core` coalesced entry points.
 //!
 //! ## Quickstart
 //!
@@ -82,10 +92,14 @@ pub mod cache;
 pub mod report;
 pub mod request;
 pub mod runtime;
+pub mod scheduler;
 pub mod tuner;
 
 pub use cache::{CacheStats, PlanCache};
-pub use report::{RequestOutcome, RuntimeReport};
-pub use request::{GridSpec, StencilRequest};
+pub use report::{QueueStats, RequestOutcome, RuntimeReport};
+pub use request::{Deadline, GridSpec, Priority, StencilRequest};
 pub use runtime::{output_checksum, RuntimeError, RuntimeOptions, SpiderRuntime};
+pub use scheduler::{
+    BackpressurePolicy, RequestStatus, SchedulerOptions, SpiderScheduler, SubmitError, Ticket,
+};
 pub use tuner::{AutoTuner, TuneOutcome};

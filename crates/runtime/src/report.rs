@@ -17,6 +17,9 @@ pub struct RequestOutcome {
     pub tuned: bool,
     /// Whether the tuner outcome was served from its memo table.
     pub tuner_memo_hit: bool,
+    /// Whether the request executed through a shared (coalesced) executor
+    /// alongside at least one other request with the same plan and exec key.
+    pub coalesced: bool,
     /// The tiling the request executed with.
     pub tiling: TilingConfig,
     /// Simulated-GPU execution report (all sweeps merged).
@@ -26,7 +29,51 @@ pub struct RequestOutcome {
     pub checksum: u64,
 }
 
-/// Aggregate of one [`crate::SpiderRuntime::run_batch`] call.
+/// Admission-queue counters attached to a scheduler drain report.
+///
+/// All counters are cumulative since the scheduler was constructed. Wait
+/// times measure submission → dispatch (queueing delay only, not execution).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueueStats {
+    /// Tickets admitted to the queue (excludes rejected submissions).
+    pub submitted: u64,
+    /// Tickets that executed and produced an outcome.
+    pub completed: u64,
+    /// Tickets that executed and failed.
+    pub failed: u64,
+    /// Tickets evicted by the `ShedLowestPriority` backpressure policy.
+    pub shed: u64,
+    /// Tickets whose deadline passed before dispatch (never executed).
+    pub expired: u64,
+    /// Submissions refused outright by the `Reject` backpressure policy.
+    pub rejected: u64,
+    /// Highest queued-request count observed.
+    pub max_depth: usize,
+    /// Dispatch waves the scheduler ran (one wave = one top-priority cohort).
+    pub dispatch_waves: u64,
+    /// Plan-key groups executed across all waves.
+    pub coalesced_groups: u64,
+    /// Total queueing delay across dispatched tickets, seconds.
+    pub total_wait_s: f64,
+    /// Worst single-ticket queueing delay, seconds.
+    pub max_wait_s: f64,
+}
+
+impl QueueStats {
+    /// Mean queueing delay per dispatched ticket (0 when nothing was
+    /// dispatched — a fully shed/expired queue must not divide by zero).
+    pub fn mean_wait_s(&self) -> f64 {
+        let dispatched = self.completed + self.failed;
+        if dispatched == 0 {
+            0.0
+        } else {
+            self.total_wait_s / dispatched as f64
+        }
+    }
+}
+
+/// Aggregate of one [`crate::SpiderRuntime::run_batch`] call or one
+/// [`crate::SpiderScheduler::drain`].
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
     /// Per-request outcomes, in submission order.
@@ -37,12 +84,15 @@ pub struct RuntimeReport {
     pub wall_s: f64,
     /// Plan-cache counters *after* this batch (cumulative for the runtime).
     pub cache: CacheStats,
+    /// Admission-queue counters — `Some` only for scheduler drain reports
+    /// (the blocking `run_batch` path has no queue).
+    pub queue: Option<QueueStats>,
 }
 
 impl RuntimeReport {
     /// Completed requests per host wall-clock second.
     pub fn requests_per_sec(&self) -> f64 {
-        if self.wall_s <= 0.0 {
+        if self.wall_s <= 0.0 || self.outcomes.is_empty() {
             return 0.0;
         }
         self.outcomes.len() as f64 / self.wall_s
@@ -64,12 +114,32 @@ impl RuntimeReport {
     }
 
     /// Fraction of this batch's plan lookups that hit the cache.
+    ///
+    /// A batch that executed zero requests — every submission shed, expired
+    /// or rejected — performed zero plan lookups; its hit rate is defined as
+    /// 0 rather than the NaN a naive `0 / 0` would produce.
     pub fn batch_hit_rate(&self) -> f64 {
         if self.outcomes.is_empty() {
             return 0.0;
         }
         let hits = self.outcomes.iter().filter(|o| o.cache_hit).count();
         hits as f64 / self.outcomes.len() as f64
+    }
+
+    /// Whether every derived rate in this report is a finite number —
+    /// the invariant the 0-request guards exist to uphold.
+    pub fn rates_are_finite(&self) -> bool {
+        let mut rates = vec![
+            self.requests_per_sec(),
+            self.simulated_gstencils_per_sec(),
+            self.batch_hit_rate(),
+            self.cache.hit_rate(),
+        ];
+        if let Some(q) = &self.queue {
+            rates.push(q.mean_wait_s());
+            rates.push(q.max_wait_s);
+        }
+        rates.iter().all(|r| r.is_finite())
     }
 
     /// Render a summary table plus aggregate lines.
@@ -105,6 +175,63 @@ impl RuntimeReport {
             self.cache.misses,
             self.cache.evictions,
         ));
+        if let Some(q) = &self.queue {
+            out.push_str(&format!(
+                "queue: {} submitted | {} shed | {} expired | {} rejected | max depth {} | {} waves / {} groups | wait mean {:.3}ms max {:.3}ms\n",
+                q.submitted,
+                q.shed,
+                q.expired,
+                q.rejected,
+                q.max_depth,
+                q.dispatch_waves,
+                q.coalesced_groups,
+                q.mean_wait_s() * 1e3,
+                q.max_wait_s * 1e3,
+            ));
+        }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: a batch where everything was shed/expired has
+    /// zero outcomes, and no derived rate may be NaN (hit rate = 0/0 guard).
+    #[test]
+    fn fully_shed_report_has_finite_rates() {
+        let report = RuntimeReport {
+            outcomes: Vec::new(),
+            failures: Vec::new(),
+            wall_s: 0.01,
+            cache: CacheStats::default(),
+            queue: Some(QueueStats {
+                submitted: 4,
+                shed: 2,
+                expired: 2,
+                max_depth: 4,
+                ..QueueStats::default()
+            }),
+        };
+        assert!(report.rates_are_finite());
+        assert_eq!(report.batch_hit_rate(), 0.0);
+        assert_eq!(report.requests_per_sec(), 0.0);
+        assert_eq!(report.queue.unwrap().mean_wait_s(), 0.0);
+        let text = report.render();
+        assert!(!text.contains("NaN"), "render leaked a NaN:\n{text}");
+        assert!(text.contains("2 expired"));
+    }
+
+    #[test]
+    fn zero_wall_clock_report_has_finite_rates() {
+        let report = RuntimeReport {
+            outcomes: Vec::new(),
+            failures: vec![(7, "boom".into())],
+            wall_s: 0.0,
+            cache: CacheStats::default(),
+            queue: None,
+        };
+        assert!(report.rates_are_finite());
     }
 }

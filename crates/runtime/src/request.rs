@@ -1,12 +1,96 @@
 //! Serving-side request and grid descriptors.
 
+use std::time::{Duration, Instant};
+
 use spider_core::ExecMode;
 use spider_stencil::{Grid1D, Grid2D, StencilKernel};
+
+/// Scheduling priority of a request. Only the async scheduler consults it —
+/// the blocking [`crate::SpiderRuntime::run_batch`] path executes everything
+/// it is handed regardless.
+///
+/// The numeric levels double as the aging lattice: a queued request's
+/// *effective* priority is its base level plus one per elapsed aging step,
+/// capped at [`Priority::High`], so starved low-priority work eventually
+/// competes at the top (ties broken oldest-first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    Low,
+    #[default]
+    Normal,
+    High,
+}
+
+impl Priority {
+    /// Numeric level (`Low` = 0 … `High` = 2) used by priority aging.
+    pub fn level(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    /// The priority at numeric `level`, saturating at [`Priority::High`].
+    pub fn from_level(level: u8) -> Self {
+        match level {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            _ => Priority::High,
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::Low => write!(f, "low"),
+            Priority::Normal => write!(f, "normal"),
+            Priority::High => write!(f, "high"),
+        }
+    }
+}
+
+/// Absolute completion deadline for a request.
+///
+/// A request whose deadline has passed when the scheduler would dispatch it
+/// (or when it is polled while still queued) completes as
+/// [`crate::RequestStatus::Expired`] *without executing* — no plan compile,
+/// no tuning, no simulated sweeps — and the drain report counts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// Deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at }
+    }
+
+    /// Deadline `budget` from now (`Duration::ZERO` = already expired — the
+    /// deterministic way to exercise the expiry path in tests and demos).
+    pub fn within(budget: Duration) -> Self {
+        Self {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// The absolute instant after which the request must not execute.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+
+    /// Whether the deadline has passed as of `now`.
+    pub fn is_expired_at(&self, now: Instant) -> bool {
+        now >= self.at
+    }
+}
 
 /// The grid a request sweeps over. Requests describe grids by extent + seed
 /// rather than carrying data so a queue of millions stays cheap to hold;
 /// materialization happens on the worker that executes the request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GridSpec {
     /// A 1D line of `len` points.
     D1 { len: usize },
@@ -50,6 +134,10 @@ pub struct StencilRequest {
     pub mode: ExecMode,
     /// Seed for the deterministic initial grid contents.
     pub seed: u64,
+    /// Scheduling priority (async scheduler only; see [`Priority`]).
+    pub priority: Priority,
+    /// Optional completion deadline (async scheduler only; see [`Deadline`]).
+    pub deadline: Option<Deadline>,
 }
 
 impl StencilRequest {
@@ -62,6 +150,8 @@ impl StencilRequest {
             steps: 1,
             mode: ExecMode::SparseTcOptimized,
             seed: id,
+            priority: Priority::Normal,
+            deadline: None,
         }
     }
 
@@ -74,6 +164,8 @@ impl StencilRequest {
             steps: 1,
             mode: ExecMode::SparseTcOptimized,
             seed: id,
+            priority: Priority::Normal,
+            deadline: None,
         }
     }
 
@@ -93,16 +185,37 @@ impl StencilRequest {
         self
     }
 
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// The plan-cache key this request resolves to: the kernel's content
     /// fingerprint folded with the execution mode (the cache stores one
     /// entry per (coefficients, shape, mode) as the runtime's unit of reuse).
     pub fn plan_key(&self) -> u64 {
-        let mode_tag: u64 = match self.mode {
+        (self.kernel.fingerprint() ^ Self::mode_tag(self.mode)).wrapping_mul(0x100000001b3)
+    }
+
+    /// Within a plan-key group, requests with equal exec keys (grid extent,
+    /// mode, sweep count) share one tuned tiling and therefore one configured
+    /// executor — the unit of coalescing in
+    /// [`crate::SpiderRuntime::run_group`].
+    pub fn exec_key(&self) -> (GridSpec, u64, usize) {
+        (self.grid, Self::mode_tag(self.mode), self.steps)
+    }
+
+    fn mode_tag(mode: ExecMode) -> u64 {
+        match mode {
             ExecMode::DenseTc => 0xD1,
             ExecMode::SparseTc => 0x51,
             ExecMode::SparseTcOptimized => 0x50,
-        };
-        (self.kernel.fingerprint() ^ mode_tag).wrapping_mul(0x100000001b3)
+        }
     }
 
     /// Scenario label for reports, e.g. `Box-2D2R@4096x2048`.
@@ -185,6 +298,60 @@ mod tests {
         assert!(StencilRequest::new_1d(1, k1.clone(), 1000).dims_consistent());
         assert!(!StencilRequest::new_2d(2, k1, 32, 32).dims_consistent());
         assert!(StencilRequest::new_2d(3, k2, 32, 32).dims_consistent());
+    }
+
+    #[test]
+    fn priority_lattice_round_trips_and_orders() {
+        assert!(Priority::High > Priority::Normal && Priority::Normal > Priority::Low);
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert_eq!(Priority::from_level(p.level()), p);
+        }
+        // Aging saturates at High.
+        assert_eq!(Priority::from_level(9), Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn deadlines_expire_exactly_at_their_instant() {
+        let now = Instant::now();
+        let d = Deadline::at(now + Duration::from_secs(3600));
+        assert!(!d.is_expired_at(now));
+        assert!(d.is_expired_at(now + Duration::from_secs(3600)));
+        assert!(Deadline::within(Duration::ZERO).is_expired_at(Instant::now()));
+        // Priority/deadline must not leak into the plan identity.
+        let k = StencilKernel::jacobi_2d();
+        let plain = StencilRequest::new_2d(1, k.clone(), 64, 64);
+        let urgent = StencilRequest::new_2d(1, k, 64, 64)
+            .with_priority(Priority::High)
+            .with_deadline(Deadline::within(Duration::from_secs(1)));
+        assert_eq!(plain.plan_key(), urgent.plan_key());
+        assert_eq!(plain.exec_key(), urgent.exec_key());
+    }
+
+    #[test]
+    fn exec_keys_split_on_grid_mode_and_steps() {
+        let k = StencilKernel::gaussian_2d(1);
+        let base = StencilRequest::new_2d(1, k.clone(), 128, 128);
+        assert_eq!(
+            base.exec_key(),
+            StencilRequest::new_2d(2, k.clone(), 128, 128).exec_key()
+        );
+        assert_ne!(
+            base.exec_key(),
+            StencilRequest::new_2d(3, k.clone(), 128, 64).exec_key()
+        );
+        assert_ne!(
+            base.exec_key(),
+            StencilRequest::new_2d(4, k.clone(), 128, 128)
+                .with_mode(ExecMode::DenseTc)
+                .exec_key()
+        );
+        assert_ne!(
+            base.exec_key(),
+            StencilRequest::new_2d(5, k, 128, 128)
+                .with_steps(3)
+                .exec_key()
+        );
     }
 
     #[test]

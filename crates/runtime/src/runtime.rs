@@ -2,12 +2,13 @@
 //! scheduler behind one handle.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use spider_core::exec::{ExecConfig, SpiderExecutor};
-use spider_core::plan::PlanError;
+use spider_core::exec::{BatchFeedback, ExecConfig, SpiderExecutor};
+use spider_core::plan::{PlanError, SpiderPlan};
 use spider_core::tiling::TilingConfig;
+use spider_gpu_sim::timing::KernelReport;
 use spider_gpu_sim::GpuDevice;
 
 use crate::cache::{CacheStats, PlanCache};
@@ -144,14 +145,7 @@ impl SpiderRuntime {
         let plan_key = req.plan_key();
         let (plan, cache_hit) = self.cache.get_or_compile(plan_key, &req.kernel)?;
 
-        let (tiling, tuned, tuner_memo_hit) = if self.options.autotune {
-            let t = self
-                .tuner
-                .tune(&self.device, &plan, req.mode, req.grid, plan_key);
-            (t.tiling, true, t.memoized)
-        } else {
-            (TilingConfig::default(), false, false)
-        };
+        let (tiling, tuned, tuner_memo_hit) = self.select_tiling(&plan, req, plan_key);
 
         let config = ExecConfig {
             tiling,
@@ -180,10 +174,180 @@ impl SpiderRuntime {
             cache_hit,
             tuned,
             tuner_memo_hit,
+            coalesced: false,
             tiling,
             report,
             checksum,
         })
+    }
+
+    /// Resolve the tiling for a request against an already-compiled plan.
+    fn select_tiling(
+        &self,
+        plan: &SpiderPlan,
+        req: &StencilRequest,
+        plan_key: u64,
+    ) -> (TilingConfig, bool, bool) {
+        if self.options.autotune {
+            let t = self
+                .tuner
+                .tune(&self.device, plan, req.mode, req.grid, plan_key);
+            (t.tiling, true, t.memoized)
+        } else {
+            (TilingConfig::default(), false, false)
+        }
+    }
+
+    /// Execute a plan-key-coalesced group of requests through shared
+    /// executors.
+    ///
+    /// All requests must resolve to the same [`StencilRequest::plan_key`]
+    /// (debug-asserted). The group pays one plan resolution, then splits into
+    /// [`StencilRequest::exec_key`] subgroups — same grid extent, mode and
+    /// sweep count, hence same tuned tiling — and each subgroup runs through
+    /// *one* configured [`SpiderExecutor`] via the core coalesced entry
+    /// points ([`SpiderExecutor::run_2d_coalesced`]), with a
+    /// [`spider_core::BatchFeedback`] hook collecting per-grid reports in
+    /// completion order. Plan lookups are still recorded per request so
+    /// cache statistics stay comparable with [`Self::run_batch`].
+    ///
+    /// Results come back in input order and are bit-identical to what
+    /// [`Self::execute`] produces for each request alone: the executor holds
+    /// no cross-grid state, so sharing it cannot change a single output bit
+    /// (the scheduler property tests pin this down).
+    pub fn run_group(
+        &self,
+        requests: &[StencilRequest],
+    ) -> Vec<Result<RequestOutcome, RuntimeError>> {
+        /// Feedback hook: collects each grid's merged report, in order.
+        #[derive(Default)]
+        struct Collect {
+            reports: Vec<KernelReport>,
+        }
+        impl BatchFeedback for Collect {
+            fn on_grid_done(&mut self, _index: usize, report: &KernelReport) {
+                self.reports.push(report.clone());
+            }
+        }
+
+        let mut results: Vec<Option<Result<RequestOutcome, RuntimeError>>> =
+            (0..requests.len()).map(|_| None).collect();
+
+        // Per-request plan lookups (hit/miss parity with `run_batch`); the
+        // compiled Arc is shared across the group after the first success.
+        let mut plan: Option<Arc<SpiderPlan>> = None;
+        let mut lookups: Vec<Option<bool>> = vec![None; requests.len()];
+        let group_key = requests.first().map(|r| r.plan_key());
+        for (i, req) in requests.iter().enumerate() {
+            debug_assert_eq!(
+                Some(req.plan_key()),
+                group_key,
+                "run_group requires a single plan key"
+            );
+            if !req.dims_consistent() {
+                results[i] = Some(Err(RuntimeError::DimensionMismatch {
+                    id: req.id,
+                    scenario: req.scenario(),
+                }));
+                continue;
+            }
+            match self.cache.get_or_compile(req.plan_key(), &req.kernel) {
+                Ok((p, hit)) => {
+                    plan = Some(p);
+                    lookups[i] = Some(hit);
+                }
+                Err(e) => results[i] = Some(Err(e.into())),
+            }
+        }
+        let Some(plan) = plan else {
+            return results
+                .into_iter()
+                .map(|r| r.expect("all failed"))
+                .collect();
+        };
+
+        // Subgroup by exec key; keys sort deterministically.
+        let mut order: Vec<usize> = (0..requests.len())
+            .filter(|&i| lookups[i].is_some())
+            .collect();
+        order.sort_by_key(|&i| (requests[i].exec_key(), i));
+
+        let mut start = 0;
+        while start < order.len() {
+            let key = requests[order[start]].exec_key();
+            let mut end = start + 1;
+            while end < order.len() && requests[order[end]].exec_key() == key {
+                end += 1;
+            }
+            let members = &order[start..end];
+            let head = &requests[members[0]];
+            let (tiling, tuned, head_memo_hit) = self.select_tiling(&plan, head, head.plan_key());
+            let exec = SpiderExecutor::with_config(
+                &self.device,
+                head.mode,
+                ExecConfig {
+                    tiling,
+                    ..ExecConfig::default()
+                },
+            );
+            let coalesced = members.len() > 1;
+            let mut fb = Collect::default();
+            let run = match head.grid {
+                GridSpec::D1 { .. } => {
+                    let mut grids: Vec<_> = members
+                        .iter()
+                        .map(|&i| requests[i].materialize_1d())
+                        .collect();
+                    let r = exec.run_1d_coalesced(&plan, &mut grids, head.steps, &mut fb);
+                    r.map(|()| grids.iter().map(|g| output_checksum(g.padded())).collect())
+                }
+                GridSpec::D2 { .. } => {
+                    let mut grids: Vec<_> = members
+                        .iter()
+                        .map(|&i| requests[i].materialize_2d())
+                        .collect();
+                    let r = exec.run_2d_coalesced(&plan, &mut grids, head.steps, &mut fb);
+                    r.map(|()| grids.iter().map(|g| output_checksum(g.padded())).collect())
+                }
+            };
+            match run {
+                Ok(checksums) => {
+                    let checksums: Vec<u64> = checksums;
+                    for (slot, &i) in members.iter().enumerate() {
+                        let req = &requests[i];
+                        // Memo-hit parity with `execute`: the head's tune
+                        // call reports whether the memo was already warm;
+                        // every later member hits the entry that call
+                        // guaranteed (the tuner memoizes per plan/grid/mode,
+                        // and the subgroup shares all three).
+                        let memo_hit = slot > 0 || head_memo_hit;
+                        results[i] = Some(Ok(RequestOutcome {
+                            id: req.id,
+                            scenario: req.scenario(),
+                            cache_hit: lookups[i].expect("looked up"),
+                            tuned,
+                            tuner_memo_hit: tuned && memo_hit,
+                            coalesced,
+                            tiling,
+                            report: fb.reports[slot].clone(),
+                            checksum: checksums[slot],
+                        }));
+                    }
+                }
+                Err(e) => {
+                    // A shared-executor failure is attributed to every
+                    // member: the whole subgroup ran under one launch plan.
+                    for &i in members {
+                        results[i] = Some(Err(RuntimeError::Exec(e.clone())));
+                    }
+                }
+            }
+            start = end;
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect()
     }
 
     /// Execute a heterogeneous batch across the worker pool.
@@ -244,6 +408,7 @@ impl SpiderRuntime {
             failures,
             wall_s: start.elapsed().as_secs_f64(),
             cache: self.cache.stats(),
+            queue: None,
         }
     }
 }
@@ -420,6 +585,79 @@ mod tests {
         assert!(sparse.report.counters.mma_sparse_f16 > 0);
         // Different modes are different cache entries.
         assert_eq!(rt.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn run_group_is_bit_identical_to_execute() {
+        let rt = runtime();
+        let k = StencilKernel::gaussian_2d(2);
+        // Three exec-key subgroups under one plan key: two 96x128 copies,
+        // one 64x64, two 96x128 with 2 sweeps.
+        let group: Vec<StencilRequest> = vec![
+            StencilRequest::new_2d(1, k.clone(), 96, 128).with_seed(11),
+            StencilRequest::new_2d(2, k.clone(), 96, 128).with_seed(22),
+            StencilRequest::new_2d(3, k.clone(), 64, 64).with_seed(33),
+            StencilRequest::new_2d(4, k.clone(), 96, 128)
+                .with_steps(2)
+                .with_seed(44),
+            StencilRequest::new_2d(5, k.clone(), 96, 128)
+                .with_steps(2)
+                .with_seed(55),
+        ];
+        let grouped = rt.run_group(&group);
+        // A fresh runtime, request by request.
+        let solo_rt = runtime();
+        for (req, res) in group.iter().zip(&grouped) {
+            let got = res.as_ref().expect("group member succeeded");
+            let want = solo_rt.execute(req).unwrap();
+            assert_eq!(got.checksum, want.checksum, "request {} diverged", req.id);
+            assert_eq!(got.tiling, want.tiling);
+            assert_eq!(got.id, req.id);
+            assert_eq!(
+                got.tuner_memo_hit, want.tuner_memo_hit,
+                "memo-hit accounting diverged on request {}",
+                req.id
+            );
+        }
+        // Subgroups of size >1 are flagged coalesced; the singleton is not.
+        assert!(grouped[0].as_ref().unwrap().coalesced);
+        assert!(grouped[1].as_ref().unwrap().coalesced);
+        assert!(!grouped[2].as_ref().unwrap().coalesced);
+        assert!(grouped[3].as_ref().unwrap().coalesced);
+    }
+
+    #[test]
+    fn run_group_records_per_request_cache_lookups() {
+        let rt = runtime();
+        let k = StencilKernel::jacobi_2d();
+        let group: Vec<StencilRequest> = (0..3)
+            .map(|i| StencilRequest::new_2d(i, k.clone(), 64, 64).with_seed(i))
+            .collect();
+        let results = rt.run_group(&group);
+        assert!(!results[0].as_ref().unwrap().cache_hit);
+        assert!(results[1].as_ref().unwrap().cache_hit);
+        assert!(results[2].as_ref().unwrap().cache_hit);
+        // Same lookup accounting as run_batch: one miss, n-1 hits.
+        assert_eq!(rt.cache_stats().misses, 1);
+        assert_eq!(rt.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn run_group_isolates_dimension_mismatches() {
+        let rt = runtime();
+        let k1 = StencilKernel::wave_1d(2);
+        let group = vec![
+            StencilRequest::new_1d(1, k1.clone(), 10_000),
+            StencilRequest::new_2d(2, k1.clone(), 32, 32), // wrong dims
+            StencilRequest::new_1d(3, k1, 10_000).with_seed(9),
+        ];
+        let results = rt.run_group(&group);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(RuntimeError::DimensionMismatch { id: 2, .. })
+        ));
+        assert!(results[2].is_ok());
     }
 
     #[test]

@@ -1,0 +1,929 @@
+//! Async submit/poll scheduler: the non-blocking front door of the runtime.
+//!
+//! [`SpiderRuntime::run_batch`] is a synchronous API — the caller hands over
+//! a batch and blocks until the slowest request finishes. A serving
+//! deployment absorbing heterogeneous traffic needs the opposite shape:
+//! callers *submit* requests and get back a [`Ticket`] immediately, *poll*
+//! for status, and a background dispatcher decides what runs when. This
+//! module provides that layer:
+//!
+//! * **Bounded admission queue** with a configurable
+//!   [`BackpressurePolicy`]: `Block` the submitter, `Reject` the submission,
+//!   or `ShedLowestPriority` — evict the least important queued request to
+//!   make room.
+//! * **Priorities with aging**: requests carry a [`Priority`]; a queued
+//!   request's *effective* priority rises one level per elapsed
+//!   [`SchedulerOptions::aging_step`], capped at `High`, so low-priority
+//!   work is delayed under load but never starved.
+//! * **Deadlines**: a request whose [`crate::Deadline`] passes before
+//!   dispatch completes as [`RequestStatus::Expired`] without executing —
+//!   no plan compile, no tuning, no simulated sweeps — and the drain report
+//!   counts it.
+//! * **Plan-key coalescing**: each dispatch wave takes the entire
+//!   top-effective-priority cohort, groups it by
+//!   [`StencilRequest::plan_key`], and executes the groups through
+//!   [`SpiderRuntime::run_group`] — one plan resolution and one configured
+//!   executor per exec-key subgroup (the `spider_core` coalesced entry
+//!   points). Requests below the top priority never ride along: strict
+//!   priority ordering wins over batching greed, and stragglers still hit
+//!   the plan cache when their turn comes.
+//!
+//! ## Ordering guarantees
+//!
+//! Waves are serialized: every request of a higher effective priority
+//! completes before any request of a lower one starts (aging aside). Within
+//! a wave, groups execute across a small worker pool; with
+//! `SchedulerOptions { workers: 1, .. }` group completion order is
+//! deterministic (cohort submission order) — the configuration the property
+//! tests and the demo use.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::report::{QueueStats, RequestOutcome, RuntimeReport};
+use crate::request::{Priority, StencilRequest};
+use crate::runtime::SpiderRuntime;
+
+/// What `submit` does when the admission queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the submitting thread until a slot frees up.
+    #[default]
+    Block,
+    /// Refuse the submission with [`SubmitError::QueueFull`].
+    Reject,
+    /// Evict the queued request with the lowest effective priority (ties:
+    /// youngest goes) and admit the newcomer. If the newcomer itself is the
+    /// least important, it is shed on arrival instead — its ticket
+    /// immediately polls as [`RequestStatus::Shed`].
+    ShedLowestPriority,
+}
+
+/// Construction-time knobs for [`SpiderScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerOptions {
+    /// Maximum queued (not yet dispatched) requests.
+    pub queue_capacity: usize,
+    /// What `submit` does when the queue is full.
+    pub policy: BackpressurePolicy,
+    /// Queued requests gain one priority level per elapsed step (capped at
+    /// [`Priority::High`]); `None` disables aging.
+    pub aging_step: Option<Duration>,
+    /// Start with dispatch paused: submissions queue up until
+    /// [`SpiderScheduler::resume`]. Lets tests and demos saturate the queue
+    /// deterministically before anything runs.
+    pub start_paused: bool,
+    /// Worker threads per dispatch wave (parallelism across plan-key
+    /// groups); `0` = half the available cores, `1` = deterministic group
+    /// ordering.
+    pub workers: usize,
+    /// Cap on requests coalesced into one plan-key group per wave
+    /// (`0` = unlimited).
+    pub max_coalesce: usize,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            policy: BackpressurePolicy::Block,
+            aging_step: Some(Duration::from_millis(250)),
+            start_paused: false,
+            workers: 0,
+            max_coalesce: 0,
+        }
+    }
+}
+
+/// Opaque handle to a submitted request, returned by
+/// [`SpiderScheduler::submit`] and consumed by [`SpiderScheduler::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket {
+    seq: u64,
+}
+
+impl Ticket {
+    /// Monotonic submission sequence number (also the drain-report order).
+    pub fn id(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Where a submitted request currently stands.
+#[derive(Debug, Clone)]
+pub enum RequestStatus {
+    /// Waiting in the admission queue.
+    Queued {
+        /// Position in the queue (0 = oldest).
+        position: usize,
+        /// Priority after aging, as of this poll.
+        effective_priority: Priority,
+    },
+    /// Dispatched and executing.
+    Running,
+    /// Executed successfully.
+    Done(Box<RequestOutcome>),
+    /// Executed and failed (plan compile error, dimension mismatch, ...).
+    Failed(String),
+    /// Evicted by the `ShedLowestPriority` backpressure policy.
+    Shed,
+    /// Deadline passed before dispatch; the request never executed.
+    Expired,
+    /// The ticket is not from this scheduler.
+    Unknown,
+}
+
+impl RequestStatus {
+    /// Whether the request has reached a final state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            RequestStatus::Done(_)
+                | RequestStatus::Failed(_)
+                | RequestStatus::Shed
+                | RequestStatus::Expired
+        )
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `Reject` policy and the queue is at capacity.
+    QueueFull { capacity: usize },
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests)")
+            }
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Internal per-ticket state (the non-public side of [`RequestStatus`]).
+#[derive(Debug)]
+enum Slot {
+    Queued,
+    Running,
+    Done(Box<RequestOutcome>),
+    Failed(String),
+    Shed,
+    Expired,
+}
+
+struct SlotEntry {
+    /// The caller's request id, echoed into drain-report failures.
+    req_id: u64,
+    slot: Slot,
+}
+
+struct QueuedEntry {
+    ticket: u64,
+    req: StencilRequest,
+    submitted: Instant,
+}
+
+struct State {
+    queue: Vec<QueuedEntry>,
+    slots: HashMap<u64, SlotEntry>,
+    next_ticket: u64,
+    paused: bool,
+    shutdown: bool,
+    /// Tickets dispatched and currently executing.
+    running: usize,
+    stats: QueueStats,
+    /// Tickets in the order they reached a terminal state.
+    completion_order: Vec<u64>,
+    first_submit: Option<Instant>,
+    last_terminal: Option<Instant>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals the dispatcher: work queued / resumed / shutdown.
+    work: Condvar,
+    /// Signals blocked submitters: queue space freed.
+    space: Condvar,
+    /// Signals drainers: a ticket reached a terminal state.
+    idle: Condvar,
+}
+
+/// The async serving front end. See the module docs for semantics.
+pub struct SpiderScheduler {
+    shared: Arc<Shared>,
+    runtime: Arc<SpiderRuntime>,
+    options: SchedulerOptions,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl SpiderScheduler {
+    pub fn new(runtime: Arc<SpiderRuntime>, options: SchedulerOptions) -> Self {
+        assert!(
+            options.queue_capacity >= 1,
+            "scheduler queue capacity must be at least 1"
+        );
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: Vec::new(),
+                slots: HashMap::new(),
+                next_ticket: 0,
+                paused: options.start_paused,
+                shutdown: false,
+                running: 0,
+                stats: QueueStats::default(),
+                completion_order: Vec::new(),
+                first_submit: None,
+                last_terminal: None,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let runtime = Arc::clone(&runtime);
+            std::thread::spawn(move || dispatcher_loop(&shared, &runtime, options))
+        };
+        Self {
+            shared,
+            runtime,
+            options,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// A scheduler with default options over a freshly wrapped runtime.
+    pub fn with_defaults(runtime: SpiderRuntime) -> Self {
+        Self::new(Arc::new(runtime), SchedulerOptions::default())
+    }
+
+    /// The runtime this scheduler dispatches onto.
+    pub fn runtime(&self) -> &SpiderRuntime {
+        &self.runtime
+    }
+
+    pub fn options(&self) -> &SchedulerOptions {
+        &self.options
+    }
+
+    /// Submit a request for asynchronous execution.
+    ///
+    /// Returns immediately with a [`Ticket`] unless the queue is full and
+    /// the policy says otherwise: `Block` waits for space, `Reject` returns
+    /// [`SubmitError::QueueFull`], `ShedLowestPriority` evicts the least
+    /// important queued request (possibly the newcomer itself — the
+    /// returned ticket then polls as [`RequestStatus::Shed`]).
+    pub fn submit(&self, req: StencilRequest) -> Result<Ticket, SubmitError> {
+        let mut st = self.lock();
+        loop {
+            if st.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            // Lapsed deadlines free capacity before any backpressure call —
+            // and must wake submitters blocked under the `Block` policy.
+            if expire_due(&mut st) > 0 {
+                self.shared.space.notify_all();
+                self.shared.idle.notify_all();
+            }
+            if st.queue.len() < self.options.queue_capacity {
+                break;
+            }
+            match self.options.policy {
+                BackpressurePolicy::Block => {
+                    st = self
+                        .shared
+                        .space
+                        .wait(st)
+                        .expect("scheduler state poisoned");
+                }
+                BackpressurePolicy::Reject => {
+                    st.stats.rejected += 1;
+                    return Err(SubmitError::QueueFull {
+                        capacity: self.options.queue_capacity,
+                    });
+                }
+                BackpressurePolicy::ShedLowestPriority => {
+                    let now = Instant::now();
+                    let aging = self.options.aging_step;
+                    let (victim_idx, victim_level) = st
+                        .queue
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, q)| {
+                            (effective_level(q, now, aging), std::cmp::Reverse(q.ticket))
+                        })
+                        .map(|(i, q)| (i, effective_level(q, now, aging)))
+                        .expect("full queue has a victim");
+                    if req.priority.level() <= victim_level {
+                        // The newcomer is the least important: shed on
+                        // arrival, but still hand back a pollable ticket.
+                        let ticket = alloc_ticket(&mut st, &req);
+                        st.stats.submitted += 1;
+                        finish(&mut st, ticket, Slot::Shed);
+                        st.stats.shed += 1;
+                        self.shared.idle.notify_all();
+                        return Ok(Ticket { seq: ticket });
+                    }
+                    let victim = st.queue.remove(victim_idx);
+                    finish(&mut st, victim.ticket, Slot::Shed);
+                    st.stats.shed += 1;
+                    self.shared.idle.notify_all();
+                }
+            }
+        }
+        let ticket = alloc_ticket(&mut st, &req);
+        st.stats.submitted += 1;
+        if st.first_submit.is_none() {
+            st.first_submit = Some(Instant::now());
+        }
+        st.queue.push(QueuedEntry {
+            ticket,
+            req,
+            submitted: Instant::now(),
+        });
+        st.stats.max_depth = st.stats.max_depth.max(st.queue.len());
+        self.shared.work.notify_one();
+        Ok(Ticket { seq: ticket })
+    }
+
+    /// Current status of a ticket. Polling a queued ticket whose deadline
+    /// has passed expires it on the spot (lazy expiry — the dispatcher would
+    /// do the same at dispatch time).
+    pub fn poll(&self, ticket: Ticket) -> RequestStatus {
+        let mut st = self.lock();
+        if expire_due(&mut st) > 0 {
+            self.shared.space.notify_all();
+            self.shared.idle.notify_all();
+        }
+        let Some(entry) = st.slots.get(&ticket.seq) else {
+            return RequestStatus::Unknown;
+        };
+        match &entry.slot {
+            Slot::Queued => {
+                let now = Instant::now();
+                let position = st
+                    .queue
+                    .iter()
+                    .position(|q| q.ticket == ticket.seq)
+                    .expect("queued slot has a queue entry");
+                RequestStatus::Queued {
+                    position,
+                    effective_priority: Priority::from_level(effective_level(
+                        &st.queue[position],
+                        now,
+                        self.options.aging_step,
+                    )),
+                }
+            }
+            Slot::Running => RequestStatus::Running,
+            Slot::Done(outcome) => RequestStatus::Done(outcome.clone()),
+            Slot::Failed(e) => RequestStatus::Failed(e.clone()),
+            Slot::Shed => RequestStatus::Shed,
+            Slot::Expired => RequestStatus::Expired,
+        }
+    }
+
+    /// Block until every admitted ticket reaches a terminal state, then
+    /// return the aggregate report (outcomes in ticket order, queue counters
+    /// in [`RuntimeReport::queue`]).
+    ///
+    /// Resumes a paused scheduler first — draining a paused queue would
+    /// otherwise wait forever. Idempotent: draining twice without new
+    /// submissions returns the same report.
+    pub fn drain(&self) -> RuntimeReport {
+        self.resume();
+        let mut st = self.lock();
+        loop {
+            if expire_due(&mut st) > 0 {
+                self.shared.space.notify_all();
+            }
+            if st.queue.is_empty() && st.running == 0 {
+                break;
+            }
+            st = self.shared.idle.wait(st).expect("scheduler state poisoned");
+        }
+        let mut done: Vec<(u64, &SlotEntry)> =
+            st.slots.iter().map(|(&seq, entry)| (seq, entry)).collect();
+        done.sort_by_key(|(seq, _)| *seq);
+        let mut outcomes = Vec::new();
+        let mut failures = Vec::new();
+        for (_, entry) in done {
+            match &entry.slot {
+                Slot::Done(o) => outcomes.push((**o).clone()),
+                Slot::Failed(e) => failures.push((entry.req_id, e.clone())),
+                _ => {}
+            }
+        }
+        let wall_s = match (st.first_submit, st.last_terminal) {
+            (Some(a), Some(b)) => b.saturating_duration_since(a).as_secs_f64(),
+            _ => 0.0,
+        };
+        RuntimeReport {
+            outcomes,
+            failures,
+            wall_s,
+            cache: self.runtime.cache_stats(),
+            queue: Some(st.stats),
+        }
+    }
+
+    /// Stop dispatching new waves (already-running waves finish).
+    pub fn pause(&self) {
+        self.lock().paused = true;
+    }
+
+    /// Resume dispatching.
+    pub fn resume(&self) {
+        {
+            let mut st = self.lock();
+            if !st.paused {
+                return;
+            }
+            st.paused = false;
+        }
+        self.shared.work.notify_all();
+    }
+
+    /// Requests currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Snapshot of the cumulative queue counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.lock().stats
+    }
+
+    /// Tickets in the order they reached a terminal state (including shed
+    /// and expired ones) — the observable the ordering tests assert on.
+    pub fn completion_order(&self) -> Vec<Ticket> {
+        self.lock()
+            .completion_order
+            .iter()
+            .map(|&seq| Ticket { seq })
+            .collect()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().expect("scheduler state poisoned")
+    }
+}
+
+impl Drop for SpiderScheduler {
+    fn drop(&mut self) {
+        self.lock().shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        self.shared.idle.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Allocate a ticket and its slot for `req` (does not enqueue).
+fn alloc_ticket(st: &mut State, req: &StencilRequest) -> u64 {
+    let ticket = st.next_ticket;
+    st.next_ticket += 1;
+    st.slots.insert(
+        ticket,
+        SlotEntry {
+            req_id: req.id,
+            slot: Slot::Queued,
+        },
+    );
+    ticket
+}
+
+/// Move a ticket to a terminal slot and record the completion.
+fn finish(st: &mut State, ticket: u64, slot: Slot) {
+    debug_assert!(!matches!(slot, Slot::Queued | Slot::Running));
+    st.slots.get_mut(&ticket).expect("known ticket").slot = slot;
+    st.completion_order.push(ticket);
+    st.last_terminal = Some(Instant::now());
+}
+
+/// Expire every queued request whose deadline has passed. Returns how many
+/// were expired (callers notify `space`/`idle` when > 0).
+fn expire_due(st: &mut State) -> usize {
+    let now = Instant::now();
+    let mut expired = 0;
+    let mut i = 0;
+    while i < st.queue.len() {
+        let due = st.queue[i]
+            .req
+            .deadline
+            .is_some_and(|d| d.is_expired_at(now));
+        if due {
+            let entry = st.queue.remove(i);
+            finish(st, entry.ticket, Slot::Expired);
+            st.stats.expired += 1;
+            expired += 1;
+        } else {
+            i += 1;
+        }
+    }
+    expired
+}
+
+/// Effective priority level of a queued entry: base plus one per elapsed
+/// aging step, capped at [`Priority::High`].
+fn effective_level(entry: &QueuedEntry, now: Instant, aging_step: Option<Duration>) -> u8 {
+    let base = entry.req.priority.level();
+    let Some(step) = aging_step else {
+        return base;
+    };
+    if step.is_zero() {
+        return Priority::High.level();
+    }
+    let bumps = (now.saturating_duration_since(entry.submitted).as_nanos() / step.as_nanos())
+        .min(u128::from(Priority::High.level())) as u8;
+    (base + bumps).min(Priority::High.level())
+}
+
+/// One dispatched plan-key group: tickets and their requests, in cohort
+/// (submission) order.
+#[derive(Default)]
+struct WaveGroup {
+    tickets: Vec<u64>,
+    requests: Vec<StencilRequest>,
+}
+
+/// The dispatcher: pick the top-effective-priority cohort, coalesce it by
+/// plan key, execute the groups across a worker pool, mark completions.
+fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: SchedulerOptions) {
+    loop {
+        let wave: Vec<WaveGroup> = {
+            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if expire_due(&mut st) > 0 {
+                    shared.space.notify_all();
+                    shared.idle.notify_all();
+                }
+                if !st.paused && !st.queue.is_empty() {
+                    break;
+                }
+                st = shared.work.wait(st).expect("scheduler state poisoned");
+            }
+            let now = Instant::now();
+            let top = st
+                .queue
+                .iter()
+                .map(|q| effective_level(q, now, options.aging_step))
+                .max()
+                .expect("non-empty queue");
+            // Group the top-priority cohort by plan key, oldest group first,
+            // respecting the per-group coalescing cap.
+            let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+            for (i, entry) in st.queue.iter().enumerate() {
+                if effective_level(entry, now, options.aging_step) != top {
+                    continue;
+                }
+                let key = entry.req.plan_key();
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members))
+                        if options.max_coalesce == 0 || members.len() < options.max_coalesce =>
+                    {
+                        members.push(i)
+                    }
+                    Some(_) => {} // over the cap: stays queued for a later wave
+                    None => groups.push((key, vec![i])),
+                }
+            }
+            let mut assignment: Vec<Option<usize>> = vec![None; st.queue.len()];
+            for (g, (_, members)) in groups.iter().enumerate() {
+                for &i in members {
+                    assignment[i] = Some(g);
+                }
+            }
+            let mut wave: Vec<WaveGroup> =
+                (0..groups.len()).map(|_| WaveGroup::default()).collect();
+            let mut remaining = Vec::with_capacity(st.queue.len());
+            for (i, entry) in std::mem::take(&mut st.queue).into_iter().enumerate() {
+                match assignment[i] {
+                    Some(g) => {
+                        let wait = now.saturating_duration_since(entry.submitted).as_secs_f64();
+                        st.stats.total_wait_s += wait;
+                        st.stats.max_wait_s = st.stats.max_wait_s.max(wait);
+                        st.slots.get_mut(&entry.ticket).expect("known ticket").slot = Slot::Running;
+                        wave[g].tickets.push(entry.ticket);
+                        wave[g].requests.push(entry.req);
+                    }
+                    None => remaining.push(entry),
+                }
+            }
+            st.queue = remaining;
+            st.running += wave.iter().map(|g| g.tickets.len()).sum::<usize>();
+            st.stats.dispatch_waves += 1;
+            st.stats.coalesced_groups += wave.len() as u64;
+            wave
+        };
+        shared.space.notify_all();
+
+        // Execute the wave's groups across the worker pool; each group is
+        // one `run_group` call (shared plan + coalesced executors inside).
+        let workers = if options.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| (n.get() / 2).max(1))
+                .unwrap_or(1)
+        } else {
+            options.workers
+        }
+        .min(wave.len().max(1));
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    if g >= wave.len() {
+                        break;
+                    }
+                    let group = &wave[g];
+                    let results = runtime.run_group(&group.requests);
+                    let mut st = shared.state.lock().expect("scheduler state poisoned");
+                    for (&ticket, result) in group.tickets.iter().zip(results) {
+                        match result {
+                            Ok(outcome) => {
+                                finish(&mut st, ticket, Slot::Done(Box::new(outcome)));
+                                st.stats.completed += 1;
+                            }
+                            Err(e) => {
+                                finish(&mut st, ticket, Slot::Failed(e.to_string()));
+                                st.stats.failed += 1;
+                            }
+                        }
+                        st.running -= 1;
+                    }
+                    drop(st);
+                    shared.idle.notify_all();
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeOptions;
+    use spider_gpu_sim::GpuDevice;
+    use spider_stencil::StencilKernel;
+
+    fn sched(options: SchedulerOptions) -> SpiderScheduler {
+        let rt = SpiderRuntime::new(
+            GpuDevice::a100(),
+            RuntimeOptions {
+                cache_capacity: 16,
+                workers: 2,
+                tuner_dry_run_cap: 1 << 12,
+                tuner_shortlist: 2,
+                ..RuntimeOptions::default()
+            },
+        );
+        SpiderScheduler::new(Arc::new(rt), options)
+    }
+
+    fn req(id: u64, priority: Priority) -> StencilRequest {
+        StencilRequest::new_2d(id, StencilKernel::jacobi_2d(), 48, 64)
+            .with_seed(id)
+            .with_priority(priority)
+    }
+
+    #[test]
+    fn submit_poll_roundtrip() {
+        let s = sched(SchedulerOptions::default());
+        let t = s.submit(req(1, Priority::Normal)).unwrap();
+        let report = s.drain();
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].id, 1);
+        match s.poll(t) {
+            RequestStatus::Done(o) => assert_eq!(o.id, 1),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        let q = report.queue.unwrap();
+        assert_eq!(q.submitted, 1);
+        assert_eq!(q.completed, 1);
+        assert!(report.rates_are_finite());
+    }
+
+    #[test]
+    fn unknown_tickets_poll_unknown() {
+        let s = sched(SchedulerOptions::default());
+        assert!(matches!(
+            s.poll(Ticket { seq: 999 }),
+            RequestStatus::Unknown
+        ));
+    }
+
+    #[test]
+    fn paused_scheduler_queues_until_resume() {
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            ..SchedulerOptions::default()
+        });
+        let t = s.submit(req(1, Priority::Normal)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(s.poll(t), RequestStatus::Queued { .. }));
+        assert_eq!(s.queue_depth(), 1);
+        let report = s.drain(); // drain auto-resumes
+        assert_eq!(report.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn priority_waves_serialize_high_before_low() {
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            workers: 1,
+            aging_step: None,
+            ..SchedulerOptions::default()
+        });
+        // Interleave submissions: priority must override arrival order.
+        let low: Vec<Ticket> = (0..3)
+            .map(|i| s.submit(req(100 + i, Priority::Low)).unwrap())
+            .collect();
+        let high: Vec<Ticket> = (0..3)
+            .map(|i| s.submit(req(200 + i, Priority::High)).unwrap())
+            .collect();
+        let norm = s.submit(req(300, Priority::Normal)).unwrap();
+        s.resume();
+        s.drain();
+        let order = s.completion_order();
+        let pos = |t: Ticket| order.iter().position(|&x| x == t).unwrap();
+        for &h in &high {
+            assert!(pos(h) < pos(norm), "high after normal");
+            for &l in &low {
+                assert!(pos(h) < pos(l), "high after low");
+            }
+        }
+        for &l in &low {
+            assert!(pos(norm) < pos(l), "normal after low");
+        }
+    }
+
+    #[test]
+    fn aging_promotes_starved_low_priority_work() {
+        let step = Duration::from_millis(30);
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            workers: 1,
+            aging_step: Some(step),
+            ..SchedulerOptions::default()
+        });
+        let old_low = s.submit(req(1, Priority::Low)).unwrap();
+        // Let the low-priority request age up to High...
+        std::thread::sleep(step * 3);
+        let fresh_high = s.submit(req(2, Priority::High)).unwrap();
+        match s.poll(old_low) {
+            RequestStatus::Queued {
+                effective_priority, ..
+            } => assert_eq!(effective_priority, Priority::High, "aged to the cap"),
+            other => panic!("expected Queued, got {other:?}"),
+        }
+        s.resume();
+        s.drain();
+        let order = s.completion_order();
+        // ...so it shares the top wave and, being older, completes first.
+        assert_eq!(order, vec![old_low, fresh_high]);
+    }
+
+    #[test]
+    fn reject_policy_refuses_over_capacity() {
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            queue_capacity: 2,
+            policy: BackpressurePolicy::Reject,
+            ..SchedulerOptions::default()
+        });
+        s.submit(req(1, Priority::Normal)).unwrap();
+        s.submit(req(2, Priority::Normal)).unwrap();
+        let err = s.submit(req(3, Priority::Normal)).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+        let report = s.drain();
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.queue.unwrap().rejected, 1);
+    }
+
+    #[test]
+    fn shed_policy_evicts_lowest_priority() {
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            queue_capacity: 2,
+            aging_step: None,
+            policy: BackpressurePolicy::ShedLowestPriority,
+            ..SchedulerOptions::default()
+        });
+        let low = s.submit(req(1, Priority::Low)).unwrap();
+        let norm = s.submit(req(2, Priority::Normal)).unwrap();
+        // High evicts the queued Low.
+        let high = s.submit(req(3, Priority::High)).unwrap();
+        assert!(matches!(s.poll(low), RequestStatus::Shed));
+        // A second Low is itself the least important: shed on arrival.
+        let late_low = s.submit(req(4, Priority::Low)).unwrap();
+        assert!(matches!(s.poll(late_low), RequestStatus::Shed));
+        let report = s.drain();
+        assert_eq!(report.outcomes.len(), 2);
+        let q = report.queue.unwrap();
+        assert_eq!(q.shed, 2);
+        assert_eq!(q.submitted, 4);
+        assert!(matches!(s.poll(norm), RequestStatus::Done(_)));
+        assert!(matches!(s.poll(high), RequestStatus::Done(_)));
+    }
+
+    #[test]
+    fn expired_deadlines_complete_without_executing() {
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            ..SchedulerOptions::default()
+        });
+        let doomed = s
+            .submit(req(1, Priority::Normal).with_deadline(crate::Deadline::within(Duration::ZERO)))
+            .unwrap();
+        let live = s.submit(req(2, Priority::Normal)).unwrap();
+        let report = s.drain();
+        assert!(matches!(s.poll(doomed), RequestStatus::Expired));
+        assert!(matches!(s.poll(live), RequestStatus::Done(_)));
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.queue.unwrap().expired, 1);
+        assert!(report.rates_are_finite());
+    }
+
+    #[test]
+    fn drain_is_idempotent() {
+        let s = sched(SchedulerOptions::default());
+        for i in 0..4 {
+            s.submit(req(i, Priority::Normal)).unwrap();
+        }
+        let a = s.drain();
+        let b = s.drain();
+        assert_eq!(a.outcomes.len(), 4);
+        assert_eq!(b.outcomes.len(), 4);
+        assert_eq!(a.queue.unwrap(), b.queue.unwrap());
+    }
+
+    #[test]
+    fn blocked_submitter_wakes_when_expiry_frees_capacity() {
+        // Regression: a submitter parked under the Block policy must be
+        // woken when *another submitter's* lazy expiry sweep frees slots —
+        // the queue never drains otherwise while the scheduler is paused.
+        let s = Arc::new(sched(SchedulerOptions {
+            start_paused: true,
+            queue_capacity: 2,
+            policy: BackpressurePolicy::Block,
+            ..SchedulerOptions::default()
+        }));
+        let doom = crate::Deadline::within(Duration::from_millis(50));
+        s.submit(req(1, Priority::Normal).with_deadline(doom))
+            .unwrap();
+        s.submit(req(2, Priority::Normal).with_deadline(doom))
+            .unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let s2 = Arc::clone(&s);
+        std::thread::spawn(move || {
+            // Queue is full and both deadlines are still live: this blocks.
+            let t = s2.submit(req(3, Priority::Normal)).unwrap();
+            tx.send(t).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        // Both queued deadlines have lapsed; this submit's expiry sweep
+        // frees two slots — one for itself, one for the parked thread.
+        s.submit(req(4, Priority::Normal)).unwrap();
+        let blocked_ticket = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("blocked submitter must be woken by the expiry sweep");
+        let report = s.drain();
+        assert_eq!(report.queue.unwrap().expired, 2);
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(matches!(s.poll(blocked_ticket), RequestStatus::Done(_)));
+    }
+
+    #[test]
+    fn block_policy_unblocks_when_space_frees() {
+        let s = Arc::new(sched(SchedulerOptions {
+            queue_capacity: 1,
+            policy: BackpressurePolicy::Block,
+            ..SchedulerOptions::default()
+        }));
+        // Saturate, then submit from another thread; the dispatcher draining
+        // the queue must unblock it.
+        s.submit(req(1, Priority::Normal)).unwrap();
+        let s2 = Arc::clone(&s);
+        let handle = std::thread::spawn(move || s2.submit(req(2, Priority::Normal)).unwrap());
+        handle.join().expect("blocked submitter completed");
+        let report = s.drain();
+        assert_eq!(report.outcomes.len(), 2);
+    }
+}

@@ -1,6 +1,6 @@
 //! CPU executors for stencil computation.
 //!
-//! [`reference`] is the naive point-wise oracle every other system in the
+//! [`mod@reference`] is the naive point-wise oracle every other system in the
 //! workspace is verified against. [`tiled`] adds cache blocking, and
 //! [`parallel`] adds rayon data-parallelism over grid rows — together they
 //! stand in for the "CPU/CUDA-core point-wise" implementations the paper's

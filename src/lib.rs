@@ -96,8 +96,9 @@ pub mod prelude {
         counters::PerfCounters, specs::GpuSpecs, timing::KernelReport, GpuDevice,
     };
     pub use spider_runtime::{
-        CacheStats, GridSpec, RequestOutcome, RuntimeOptions, RuntimeReport, SpiderRuntime,
-        StencilRequest,
+        BackpressurePolicy, CacheStats, Deadline, GridSpec, Priority, QueueStats, RequestOutcome,
+        RequestStatus, RuntimeOptions, RuntimeReport, SchedulerOptions, SpiderRuntime,
+        SpiderScheduler, StencilRequest, SubmitError, Ticket,
     };
     pub use spider_stencil::{
         exec::reference,

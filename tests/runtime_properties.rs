@@ -1,7 +1,12 @@
 //! Property tests for the serving layer: a cached plan must be
 //! indistinguishable from a freshly compiled one (bit-identical execution),
-//! and the LRU plan cache must respect its capacity bound under arbitrary
-//! access interleavings.
+//! the LRU plan cache must respect its capacity bound under arbitrary
+//! access interleavings, and the async scheduler must complete every
+//! non-shed ticket exactly once with results bit-identical to the blocking
+//! path, in priority order, without ever executing an expired request.
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use proptest::prelude::*;
 use spider::core::{ExecMode, SpiderExecutor, SpiderPlan};
@@ -107,5 +112,203 @@ proptest! {
             stats.insertions - cache.len() as u64,
             "every insertion beyond the resident set must have evicted"
         );
+    }
+}
+
+// ---------------------------------------------------------- scheduler --
+
+/// A small heterogeneous request pool: 3 kernels, priorities chosen by the
+/// caller, ids equal to the index.
+fn pooled_request(i: u64, kernel_pick: usize, priority: Priority) -> StencilRequest {
+    let kernel = match kernel_pick % 3 {
+        0 => StencilKernel::jacobi_2d(),
+        1 => StencilKernel::gaussian_2d(1),
+        _ => StencilKernel::heat_2d(0.15),
+    };
+    StencilRequest::new_2d(i, kernel, 40, 56)
+        .with_seed(1000 + i)
+        .with_priority(priority)
+}
+
+fn scheduler_runtime() -> SpiderRuntime {
+    SpiderRuntime::new(
+        GpuDevice::a100(),
+        RuntimeOptions {
+            cache_capacity: 8,
+            workers: 2,
+            tuner_dry_run_cap: 1 << 12,
+            tuner_shortlist: 2,
+            ..RuntimeOptions::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every admitted ticket reaches a terminal state exactly once, the
+    /// drain report's counters add up, and the scheduler's outcomes are
+    /// bit-identical to what blocking `run_batch` computes for the same
+    /// requests.
+    #[test]
+    fn scheduler_completes_every_ticket_once_and_matches_run_batch(
+        n in 2usize..10,
+        kernel_seed in 0usize..27,
+        priority_bits in any::<u64>(),
+    ) {
+        let requests: Vec<StencilRequest> = (0..n as u64)
+            .map(|i| {
+                let priority = match (priority_bits >> (2 * i)) & 3 {
+                    0 => Priority::Low,
+                    1 | 2 => Priority::Normal,
+                    _ => Priority::High,
+                };
+                pooled_request(i, kernel_seed + i as usize, priority)
+            })
+            .collect();
+
+        let blocking = scheduler_runtime().run_batch(&requests);
+        prop_assert!(blocking.failures.is_empty());
+
+        let sched = SpiderScheduler::new(
+            Arc::new(scheduler_runtime()),
+            SchedulerOptions { start_paused: true, ..SchedulerOptions::default() },
+        );
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| sched.submit(r.clone()).unwrap())
+            .collect();
+        let report = sched.drain();
+
+        // Exactly-once completion: every ticket terminal, each appearing
+        // exactly once in the completion order.
+        let order = sched.completion_order();
+        prop_assert_eq!(order.len(), n, "every ticket completes exactly once");
+        for &t in &tickets {
+            prop_assert_eq!(order.iter().filter(|&&x| x == t).count(), 1);
+            prop_assert!(sched.poll(t).is_terminal());
+        }
+        let q = report.queue.unwrap();
+        prop_assert_eq!(q.submitted, n as u64);
+        prop_assert_eq!(q.completed, n as u64);
+        prop_assert_eq!(q.shed + q.expired + q.rejected + q.failed, 0);
+        prop_assert!(report.rates_are_finite());
+
+        // Bit-identity with the blocking path, request by request.
+        prop_assert_eq!(report.outcomes.len(), blocking.outcomes.len());
+        for (req, t) in requests.iter().zip(&tickets) {
+            let RequestStatus::Done(async_outcome) = sched.poll(*t) else {
+                return Err(TestCaseError::fail(format!("ticket for {} not Done", req.id)));
+            };
+            let blocking_outcome = blocking
+                .outcomes
+                .iter()
+                .find(|o| o.id == req.id)
+                .expect("blocking outcome");
+            prop_assert_eq!(
+                async_outcome.checksum, blocking_outcome.checksum,
+                "request {} diverged from run_batch", req.id
+            );
+            prop_assert_eq!(async_outcome.tiling, blocking_outcome.tiling);
+        }
+    }
+
+    /// With the queue saturated before dispatch, completion order respects
+    /// effective priority: no lower-priority request finishes before a
+    /// higher-priority one (aging disabled so base priority is effective).
+    #[test]
+    fn scheduler_priority_order_holds_under_full_queue(
+        n in 3usize..9,
+        kernel_seed in 0usize..9,
+        priority_bits in any::<u64>(),
+    ) {
+        let sched = SpiderScheduler::new(
+            Arc::new(scheduler_runtime()),
+            SchedulerOptions {
+                queue_capacity: n,
+                start_paused: true,
+                workers: 1,
+                aging_step: None,
+                ..SchedulerOptions::default()
+            },
+        );
+        let mut tickets = Vec::new();
+        for i in 0..n as u64 {
+            let priority = match (priority_bits >> (2 * i)) & 3 {
+                0 => Priority::Low,
+                1 | 2 => Priority::Normal,
+                _ => Priority::High,
+            };
+            let t = sched.submit(pooled_request(i, kernel_seed + i as usize, priority)).unwrap();
+            tickets.push((t, priority));
+        }
+        prop_assert_eq!(sched.queue_depth(), n, "queue saturated before dispatch");
+        sched.resume();
+        sched.drain();
+        let order = sched.completion_order();
+        for &(ta, pa) in &tickets {
+            for &(tb, pb) in &tickets {
+                if pa > pb {
+                    let pos_a = order.iter().position(|&x| x == ta).unwrap();
+                    let pos_b = order.iter().position(|&x| x == tb).unwrap();
+                    prop_assert!(
+                        pos_a < pos_b,
+                        "{pa} ticket finished at {pos_a}, after {pb} at {pos_b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Requests whose deadline lapses while queued expire without executing:
+    /// their kernels are never compiled, never touch the plan cache, and the
+    /// drain report stays NaN-free even when *everything* expires.
+    #[test]
+    fn scheduler_never_executes_expired_deadlines(
+        n_live in 0usize..4,
+        n_doomed in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let rt = Arc::new(scheduler_runtime());
+        let sched = SpiderScheduler::new(
+            Arc::clone(&rt),
+            SchedulerOptions { start_paused: true, ..SchedulerOptions::default() },
+        );
+        // Live requests share one kernel; doomed ones get unique random
+        // kernels, so any compile of theirs would show up in cache misses.
+        let mut doomed = Vec::new();
+        for i in 0..n_doomed as u64 {
+            let kernel = StencilKernel::random(StencilShape::box_2d(2), 5000 + seed + i);
+            let t = sched
+                .submit(
+                    StencilRequest::new_2d(900 + i, kernel, 48, 48)
+                        .with_deadline(Deadline::within(Duration::ZERO)),
+                )
+                .unwrap();
+            doomed.push(t);
+        }
+        let mut live = Vec::new();
+        for i in 0..n_live as u64 {
+            live.push(sched.submit(pooled_request(i, 0, Priority::Normal)).unwrap());
+        }
+        let report = sched.drain();
+
+        for &t in &doomed {
+            prop_assert!(matches!(sched.poll(t), RequestStatus::Expired));
+        }
+        for &t in &live {
+            prop_assert!(matches!(sched.poll(t), RequestStatus::Done(_)));
+        }
+        let q = report.queue.unwrap();
+        prop_assert_eq!(q.expired, n_doomed as u64);
+        prop_assert_eq!(q.completed, n_live as u64);
+        prop_assert_eq!(report.outcomes.len(), n_live);
+        // All live requests share one kernel: at most one compile total.
+        prop_assert!(
+            rt.cache_stats().misses <= 1,
+            "an expired request's kernel was compiled ({} misses)",
+            rt.cache_stats().misses
+        );
+        prop_assert!(report.rates_are_finite(), "fully-expired batches must not NaN");
     }
 }
