@@ -1,27 +1,43 @@
-//! Bench regression gate: compare a freshly emitted `BENCH_runtime.json`
-//! against the committed baseline and fail on throughput regressions.
+//! Bench regression gate: compare a freshly emitted bench JSON
+//! (`BENCH_runtime.json`, `BENCH_core.json`) against its committed baseline
+//! and fail on throughput regressions.
 //!
 //! ```text
 //! bench_gate <baseline.json> <candidate.json> [tolerance]
 //! ```
 //!
-//! Gated metrics are higher-is-better rates; the gate fails (exit code 1)
-//! when `candidate < baseline * (1 - tolerance)` for any of them. The
-//! default tolerance is 0.15 — a >15% warm-throughput drop blocks the PR.
-//! Metrics present in the candidate but not the baseline are reported as
-//! `new` and pass (the next baseline refresh starts gating them); metrics
-//! that *disappear* from the candidate fail, because a silently vanished
-//! number is indistinguishable from a regression nobody measured.
+//! Gated metrics are selected by *name convention*: every key ending in
+//! `_per_sec` is a higher-is-better rate and is enforced, so the serving
+//! bench's `warm_requests_per_sec` / `scheduler_requests_per_sec` /
+//! `simulated_gstencils_per_sec` and the core bench's
+//! `core_*_gstencils_per_sec` family are all gated by the same binary
+//! without a hard-coded list. Keys without the suffix (counts, hit rates,
+//! the noisy `host_*_mpoints` wall-clock rates) are informational only, as
+//! is `cold_requests_per_sec`: the cold number is dominated by first-touch
+//! plan compiles and tuner dry-runs, which makes it far too
+//! machine-sensitive to hold a shared CI runner to a dev-machine baseline
+//! (the reason the old hard-coded list never included it).
+//!
+//! The gate fails (exit code 1) when `candidate < baseline * (1 −
+//! tolerance)` for any gated metric. The default tolerance is 0.15 — a >15%
+//! throughput drop blocks the PR. Metrics present in the candidate but not
+//! the baseline are reported as `new` and pass (the next baseline refresh
+//! starts gating them); metrics that *disappear* from the candidate fail,
+//! because a silently vanished number is indistinguishable from a
+//! regression nobody measured.
 //!
 //! The parser handles exactly the flat `{"key": number, ...}` shape the
-//! bench emits — no JSON dependency, the build image has no registry
+//! benches emit — no JSON dependency, the build image has no registry
 //! access.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Metrics the gate enforces (all higher-is-better).
-const GATED_METRICS: &[&str] = &["warm_requests_per_sec", "scheduler_requests_per_sec"];
+/// Whether a metric is gate-enforced: higher-is-better rates by naming
+/// convention, minus the cold-start rate (see the module docs).
+fn is_gated(metric: &str) -> bool {
+    metric.ends_with("_per_sec") && metric != "cold_requests_per_sec"
+}
 
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
@@ -67,16 +83,24 @@ struct GateRow {
     verdict: Verdict,
 }
 
-/// Evaluate the gate. Pure so the regression-injection tests below can
-/// exercise it without touching the filesystem.
+/// Evaluate the gate over the union of gated metric names present in
+/// either file. Pure so the regression-injection tests below can exercise
+/// it without touching the filesystem.
 fn evaluate(
     baseline: &BTreeMap<String, f64>,
     candidate: &BTreeMap<String, f64>,
     tolerance: f64,
 ) -> Vec<GateRow> {
-    GATED_METRICS
-        .iter()
-        .map(|&metric| {
+    let mut metrics: Vec<&String> = baseline
+        .keys()
+        .chain(candidate.keys())
+        .filter(|k| is_gated(k))
+        .collect();
+    metrics.sort();
+    metrics.dedup();
+    metrics
+        .into_iter()
+        .map(|metric| {
             let b = baseline.get(metric).copied();
             let c = candidate.get(metric).copied();
             let verdict = match (b, c) {
@@ -86,7 +110,7 @@ fn evaluate(
                 _ => Verdict::Fail,
             };
             GateRow {
-                metric: metric.to_string(),
+                metric: metric.clone(),
                 baseline: b,
                 candidate: c,
                 verdict,
@@ -186,6 +210,7 @@ mod tests {
   "bench": "runtime_throughput",
   "warm_requests_per_sec": 100.000,
   "scheduler_requests_per_sec": 80.000,
+  "simulated_gstencils_per_sec": 30.000,
   "cache_hits": 66
 }"#,
         )
@@ -222,11 +247,52 @@ mod tests {
         let rows = evaluate(&baseline(), &candidate, DEFAULT_TOLERANCE);
         assert_eq!(
             failed(&rows),
-            vec!["warm_requests_per_sec", "scheduler_requests_per_sec"]
+            vec!["scheduler_requests_per_sec", "warm_requests_per_sec"]
         );
         let (table, any_failed) = render(&rows, DEFAULT_TOLERANCE);
         assert!(any_failed);
         assert!(table.contains("-20.0%"), "{table}");
+    }
+
+    /// Gating is by name convention: every `*_per_sec` rate is enforced —
+    /// including `simulated_gstencils_per_sec` and the core bench's
+    /// per-mode families — while counts and host wall-clock rates are not.
+    #[test]
+    fn suffix_convention_selects_gated_metrics() {
+        let core_baseline = parse_flat_json(
+            r#"{
+  "bench": "core_step",
+  "core_2d_sparse_opt_gstencils_per_sec": 290.0,
+  "core_3d_sparse_opt_gstencils_per_sec": 11.0,
+  "host_2d_sparse_opt_mpoints": 4.0
+}"#,
+        )
+        .unwrap();
+        let mut candidate = core_baseline.clone();
+        candidate.insert("core_2d_sparse_opt_gstencils_per_sec".into(), 200.0); // -31%
+        candidate.insert("host_2d_sparse_opt_mpoints".into(), 0.1); // noisy, ungated
+        let rows = evaluate(&core_baseline, &candidate, DEFAULT_TOLERANCE);
+        assert_eq!(failed(&rows), vec!["core_2d_sparse_opt_gstencils_per_sec"]);
+        assert!(
+            rows.iter().all(|r| r.metric.ends_with("_per_sec")),
+            "only *_per_sec metrics appear in the gate table"
+        );
+
+        // The cold-start rate is wall-clock noise (first-touch compiles,
+        // tuner dry-runs): never gated, even though it carries the suffix.
+        let mut with_cold = baseline();
+        with_cold.insert("cold_requests_per_sec".into(), 100.0);
+        let mut cold_crashed = with_cold.clone();
+        cold_crashed.insert("cold_requests_per_sec".into(), 10.0); // -90%
+        let rows = evaluate(&with_cold, &cold_crashed, DEFAULT_TOLERANCE);
+        assert!(failed(&rows).is_empty(), "cold rate must stay ungated");
+        assert!(rows.iter().all(|r| r.metric != "cold_requests_per_sec"));
+
+        // A regressed simulated_gstencils_per_sec fails the runtime gate.
+        let mut slow_sim = baseline();
+        slow_sim.insert("simulated_gstencils_per_sec".into(), 20.0); // -33%
+        let rows = evaluate(&baseline(), &slow_sim, DEFAULT_TOLERANCE);
+        assert_eq!(failed(&rows), vec!["simulated_gstencils_per_sec"]);
     }
 
     #[test]

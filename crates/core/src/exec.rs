@@ -18,11 +18,12 @@
 //!   metadata packing.
 
 use crate::packing;
-use crate::plan::{PlanUnit, SpiderPlan};
+use crate::plan::{PlanUnit, SpiderPlan, UnitGather};
+use crate::pool::BufferPool;
 use crate::row_swap::RowSwapStrategy;
-use crate::swap::swap_perm;
 use crate::tiling::{TilingConfig, N_TILE};
-use crate::M_TILE;
+use crate::{K_PAD, M_TILE};
+use rayon::prelude::*;
 use spider_gpu_sim::counters::PerfCounters;
 use spider_gpu_sim::half::F16;
 use spider_gpu_sim::launch::{run_blocks, BlockGrid};
@@ -54,6 +55,13 @@ pub struct ExecConfig {
     /// Interior-point cap for functional measurement; `estimate_*` scales
     /// counters beyond it (per-point rates are size-invariant).
     pub measure_cap: usize,
+    /// Use the fused interior gather for MMA tiles whose whole B-fragment
+    /// sample range provably stays inside the padded storage (direct strided
+    /// slice reads off the plan's precomputed offset tables, no per-element
+    /// guard). `false` forces the guarded `sample_2d` path everywhere —
+    /// the two paths read identical values, so this knob exists only for the
+    /// bit-identity property tests and for debugging.
+    pub fast_gather: bool,
 }
 
 impl Default for ExecConfig {
@@ -63,6 +71,7 @@ impl Default for ExecConfig {
             row_swap: RowSwapStrategy::Implicit,
             boundary: BoundaryCondition::DirichletZero,
             measure_cap: 1 << 20,
+            fast_gather: true,
         }
     }
 }
@@ -92,6 +101,10 @@ pub struct SpiderExecutor<'d> {
     device: &'d GpuDevice,
     mode: ExecMode,
     config: ExecConfig,
+    /// Scratch store for ping-pong grids and per-block output tiles. Fresh
+    /// per executor by default; [`Self::with_shared_pool`] lets a serving
+    /// runtime share one pool across every executor it constructs.
+    pool: BufferPool,
 }
 
 impl<'d> SpiderExecutor<'d> {
@@ -100,16 +113,36 @@ impl<'d> SpiderExecutor<'d> {
             device,
             mode,
             config: ExecConfig::default(),
+            pool: BufferPool::new(),
         }
     }
 
     pub fn with_config(device: &'d GpuDevice, mode: ExecMode, config: ExecConfig) -> Self {
+        Self::with_shared_pool(device, mode, config, BufferPool::new())
+    }
+
+    /// An executor drawing scratch buffers from an existing pool (shared
+    /// store — see [`BufferPool`]). This is how `spider-runtime` keeps
+    /// buffer reuse alive *across* requests even though it configures a
+    /// fresh executor per exec-key subgroup.
+    pub fn with_shared_pool(
+        device: &'d GpuDevice,
+        mode: ExecMode,
+        config: ExecConfig,
+        pool: BufferPool,
+    ) -> Self {
         config.tiling.validate().expect("invalid tiling");
         Self {
             device,
             mode,
             config,
+            pool,
         }
+    }
+
+    /// The executor's scratch-buffer pool (shared store; see [`BufferPool`]).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     pub fn mode(&self) -> ExecMode {
@@ -137,6 +170,24 @@ impl<'d> SpiderExecutor<'d> {
         grid: &mut Grid2D<f32>,
         steps: usize,
     ) -> Result<KernelReport, String> {
+        self.validate_2d(plan, grid)?;
+        let dims = LaunchDims::new(
+            self.config.tiling.blocks_2d(grid.rows(), grid.cols()),
+            self.config.tiling.threads_per_block(),
+        );
+        let points = (grid.rows() * grid.cols()) as u64;
+        let mut report: Option<KernelReport> = None;
+        self.sweep_2d(plan, grid, steps, |counters| {
+            let r = self.device.report(counters, dims, points);
+            report = Some(match report.take() {
+                None => r,
+                Some(prev) => prev.merge_sequential(&r),
+            });
+        });
+        Ok(report.expect("at least one step"))
+    }
+
+    fn validate_2d(&self, plan: &SpiderPlan, grid: &Grid2D<f32>) -> Result<(), String> {
         if plan.is_1d() {
             return Err("1D plan passed to run_2d".into());
         }
@@ -147,25 +198,29 @@ impl<'d> SpiderExecutor<'d> {
                 plan.radius()
             ));
         }
+        Ok(())
+    }
+
+    /// The functional heart of [`Self::run_2d`]: quantize, then `steps`
+    /// boundary-refill + sweep rounds, ping-ponging between the caller's
+    /// grid and a pooled scratch grid (no clone). `on_step` fires once per
+    /// sweep with that sweep's counters.
+    fn sweep_2d(
+        &self,
+        plan: &SpiderPlan,
+        grid: &mut Grid2D<f32>,
+        steps: usize,
+        mut on_step: impl FnMut(PerfCounters),
+    ) {
         quantize_grid_2d(grid);
-        let dims = LaunchDims::new(
-            self.config.tiling.blocks_2d(grid.rows(), grid.cols()),
-            self.config.tiling.threads_per_block(),
-        );
-        let points = (grid.rows() * grid.cols()) as u64;
-        let mut report: Option<KernelReport> = None;
-        let mut scratch = grid.clone();
+        let buf = self.pool.take_copy_of(grid.padded());
+        let mut scratch = Grid2D::from_padded_vec(grid.rows(), grid.cols(), grid.halo(), buf);
         for _ in 0..steps.max(1) {
             self.config.boundary.apply_2d(grid);
-            let counters = self.step_2d(plan, grid, &mut scratch);
+            on_step(self.step_2d(plan, grid, &mut scratch));
             std::mem::swap(grid, &mut scratch);
-            let r = self.device.report(counters, dims, points);
-            report = Some(match report {
-                None => r,
-                Some(prev) => prev.merge_sequential(&r),
-            });
         }
-        Ok(report.expect("at least one step"))
+        self.pool.put(scratch.into_padded_vec());
     }
 
     /// Run `steps` sweeps of a 1D stencil.
@@ -175,31 +230,50 @@ impl<'d> SpiderExecutor<'d> {
         grid: &mut Grid1D<f32>,
         steps: usize,
     ) -> Result<KernelReport, String> {
-        if !plan.is_1d() {
-            return Err("2D plan passed to run_1d".into());
-        }
-        if grid.halo() < plan.radius() {
-            return Err("grid halo smaller than stencil radius".into());
-        }
-        quantize_grid_1d(grid);
+        self.validate_1d(plan, grid)?;
         let dims = LaunchDims::new(
             self.config.tiling.blocks_1d(grid.len()),
             self.config.tiling.threads_per_block(),
         );
         let points = grid.len() as u64;
         let mut report: Option<KernelReport> = None;
-        let mut scratch = grid.clone();
-        for _ in 0..steps.max(1) {
-            self.config.boundary.apply_1d(grid);
-            let counters = self.step_1d(plan, grid, &mut scratch);
-            std::mem::swap(grid, &mut scratch);
+        self.sweep_1d(plan, grid, steps, |counters| {
             let r = self.device.report(counters, dims, points);
-            report = Some(match report {
+            report = Some(match report.take() {
                 None => r,
                 Some(prev) => prev.merge_sequential(&r),
             });
-        }
+        });
         Ok(report.expect("at least one step"))
+    }
+
+    fn validate_1d(&self, plan: &SpiderPlan, grid: &Grid1D<f32>) -> Result<(), String> {
+        if !plan.is_1d() {
+            return Err("2D plan passed to run_1d".into());
+        }
+        if grid.halo() < plan.radius() {
+            return Err("grid halo smaller than stencil radius".into());
+        }
+        Ok(())
+    }
+
+    /// 1D counterpart of [`Self::sweep_2d`].
+    fn sweep_1d(
+        &self,
+        plan: &SpiderPlan,
+        grid: &mut Grid1D<f32>,
+        steps: usize,
+        mut on_step: impl FnMut(PerfCounters),
+    ) {
+        quantize_grid_1d(grid);
+        let buf = self.pool.take_copy_of(grid.padded());
+        let mut scratch = Grid1D::from_padded_vec(grid.len(), grid.halo(), buf);
+        for _ in 0..steps.max(1) {
+            self.config.boundary.apply_1d(grid);
+            on_step(self.step_1d(plan, grid, &mut scratch));
+            std::mem::swap(grid, &mut scratch);
+        }
+        self.pool.put(scratch.into_padded_vec());
     }
 
     /// Run a coalesced batch of 2D grids under one plan and one executor.
@@ -207,14 +281,26 @@ impl<'d> SpiderExecutor<'d> {
     /// This is the plan/executor-reuse primitive behind request coalescing:
     /// a serving layer that has grouped requests by kernel fingerprint hands
     /// the whole group to a single executor instead of constructing one per
-    /// request. Grids execute sequentially in input order (the executor is
-    /// stateless across grids, so each result is bit-identical to a separate
-    /// [`Self::run_2d`] call with the same configuration); `feedback` fires
-    /// after each grid completes. Results are delivered exclusively through
-    /// the hook — collect them with a [`BatchFeedback`] implementation.
+    /// request. Grid *data* is bit-identical to a separate [`Self::run_2d`]
+    /// call per grid with the same configuration (the executor holds no
+    /// cross-grid state), and each grid's counters are strictly its own; the
+    /// functional sweeps run in parallel across the batch (rayon), so
+    /// scheduler waves scale with host cores.
     ///
-    /// Fails fast: the first grid error aborts the batch (grids after it are
-    /// neither executed nor reported).
+    /// **Timing** models the batch as a *batched launch* per step: one
+    /// kernel-launch overhead shared by the group (each member's report
+    /// carries `1/n` of it) and the occupancy ramp driven by the group's
+    /// combined block residency — the reason a serving layer coalesces small
+    /// grids at all. A single-grid "batch" is exactly a [`Self::run_2d`]
+    /// report.
+    ///
+    /// `feedback` fires once per grid, in input order, after the whole batch
+    /// finishes its sweeps. Results are delivered exclusively through the
+    /// hook — collect them with a [`BatchFeedback`] implementation.
+    ///
+    /// Fails fast: the first invalid grid aborts the batch — grids before it
+    /// execute and report, it and everything after are neither executed nor
+    /// reported.
     pub fn run_2d_coalesced(
         &self,
         plan: &SpiderPlan,
@@ -222,16 +308,22 @@ impl<'d> SpiderExecutor<'d> {
         steps: usize,
         feedback: &mut dyn BatchFeedback,
     ) -> Result<(), String> {
-        for (index, grid) in grids.iter_mut().enumerate() {
-            let report = self
-                .run_2d(plan, grid, steps)
-                .map_err(|e| format!("coalesced grid {index}: {e}"))?;
-            feedback.on_grid_done(index, &report);
-        }
-        Ok(())
+        let t = self.config.tiling;
+        self.run_coalesced_impl(
+            grids,
+            feedback,
+            |g| self.validate_2d(plan, g),
+            |g| t.blocks_2d(g.rows(), g.cols()),
+            |g| {
+                let mut counters = Vec::with_capacity(steps.max(1));
+                self.sweep_2d(plan, g, steps, |c| counters.push(c));
+                (counters, (g.rows() * g.cols()) as u64)
+            },
+        )
     }
 
-    /// 1D counterpart of [`Self::run_2d_coalesced`].
+    /// 1D counterpart of [`Self::run_2d_coalesced`] (same parallelism,
+    /// batched-launch timing, ordering and error semantics).
     pub fn run_1d_coalesced(
         &self,
         plan: &SpiderPlan,
@@ -239,13 +331,103 @@ impl<'d> SpiderExecutor<'d> {
         steps: usize,
         feedback: &mut dyn BatchFeedback,
     ) -> Result<(), String> {
-        for (index, grid) in grids.iter_mut().enumerate() {
-            let report = self
-                .run_1d(plan, grid, steps)
-                .map_err(|e| format!("coalesced grid {index}: {e}"))?;
-            feedback.on_grid_done(index, &report);
+        let t = self.config.tiling;
+        self.run_coalesced_impl(
+            grids,
+            feedback,
+            |g| self.validate_1d(plan, g),
+            |g| t.blocks_1d(g.len()),
+            |g| {
+                let mut counters = Vec::with_capacity(steps.max(1));
+                self.sweep_1d(plan, g, steps, |c| counters.push(c));
+                (counters, g.len() as u64)
+            },
+        )
+    }
+
+    /// Dimension-generic body of the coalesced entry points: validate a
+    /// prefix (first invalid grid aborts the batch), sweep the valid grids
+    /// in parallel, then deliver batched-launch reports in input order.
+    ///
+    /// Grid-level parallelism is *conditional*: each sweep already fans its
+    /// simulated thread blocks across the machine via [`run_blocks`], so a
+    /// second parallel layer only pays off for the waves coalescing exists
+    /// for — many *small* grids whose individual block counts leave cores
+    /// idle. When the average per-grid block count already saturates the
+    /// machine (or there is one grid, or one core), the grids run
+    /// sequentially and no extra threads spawn; otherwise up to half the
+    /// cores each take a contiguous chunk of grids, which keeps result
+    /// order — and therefore feedback order — equal to input order. (The
+    /// rayon shim spawns raw scoped threads per call, so every avoided
+    /// layer is a real reduction in live threads under `run_batch`'s own
+    /// worker pool.)
+    fn run_coalesced_impl<G: Send>(
+        &self,
+        grids: &mut [G],
+        feedback: &mut dyn BatchFeedback,
+        validate: impl Fn(&G) -> Result<(), String>,
+        blocks_of: impl Fn(&G) -> u64,
+        sweep: impl Fn(&mut G) -> (Vec<PerfCounters>, u64) + Sync,
+    ) -> Result<(), String> {
+        let mut first_err: Option<String> = None;
+        let mut valid = grids.len();
+        for (index, grid) in grids.iter().enumerate() {
+            if let Err(e) = validate(grid) {
+                first_err = Some(format!("coalesced grid {index}: {e}"));
+                valid = index;
+                break;
+            }
         }
-        Ok(())
+        let wave_blocks: u64 = grids[..valid].iter().map(&blocks_of).sum();
+        let launch_share = 1.0 / valid.max(1) as f64;
+        let dims = LaunchDims::new(wave_blocks, self.config.tiling.threads_per_block());
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let inner_saturates = wave_blocks >= (valid.max(1) * cores) as u64;
+        let per_grid: Vec<(Vec<PerfCounters>, u64)> = if valid <= 1 || cores <= 1 || inner_saturates
+        {
+            grids[..valid].iter_mut().map(&sweep).collect()
+        } else {
+            let outer_workers = (cores / 2).max(1).min(valid);
+            let chunk = valid.div_ceil(outer_workers);
+            grids[..valid]
+                .par_chunks_mut(chunk)
+                .map(|chunk| chunk.iter_mut().map(&sweep).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        for (index, (counters, points)) in per_grid.into_iter().enumerate() {
+            feedback.on_grid_done(
+                index,
+                &self.batched_report(counters, dims, points, launch_share),
+            );
+        }
+        first_err.map_or(Ok(()), Err)
+    }
+
+    /// Merge per-step counters of one batch member into its report (one
+    /// batched launch per step; see [`GpuDevice::report_batched`]).
+    fn batched_report(
+        &self,
+        per_step: Vec<PerfCounters>,
+        dims: LaunchDims,
+        points: u64,
+        launch_share: f64,
+    ) -> KernelReport {
+        let mut report: Option<KernelReport> = None;
+        for counters in per_step {
+            let r = self
+                .device
+                .report_batched(counters, dims, points, launch_share);
+            report = Some(match report.take() {
+                None => r,
+                Some(prev) => prev.merge_sequential(&r),
+            });
+        }
+        report.expect("at least one step")
     }
 
     /// Performance estimate for a (possibly huge) 2D problem: functionally
@@ -257,8 +439,10 @@ impl<'d> SpiderExecutor<'d> {
         let (mrows, mcols) = capped_extent_2d(rows, cols, self.config.measure_cap, t);
         let mut g = Grid2D::<f32>::random(mrows, mcols, plan.radius(), 0x5EED);
         quantize_grid_2d(&mut g);
-        let mut scratch = g.clone();
+        let buf = self.pool.take(g.padded().len());
+        let mut scratch = Grid2D::from_padded_vec(mrows, mcols, g.halo(), buf);
         let measured = self.step_2d(plan, &g, &mut scratch);
+        self.pool.put(scratch.into_padded_vec());
         let scaled = measured.scaled((rows * cols) as u64, (mrows * mcols) as u64);
         let dims = LaunchDims::new(t.blocks_2d(rows, cols), t.threads_per_block());
         self.device.report(scaled, dims, (rows * cols) as u64)
@@ -271,8 +455,10 @@ impl<'d> SpiderExecutor<'d> {
         let mn = mn.div_ceil(t.block_1d) * t.block_1d;
         let mut g = Grid1D::<f32>::random(mn, plan.radius(), 0x5EED);
         quantize_grid_1d(&mut g);
-        let mut scratch = g.clone();
+        let buf = self.pool.take(g.padded().len());
+        let mut scratch = Grid1D::from_padded_vec(mn, g.halo(), buf);
         let measured = self.step_1d(plan, &g, &mut scratch);
+        self.pool.put(scratch.into_padded_vec());
         let scaled = measured.scaled(n as u64, mn as u64);
         let dims = LaunchDims::new(t.blocks_1d(n), t.threads_per_block());
         self.device.report(scaled, dims, n as u64)
@@ -281,20 +467,49 @@ impl<'d> SpiderExecutor<'d> {
     /// One 2D sweep over an explicit source plane, returning the result and
     /// the sweep's counters — the building block of the 3D plane
     /// decomposition in [`crate::exec3d`].
+    ///
+    /// The result's interior is fully written by the sweep; its halo is
+    /// zero (the sweep never writes halo cells, and — unlike the old
+    /// clone-then-overwrite implementation — no source cells are copied
+    /// first, so there is no redundant pre-copy to inherit stale halo
+    /// values from). Callers that read only the interior, like the 3D
+    /// plane accumulator, are unaffected.
     pub fn sweep_plane(
         &self,
         plan: &SpiderPlan,
         src: &Grid2D<f32>,
     ) -> Result<(Grid2D<f32>, PerfCounters), String> {
+        let buf = self.pool.take(src.padded().len());
+        let mut dst = Grid2D::from_padded_vec(src.rows(), src.cols(), src.halo(), buf);
+        match self.sweep_plane_into(plan, src, &mut dst) {
+            Ok(counters) => Ok((dst, counters)),
+            Err(e) => {
+                self.pool.put(dst.into_padded_vec());
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Self::sweep_plane`] writing into a caller-provided destination
+    /// (same extent and halo as `src`; interior fully overwritten, halo
+    /// untouched). Lets the 3D executor cycle one buffer through every
+    /// plane slice instead of materializing a fresh grid per sweep.
+    pub fn sweep_plane_into(
+        &self,
+        plan: &SpiderPlan,
+        src: &Grid2D<f32>,
+        dst: &mut Grid2D<f32>,
+    ) -> Result<PerfCounters, String> {
         if plan.is_1d() {
             return Err("1D plan passed to sweep_plane".into());
         }
         if src.halo() < plan.radius() {
             return Err("plane halo smaller than stencil radius".into());
         }
-        let mut dst = src.clone();
-        let counters = self.step_2d(plan, src, &mut dst);
-        Ok((dst, counters))
+        if (dst.rows(), dst.cols(), dst.halo()) != (src.rows(), src.cols(), src.halo()) {
+            return Err("sweep_plane destination shape mismatch".into());
+        }
+        Ok(self.step_2d(plan, src, dst))
     }
 
     // ---------------------------------------------------------------- 2D --
@@ -311,25 +526,24 @@ impl<'d> SpiderExecutor<'d> {
             self.compute_block_2d(plan, src, x0, x1, y0, y1)
         });
 
-        // Scatter the per-block output tiles (already FP16-quantized).
+        // Scatter the per-block output tiles (already FP16-quantized) into
+        // the padded storage, one bulk row copy at a time, and recycle the
+        // tile buffers.
+        let h = dst.halo();
         for (b, tile) in tiles.into_iter().enumerate() {
             let (x0, x1, y0, y1) = bg.rect(b as u64);
             let w = y1 - y0;
-            for (row, chunk) in tile.chunks_exact(w).enumerate() {
-                let i = x0 + row;
-                if i >= x1 {
-                    break;
-                }
-                for (col, &v) in chunk.iter().enumerate() {
-                    dst.set(i, y0 + col, v);
-                }
+            for (row, chunk) in tile.chunks_exact(w).take(x1 - x0).enumerate() {
+                dst.padded_row_mut(x0 + row + h)[y0 + h..y1 + h].copy_from_slice(chunk);
             }
+            self.pool.put(tile);
         }
         counters
     }
 
     /// Functional computation of one block's output tile (row-major
-    /// `(x1-x0) × (y1-y0)` buffer).
+    /// `(x1-x0) × (y1-y0)` buffer, drawn from the scratch pool — the caller
+    /// returns it after scattering).
     fn compute_block_2d(
         &self,
         plan: &SpiderPlan,
@@ -340,32 +554,45 @@ impl<'d> SpiderExecutor<'d> {
         y1: usize,
     ) -> Vec<f32> {
         let w = y1 - y0;
-        let mut out = vec![0.0f32; (x1 - x0) * w];
-        let perm = perm_table(plan);
+        let mut out = self.pool.take((x1 - x0) * w);
+
+        // Interior-classification bounds: an MMA tile whose whole sample
+        // range stays inside the padded storage takes the fused gather.
+        let h = src.halo() as isize;
+        let stride = src.stride() as isize;
+        let padded_rows = (src.rows() + 2 * src.halo()) as isize;
+        let (lo_off, hi_off) = plan.col_off_range();
+        let (lo_dx, hi_dx) = plan.dx_range();
 
         let mut ty = 0;
         while y0 + ty * M_TILE < y1 {
+            let y_base = y0 + ty * M_TILE;
             let mut tx = 0;
             while x0 + tx * N_TILE < x1 {
+                let x_base = x0 + tx * N_TILE;
                 let mut acc = [[0.0f32; 8]; 16];
-                for unit in plan.units() {
-                    self.mma_tile_2d(
-                        unit,
-                        src,
-                        &perm,
-                        x0 + tx * N_TILE,
-                        y0 + ty * M_TILE,
-                        &mut acc,
-                    );
+                let interior = self.config.fast_gather
+                    && x_base as isize + lo_dx + h >= 0
+                    && (x_base + N_TILE - 1) as isize + hi_dx + h < padded_rows
+                    && y_base as isize + lo_off + h >= 0
+                    && y_base as isize + hi_off + h < stride;
+                if interior {
+                    for (unit, gather) in plan.units().iter().zip(plan.gathers()) {
+                        self.mma_tile_2d_interior(unit, gather, src, x_base, y_base, &mut acc);
+                    }
+                } else {
+                    for unit in plan.units() {
+                        self.mma_tile_2d(unit, src, plan.perm(), x_base, y_base, &mut acc);
+                    }
                 }
                 // Store (FP16-quantized, matching the modeled output type).
                 for n in 0..N_TILE {
-                    let x = x0 + tx * N_TILE + n;
+                    let x = x_base + n;
                     if x >= x1 {
                         continue;
                     }
                     for dy in 0..M_TILE {
-                        let y = y0 + ty * M_TILE + dy;
+                        let y = y_base + dy;
                         if y >= y1 {
                             continue;
                         }
@@ -379,12 +606,15 @@ impl<'d> SpiderExecutor<'d> {
         out
     }
 
-    /// One unit's two MMA K-slices on a 16×8 output tile.
+    /// One unit's two MMA K-slices on a 16×8 output tile — guarded path:
+    /// every B-fragment sample goes through the bounds-checked
+    /// [`sample_2d`]. Kept for boundary tiles (and as the reference the
+    /// fast-path property tests compare against).
     fn mma_tile_2d(
         &self,
         unit: &PlanUnit,
         src: &Grid2D<f32>,
-        perm: &[usize; 32],
+        perm: &[usize; K_PAD],
         x_base: usize,
         y_base: usize,
         acc: &mut [[f32; 8]; 16],
@@ -418,6 +648,56 @@ impl<'d> SpiderExecutor<'d> {
                             *v = sample_2d(src, x, wy);
                         }
                     }
+                    mma_sp_m16n8k16(&mut dead, slice, &b, acc);
+                }
+            }
+        }
+    }
+
+    /// Fast-path counterpart of [`Self::mma_tile_2d`] for interior tiles:
+    /// B fragments fill with direct strided slice reads off the plan's
+    /// precomputed gather offsets — no per-element bounds guard, no
+    /// permutation re-derivation. Reads exactly the storage cells the
+    /// guarded path reads, so the MMA inputs (and therefore every output
+    /// bit) are identical.
+    fn mma_tile_2d_interior(
+        &self,
+        unit: &PlanUnit,
+        gather: &UnitGather,
+        src: &Grid2D<f32>,
+        x_base: usize,
+        y_base: usize,
+        acc: &mut [[f32; 8]; 16],
+    ) {
+        let h = src.halo();
+        let stride = src.stride();
+        let padded = src.padded();
+        // Padded row of the tile's first output row and padded column base.
+        let row0 = (x_base + h) as isize + unit.dx;
+        let col0 = (y_base + h) as isize;
+        let fill = |offs: &[isize; M_TILE]| {
+            let mut b = [[0.0f32; 8]; 16];
+            for n in 0..N_TILE {
+                let pr = (row0 + n as isize) as usize;
+                let row = &padded[pr * stride..(pr + 1) * stride];
+                for (dy, brow) in b.iter_mut().enumerate() {
+                    brow[n] = row[(col0 + offs[dy]) as usize];
+                }
+            }
+            b
+        };
+        let mut dead = PerfCounters::new(); // issue counts charged in the probe pass
+        match self.mode {
+            ExecMode::DenseTc => {
+                let slices = unit.sparse.dense_slices();
+                for (k, a) in slices.iter().enumerate() {
+                    let b = fill(&gather.dense[k]);
+                    mma_m16n8k16(&mut dead, a, &b, acc);
+                }
+            }
+            ExecMode::SparseTc | ExecMode::SparseTcOptimized => {
+                for (k, slice) in unit.sparse.slices.iter().enumerate() {
+                    let b = fill(&gather.swapped[k]);
                     mma_sp_m16n8k16(&mut dead, slice, &b, acc);
                 }
             }
@@ -512,13 +792,13 @@ impl<'d> SpiderExecutor<'d> {
             self.charge_block_1d(c, &probes, t0, t1, r, plan);
             self.compute_block_1d(plan, src, t0, t1)
         });
+        // Bulk-copy each tile into the padded storage and recycle it.
+        let h = src.halo();
         for (b, tile) in tiles.into_iter().enumerate() {
             let t0 = b * t.block_1d;
-            for (off, &v) in tile.iter().enumerate() {
-                if t0 + off < src.len() {
-                    dst.set(t0 + off, v);
-                }
-            }
+            let t1 = (t0 + t.block_1d).min(src.len());
+            dst.padded_mut()[t0 + h..t1 + h].copy_from_slice(&tile[..t1 - t0]);
+            self.pool.put(tile);
         }
         counters
     }
@@ -530,26 +810,52 @@ impl<'d> SpiderExecutor<'d> {
         t0: usize,
         t1: usize,
     ) -> Vec<f32> {
-        let mut out = vec![0.0f32; t1 - t0];
-        let perm = perm_table(plan);
+        let mut out = self.pool.take(t1 - t0);
+        let h = src.halo() as isize;
+        let padded = src.padded();
+        let padded_len = padded.len() as isize;
+        let (lo_off, hi_off) = plan.col_off_range();
         let groups = (t1 - t0).div_ceil(M_TILE * N_TILE);
         for g in 0..groups {
             let g0 = t0 + g * M_TILE * N_TILE;
             let mut acc = [[0.0f32; 8]; 16];
-            for unit in plan.units() {
+            // Fused gather when the group's whole sample range (all 8
+            // segments × every window row of every unit) stays in storage.
+            let interior = self.config.fast_gather
+                && g0 as isize + lo_off + h >= 0
+                && (g0 + (N_TILE - 1) * M_TILE) as isize + hi_off + h < padded_len;
+            for (unit, gather) in plan.units().iter().zip(plan.gathers()) {
                 let ur = unit.radius as isize;
+                let fill_fast = |offs: &[isize; M_TILE]| {
+                    let mut b = [[0.0f32; 8]; 16];
+                    for (dy, brow) in b.iter_mut().enumerate() {
+                        let base = (g0 as isize + offs[dy] + h) as usize;
+                        for (n, v) in brow.iter_mut().enumerate() {
+                            *v = padded[base + n * M_TILE];
+                        }
+                    }
+                    b
+                };
                 match self.mode {
                     ExecMode::DenseTc => {
                         let slices = unit.sparse.dense_slices();
                         for (k, a) in slices.iter().enumerate() {
-                            let b = gather_1d(src, g0, unit, ur, |dy| 16 * k + dy);
+                            let b = if interior {
+                                fill_fast(&gather.dense[k])
+                            } else {
+                                gather_1d(src, g0, unit, ur, |dy| 16 * k + dy)
+                            };
                             let mut dead = PerfCounters::new();
                             mma_m16n8k16(&mut dead, a, &b, &mut acc);
                         }
                     }
                     _ => {
                         for (k, slice) in unit.sparse.slices.iter().enumerate() {
-                            let b = gather_1d(src, g0, unit, ur, |dy| perm[16 * k + dy]);
+                            let b = if interior {
+                                fill_fast(&gather.swapped[k])
+                            } else {
+                                gather_1d(src, g0, unit, ur, |dy| plan.perm()[16 * k + dy])
+                            };
                             let mut dead = PerfCounters::new();
                             mma_sp_m16n8k16(&mut dead, slice, &b, &mut acc);
                         }
@@ -638,21 +944,19 @@ impl WaveProbe {
         // Shared slab stride (f16 elements): block_y + halo + swap headroom,
         // padded to the conflict-free residue (see `conflict_free_stride`).
         let sy = conflict_free_stride(t.block_y + 2 * r + M_TILE) as u64;
-        let perm = perm_table(plan);
+        let perm = plan.perm();
         let mut waves = [0u64; 2];
         for (k, wk) in waves.iter_mut().enumerate() {
             // ldmatrix row pointers: one per fragment row; conflict analysis
             // over the 16 row-start addresses (each row is 8 f16 = one wave
             // half; two rows are serviced per wave).
-            let addrs: Vec<Option<u64>> = (0..16u32)
-                .map(|row| {
-                    let window = match strategy {
-                        RowSwapStrategy::Implicit => perm[16 * k + row as usize],
-                        _ => 16 * k + row as usize,
-                    };
-                    Some(window as u64 * sy * 2)
-                })
-                .collect();
+            let addrs: [Option<u64>; M_TILE] = std::array::from_fn(|row| {
+                let window = match strategy {
+                    RowSwapStrategy::Implicit => perm[16 * k + row],
+                    _ => 16 * k + row,
+                };
+                Some(window as u64 * sy * 2)
+            });
             // 16 rows × 16 B = 256 B = 2 waves minimum; row-pointer bank
             // collisions would add replays (none with the padded stride).
             *wk = 2.max(waves_for(&addrs) / 8);
@@ -678,11 +982,6 @@ pub fn conflict_free_stride(need: usize) -> usize {
         s += 64;
     }
     s
-}
-
-/// Strided-swap permutation lookup for the 32-row window.
-fn perm_table(plan: &SpiderPlan) -> [usize; 32] {
-    std::array::from_fn(|j| swap_perm(j, M_TILE, plan.parity()))
 }
 
 /// Sample the padded storage of a 2D grid at signed interior coordinates,

@@ -72,6 +72,19 @@ impl<'d> Spider3DExecutor<'d> {
         }
     }
 
+    /// A 3D executor with an explicit 2D executor configuration (tiling,
+    /// row-swap strategy, fast-gather toggle) for its plane sweeps.
+    pub fn with_config(
+        device: &'d GpuDevice,
+        mode: ExecMode,
+        config: crate::exec::ExecConfig,
+    ) -> Self {
+        Self {
+            device,
+            exec: SpiderExecutor::with_config(device, mode, config),
+        }
+    }
+
     /// Run `steps` sweeps of a 3D stencil, updating `grid` in place.
     pub fn run(
         &self,
@@ -95,29 +108,43 @@ impl<'d> Spider3DExecutor<'d> {
         }
         let points = grid.points() as u64;
         let mut total = PerfCounters::new();
+        // All plane-sized scratch cycles through the executor's pool: one
+        // staging plane for the source slice, one partial-result plane, one
+        // accumulator. The `next` volume is allocated once and ping-ponged.
+        let (rows, cols, h) = (grid.rows(), grid.cols(), grid.halo());
+        let pool = self.exec.pool().clone();
+        let plane_len = (rows + 2 * h) * (cols + 2 * h);
+        let mut src_plane =
+            spider_stencil::Grid2D::from_padded_vec(rows, cols, h, pool.take(plane_len));
+        let mut partial =
+            spider_stencil::Grid2D::from_padded_vec(rows, cols, h, pool.take(plane_len));
+        let mut acc = spider_stencil::Grid2D::from_padded_vec(rows, cols, h, pool.take(plane_len));
+        let mut next = grid.clone();
         for _ in 0..steps.max(1) {
-            let mut next = grid.clone();
             for z in 0..grid.planes() {
-                let mut acc =
-                    spider_stencil::Grid2D::<f32>::zeros(grid.rows(), grid.cols(), plan.radius());
+                acc.padded_mut().fill(0.0);
                 for (dz, plan2d) in plan.slices() {
-                    let src_plane = grid.plane_ext(z as isize + dz);
-                    let (partial, counters) = self.exec.sweep_plane(plan2d, &src_plane)?;
-                    total += counters;
-                    for i in 0..grid.rows() {
-                        for j in 0..grid.cols() {
+                    grid.plane_ext_into(z as isize + dz, &mut src_plane);
+                    total += self
+                        .exec
+                        .sweep_plane_into(plan2d, &src_plane, &mut partial)?;
+                    for i in 0..rows {
+                        for j in 0..cols {
                             acc.set(i, j, acc.get(i, j) + partial.get(i, j));
                         }
                     }
                 }
-                for i in 0..grid.rows() {
-                    for j in 0..grid.cols() {
+                for i in 0..rows {
+                    for j in 0..cols {
                         next.set(z, i, j, F16::quantize(acc.get(i, j)));
                     }
                 }
             }
-            *grid = next;
+            std::mem::swap(grid, &mut next);
         }
+        pool.put(src_plane.into_padded_vec());
+        pool.put(partial.into_padded_vec());
+        pool.put(acc.into_padded_vec());
         // Launch geometry: planes × 2D block grid per sweep.
         let t = crate::tiling::TilingConfig::default();
         let dims = LaunchDims::new(

@@ -41,12 +41,14 @@ pub mod exec3d;
 pub mod kernel_matrix;
 pub mod packing;
 pub mod plan;
+pub mod pool;
 pub mod row_swap;
 pub mod swap;
 pub mod tiling;
 
 pub use exec::{BatchFeedback, ExecConfig, ExecMode, NoFeedback, SpiderExecutor};
 pub use plan::SpiderPlan;
+pub use pool::{BufferPool, PoolStats};
 pub use row_swap::RowSwapStrategy;
 pub use swap::SwapParity;
 pub use tiling::TilingConfig;

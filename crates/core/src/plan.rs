@@ -9,7 +9,8 @@
 
 use crate::encode::Sparse24Kernel;
 use crate::kernel_matrix;
-use crate::swap::SwapParity;
+use crate::swap::{swap_perm, SwapParity};
+use crate::{K_PAD, M_TILE};
 use spider_gpu_sim::half::F16;
 use spider_stencil::{Dim, StencilKernel};
 
@@ -27,12 +28,57 @@ pub struct PlanUnit {
     pub radius: usize,
 }
 
+/// Plan-time gather tables for one [`PlanUnit`]: for each of the unit's two
+/// MMA K-slices, the signed input-window offset every B-fragment row reads,
+/// with the strided-swap row permutation already folded in.
+///
+/// The executor adds these to the tile's window origin to obtain padded
+/// storage offsets — no per-block permutation re-derivation, no per-element
+/// offset arithmetic beyond one add. Computed once at compile time, so the
+/// plan cache amortizes the work across every sweep of every request that
+/// shares the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitGather {
+    /// Signed column offset (relative to the output tile's first column) for
+    /// window row `dy` of K-slice `k`, swapped order: `swapped[k][dy] =
+    /// unit.dy − unit.radius + perm[16k + dy]`.
+    pub swapped: [[isize; M_TILE]; 2],
+    /// Same, fragment (unswapped) order — the dense-TC ablation arm:
+    /// `dense[k][dy] = unit.dy − unit.radius + 16k + dy`.
+    pub dense: [[isize; M_TILE]; 2],
+}
+
+impl UnitGather {
+    fn compile(perm: &[usize; K_PAD], dy: isize, radius: usize) -> Self {
+        let base = dy - radius as isize;
+        Self {
+            swapped: std::array::from_fn(|k| {
+                std::array::from_fn(|row| base + perm[16 * k + row] as isize)
+            }),
+            dense: std::array::from_fn(|k| {
+                std::array::from_fn(|row| base + (16 * k + row) as isize)
+            }),
+        }
+    }
+}
+
 /// The ahead-of-time compilation product for one stencil kernel.
 #[derive(Debug, Clone)]
 pub struct SpiderPlan {
     kernel: StencilKernel,
     units: Vec<PlanUnit>,
     parity: SwapParity,
+    /// Strided-swap permutation over the 32-row input window (precomputed;
+    /// `perm[j] = swap_perm(j, M_TILE, parity)`).
+    perm: [usize; K_PAD],
+    /// Per-unit gather-offset tables, parallel to `units`.
+    gathers: Vec<UnitGather>,
+    /// Smallest / largest signed column offset any unit's gather reads
+    /// (swapped and dense order combined) — the bounds the executor's
+    /// interior-tile classification checks against.
+    col_off_range: (isize, isize),
+    /// Smallest / largest input-row offset (`unit.dx`) across units.
+    dx_range: (isize, isize),
 }
 
 /// Errors surfaced during plan compilation.
@@ -94,10 +140,29 @@ impl SpiderPlan {
         if units.is_empty() {
             return Err(PlanError::EmptyKernel);
         }
+        let perm: [usize; K_PAD] = std::array::from_fn(|j| swap_perm(j, M_TILE, parity));
+        let gathers: Vec<UnitGather> = units
+            .iter()
+            .map(|u| UnitGather::compile(&perm, u.dy, u.radius))
+            .collect();
+        let col_off_range = gathers
+            .iter()
+            .flat_map(|g| g.swapped.iter().chain(g.dense.iter()))
+            .flatten()
+            .fold((isize::MAX, isize::MIN), |(lo, hi), &o| {
+                (lo.min(o), hi.max(o))
+            });
+        let dx_range = units.iter().fold((isize::MAX, isize::MIN), |(lo, hi), u| {
+            (lo.min(u.dx), hi.max(u.dx))
+        });
         Ok(Self {
             kernel: kernel.clone(),
             units,
             parity,
+            perm,
+            gathers,
+            col_off_range,
+            dx_range,
         })
     }
 
@@ -111,6 +176,28 @@ impl SpiderPlan {
 
     pub fn parity(&self) -> SwapParity {
         self.parity
+    }
+
+    /// The precomputed strided-swap permutation over the 32-row window
+    /// (`perm[j] = swap_perm(j, M_TILE, parity)`).
+    pub fn perm(&self) -> &[usize; K_PAD] {
+        &self.perm
+    }
+
+    /// Per-unit gather-offset tables, parallel to [`Self::units`].
+    pub fn gathers(&self) -> &[UnitGather] {
+        &self.gathers
+    }
+
+    /// `(min, max)` signed column offset any B-fragment gather of this plan
+    /// reads, relative to the output tile's first column.
+    pub fn col_off_range(&self) -> (isize, isize) {
+        self.col_off_range
+    }
+
+    /// `(min, max)` input-row offset (`unit.dx`) across the plan's units.
+    pub fn dx_range(&self) -> (isize, isize) {
+        self.dx_range
     }
 
     /// Stable content fingerprint of the compiled plan: the source kernel's
@@ -240,6 +327,43 @@ mod tests {
         let dense = p.parameter_bytes_dense();
         // values halve; metadata adds 1/16 of dense.
         assert_eq!(compressed, dense / 2 + dense / 16);
+    }
+
+    #[test]
+    fn gather_tables_match_on_the_fly_derivation() {
+        use crate::swap::swap_perm;
+        for (shape, seed) in [
+            (StencilShape::box_2d(3), 11u64),
+            (StencilShape::star_2d(2), 12),
+            (StencilShape::d1(9), 13), // wide-row split: non-zero unit.dy
+        ] {
+            let k = StencilKernel::random(shape, seed);
+            let p = SpiderPlan::compile(&k).unwrap();
+            assert_eq!(p.gathers().len(), p.units().len());
+            for j in 0..K_PAD {
+                assert_eq!(p.perm()[j], swap_perm(j, M_TILE, p.parity()));
+            }
+            let (mut lo, mut hi) = (isize::MAX, isize::MIN);
+            for (u, g) in p.units().iter().zip(p.gathers()) {
+                let base = u.dy - u.radius as isize;
+                for kk in 0..2 {
+                    for row in 0..M_TILE {
+                        let sw = base + p.perm()[16 * kk + row] as isize;
+                        let de = base + (16 * kk + row) as isize;
+                        assert_eq!(g.swapped[kk][row], sw);
+                        assert_eq!(g.dense[kk][row], de);
+                        lo = lo.min(sw.min(de));
+                        hi = hi.max(sw.max(de));
+                    }
+                }
+            }
+            assert_eq!(p.col_off_range(), (lo, hi));
+            let dxs: Vec<isize> = p.units().iter().map(|u| u.dx).collect();
+            assert_eq!(
+                p.dx_range(),
+                (*dxs.iter().min().unwrap(), *dxs.iter().max().unwrap())
+            );
+        }
     }
 
     #[test]

@@ -74,4 +74,17 @@ impl GpuDevice {
     pub fn report(&self, counters: PerfCounters, dims: LaunchDims, points: u64) -> KernelReport {
         KernelReport::new(&self.specs, counters, dims, points)
     }
+
+    /// Report for one member of a batched launch — see
+    /// [`KernelReport::new_batched`] for the semantics of `launch_share`
+    /// and the combined `dims`.
+    pub fn report_batched(
+        &self,
+        counters: PerfCounters,
+        dims: LaunchDims,
+        points: u64,
+        launch_share: f64,
+    ) -> KernelReport {
+        KernelReport::new_batched(&self.specs, counters, dims, points, launch_share)
+    }
 }

@@ -92,6 +92,24 @@ pub struct KernelReport {
 
 impl KernelReport {
     pub fn new(specs: &GpuSpecs, counters: PerfCounters, dims: LaunchDims, points: u64) -> Self {
+        Self::new_batched(specs, counters, dims, points, 1.0)
+    }
+
+    /// Report for one member of a *batched launch*: `launch_share` is the
+    /// fraction of the kernel-launch overhead attributed to this member
+    /// (`1/n` for an n-grid batch — the batch pays one launch, each member
+    /// carries its share), and `dims` describes the whole batched launch so
+    /// the occupancy ramp sees the combined block residency. Counters and
+    /// points remain strictly per-member; summing member reports therefore
+    /// reproduces `one launch + serialized per-member work / combined
+    /// occupancy`, the roofline of a real batched kernel.
+    pub fn new_batched(
+        specs: &GpuSpecs,
+        counters: PerfCounters,
+        dims: LaunchDims,
+        points: u64,
+        launch_share: f64,
+    ) -> Self {
         let compute_s = compute_time(specs, &counters);
         let dram_s = counters.gmem_transaction_bytes() as f64 / specs.hbm_bytes_per_s;
         let smem_waves = counters.smem_read_waves + counters.smem_write_waves;
@@ -105,7 +123,7 @@ impl KernelReport {
             dram_s,
             smem_s,
             issue_s,
-            launch_s: specs.launch_overhead_s,
+            launch_s: specs.launch_overhead_s * launch_share,
             occupancy: occupancy(specs, dims.blocks),
         };
         Self {
@@ -233,6 +251,25 @@ mod tests {
         assert!(small.breakdown.occupancy < large.breakdown.occupancy);
         assert_eq!(large.breakdown.occupancy, 1.0);
         assert!(small.gstencils_per_sec() < large.gstencils_per_sec());
+    }
+
+    #[test]
+    fn batched_launch_amortizes_overhead_and_pools_occupancy() {
+        let s = specs();
+        let mut c = PerfCounters::new();
+        c.gmem_read(1 << 16, 1 << 11);
+        // Solo: 40 blocks, full launch overhead, low occupancy.
+        let solo = KernelReport::new(&s, c, LaunchDims::new(40, 128), 1 << 16);
+        // As one of 4 batch members: quarter launch share, 160 resident
+        // blocks driving the occupancy ramp.
+        let member = KernelReport::new_batched(&s, c, LaunchDims::new(160, 128), 1 << 16, 0.25);
+        assert_eq!(member.counters, solo.counters, "counters stay per-member");
+        assert!((member.breakdown.launch_s - s.launch_overhead_s / 4.0).abs() < 1e-15);
+        assert!(member.breakdown.occupancy > solo.breakdown.occupancy);
+        assert!(member.time_s() < solo.time_s());
+        // share = 1 with the member's own dims is exactly the solo report.
+        let degenerate = KernelReport::new_batched(&s, c, LaunchDims::new(40, 128), 1 << 16, 1.0);
+        assert_eq!(degenerate.breakdown, solo.breakdown);
     }
 
     #[test]

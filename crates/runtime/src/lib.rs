@@ -96,7 +96,7 @@ pub mod scheduler;
 pub mod tuner;
 
 pub use cache::{CacheStats, PlanCache};
-pub use report::{QueueStats, RequestOutcome, RuntimeReport};
+pub use report::{QueueStats, RequestOutcome, RuntimeReport, WaitHistogram};
 pub use request::{Deadline, GridSpec, Priority, StencilRequest};
 pub use runtime::{output_checksum, RuntimeError, RuntimeOptions, SpiderRuntime};
 pub use scheduler::{

@@ -29,6 +29,85 @@ pub struct RequestOutcome {
     pub checksum: u64,
 }
 
+/// Fixed log-scale histogram of queueing delays: bucket `i` counts waits in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs sub-microsecond
+/// waits; the last bucket absorbs everything from ~2 seconds up). Fixed
+/// bucket bounds keep the struct `Copy`, mergeable by plain addition, and
+/// comparable across runs — the shape a serving dashboard wants, and the
+/// tail-latency detail the scalar mean/max pair in [`QueueStats`] cannot
+/// express.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitHistogram {
+    /// Per-bucket counts; see the type docs for the bucket bounds.
+    pub buckets: [u64; Self::BUCKETS],
+}
+
+impl WaitHistogram {
+    /// Number of buckets: sub-µs through ≥ ~2 s in doubling steps.
+    pub const BUCKETS: usize = 22;
+
+    /// Record one queueing delay (seconds).
+    pub fn record(&mut self, wait_s: f64) {
+        let us = wait_s.max(0.0) * 1e6;
+        let idx = if us < 1.0 {
+            0
+        } else {
+            (us.log2() as usize).min(Self::BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Total recorded waits.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Lower bound of bucket `i` in microseconds (`2^i`, with bucket 0
+    /// starting at 0).
+    pub fn bucket_lower_us(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Compact one-line rendering of the non-empty buckets, e.g.
+    /// `[64µs,128µs):3 [128µs,256µs):9`.
+    pub fn render(&self) -> String {
+        let label = |us: u64| -> String {
+            if us >= 1_000_000 {
+                format!("{}s", us / 1_000_000)
+            } else if us >= 1_000 {
+                format!("{}ms", us / 1_000)
+            } else {
+                format!("{us}\u{b5}s")
+            }
+        };
+        let mut parts = Vec::new();
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = Self::bucket_lower_us(i);
+            if i + 1 == Self::BUCKETS {
+                parts.push(format!("[{},\u{221e}):{count}", label(lo)));
+            } else {
+                parts.push(format!(
+                    "[{},{}):{count}",
+                    label(lo),
+                    label(1u64 << (i + 1))
+                ));
+            }
+        }
+        if parts.is_empty() {
+            "(no dispatched requests)".into()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
 /// Admission-queue counters attached to a scheduler drain report.
 ///
 /// All counters are cumulative since the scheduler was constructed. Wait
@@ -57,6 +136,9 @@ pub struct QueueStats {
     pub total_wait_s: f64,
     /// Worst single-ticket queueing delay, seconds.
     pub max_wait_s: f64,
+    /// Log-scale distribution of the per-ticket queueing delays behind the
+    /// mean/max above.
+    pub wait_hist: WaitHistogram,
 }
 
 impl QueueStats {
@@ -188,6 +270,7 @@ impl RuntimeReport {
                 q.mean_wait_s() * 1e3,
                 q.max_wait_s * 1e3,
             ));
+            out.push_str(&format!("queue wait histogram: {}\n", q.wait_hist.render()));
         }
         out
     }
@@ -196,6 +279,42 @@ impl RuntimeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wait_histogram_buckets_by_log2_microseconds() {
+        let mut h = WaitHistogram::default();
+        h.record(0.0); // sub-µs → bucket 0
+        h.record(0.5e-6); // still bucket 0
+        h.record(3e-6); // [2µs,4µs) → bucket 1
+        h.record(100e-6); // [64µs,128µs) → bucket 6
+        h.record(5.0); // seconds → clamped to last bucket
+        h.record(-1.0); // negative clock skew → bucket 0, never panics
+        assert_eq!(h.buckets[0], 3);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[6], 1);
+        assert_eq!(h.buckets[WaitHistogram::BUCKETS - 1], 1);
+        assert_eq!(h.count(), 6);
+        let text = h.render();
+        assert!(text.contains("[64µs,128µs):1"), "{text}");
+        assert!(text.contains("∞"), "last bucket is open-ended: {text}");
+        assert_eq!(
+            WaitHistogram::default().render(),
+            "(no dispatched requests)"
+        );
+    }
+
+    #[test]
+    fn wait_histogram_bucket_bounds() {
+        assert_eq!(WaitHistogram::bucket_lower_us(0), 0);
+        assert_eq!(WaitHistogram::bucket_lower_us(1), 2);
+        assert_eq!(WaitHistogram::bucket_lower_us(10), 1024);
+        // Boundary values land in the bucket they open.
+        let mut h = WaitHistogram::default();
+        h.record(2e-6);
+        assert_eq!(h.buckets[1], 1);
+        h.record(4e-6);
+        assert_eq!(h.buckets[2], 1);
+    }
 
     /// Satellite regression: a batch where everything was shed/expired has
     /// zero outcomes, and no derived rate may be NaN (hit rate = 0/0 guard).

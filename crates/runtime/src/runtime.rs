@@ -7,6 +7,7 @@ use std::time::Instant;
 
 use spider_core::exec::{BatchFeedback, ExecConfig, SpiderExecutor};
 use spider_core::plan::{PlanError, SpiderPlan};
+use spider_core::pool::{BufferPool, PoolStats};
 use spider_core::tiling::TilingConfig;
 use spider_gpu_sim::timing::KernelReport;
 use spider_gpu_sim::GpuDevice;
@@ -89,6 +90,10 @@ pub struct SpiderRuntime {
     cache: PlanCache,
     tuner: AutoTuner,
     options: RuntimeOptions,
+    /// Scratch-buffer pool shared (shallow clones) with every executor this
+    /// runtime configures, so ping-pong grids and block output tiles are
+    /// recycled *across requests* — a warm runtime stops allocating.
+    pool: BufferPool,
 }
 
 impl SpiderRuntime {
@@ -102,6 +107,7 @@ impl SpiderRuntime {
             ),
             device,
             options,
+            pool: BufferPool::new(),
         }
     }
 
@@ -133,6 +139,13 @@ impl SpiderRuntime {
         self.tuner.memo_len()
     }
 
+    /// Hit/miss counters of the shared scratch-buffer pool — the
+    /// steady-state no-allocation witness: once the working set is warm,
+    /// `misses` stops growing while `hits` keeps climbing.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Execute one request end to end: plan lookup (compile on miss), tiling
     /// selection, functional simulated execution, output checksum.
     pub fn execute(&self, req: &StencilRequest) -> Result<RequestOutcome, RuntimeError> {
@@ -151,7 +164,8 @@ impl SpiderRuntime {
             tiling,
             ..ExecConfig::default()
         };
-        let exec = SpiderExecutor::with_config(&self.device, req.mode, config);
+        let exec =
+            SpiderExecutor::with_shared_pool(&self.device, req.mode, config, self.pool.clone());
         let (report, checksum) = match req.grid {
             GridSpec::D1 { .. } => {
                 let mut grid = req.materialize_1d();
@@ -272,23 +286,17 @@ impl SpiderRuntime {
             .collect();
         order.sort_by_key(|&i| (requests[i].exec_key(), i));
 
-        let mut start = 0;
-        while start < order.len() {
-            let key = requests[order[start]].exec_key();
-            let mut end = start + 1;
-            while end < order.len() && requests[order[end]].exec_key() == key {
-                end += 1;
-            }
-            let members = &order[start..end];
+        for members in contiguous_key_runs(&order, |i| requests[i].exec_key()) {
             let head = &requests[members[0]];
             let (tiling, tuned, head_memo_hit) = self.select_tiling(&plan, head, head.plan_key());
-            let exec = SpiderExecutor::with_config(
+            let exec = SpiderExecutor::with_shared_pool(
                 &self.device,
                 head.mode,
                 ExecConfig {
                     tiling,
                     ..ExecConfig::default()
                 },
+                self.pool.clone(),
             );
             let coalesced = members.len() > 1;
             let mut fb = Collect::default();
@@ -342,7 +350,6 @@ impl SpiderRuntime {
                     }
                 }
             }
-            start = end;
         }
         results
             .into_iter()
@@ -352,16 +359,24 @@ impl SpiderRuntime {
 
     /// Execute a heterogeneous batch across the worker pool.
     ///
-    /// Requests are scheduled in plan-key groups so all requests sharing a
-    /// kernel run adjacently: the first one compiles (or re-uses) the plan
-    /// and tunes the tiling, the rest hit both the plan cache and the tuner
-    /// memo. Results are returned in submission order regardless.
+    /// The batch is split into plan-key groups (submission order preserved
+    /// within each group) and every group goes through [`Self::run_group`]:
+    /// one plan resolution per group, one configured executor per exec-key
+    /// subgroup, and — for subgroups larger than one — a coalesced batched
+    /// launch whose shared overhead and pooled occupancy show up directly in
+    /// the outcomes' simulated timing. Workers parallelize across groups.
+    /// Results come back in submission order regardless; grid data and
+    /// checksums are bit-identical to per-request [`Self::execute`] calls,
+    /// while coalesced members' [`spider_gpu_sim::timing::KernelReport`]s
+    /// intentionally differ from solo runs — they carry their share of the
+    /// batched launch (amortized overhead, combined-residency occupancy).
     pub fn run_batch(&self, requests: &[StencilRequest]) -> RuntimeReport {
         let start = Instant::now();
 
         // Group by plan key to amortize compile + tuning within the batch.
         let mut order: Vec<usize> = (0..requests.len()).collect();
         order.sort_by_cached_key(|&i| (requests[i].plan_key(), i));
+        let groups = contiguous_key_runs(&order, |i| requests[i].plan_key());
 
         let workers = if self.options.workers == 0 {
             std::thread::available_parallelism()
@@ -370,7 +385,7 @@ impl SpiderRuntime {
         } else {
             self.options.workers
         }
-        .min(requests.len().max(1));
+        .min(groups.len().max(1));
 
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<Result<RequestOutcome, RuntimeError>>>> =
@@ -380,12 +395,17 @@ impl SpiderRuntime {
             for _ in 0..workers {
                 s.spawn(|| loop {
                     let slot = next.fetch_add(1, Ordering::Relaxed);
-                    if slot >= order.len() {
+                    if slot >= groups.len() {
                         break;
                     }
-                    let idx = order[slot];
-                    let result = self.execute(&requests[idx]);
-                    results.lock().expect("results poisoned")[idx] = Some(result);
+                    let members = groups[slot];
+                    let reqs: Vec<StencilRequest> =
+                        members.iter().map(|&i| requests[i].clone()).collect();
+                    let group_results = self.run_group(&reqs);
+                    let mut slots = results.lock().expect("results poisoned");
+                    for (&idx, result) in members.iter().zip(group_results) {
+                        slots[idx] = Some(result);
+                    }
                 });
             }
         });
@@ -411,6 +431,25 @@ impl SpiderRuntime {
             queue: None,
         }
     }
+}
+
+/// Split a key-sorted index order into its maximal runs of equal keys —
+/// the grouping primitive shared by [`SpiderRuntime::run_batch`] (plan
+/// keys) and [`SpiderRuntime::run_group`] (exec keys). Submission order is
+/// preserved within each run because the caller's sort is index-stable.
+fn contiguous_key_runs<K: PartialEq>(order: &[usize], key: impl Fn(usize) -> K) -> Vec<&[usize]> {
+    let mut runs = Vec::new();
+    let mut start = 0;
+    while start < order.len() {
+        let k = key(order[start]);
+        let mut end = start + 1;
+        while end < order.len() && key(order[end]) == k {
+            end += 1;
+        }
+        runs.push(&order[start..end]);
+        start = end;
+    }
+    runs
 }
 
 /// FNV-1a over the bit patterns of a float slice — the checksum recorded in

@@ -619,6 +619,7 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: SchedulerO
                         let wait = now.saturating_duration_since(entry.submitted).as_secs_f64();
                         st.stats.total_wait_s += wait;
                         st.stats.max_wait_s = st.stats.max_wait_s.max(wait);
+                        st.stats.wait_hist.record(wait);
                         st.slots.get_mut(&entry.ticket).expect("known ticket").slot = Slot::Running;
                         wave[g].tickets.push(entry.ticket);
                         wave[g].requests.push(entry.req);
@@ -859,6 +860,27 @@ mod tests {
         assert_eq!(report.outcomes.len(), 1);
         assert_eq!(report.queue.unwrap().expired, 1);
         assert!(report.rates_are_finite());
+    }
+
+    #[test]
+    fn wait_histogram_counts_exactly_the_dispatched_tickets() {
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            ..SchedulerOptions::default()
+        });
+        for i in 0..5 {
+            s.submit(req(i, Priority::Normal)).unwrap();
+        }
+        // One doomed request: expired tickets never dispatch, so they must
+        // not appear in the wait histogram.
+        s.submit(req(9, Priority::Normal).with_deadline(crate::Deadline::within(Duration::ZERO)))
+            .unwrap();
+        let report = s.drain();
+        let q = report.queue.unwrap();
+        assert_eq!(q.completed, 5);
+        assert_eq!(q.expired, 1);
+        assert_eq!(q.wait_hist.count(), 5, "one bucket entry per dispatch");
+        assert!(report.render().contains("queue wait histogram:"));
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub struct AutoTuner {
     dry_run_cap: usize,
     /// How many top-ranked candidates (beyond the default) to dry-run.
     shortlist: usize,
+    /// Scratch pool shared across dry-run executors (different candidate
+    /// tilings reuse the same measurement-grid-sized buffers).
+    pool: spider_core::pool::BufferPool,
 }
 
 type ScenarioKey = (u64, GridSpec);
@@ -96,6 +99,7 @@ impl AutoTuner {
             }),
             dry_run_cap: dry_run_cap.max(1),
             shortlist: shortlist.max(1),
+            pool: spider_core::pool::BufferPool::new(),
         }
     }
 
@@ -231,7 +235,7 @@ impl AutoTuner {
             measure_cap: self.dry_run_cap,
             ..ExecConfig::default()
         };
-        let exec = SpiderExecutor::with_config(device, mode, config);
+        let exec = SpiderExecutor::with_shared_pool(device, mode, config, self.pool.clone());
         let report = match grid {
             GridSpec::D1 { len } => exec.estimate_1d(plan, len),
             GridSpec::D2 { rows, cols } => exec.estimate_2d(plan, rows, cols),

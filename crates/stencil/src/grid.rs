@@ -87,6 +87,22 @@ impl<T: Scalar> Grid1D<T> {
         &mut self.data
     }
 
+    /// Build a grid around an existing padded buffer (must be exactly
+    /// `len + 2*halo` elements). The zero-copy counterpart of
+    /// [`Self::into_padded_vec`] — together they let executors recycle
+    /// grid storage through a buffer pool instead of cloning.
+    pub fn from_padded_vec(len: usize, halo: usize, data: Vec<T>) -> Self {
+        assert!(len > 0, "grid must have at least one interior point");
+        assert_eq!(data.len(), len + 2 * halo, "padded buffer size mismatch");
+        Self { len, halo, data }
+    }
+
+    /// Take the padded storage out of the grid (e.g. to return it to a
+    /// buffer pool).
+    pub fn into_padded_vec(self) -> Vec<T> {
+        self.data
+    }
+
     /// Interior slice.
     pub fn interior(&self) -> &[T] {
         &self.data[self.halo..self.halo + self.len]
@@ -222,10 +238,45 @@ impl<T: Scalar> Grid2D<T> {
         &mut self.data
     }
 
+    /// Build a grid around an existing padded buffer (must be exactly
+    /// `(rows + 2*halo) × (cols + 2*halo)` elements). The zero-copy
+    /// counterpart of [`Self::into_padded_vec`] — together they let
+    /// executors recycle grid storage through a buffer pool instead of
+    /// cloning.
+    pub fn from_padded_vec(rows: usize, cols: usize, halo: usize, data: Vec<T>) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must be non-empty");
+        assert_eq!(
+            data.len(),
+            (rows + 2 * halo) * (cols + 2 * halo),
+            "padded buffer size mismatch"
+        );
+        Self {
+            rows,
+            cols,
+            halo,
+            data,
+        }
+    }
+
+    /// Take the padded storage out of the grid (e.g. to return it to a
+    /// buffer pool).
+    pub fn into_padded_vec(self) -> Vec<T> {
+        self.data
+    }
+
     /// One padded row (halo included) at padded-row index `pi`.
     pub fn padded_row(&self, pi: usize) -> &[T] {
         let s = self.stride();
         &self.data[pi * s..(pi + 1) * s]
+    }
+
+    /// Mutable padded row (halo included) at padded-row index `pi` — the
+    /// raw accessor behind the executor's row-wise `copy_from_slice`
+    /// scatter (one bulk copy per output-tile row instead of per-element
+    /// `set` calls).
+    pub fn padded_row_mut(&mut self, pi: usize) -> &mut [T] {
+        let s = self.stride();
+        &mut self.data[pi * s..(pi + 1) * s]
     }
 
     /// Max |a - b| over the interior.
@@ -328,6 +379,35 @@ mod tests {
         let b: Grid2D<f32> = a.convert();
         let c: Grid2D<f64> = b.convert();
         assert!(a.max_abs_diff(&c) < 1e-6);
+    }
+
+    #[test]
+    fn padded_vec_roundtrip_preserves_layout() {
+        let g = Grid2D::<f32>::random(6, 9, 2, 11);
+        let copy = g.clone();
+        let data = g.into_padded_vec();
+        let back = Grid2D::from_padded_vec(6, 9, 2, data);
+        assert_eq!(back, copy);
+        let g1 = Grid1D::<f32>::random(17, 3, 12);
+        let copy1 = g1.clone();
+        let back1 = Grid1D::from_padded_vec(17, 3, g1.into_padded_vec());
+        assert_eq!(back1, copy1);
+    }
+
+    #[test]
+    #[should_panic(expected = "padded buffer size mismatch")]
+    fn from_padded_vec_rejects_wrong_size() {
+        let _ = Grid2D::<f32>::from_padded_vec(4, 4, 1, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn padded_row_mut_writes_through() {
+        let mut g = Grid2D::<f64>::zeros(3, 4, 1);
+        let s = g.stride();
+        g.padded_row_mut(2)[1..5].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g.get(1, 0), 1.0);
+        assert_eq!(g.get(1, 3), 4.0);
+        assert_eq!(g.padded_row(2).len(), s);
     }
 
     #[test]

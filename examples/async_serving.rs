@@ -108,6 +108,17 @@ fn scene_1_priority_ordering() {
         }
     }
     assert_eq!(report.outcomes.len(), traffic.len());
+
+    // Queueing-delay distribution: every dispatched ticket lands in exactly
+    // one fixed log-scale bucket, so the counts add up to the dispatch
+    // count and the tail is visible beyond the scalar mean/max.
+    let q = report.queue.expect("drain attaches queue stats");
+    assert_eq!(q.wait_hist.count(), q.completed + q.failed);
+    println!(
+        "wait-time distribution ({} dispatched): {}",
+        q.wait_hist.count(),
+        q.wait_hist.render()
+    );
     println!("OK: all high-priority requests completed before normal, normal before low\n");
 }
 

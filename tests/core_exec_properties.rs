@@ -1,0 +1,318 @@
+//! Property tests for the zero-copy execution core.
+//!
+//! The executor has two B-fragment gather paths: the fused interior path
+//! (direct strided slice reads off the plan's precomputed offset tables)
+//! and the guarded path (per-element bounds-checked `sample_2d`). The
+//! optimization contract is *bit-identity*: the fast path must read exactly
+//! the storage cells the guarded path reads, so forcing the guarded path
+//! everywhere (`fast_gather: false`) must reproduce every output bit AND
+//! every performance counter on any shape — especially boundary-heavy ones
+//! where almost no tile is interior. These tests pin that contract on odd
+//! extents, extents smaller than one tile, radii rivaling the block size,
+//! wide-radius 1D splits and 3D plane sweeps, plus the coalesced batch
+//! path and the steady-state no-allocation property of the buffer pool.
+
+use proptest::prelude::*;
+use spider::core::exec::{BatchFeedback, ExecConfig, ExecMode, SpiderExecutor};
+use spider::core::exec3d::{Spider3DExecutor, Spider3DPlan};
+use spider::core::plan::SpiderPlan;
+use spider::core::tiling::TilingConfig;
+use spider::gpu_sim::timing::KernelReport;
+use spider::prelude::*;
+use spider::stencil::dim3::{Grid3D, Kernel3D};
+
+fn exec_with(
+    dev: &GpuDevice,
+    mode: ExecMode,
+    tiling: TilingConfig,
+    fast_gather: bool,
+) -> SpiderExecutor<'_> {
+    SpiderExecutor::with_config(
+        dev,
+        mode,
+        ExecConfig {
+            tiling,
+            fast_gather,
+            ..ExecConfig::default()
+        },
+    )
+}
+
+/// Run the same 2D problem through both gather paths and require identical
+/// padded storage (every bit, halo included) and identical counters.
+#[allow(clippy::too_many_arguments)]
+fn assert_2d_paths_identical(
+    mode: ExecMode,
+    tiling: TilingConfig,
+    rows: usize,
+    cols: usize,
+    radius: usize,
+    kernel: &StencilKernel,
+    steps: usize,
+    seed: u64,
+) {
+    let dev = GpuDevice::a100();
+    let plan = SpiderPlan::compile(kernel).unwrap();
+    let mut fast = Grid2D::<f32>::random(rows, cols, radius, seed);
+    let mut guarded = fast.clone();
+    let rf = exec_with(&dev, mode, tiling, true)
+        .run_2d(&plan, &mut fast, steps)
+        .unwrap();
+    let rg = exec_with(&dev, mode, tiling, false)
+        .run_2d(&plan, &mut guarded, steps)
+        .unwrap();
+    assert_eq!(
+        fast.padded(),
+        guarded.padded(),
+        "{mode:?} {rows}x{cols} r{radius} s{steps}: outputs diverged"
+    );
+    assert_eq!(
+        rf.counters, rg.counters,
+        "{mode:?} {rows}x{cols} r{radius}: counters diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized shapes and extents, including odd extents and grids
+    /// smaller than one block tile, across all three executor arms.
+    #[test]
+    fn fast_and_guarded_2d_paths_are_bit_identical(
+        radius in 1usize..=3,
+        star in any::<bool>(),
+        rows in 3usize..80,
+        cols in 3usize..90,
+        steps in 1usize..=3,
+        mode_pick in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let shape = if star { StencilShape::star_2d(radius) } else { StencilShape::box_2d(radius) };
+        let mode = [ExecMode::DenseTc, ExecMode::SparseTc, ExecMode::SparseTcOptimized][mode_pick];
+        let kernel = StencilKernel::random(shape, seed);
+        assert_2d_paths_identical(
+            mode, TilingConfig::default(), rows, cols, radius, &kernel, steps, seed + 1,
+        );
+    }
+
+    /// 1D: odd lengths, lengths below one chunk, and wide radii that split
+    /// into multiple plan units (`split_wide_row`).
+    #[test]
+    fn fast_and_guarded_1d_paths_are_bit_identical(
+        radius in 1usize..=9,
+        n in 3usize..5000,
+        steps in 1usize..=2,
+        seed in 0u64..500,
+    ) {
+        let dev = GpuDevice::a100();
+        let kernel = StencilKernel::random(StencilShape::d1(radius), seed);
+        let plan = SpiderPlan::compile(&kernel).unwrap();
+        let mut fast = Grid1D::<f32>::random(n, radius, seed + 1);
+        let mut guarded = fast.clone();
+        let rf = exec_with(&dev, ExecMode::SparseTcOptimized, TilingConfig::default(), true)
+            .run_1d(&plan, &mut fast, steps)
+            .unwrap();
+        let rg = exec_with(&dev, ExecMode::SparseTcOptimized, TilingConfig::default(), false)
+            .run_1d(&plan, &mut guarded, steps)
+            .unwrap();
+        prop_assert_eq!(fast.padded(), guarded.padded());
+        prop_assert_eq!(rf.counters, rg.counters);
+    }
+}
+
+/// Boundary-heavy corner cases called out in the issue, pinned
+/// deterministically: a grid smaller than one MMA tile, and a radius that
+/// rivals the block extent (halo wider than the interior the block owns).
+#[test]
+fn boundary_heavy_shapes_are_bit_identical() {
+    // Tiny blocks so the radius reaches the block extent.
+    let tiny_blocks = TilingConfig {
+        block_x: 8,
+        block_y: 16,
+        warp_x: 8,
+        warp_y: 16,
+        ..TilingConfig::default()
+    };
+    tiny_blocks.validate().unwrap();
+    for mode in [
+        ExecMode::DenseTc,
+        ExecMode::SparseTc,
+        ExecMode::SparseTcOptimized,
+    ] {
+        // Extent smaller than one 16x8 MMA tile.
+        let k1 = StencilKernel::random(StencilShape::box_2d(2), 7);
+        assert_2d_paths_identical(mode, TilingConfig::default(), 5, 7, 2, &k1, 2, 21);
+        // Radius 7 (the native maximum) against an 8x16 block: halo ≈ block.
+        let k7 = StencilKernel::random(StencilShape::box_2d(7), 8);
+        assert_2d_paths_identical(mode, tiny_blocks, 23, 29, 7, &k7, 1, 22);
+        // Odd extents not divisible by anything convenient.
+        let k3 = StencilKernel::random(StencilShape::star_2d(3), 9);
+        assert_2d_paths_identical(mode, TilingConfig::default(), 33, 67, 3, &k3, 3, 23);
+    }
+}
+
+/// 3D plane sweeps drive the same 2D machinery slice by slice; the whole
+/// volume must come out bit-identical under both gather paths.
+#[test]
+fn plane_sweeps_3d_are_bit_identical() {
+    let dev = GpuDevice::a100();
+    for (kernel, pz, rows, cols, steps) in [
+        (
+            Kernel3D::random_box(1, 31),
+            5usize,
+            17usize,
+            23usize,
+            2usize,
+        ),
+        (Kernel3D::random_box(2, 32), 6, 24, 11, 1),
+        (Kernel3D::star_7point(-6.0, 1.0), 4, 9, 13, 2),
+    ] {
+        let plan = Spider3DPlan::compile(&kernel).unwrap();
+        let mut fast = Grid3D::<f32>::random(pz, rows, cols, kernel.radius(), 33);
+        let mut guarded = fast.clone();
+        Spider3DExecutor::with_config(
+            &dev,
+            ExecMode::SparseTcOptimized,
+            ExecConfig {
+                fast_gather: true,
+                ..ExecConfig::default()
+            },
+        )
+        .run(&plan, &mut fast, steps)
+        .unwrap();
+        Spider3DExecutor::with_config(
+            &dev,
+            ExecMode::SparseTcOptimized,
+            ExecConfig {
+                fast_gather: false,
+                ..ExecConfig::default()
+            },
+        )
+        .run(&plan, &mut guarded, steps)
+        .unwrap();
+        for z in 0..pz {
+            for i in 0..rows {
+                for j in 0..cols {
+                    assert_eq!(
+                        fast.get(z, i, j).to_bits(),
+                        guarded.get(z, i, j).to_bits(),
+                        "3D diverged at ({z},{i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+struct Collect(Vec<KernelReport>);
+
+impl BatchFeedback for Collect {
+    fn on_grid_done(&mut self, _index: usize, report: &KernelReport) {
+        self.0.push(report.clone());
+    }
+}
+
+/// The coalesced batch models one shared launch per step: per-member
+/// counters match the solo runs bit for bit, while the members' summed
+/// launch overhead equals a single solo launch (per step) and the batched
+/// time beats running the members back to back.
+#[test]
+fn coalesced_batch_amortizes_launch_but_keeps_counters() {
+    let dev = GpuDevice::a100();
+    let kernel = StencilKernel::random(StencilShape::box_2d(2), 55);
+    let plan = SpiderPlan::compile(&kernel).unwrap();
+    let exec = SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized);
+    let steps = 2;
+    let inputs: Vec<Grid2D<f32>> = (0..4)
+        .map(|s| Grid2D::random(40 + s, 56, 2, 60 + s as u64))
+        .collect();
+    let mut solo = inputs.clone();
+    let mut solo_reports = Vec::new();
+    for g in &mut solo {
+        solo_reports.push(exec.run_2d(&plan, g, steps).unwrap());
+    }
+    let mut grids = inputs;
+    let mut fb = Collect(Vec::new());
+    exec.run_2d_coalesced(&plan, &mut grids, steps, &mut fb)
+        .unwrap();
+    let launch_one = dev.specs().launch_overhead_s;
+    let mut batched_launch_total = 0.0;
+    for ((got, want), (bg, sg)) in fb.0.iter().zip(&solo_reports).zip(grids.iter().zip(&solo)) {
+        assert_eq!(bg.padded(), sg.padded(), "grid data must be bit-identical");
+        assert_eq!(got.counters, want.counters, "counters stay per-member");
+        assert_eq!(got.points, want.points);
+        assert!(
+            got.time_s() < want.time_s(),
+            "batching must not slow a member"
+        );
+        batched_launch_total += got.breakdown.launch_s;
+    }
+    // 4 members × 2 steps sharing one launch per step = 2 solo launches.
+    assert!((batched_launch_total - steps as f64 * launch_one).abs() < 1e-12);
+    let solo_total: f64 = solo_reports.iter().map(|r| r.time_s()).sum();
+    let batched_total: f64 = fb.0.iter().map(|r| r.time_s()).sum();
+    assert!(
+        batched_total < solo_total,
+        "batched {batched_total} vs solo {solo_total}"
+    );
+}
+
+/// Steady-state no-allocation: after the first (warmup) run, every scratch
+/// acquisition — ping-pong grids and per-block output tiles — is a pool
+/// hit; the miss counter freezes.
+#[test]
+fn pool_reaches_steady_state_after_warmup() {
+    let dev = GpuDevice::a100();
+    let kernel = StencilKernel::random(StencilShape::box_2d(2), 77);
+    let plan = SpiderPlan::compile(&kernel).unwrap();
+    let exec = SpiderExecutor::new(&dev, ExecMode::SparseTcOptimized);
+    let mut grid = Grid2D::<f32>::random(96, 128, 2, 78);
+    exec.run_2d(&plan, &mut grid, 2).unwrap(); // warmup populates the pool
+    let warm = exec.pool().stats();
+    assert!(warm.misses > 0, "warmup allocates the working set");
+    for _ in 0..3 {
+        exec.run_2d(&plan, &mut grid, 2).unwrap();
+    }
+    let steady = exec.pool().stats();
+    assert_eq!(
+        steady.misses, warm.misses,
+        "steady-state runs must not allocate scratch"
+    );
+    assert!(steady.hits > warm.hits, "steady-state runs hit the pool");
+}
+
+/// The runtime shares one pool across executors, so buffer reuse survives
+/// *across requests*: a second identical batch adds hits but no misses.
+#[test]
+fn runtime_pool_survives_across_requests() {
+    let rt = SpiderRuntime::new(
+        GpuDevice::a100(),
+        RuntimeOptions {
+            workers: 1,
+            autotune: false,
+            ..RuntimeOptions::default()
+        },
+    );
+    // Distinct steps ⇒ distinct exec keys ⇒ the group's subgroups run
+    // sequentially, keeping the pool's take/put sequence deterministic
+    // (parallel subgroup members could legitimately widen the working set
+    // between batches, which would make this assertion flaky).
+    let batch: Vec<StencilRequest> = (0..3)
+        .map(|i| {
+            StencilRequest::new_2d(i, StencilKernel::gaussian_2d(2), 96, 128)
+                .with_seed(i)
+                .with_steps(i as usize + 1)
+        })
+        .collect();
+    let first = rt.run_batch(&batch);
+    assert!(first.failures.is_empty());
+    let warm = rt.pool_stats();
+    let second = rt.run_batch(&batch);
+    assert!(second.failures.is_empty());
+    let steady = rt.pool_stats();
+    assert_eq!(
+        steady.misses, warm.misses,
+        "second batch must be allocation-free"
+    );
+    assert!(steady.hits > warm.hits);
+}
