@@ -1,0 +1,78 @@
+//! # spider-cluster
+//!
+//! Multi-device sharded serving for the SPIDER stack: the layer above
+//! `spider-runtime` that turns one allocation-free simulated device into a
+//! fleet of them behind a single front door.
+//!
+//! ```text
+//!   StencilRequest stream
+//!          │
+//!          ▼
+//!   ┌─── Router ───────────────────────────────────────────────┐
+//!   │ FingerprintAffinity (rendezvous hash of plan_key)        │
+//!   │ LeastLoaded · RoundRobin                                 │
+//!   └──┬──────────────┬──────────────┬──────────────┬──────────┘
+//!      ▼              ▼              ▼              ▼
+//!   device 0       device 1       device 2       device 3
+//!   SpiderScheduler (async queue, priorities, deadlines, cancel)
+//!   SpiderRuntime   (plan cache · autotuner · coalescing · pool)
+//!      │              │              │              │
+//!      └──────┬───────┴──────┬───────┴──────────────┘
+//!             ▼              ▼
+//!       work stealing   shared PlanStore (plans + per-spec tuner memos)
+//!       (cancel → requeue on the least-loaded device)
+//! ```
+//!
+//! Three ideas carry the design:
+//!
+//! 1. **Fingerprint affinity.** Plans are content-addressed and device-
+//!    independent; tuner memos are per device spec. Rendezvous-hashing
+//!    `plan_key → device` partitions the key space across shards, so each
+//!    device's plan cache and memo table stay as hot as a single device's
+//!    would — the cluster scales throughput without multiplying compiles.
+//! 2. **Steal-and-requeue.** Affinity concentrates hot kernels; the router
+//!    flattens the resulting skew by cancelling still-queued requests on an
+//!    overloaded device ([`spider_runtime::SpiderScheduler::cancel`]
+//!    guarantees no started work is touched) and resubmitting them to the
+//!    least-loaded shard. A moved request executes exactly once.
+//! 3. **Persistent warm starts.** With a shared
+//!    [`spider_runtime::PlanStore`], compiles write through to disk and
+//!    tuner memos persist per spec fingerprint, so a restarted (or
+//!    scaled-out) cluster serves its first batch with loaded plans and
+//!    memoized tilings instead of compiles and dry-runs.
+//!
+//! Execution inside each device is exactly the single-runtime path, so a
+//! sharded cluster is bit-identical to one runtime serving the same
+//! requests — under every routing policy (property-tested).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spider_cluster::{ClusterOptions, DeviceSpec, SpiderCluster};
+//! use spider_runtime::StencilRequest;
+//! use spider_stencil::StencilKernel;
+//!
+//! let cluster = SpiderCluster::new(
+//!     (0..4).map(|i| DeviceSpec::a100(format!("dev{i}"))).collect(),
+//!     ClusterOptions::default(),
+//! );
+//! let report = cluster
+//!     .run_batch(
+//!         &(0..16)
+//!             .map(|i| StencilRequest::new_2d(i, StencilKernel::gaussian_2d(2), 96, 128))
+//!             .collect::<Vec<_>>(),
+//!     )
+//!     .unwrap();
+//! assert_eq!(report.total_completed(), 16);
+//! assert!(report.rates_are_finite());
+//! ```
+
+pub mod cluster;
+pub mod report;
+pub mod router;
+pub mod spec;
+
+pub use cluster::{ClusterOptions, ClusterTicket, SpiderCluster};
+pub use report::{ClusterReport, DeviceReport};
+pub use router::{Router, RoutingPolicy};
+pub use spec::DeviceSpec;

@@ -361,7 +361,7 @@ impl<'d> SpiderExecutor<'d> {
     /// rayon shim spawns raw scoped threads per call, so every avoided
     /// layer is a real reduction in live threads under `run_batch`'s own
     /// worker pool.)
-    fn run_coalesced_impl<G: Send>(
+    pub(crate) fn run_coalesced_impl<G: Send>(
         &self,
         grids: &mut [G],
         feedback: &mut dyn BatchFeedback,

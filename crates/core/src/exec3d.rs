@@ -10,13 +10,14 @@
 //! kernels work automatically: their off-center slices hold a single tap
 //! and compile to one-unit plans.
 
-use crate::exec::{ExecMode, SpiderExecutor};
+use crate::exec::{BatchFeedback, ExecMode, SpiderExecutor};
 use crate::plan::{PlanError, SpiderPlan};
 use spider_gpu_sim::counters::PerfCounters;
 use spider_gpu_sim::half::F16;
-use spider_gpu_sim::timing::{KernelReport, LaunchDims};
+use spider_gpu_sim::timing::KernelReport;
 use spider_gpu_sim::GpuDevice;
 use spider_stencil::dim3::{Grid3D, Kernel3D};
+use spider_stencil::Grid2D;
 
 /// Compiled 3D plan: one 2D plan per non-zero kernel slice.
 #[derive(Debug, Clone)]
@@ -60,14 +61,12 @@ impl Spider3DPlan {
 
 /// 3D executor: drives the 2D [`SpiderExecutor`] per plane slice.
 pub struct Spider3DExecutor<'d> {
-    device: &'d GpuDevice,
     exec: SpiderExecutor<'d>,
 }
 
 impl<'d> Spider3DExecutor<'d> {
     pub fn new(device: &'d GpuDevice, mode: ExecMode) -> Self {
         Self {
-            device,
             exec: SpiderExecutor::new(device, mode),
         }
     }
@@ -80,12 +79,24 @@ impl<'d> Spider3DExecutor<'d> {
         config: crate::exec::ExecConfig,
     ) -> Self {
         Self {
-            device,
             exec: SpiderExecutor::with_config(device, mode, config),
         }
     }
 
     /// Run `steps` sweeps of a 3D stencil, updating `grid` in place.
+    ///
+    /// The planes of one step are independent — plane `z` reads only the
+    /// source volume, never another plane's step-`t` output — so every step
+    /// executes as **one batched-launch wave** through the same coalesced
+    /// machinery the 2D serving path uses ([`SpiderExecutor::run_2d_coalesced`]'s
+    /// shared `run_coalesced_impl` body): one job per output plane, each job
+    /// sweeping all `2r+1` kernel slices into its accumulator. The wave's
+    /// timing models a single batched launch per step — each plane's report
+    /// carries `1/planes` of the launch overhead and the occupancy ramp of
+    /// the *combined* block residency (`planes × slices × blocks_2d`) —
+    /// instead of the old per-plane full-launch accounting. Grid data is
+    /// bit-identical to the sequential plane loop: per plane, the slice
+    /// accumulation order is unchanged.
     pub fn run(
         &self,
         plan: &Spider3DPlan,
@@ -106,54 +117,100 @@ impl<'d> Spider3DExecutor<'d> {
                 }
             }
         }
-        let points = grid.points() as u64;
-        let mut total = PerfCounters::new();
-        // All plane-sized scratch cycles through the executor's pool: one
-        // staging plane for the source slice, one partial-result plane, one
-        // accumulator. The `next` volume is allocated once and ping-ponged.
+        /// Collects the wave's per-plane reports and merges them (the step
+        /// report is the sequential merge of its batched-launch members).
+        #[derive(Default)]
+        struct MergePlanes {
+            merged: Option<KernelReport>,
+        }
+        impl BatchFeedback for MergePlanes {
+            fn on_grid_done(&mut self, _index: usize, report: &KernelReport) {
+                self.merged = Some(match self.merged.take() {
+                    None => report.clone(),
+                    Some(prev) => prev.merge_sequential(report),
+                });
+            }
+        }
+
+        /// One wave member: output plane `z` and its accumulator (pooled).
+        struct PlaneJob {
+            z: usize,
+            acc: Grid2D<f32>,
+        }
+
         let (rows, cols, h) = (grid.rows(), grid.cols(), grid.halo());
         let pool = self.exec.pool().clone();
         let plane_len = (rows + 2 * h) * (cols + 2 * h);
-        let mut src_plane =
-            spider_stencil::Grid2D::from_padded_vec(rows, cols, h, pool.take(plane_len));
-        let mut partial =
-            spider_stencil::Grid2D::from_padded_vec(rows, cols, h, pool.take(plane_len));
-        let mut acc = spider_stencil::Grid2D::from_padded_vec(rows, cols, h, pool.take(plane_len));
+        let t = self.exec.config().tiling;
+        let blocks_per_plane = plan.slices().len() as u64 * t.blocks_2d(rows, cols);
         let mut next = grid.clone();
+        let mut report: Option<KernelReport> = None;
+        let sweep_err = std::sync::Mutex::new(None::<String>);
         for _ in 0..steps.max(1) {
-            for z in 0..grid.planes() {
-                acc.padded_mut().fill(0.0);
-                for (dz, plan2d) in plan.slices() {
-                    grid.plane_ext_into(z as isize + dz, &mut src_plane);
-                    total += self
-                        .exec
-                        .sweep_plane_into(plan2d, &src_plane, &mut partial)?;
-                    for i in 0..rows {
-                        for j in 0..cols {
-                            acc.set(i, j, acc.get(i, j) + partial.get(i, j));
+            let mut jobs: Vec<PlaneJob> = (0..grid.planes())
+                .map(|z| PlaneJob {
+                    z,
+                    acc: Grid2D::from_padded_vec(rows, cols, h, pool.take(plane_len)),
+                })
+                .collect();
+            let mut fb = MergePlanes::default();
+            let src: &Grid3D<f32> = grid;
+            self.exec.run_coalesced_impl(
+                &mut jobs,
+                &mut fb,
+                |_| Ok(()),
+                |_| blocks_per_plane,
+                |job: &mut PlaneJob| {
+                    // Per-job scratch (source slice + slice partial) cycles
+                    // through the shared pool, so a warm wave allocates
+                    // nothing regardless of how many planes run in parallel.
+                    let mut src_plane =
+                        Grid2D::from_padded_vec(rows, cols, h, pool.take(plane_len));
+                    let mut partial = Grid2D::from_padded_vec(rows, cols, h, pool.take(plane_len));
+                    job.acc.padded_mut().fill(0.0);
+                    let mut counters = PerfCounters::new();
+                    for (dz, plan2d) in plan.slices() {
+                        src.plane_ext_into(job.z as isize + dz, &mut src_plane);
+                        match self.exec.sweep_plane_into(plan2d, &src_plane, &mut partial) {
+                            Ok(c) => counters += c,
+                            Err(e) => {
+                                sweep_err
+                                    .lock()
+                                    .expect("sweep_err poisoned")
+                                    .get_or_insert(e);
+                                break;
+                            }
+                        }
+                        for i in 0..rows {
+                            for j in 0..cols {
+                                job.acc.set(i, j, job.acc.get(i, j) + partial.get(i, j));
+                            }
                         }
                     }
-                }
+                    pool.put(src_plane.into_padded_vec());
+                    pool.put(partial.into_padded_vec());
+                    (vec![counters], (rows * cols) as u64)
+                },
+            )?;
+            if let Some(e) = sweep_err.lock().expect("sweep_err poisoned").take() {
+                return Err(e);
+            }
+            for job in jobs {
                 for i in 0..rows {
                     for j in 0..cols {
-                        next.set(z, i, j, F16::quantize(acc.get(i, j)));
+                        next.set(job.z, i, j, F16::quantize(job.acc.get(i, j)));
                     }
                 }
+                pool.put(job.acc.into_padded_vec());
             }
             std::mem::swap(grid, &mut next);
+            let step_report = fb.merged.expect("wave produced at least one plane");
+            report = Some(match report.take() {
+                None => step_report,
+                Some(prev) => prev.merge_sequential(&step_report),
+            });
         }
-        pool.put(src_plane.into_padded_vec());
-        pool.put(partial.into_padded_vec());
-        pool.put(acc.into_padded_vec());
-        // Launch geometry: planes × 2D block grid per sweep.
-        let t = crate::tiling::TilingConfig::default();
-        let dims = LaunchDims::new(
-            grid.planes() as u64 * t.blocks_2d(grid.rows(), grid.cols()),
-            t.threads_per_block(),
-        );
-        Ok(self
-            .device
-            .report(total, dims, points * steps.max(1) as u64))
+        Ok(report.expect("at least one step"))
     }
 }
 

@@ -43,6 +43,7 @@ pub mod packing;
 pub mod plan;
 pub mod pool;
 pub mod row_swap;
+pub mod serial;
 pub mod swap;
 pub mod tiling;
 
@@ -50,6 +51,7 @@ pub use exec::{BatchFeedback, ExecConfig, ExecMode, NoFeedback, SpiderExecutor};
 pub use plan::SpiderPlan;
 pub use pool::{BufferPool, PoolStats};
 pub use row_swap::RowSwapStrategy;
+pub use serial::SerialError;
 pub use swap::SwapParity;
 pub use tiling::TilingConfig;
 

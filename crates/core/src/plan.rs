@@ -140,6 +140,20 @@ impl SpiderPlan {
         if units.is_empty() {
             return Err(PlanError::EmptyKernel);
         }
+        Ok(Self::from_parts(kernel.clone(), units, parity))
+    }
+
+    /// Assemble a plan from its compiled units, recomputing the derived
+    /// tables (swap permutation, gather offsets, offset ranges). Shared by
+    /// [`Self::compile_with_parity`] and the on-disk deserializer in
+    /// [`crate::serial`] — the derived tables are pure arithmetic over
+    /// `(parity, units)`, so they are never stored, only re-derived.
+    pub(crate) fn from_parts(
+        kernel: StencilKernel,
+        units: Vec<PlanUnit>,
+        parity: SwapParity,
+    ) -> Self {
+        debug_assert!(!units.is_empty(), "from_parts requires at least one unit");
         let perm: [usize; K_PAD] = std::array::from_fn(|j| swap_perm(j, M_TILE, parity));
         let gathers: Vec<UnitGather> = units
             .iter()
@@ -155,15 +169,15 @@ impl SpiderPlan {
         let dx_range = units.iter().fold((isize::MAX, isize::MIN), |(lo, hi), u| {
             (lo.min(u.dx), hi.max(u.dx))
         });
-        Ok(Self {
-            kernel: kernel.clone(),
+        Self {
+            kernel,
             units,
             parity,
             perm,
             gathers,
             col_off_range,
             dx_range,
-        })
+        }
     }
 
     pub fn kernel(&self) -> &StencilKernel {

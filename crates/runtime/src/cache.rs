@@ -28,6 +28,11 @@ pub struct CacheStats {
     pub misses: u64,
     pub insertions: u64,
     pub evictions: u64,
+    /// Misses satisfied by deserializing a persisted plan (via the loader
+    /// hook of [`PlanCache::get_or_compile_with_loader`]) instead of
+    /// compiling. Always ≤ `misses`; `misses - store_hits` is the number of
+    /// actual compilations.
+    pub store_hits: u64,
 }
 
 impl CacheStats {
@@ -84,6 +89,30 @@ impl PlanCache {
         key: u64,
         kernel: &StencilKernel,
     ) -> Result<(Arc<SpiderPlan>, bool), PlanError> {
+        self.get_or_compile_with_loader(key, kernel, None)
+            .map(|(plan, hit, _)| (plan, hit))
+    }
+
+    /// [`Self::get_or_compile`] with an optional second-level lookup: on a
+    /// memory miss, `loader` (typically [`crate::PlanStore::load_plan`]) is
+    /// consulted before compiling. A loaded plan is inserted and counted as
+    /// a `store_hit`; only when the loader also comes up empty does the
+    /// kernel compile.
+    ///
+    /// Returns `(plan, memory_hit, compiled)` — `compiled` is `true` exactly
+    /// when this call ran the compilation pipeline, which is the caller's
+    /// cue to write the fresh plan through to its store.
+    ///
+    /// Like compilation, the loader runs under the cache lock: both are
+    /// microsecond-scale next to a duplicated compile+insert race, and the
+    /// lock keeps the statistics exact.
+    #[allow(clippy::type_complexity)]
+    pub fn get_or_compile_with_loader(
+        &self,
+        key: u64,
+        kernel: &StencilKernel,
+        loader: Option<&dyn Fn(u64) -> Option<SpiderPlan>>,
+    ) -> Result<(Arc<SpiderPlan>, bool, bool), PlanError> {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         if let Some(entry) = inner.map.get(&key) {
             let old_tick = entry.tick;
@@ -94,10 +123,16 @@ impl PlanCache {
             inner.recency.insert(tick, key);
             inner.map.get_mut(&key).expect("entry vanished").tick = tick;
             inner.stats.hits += 1;
-            return Ok((plan, true));
+            return Ok((plan, true, false));
         }
         inner.stats.misses += 1;
-        let plan = Arc::new(SpiderPlan::compile(kernel)?);
+        let (plan, compiled) = match loader.and_then(|load| load(key)) {
+            Some(loaded) => {
+                inner.stats.store_hits += 1;
+                (Arc::new(loaded), false)
+            }
+            None => (Arc::new(SpiderPlan::compile(kernel)?), true),
+        };
         let tick = inner.next_tick;
         inner.next_tick += 1;
         if inner.map.len() >= inner.capacity {
@@ -114,7 +149,18 @@ impl PlanCache {
         );
         inner.recency.insert(tick, key);
         inner.stats.insertions += 1;
-        Ok((plan, false))
+        Ok((plan, false, compiled))
+    }
+
+    /// Snapshot of every cached `(key, plan)` pair, in no particular order —
+    /// the iteration [`crate::SpiderRuntime::persist`] writes to the store.
+    pub fn entries(&self) -> Vec<(u64, Arc<SpiderPlan>)> {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        inner
+            .map
+            .iter()
+            .map(|(&k, e)| (k, Arc::clone(&e.plan)))
+            .collect()
     }
 
     /// Peek without compiling or recording a hit/miss (test/introspection).
@@ -206,6 +252,36 @@ mod tests {
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn loader_satisfies_misses_without_compiling() {
+        let cache = PlanCache::new(4);
+        let k = kernel(3);
+        let persisted = SpiderPlan::compile(&k).unwrap();
+        let loader = |_key: u64| Some(persisted.clone());
+        let (plan, hit, compiled) = cache
+            .get_or_compile_with_loader(k.fingerprint(), &k, Some(&loader))
+            .unwrap();
+        assert!(!hit && !compiled, "miss served by the loader");
+        assert_eq!(plan.fingerprint(), persisted.fingerprint());
+        assert_eq!(cache.stats().store_hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        // Second lookup is a plain memory hit; the loader is not consulted.
+        let never = |_key: u64| -> Option<SpiderPlan> { panic!("hit must not load") };
+        let (_, hit, compiled) = cache
+            .get_or_compile_with_loader(k.fingerprint(), &k, Some(&never))
+            .unwrap();
+        assert!(hit && !compiled);
+        // A key the loader misses compiles (and reports it).
+        let k2 = kernel(4);
+        let empty = |_key: u64| -> Option<SpiderPlan> { None };
+        let (_, hit, compiled) = cache
+            .get_or_compile_with_loader(k2.fingerprint(), &k2, Some(&empty))
+            .unwrap();
+        assert!(!hit && compiled);
+        assert_eq!(cache.stats().store_hits, 1);
+        assert_eq!(cache.entries().len(), 2);
     }
 
     #[test]

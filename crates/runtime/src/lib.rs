@@ -93,6 +93,7 @@ pub mod report;
 pub mod request;
 pub mod runtime;
 pub mod scheduler;
+pub mod store;
 pub mod tuner;
 
 pub use cache::{CacheStats, PlanCache};
@@ -102,4 +103,5 @@ pub use runtime::{output_checksum, RuntimeError, RuntimeOptions, SpiderRuntime};
 pub use scheduler::{
     BackpressurePolicy, RequestStatus, SchedulerOptions, SpiderScheduler, SubmitError, Ticket,
 };
+pub use store::{PersistedMemo, PlanStore, StoreStats};
 pub use tuner::{AutoTuner, TuneOutcome};

@@ -124,6 +124,10 @@ pub struct QueueStats {
     pub shed: u64,
     /// Tickets whose deadline passed before dispatch (never executed).
     pub expired: u64,
+    /// Tickets cancelled via [`crate::SpiderScheduler::cancel`] while still
+    /// queued (never executed). The cluster router's steal-and-requeue path
+    /// shows up here on the device the work was stolen *from*.
+    pub cancelled: u64,
     /// Submissions refused outright by the `Reject` backpressure policy.
     pub rejected: u64,
     /// Highest queued-request count observed.
@@ -185,10 +189,27 @@ impl RuntimeReport {
         self.outcomes.iter().map(|o| o.report.points).sum()
     }
 
+    /// Total simulated device-busy time across this report's outcomes —
+    /// **one device's clock**: the outcomes of a single runtime execute on
+    /// its single simulated device, so their times add serially.
+    ///
+    /// This is the field to reach for when merging reports from *several*
+    /// devices: summing whole-fleet busy time is meaningful (serial
+    /// equivalent), but summing the derived per-device *rates* is not —
+    /// devices run concurrently, so fleet-level rates must divide by a
+    /// makespan, not by a sum of clocks. `spider-cluster`'s `ClusterReport`
+    /// does exactly that and keeps the two labeled apart.
+    pub fn simulated_busy_s(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.report.time_s()).sum()
+    }
+
     /// Aggregate simulated throughput: total points over total simulated
     /// GPU time (the serving-side analogue of the paper's GStencils/s).
+    ///
+    /// **Per-device clock**: valid for the single device this report came
+    /// from. Do not sum across devices — see [`Self::simulated_busy_s`].
     pub fn simulated_gstencils_per_sec(&self) -> f64 {
-        let sim_s: f64 = self.outcomes.iter().map(|o| o.report.time_s()).sum();
+        let sim_s = self.simulated_busy_s();
         if sim_s <= 0.0 {
             return 0.0;
         }
@@ -259,10 +280,11 @@ impl RuntimeReport {
         ));
         if let Some(q) = &self.queue {
             out.push_str(&format!(
-                "queue: {} submitted | {} shed | {} expired | {} rejected | max depth {} | {} waves / {} groups | wait mean {:.3}ms max {:.3}ms\n",
+                "queue: {} submitted | {} shed | {} expired | {} cancelled | {} rejected | max depth {} | {} waves / {} groups | wait mean {:.3}ms max {:.3}ms\n",
                 q.submitted,
                 q.shed,
                 q.expired,
+                q.cancelled,
                 q.rejected,
                 q.max_depth,
                 q.dispatch_waves,

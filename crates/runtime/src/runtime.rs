@@ -15,7 +15,9 @@ use spider_gpu_sim::GpuDevice;
 use crate::cache::{CacheStats, PlanCache};
 use crate::report::{RequestOutcome, RuntimeReport};
 use crate::request::{GridSpec, StencilRequest};
+use crate::store::{PersistedMemo, PlanStore, StoreStats};
 use crate::tuner::AutoTuner;
+use spider_stencil::StencilKernel;
 
 /// Errors a request can fail with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +96,10 @@ pub struct SpiderRuntime {
     /// runtime configures, so ping-pong grids and block output tiles are
     /// recycled *across requests* — a warm runtime stops allocating.
     pool: BufferPool,
+    /// Optional durable plan + memo storage. When attached, plan-cache
+    /// misses consult the store before compiling, fresh compiles write
+    /// through, and [`Self::persist`] snapshots cache + tuner memos.
+    store: Option<Arc<PlanStore>>,
 }
 
 impl SpiderRuntime {
@@ -108,12 +114,100 @@ impl SpiderRuntime {
             device,
             options,
             pool: BufferPool::new(),
+            store: None,
         }
     }
 
     /// A runtime with default options on the given device.
     pub fn with_defaults(device: GpuDevice) -> Self {
         Self::new(device, RuntimeOptions::default())
+    }
+
+    /// A runtime backed by a durable [`PlanStore`]: plan-cache misses
+    /// consult the store before compiling (a store hit deserializes and
+    /// never runs the pipeline), compiles write through, and tuner memos
+    /// persisted by a previous process for this device's spec fingerprint
+    /// are imported immediately — the warm-start path a restarted or
+    /// scaled-out fleet takes.
+    pub fn with_store(device: GpuDevice, options: RuntimeOptions, store: Arc<PlanStore>) -> Self {
+        let mut rt = Self::new(device, options);
+        let spec_key = rt.device.specs().fingerprint();
+        rt.tuner.import_memos(
+            store
+                .load_memos(spec_key)
+                .into_iter()
+                .map(|m| ((m.plan_key, m.grid), m.outcome)),
+        );
+        rt.store = Some(store);
+        rt
+    }
+
+    /// The attached plan store, if any.
+    pub fn store(&self) -> Option<&Arc<PlanStore>> {
+        self.store.as_ref()
+    }
+
+    /// Store traffic counters (zeros when no store is attached).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// Snapshot every cached plan and every settled tuner memo into the
+    /// attached store. Returns the number of plans written, or 0 when no
+    /// store is attached. Write errors are returned — persistence is an
+    /// explicit operation, unlike the best-effort write-through on compile.
+    pub fn persist(&self) -> std::io::Result<usize> {
+        let Some(store) = &self.store else {
+            return Ok(0);
+        };
+        let entries = self.cache.entries();
+        for (key, plan) in &entries {
+            store.save_plan(*key, plan)?;
+        }
+        let memos: Vec<PersistedMemo> = self
+            .tuner
+            .export_memos()
+            .into_iter()
+            .map(|((plan_key, grid), outcome)| PersistedMemo {
+                plan_key,
+                grid,
+                outcome,
+            })
+            .collect();
+        store.save_memos(self.device.specs().fingerprint(), &memos)?;
+        Ok(entries.len())
+    }
+
+    /// Resolve a plan: memory cache, then the attached store, then compile
+    /// (writing the fresh plan through to the store). Returns the plan and
+    /// whether the *memory* lookup hit — store hits surface in
+    /// [`CacheStats::store_hits`], not here, so hit-rate accounting stays
+    /// comparable with store-less runtimes.
+    fn resolve_plan(
+        &self,
+        key: u64,
+        kernel: &StencilKernel,
+    ) -> Result<(Arc<SpiderPlan>, bool), PlanError> {
+        match &self.store {
+            None => self.cache.get_or_compile(key, kernel),
+            Some(store) => {
+                // The on-disk format validates its *internal* consistency;
+                // the filename → content binding is validated here: a
+                // misplaced (renamed, restored-from-backup) artifact whose
+                // kernel is not the requested one must degrade to a
+                // compile, never silently serve wrong numerics.
+                let loader = |k: u64| store.load_plan(k).filter(|p| p.kernel() == kernel);
+                let (plan, hit, compiled) =
+                    self.cache
+                        .get_or_compile_with_loader(key, kernel, Some(&loader))?;
+                if compiled {
+                    // Best-effort write-through: a full disk must not fail
+                    // the request the plan was compiled for.
+                    let _ = store.save_plan(key, &plan);
+                }
+                Ok((plan, hit))
+            }
+        }
     }
 
     pub fn device(&self) -> &GpuDevice {
@@ -156,7 +250,7 @@ impl SpiderRuntime {
             });
         }
         let plan_key = req.plan_key();
-        let (plan, cache_hit) = self.cache.get_or_compile(plan_key, &req.kernel)?;
+        let (plan, cache_hit) = self.resolve_plan(plan_key, &req.kernel)?;
 
         let (tiling, tuned, tuner_memo_hit) = self.select_tiling(&plan, req, plan_key);
 
@@ -265,7 +359,7 @@ impl SpiderRuntime {
                 }));
                 continue;
             }
-            match self.cache.get_or_compile(req.plan_key(), &req.kernel) {
+            match self.resolve_plan(req.plan_key(), &req.kernel) {
                 Ok((p, hit)) => {
                     plan = Some(p);
                     lookups[i] = Some(hit);
@@ -697,6 +791,57 @@ mod tests {
             Err(RuntimeError::DimensionMismatch { id: 2, .. })
         ));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn warm_start_from_store_skips_compile_and_tuning() {
+        let dir = std::env::temp_dir().join(format!(
+            "spider-runtime-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(crate::PlanStore::open(&dir).unwrap());
+
+        // "Process 1": serve a batch, persist.
+        let rt1 = SpiderRuntime::with_store(
+            GpuDevice::a100(),
+            RuntimeOptions {
+                workers: 1,
+                ..RuntimeOptions::default()
+            },
+            Arc::clone(&store),
+        );
+        let req = StencilRequest::new_2d(1, StencilKernel::gaussian_2d(2), 96, 128).with_seed(9);
+        let first = rt1.execute(&req).unwrap();
+        assert!(!first.cache_hit && !first.tuner_memo_hit);
+        let persisted = rt1.persist().unwrap();
+        assert!(persisted >= 1);
+        // Write-through already put the compiled plan on disk before persist.
+        assert!(store.stats().plan_saves >= 2);
+
+        // "Process 2": a fresh runtime over the same store. The plan comes
+        // from disk (store hit, no compile), the tuning from the imported
+        // memo (memo hit, no dry-runs), and the output is bit-identical.
+        let rt2 = SpiderRuntime::with_store(
+            GpuDevice::a100(),
+            RuntimeOptions {
+                workers: 1,
+                ..RuntimeOptions::default()
+            },
+            Arc::clone(&store),
+        );
+        assert_eq!(rt2.tuned_scenarios(), 1, "memos imported at construction");
+        let again = rt2.execute(&req).unwrap();
+        assert!(!again.cache_hit, "memory cache is cold");
+        assert_eq!(rt2.cache_stats().store_hits, 1, "plan loaded, not compiled");
+        assert!(again.tuner_memo_hit, "tuning restored from the store");
+        assert_eq!(
+            again.checksum, first.checksum,
+            "round-trip is bit-identical"
+        );
+        assert_eq!(again.tiling, first.tiling);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

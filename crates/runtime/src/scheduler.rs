@@ -132,6 +132,9 @@ pub enum RequestStatus {
     Shed,
     /// Deadline passed before dispatch; the request never executed.
     Expired,
+    /// Cancelled via [`SpiderScheduler::cancel`] while still queued; the
+    /// request never executed.
+    Cancelled,
     /// The ticket is not from this scheduler.
     Unknown,
 }
@@ -145,6 +148,7 @@ impl RequestStatus {
                 | RequestStatus::Failed(_)
                 | RequestStatus::Shed
                 | RequestStatus::Expired
+                | RequestStatus::Cancelled
         )
     }
 }
@@ -180,6 +184,7 @@ enum Slot {
     Failed(String),
     Shed,
     Expired,
+    Cancelled,
 }
 
 struct SlotEntry {
@@ -342,17 +347,34 @@ impl SpiderScheduler {
                 }
             }
         }
-        let ticket = alloc_ticket(&mut st, &req);
-        st.stats.submitted += 1;
-        if st.first_submit.is_none() {
-            st.first_submit = Some(Instant::now());
+        let ticket = admit(&mut st, req);
+        self.shared.work.notify_one();
+        Ok(Ticket { seq: ticket })
+    }
+
+    /// Non-blocking [`Self::submit`]: admit the request if the queue has
+    /// room *right now*, otherwise return [`SubmitError::QueueFull`] —
+    /// regardless of the configured [`BackpressurePolicy`]. Nothing is
+    /// shed and the `rejected` counter is not bumped: this is a capacity
+    /// probe, not a policy decision. It exists for callers that must never
+    /// park while holding their own locks — the cluster router's
+    /// steal-and-requeue path, which would otherwise deadlock a paused
+    /// fleet by blocking on a full destination queue.
+    pub fn try_submit(&self, req: StencilRequest) -> Result<Ticket, SubmitError> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
         }
-        st.queue.push(QueuedEntry {
-            ticket,
-            req,
-            submitted: Instant::now(),
-        });
-        st.stats.max_depth = st.stats.max_depth.max(st.queue.len());
+        if expire_due(&mut st) > 0 {
+            self.shared.space.notify_all();
+            self.shared.idle.notify_all();
+        }
+        if st.queue.len() >= self.options.queue_capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.options.queue_capacity,
+            });
+        }
+        let ticket = admit(&mut st, req);
         self.shared.work.notify_one();
         Ok(Ticket { seq: ticket })
     }
@@ -391,7 +413,40 @@ impl SpiderScheduler {
             Slot::Failed(e) => RequestStatus::Failed(e.clone()),
             Slot::Shed => RequestStatus::Shed,
             Slot::Expired => RequestStatus::Expired,
+            Slot::Cancelled => RequestStatus::Cancelled,
         }
+    }
+
+    /// Cancel a still-queued ticket: it leaves the admission queue without
+    /// executing and polls as [`RequestStatus::Cancelled`] from now on.
+    ///
+    /// Returns `true` only when this call removed the request from the
+    /// queue. A ticket that is already running, terminal or unknown is not
+    /// affected and returns `false` — cancellation never tears down work in
+    /// flight, which is exactly the guarantee the cluster router's
+    /// steal-and-requeue path needs: a `true` return means the request has
+    /// not and will not execute here, so resubmitting it elsewhere cannot
+    /// double-execute.
+    pub fn cancel(&self, ticket: Ticket) -> bool {
+        let mut st = self.lock();
+        let Some(entry) = st.slots.get(&ticket.seq) else {
+            return false;
+        };
+        if !matches!(entry.slot, Slot::Queued) {
+            return false;
+        }
+        let Some(pos) = st.queue.iter().position(|q| q.ticket == ticket.seq) else {
+            return false;
+        };
+        st.queue.remove(pos);
+        finish(&mut st, ticket.seq, Slot::Cancelled);
+        st.stats.cancelled += 1;
+        drop(st);
+        // A freed slot may unblock a parked submitter; a drained queue may
+        // be what a drain() caller is waiting on.
+        self.shared.space.notify_all();
+        self.shared.idle.notify_all();
+        true
     }
 
     /// Block until every admitted ticket reaches a terminal state, then
@@ -490,6 +545,23 @@ impl Drop for SpiderScheduler {
             let _ = handle.join();
         }
     }
+}
+
+/// Admit a request into the queue (capacity already checked by the
+/// caller): allocate its ticket, record the submission and enqueue.
+fn admit(st: &mut State, req: StencilRequest) -> u64 {
+    let ticket = alloc_ticket(st, &req);
+    st.stats.submitted += 1;
+    if st.first_submit.is_none() {
+        st.first_submit = Some(Instant::now());
+    }
+    st.queue.push(QueuedEntry {
+        ticket,
+        req,
+        submitted: Instant::now(),
+    });
+    st.stats.max_depth = st.stats.max_depth.max(st.queue.len());
+    ticket
 }
 
 /// Allocate a ticket and its slot for `req` (does not enqueue).
@@ -881,6 +953,88 @@ mod tests {
         assert_eq!(q.expired, 1);
         assert_eq!(q.wait_hist.count(), 5, "one bucket entry per dispatch");
         assert!(report.render().contains("queue wait histogram:"));
+    }
+
+    #[test]
+    fn try_submit_never_blocks_and_never_sheds() {
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            queue_capacity: 2,
+            policy: BackpressurePolicy::Block,
+            ..SchedulerOptions::default()
+        });
+        let a = s.try_submit(req(1, Priority::Normal)).unwrap();
+        s.try_submit(req(2, Priority::High)).unwrap();
+        // Full queue: an immediate refusal, even under the Block policy,
+        // and no shed/reject counters move.
+        let err = s.try_submit(req(3, Priority::High)).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+        let stats = s.queue_stats();
+        assert_eq!(stats.rejected, 0, "capacity probe is not a policy reject");
+        assert_eq!(stats.shed, 0, "and never sheds queued work");
+        // Freeing a slot makes the next probe succeed.
+        assert!(s.cancel(a));
+        s.try_submit(req(4, Priority::Normal)).unwrap();
+        let report = s.drain();
+        assert_eq!(report.outcomes.len(), 2);
+    }
+
+    #[test]
+    fn cancel_removes_queued_tickets_without_executing() {
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            ..SchedulerOptions::default()
+        });
+        let doomed = s.submit(req(1, Priority::Normal)).unwrap();
+        let live = s.submit(req(2, Priority::Normal)).unwrap();
+        assert!(s.cancel(doomed), "queued ticket must cancel");
+        assert!(matches!(s.poll(doomed), RequestStatus::Cancelled));
+        assert!(!s.cancel(doomed), "cancel is not idempotent-true");
+        assert_eq!(s.queue_depth(), 1);
+        let report = s.drain();
+        assert_eq!(report.outcomes.len(), 1, "cancelled request never ran");
+        assert_eq!(report.outcomes[0].id, 2);
+        let q = report.queue.unwrap();
+        assert_eq!(q.cancelled, 1);
+        assert_eq!(q.completed, 1);
+        assert!(report.rates_are_finite());
+        assert!(report.render().contains("1 cancelled"));
+        assert!(matches!(s.poll(live), RequestStatus::Done(_)));
+    }
+
+    #[test]
+    fn cancel_refuses_terminal_and_unknown_tickets() {
+        let s = sched(SchedulerOptions::default());
+        let t = s.submit(req(1, Priority::Normal)).unwrap();
+        s.drain();
+        assert!(matches!(s.poll(t), RequestStatus::Done(_)));
+        assert!(!s.cancel(t), "completed work must not be cancellable");
+        assert!(matches!(s.poll(t), RequestStatus::Done(_)));
+        assert!(!s.cancel(Ticket { seq: 999 }));
+        assert_eq!(s.queue_stats().cancelled, 0);
+    }
+
+    #[test]
+    fn cancel_frees_capacity_for_blocked_submitters() {
+        let s = Arc::new(sched(SchedulerOptions {
+            start_paused: true,
+            queue_capacity: 1,
+            policy: BackpressurePolicy::Block,
+            ..SchedulerOptions::default()
+        }));
+        let first = s.submit(req(1, Priority::Normal)).unwrap();
+        let s2 = Arc::clone(&s);
+        let handle = std::thread::spawn(move || s2.submit(req(2, Priority::Normal)).unwrap());
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            s.cancel(first),
+            "queued ticket cancels, waking the submitter"
+        );
+        let second = handle.join().expect("blocked submitter completed");
+        let report = s.drain();
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(matches!(s.poll(second), RequestStatus::Done(_)));
+        assert_eq!(report.queue.unwrap().cancelled, 1);
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Cross-process plan persistence: the [`PlanStore`].
+//!
+//! The plan cache amortizes compilation within one process; a serving fleet
+//! restarts, scales and reshards, and every restart used to start cold. The
+//! store closes that gap: compiled [`SpiderPlan`]s persist to disk in the
+//! versioned `spider-core` format ([`SpiderPlan::to_bytes`]), keyed by the
+//! same [`crate::StencilRequest::plan_key`] the in-memory cache uses —
+//! fingerprints are stable by construction, so a key computed in one
+//! process addresses the same plan in every other.
+//!
+//! Tuner memos persist alongside, filed per device-spec fingerprint
+//! ([`spider_gpu_sim::GpuSpecs::fingerprint`]): a tiling decision is only
+//! transferable between devices whose timing constants are equal, so memos
+//! recorded on one device warm-start exactly the devices that can reuse
+//! them. This is the larger win in practice — a plan compiles in
+//! microseconds, but a tuning decision costs several simulator dry-runs.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <dir>/plan-<plan_key:016x>.v1.spb     one serialized SpiderPlan each
+//! <dir>/memos-<spec_key:016x>.v1.stm    all memos for one device spec
+//! ```
+//!
+//! Writes are atomic (temp file + rename), so a crashed writer never leaves
+//! a half-written artifact a later reader could trip over; a corrupt or
+//! truncated file is treated as absent (and counted in [`StoreStats`]),
+//! never as an error that takes serving down.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use spider_core::plan::SpiderPlan;
+use spider_core::tiling::TilingConfig;
+
+use crate::request::GridSpec;
+use crate::tuner::TuneOutcome;
+
+/// Magic prefix of a persisted memo file.
+const MEMO_MAGIC: &[u8; 8] = b"SPDRMEMO";
+
+/// Version of the memo file format.
+const MEMO_FORMAT_VERSION: u32 = 1;
+
+/// Monotonic counters describing store traffic since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Plans served from disk (cache misses the store satisfied).
+    pub plan_loads: u64,
+    /// Load attempts that found no file for the key.
+    pub plan_absent: u64,
+    /// Load attempts that found a file but rejected it (corrupt, truncated,
+    /// wrong version) — the file is left in place for forensics.
+    pub plan_rejected: u64,
+    /// Plans written to disk.
+    pub plan_saves: u64,
+    /// Memo entries read back by [`PlanStore::load_memos`].
+    pub memo_loads: u64,
+    /// Memo entries written by [`PlanStore::save_memos`].
+    pub memo_saves: u64,
+}
+
+/// One persisted tuner memo: the scenario key plus the tuned outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PersistedMemo {
+    /// The scenario's plan key ([`crate::StencilRequest::plan_key`]).
+    pub plan_key: u64,
+    /// The scenario's grid extent.
+    pub grid: GridSpec,
+    /// The tuned outcome (its `memoized` flag is not persisted — a loaded
+    /// memo reports `memoized = true` on first use, because the dry-runs it
+    /// stands for were already paid in a previous process).
+    pub outcome: TuneOutcome,
+}
+
+/// Durable, shared plan + tuner-memo storage. Thread-safe: all methods take
+/// `&self`, every write goes to a writer-unique temp file first (pid +
+/// per-store counter), and the final rename makes concurrent writers of the
+/// same key last-writer-wins rather than corrupting. Memo saves serialize
+/// their read-merge-write cycle on a store-local lock; *cross-process*
+/// concurrent memo saves remain last-merger-wins — a process can lose
+/// another's *simultaneously* written memos (never corrupt them), and the
+/// loss is self-healing: the scenarios re-tune and re-persist on the next
+/// drain.
+pub struct PlanStore {
+    dir: PathBuf,
+    stats: Mutex<StoreStats>,
+    /// Serializes intra-process memo read-merge-write cycles.
+    memo_write: Mutex<()>,
+    /// Uniquifies temp-file names across threads of this process.
+    tmp_counter: std::sync::atomic::AtomicU64,
+}
+
+impl PlanStore {
+    /// Open (creating if necessary) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            stats: Mutex::new(StoreStats::default()),
+            memo_write: Mutex::new(()),
+            tmp_counter: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.lock().expect("store stats poisoned")
+    }
+
+    fn plan_path(&self, plan_key: u64) -> PathBuf {
+        self.dir.join(format!("plan-{plan_key:016x}.v1.spb"))
+    }
+
+    fn memo_path(&self, spec_key: u64) -> PathBuf {
+        self.dir.join(format!("memos-{spec_key:016x}.v1.stm"))
+    }
+
+    /// Number of plan files currently on disk.
+    pub fn plans_on_disk(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| {
+                        let name = e.file_name();
+                        let name = name.to_string_lossy();
+                        name.starts_with("plan-") && name.ends_with(".spb")
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Load the plan stored under `plan_key`, or `None` when the store has
+    /// no (valid) artifact for it. Corruption is counted, never propagated:
+    /// a bad file degrades to a compile, not an outage.
+    pub fn load_plan(&self, plan_key: u64) -> Option<SpiderPlan> {
+        let path = self.plan_path(plan_key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.stats.lock().expect("store stats poisoned").plan_absent += 1;
+                return None;
+            }
+        };
+        match SpiderPlan::from_bytes(&bytes) {
+            Ok(plan) => {
+                self.stats.lock().expect("store stats poisoned").plan_loads += 1;
+                Some(plan)
+            }
+            Err(_) => {
+                self.stats
+                    .lock()
+                    .expect("store stats poisoned")
+                    .plan_rejected += 1;
+                None
+            }
+        }
+    }
+
+    /// Persist `plan` under `plan_key` (atomic replace).
+    pub fn save_plan(&self, plan_key: u64, plan: &SpiderPlan) -> std::io::Result<()> {
+        self.write_atomic(&self.plan_path(plan_key), &plan.to_bytes())?;
+        self.stats.lock().expect("store stats poisoned").plan_saves += 1;
+        Ok(())
+    }
+
+    /// Persist a memo set for one device spec, **merging** with what is
+    /// already on disk: entries for new `(plan_key, grid)` scenarios are
+    /// added, entries for known scenarios are replaced by the incoming
+    /// decision. Merging (rather than replacing the file) matters whenever
+    /// several runtimes share a spec fingerprint — a cluster of identical
+    /// devices, or successive processes that each saw only part of the
+    /// workload — because each saver holds only the scenarios *it* tuned,
+    /// and a plain overwrite would discard every other shard's work.
+    ///
+    /// In-process savers serialize on a store-local lock, so concurrent
+    /// [`crate::SpiderRuntime::persist`] calls through one `PlanStore`
+    /// handle merge cleanly. Concurrent savers in *different processes*
+    /// race read-to-rename and the last merger wins — memos the loser
+    /// wrote in that window are dropped (not corrupted) and come back the
+    /// next time their runtime persists.
+    pub fn save_memos(&self, spec_key: u64, memos: &[PersistedMemo]) -> std::io::Result<()> {
+        let _serialize_savers = self.memo_write.lock().expect("memo write lock poisoned");
+        let mut merged = self.load_memos_silent(spec_key);
+        for m in memos {
+            match merged
+                .iter_mut()
+                .find(|e| e.plan_key == m.plan_key && e.grid == m.grid)
+            {
+                Some(existing) => *existing = *m,
+                None => merged.push(*m),
+            }
+        }
+        let memos = &merged[..];
+        let mut out = Vec::with_capacity(16 + memos.len() * 96);
+        out.extend_from_slice(MEMO_MAGIC);
+        out.extend_from_slice(&MEMO_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(memos.len() as u64).to_le_bytes());
+        for m in memos {
+            out.extend_from_slice(&m.plan_key.to_le_bytes());
+            match m.grid {
+                GridSpec::D1 { len } => {
+                    out.push(1);
+                    out.extend_from_slice(&(len as u64).to_le_bytes());
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                }
+                GridSpec::D2 { rows, cols } => {
+                    out.push(2);
+                    out.extend_from_slice(&(rows as u64).to_le_bytes());
+                    out.extend_from_slice(&(cols as u64).to_le_bytes());
+                }
+            }
+            let t = m.outcome.tiling;
+            for v in [t.block_x, t.block_y, t.warp_x, t.warp_y, t.block_1d] {
+                out.extend_from_slice(&(v as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&m.outcome.predicted_time_s.to_bits().to_le_bytes());
+            out.extend_from_slice(&m.outcome.default_time_s.to_bits().to_le_bytes());
+            out.extend_from_slice(&(m.outcome.candidates as u64).to_le_bytes());
+            out.extend_from_slice(&(m.outcome.dry_runs as u64).to_le_bytes());
+        }
+        self.write_atomic(&self.memo_path(spec_key), &out)?;
+        self.stats.lock().expect("store stats poisoned").memo_saves += memos.len() as u64;
+        Ok(())
+    }
+
+    /// Load every persisted memo for one device spec. A missing, corrupt or
+    /// wrong-version file yields an empty set.
+    pub fn load_memos(&self, spec_key: u64) -> Vec<PersistedMemo> {
+        let memos = self.load_memos_silent(spec_key);
+        self.stats.lock().expect("store stats poisoned").memo_loads += memos.len() as u64;
+        memos
+    }
+
+    /// [`Self::load_memos`] without touching the counters — the read side
+    /// of the save-time merge must not inflate `memo_loads`.
+    fn load_memos_silent(&self, spec_key: u64) -> Vec<PersistedMemo> {
+        let Ok(bytes) = std::fs::read(self.memo_path(spec_key)) else {
+            return Vec::new();
+        };
+        parse_memos(&bytes).unwrap_or_default()
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let file = path.file_name().expect("store paths have file names");
+        // The temp name must be unique per *writer*, not just per process:
+        // two threads saving the same key with a shared tmp path could
+        // rename each other's half-written bytes into place.
+        let nonce = self
+            .tmp_counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{:x}-{nonce:x}",
+            file.to_string_lossy(),
+            std::process::id()
+        ));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn parse_memos(bytes: &[u8]) -> Option<Vec<PersistedMemo>> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let end = pos.checked_add(n)?;
+        if end > bytes.len() {
+            return None;
+        }
+        let out = &bytes[*pos..end];
+        *pos = end;
+        Some(out)
+    };
+    let u64_at = |pos: &mut usize| -> Option<u64> {
+        take(pos, 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    };
+    if take(&mut pos, 8)? != MEMO_MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    if version != MEMO_FORMAT_VERSION {
+        return None;
+    }
+    let count = u64_at(&mut pos)? as usize;
+    if count > 1 << 24 {
+        return None;
+    }
+    let mut memos = Vec::with_capacity(count);
+    for _ in 0..count {
+        let plan_key = u64_at(&mut pos)?;
+        let tag = take(&mut pos, 1)?[0];
+        let a = u64_at(&mut pos)? as usize;
+        let b = u64_at(&mut pos)? as usize;
+        let grid = match tag {
+            1 => GridSpec::D1 { len: a },
+            2 => GridSpec::D2 { rows: a, cols: b },
+            _ => return None,
+        };
+        let mut dims = [0usize; 5];
+        for d in &mut dims {
+            *d = u64_at(&mut pos)? as usize;
+        }
+        let tiling = TilingConfig {
+            block_x: dims[0],
+            block_y: dims[1],
+            warp_x: dims[2],
+            warp_y: dims[3],
+            block_1d: dims[4],
+        };
+        if tiling.validate().is_err() {
+            return None;
+        }
+        let predicted_time_s = f64::from_bits(u64_at(&mut pos)?);
+        let default_time_s = f64::from_bits(u64_at(&mut pos)?);
+        let candidates = u64_at(&mut pos)? as usize;
+        let dry_runs = u64_at(&mut pos)? as usize;
+        memos.push(PersistedMemo {
+            plan_key,
+            grid,
+            outcome: TuneOutcome {
+                tiling,
+                predicted_time_s,
+                default_time_s,
+                candidates,
+                dry_runs,
+                memoized: false,
+            },
+        });
+    }
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(memos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_stencil::StencilKernel;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "spider-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn plan_roundtrip_through_disk() {
+        let dir = tmp_dir("plan");
+        let store = PlanStore::open(&dir).unwrap();
+        let plan = SpiderPlan::compile(&StencilKernel::gaussian_2d(2)).unwrap();
+        assert!(store.load_plan(42).is_none());
+        store.save_plan(42, &plan).unwrap();
+        let back = store.load_plan(42).expect("saved plan loads");
+        assert_eq!(back.fingerprint(), plan.fingerprint());
+        assert_eq!(back.units().len(), plan.units().len());
+        assert_eq!(store.plans_on_disk(), 1);
+        let stats = store.stats();
+        assert_eq!(stats.plan_saves, 1);
+        assert_eq!(stats.plan_loads, 1);
+        assert_eq!(stats.plan_absent, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_plan_files_degrade_to_absent() {
+        let dir = tmp_dir("corrupt");
+        let store = PlanStore::open(&dir).unwrap();
+        let plan = SpiderPlan::compile(&StencilKernel::jacobi_2d()).unwrap();
+        store.save_plan(7, &plan).unwrap();
+        // Truncate the artifact in place.
+        let path = dir.join(format!("plan-{:016x}.v1.spb", 7u64));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(store.load_plan(7).is_none());
+        assert_eq!(store.stats().plan_rejected, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memo_roundtrip_and_version_guard() {
+        let dir = tmp_dir("memo");
+        let store = PlanStore::open(&dir).unwrap();
+        let memos = vec![
+            PersistedMemo {
+                plan_key: 11,
+                grid: GridSpec::D2 {
+                    rows: 256,
+                    cols: 192,
+                },
+                outcome: TuneOutcome {
+                    tiling: TilingConfig::default(),
+                    predicted_time_s: 1.5e-5,
+                    default_time_s: 2.0e-5,
+                    candidates: 40,
+                    dry_runs: 3,
+                    memoized: true, // not persisted
+                },
+            },
+            PersistedMemo {
+                plan_key: 12,
+                grid: GridSpec::D1 { len: 1 << 18 },
+                outcome: TuneOutcome {
+                    tiling: TilingConfig {
+                        block_1d: 4096,
+                        ..TilingConfig::default()
+                    },
+                    predicted_time_s: 3.0e-6,
+                    default_time_s: 3.0e-6,
+                    candidates: 6,
+                    dry_runs: 2,
+                    memoized: false,
+                },
+            },
+        ];
+        assert!(store.load_memos(99).is_empty());
+        store.save_memos(99, &memos).unwrap();
+        let back = store.load_memos(99);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].plan_key, 11);
+        assert_eq!(back[0].grid, memos[0].grid);
+        assert_eq!(back[0].outcome.tiling, memos[0].outcome.tiling);
+        assert!(!back[0].outcome.memoized, "memoized flag is not persisted");
+        assert_eq!(back[1].outcome.predicted_time_s, 3.0e-6);
+        // A flipped version byte rejects the whole file.
+        let path = dir.join(format!("memos-{:016x}.v1.stm", 99u64));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 0xEE;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load_memos(99).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memo_saves_merge_across_savers() {
+        // Two runtimes with the same spec fingerprint each persist only the
+        // scenarios they tuned; the file must end up with the union.
+        let dir = tmp_dir("merge");
+        let store = PlanStore::open(&dir).unwrap();
+        let memo = |plan_key: u64, rows: usize| PersistedMemo {
+            plan_key,
+            grid: GridSpec::D2 { rows, cols: 64 },
+            outcome: TuneOutcome {
+                tiling: TilingConfig::default(),
+                predicted_time_s: rows as f64,
+                default_time_s: 2.0 * rows as f64,
+                candidates: 4,
+                dry_runs: 2,
+                memoized: false,
+            },
+        };
+        store.save_memos(5, &[memo(1, 64), memo(2, 64)]).unwrap();
+        store.save_memos(5, &[memo(3, 64)]).unwrap();
+        let mut keys: Vec<u64> = store.load_memos(5).iter().map(|m| m.plan_key).collect();
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![1, 2, 3],
+            "second save must not clobber the first"
+        );
+        // Same scenario saved again: the incoming decision replaces.
+        store.save_memos(5, &[memo(2, 64)]).unwrap();
+        assert_eq!(store.load_memos(5).len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn distinct_spec_keys_are_distinct_files() {
+        let dir = tmp_dir("specs");
+        let store = PlanStore::open(&dir).unwrap();
+        let memo = PersistedMemo {
+            plan_key: 1,
+            grid: GridSpec::D1 { len: 1024 },
+            outcome: TuneOutcome {
+                tiling: TilingConfig::default(),
+                predicted_time_s: 1.0,
+                default_time_s: 1.0,
+                candidates: 1,
+                dry_runs: 1,
+                memoized: false,
+            },
+        };
+        store.save_memos(1, std::slice::from_ref(&memo)).unwrap();
+        assert_eq!(store.load_memos(2).len(), 0);
+        assert_eq!(store.load_memos(1).len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -159,7 +159,15 @@ pub mod strategy {
             }
         )*};
     }
-    tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+    tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F),
+        (A, B, C, D, E, F, G)
+    );
 
     /// Types with a canonical whole-domain strategy (`any::<T>()`).
     pub trait Arbitrary: Sized {

@@ -77,6 +77,7 @@
 
 pub use spider_analysis as analysis;
 pub use spider_baselines as baselines;
+pub use spider_cluster as cluster;
 pub use spider_core as core;
 pub use spider_fft as fft;
 pub use spider_gpu_sim as gpu_sim;
@@ -85,6 +86,9 @@ pub use spider_stencil as stencil;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
+    pub use spider_cluster::{
+        ClusterOptions, ClusterReport, ClusterTicket, DeviceSpec, RoutingPolicy, SpiderCluster,
+    };
     pub use spider_core::{
         encode::Sparse24Kernel,
         exec::{ExecMode, SpiderExecutor},
@@ -96,9 +100,9 @@ pub mod prelude {
         counters::PerfCounters, specs::GpuSpecs, timing::KernelReport, GpuDevice,
     };
     pub use spider_runtime::{
-        BackpressurePolicy, CacheStats, Deadline, GridSpec, Priority, QueueStats, RequestOutcome,
-        RequestStatus, RuntimeOptions, RuntimeReport, SchedulerOptions, SpiderRuntime,
-        SpiderScheduler, StencilRequest, SubmitError, Ticket,
+        BackpressurePolicy, CacheStats, Deadline, GridSpec, PlanStore, Priority, QueueStats,
+        RequestOutcome, RequestStatus, RuntimeOptions, RuntimeReport, SchedulerOptions,
+        SpiderRuntime, SpiderScheduler, StencilRequest, StoreStats, SubmitError, Ticket,
     };
     pub use spider_stencil::{
         exec::reference,

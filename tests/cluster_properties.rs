@@ -1,0 +1,250 @@
+//! Property tests for the cluster layer: sharding must be invisible in the
+//! data (a cluster's outputs are bit-identical to a single runtime's for
+//! every routing policy), and the plan store's serialize → deserialize →
+//! execute round trip must preserve outputs and performance counters
+//! exactly.
+
+use proptest::prelude::*;
+use spider::core::{ExecMode, SpiderExecutor, SpiderPlan};
+use spider::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = StencilShape> {
+    (1usize..=3, any::<bool>()).prop_map(|(r, star)| {
+        if star {
+            StencilShape::star_2d(r)
+        } else {
+            StencilShape::box_2d(r)
+        }
+    })
+}
+
+/// A small heterogeneous workload: kernels drawn from a few seeds (so plan
+/// keys repeat and sharding/affinity matters), varied extents and sweeps.
+fn arb_workload() -> impl Strategy<Value = Vec<StencilRequest>> {
+    proptest::collection::vec(
+        (
+            arb_shape(),
+            0u64..4,     // kernel seed: few distinct → shared plan keys
+            24usize..80, // rows
+            32usize..96, // cols
+            1usize..=2,  // steps
+            any::<u64>(),
+        ),
+        3..12,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (shape, kseed, rows, cols, steps, gseed))| {
+                StencilRequest::new_2d(i as u64, StencilKernel::random(shape, kseed), rows, cols)
+                    .with_steps(steps)
+                    .with_seed(gseed)
+            })
+            .collect()
+    })
+}
+
+fn cluster_of(n: usize, policy: RoutingPolicy) -> SpiderCluster {
+    SpiderCluster::new(
+        (0..n)
+            .map(|i| DeviceSpec::a100(format!("dev{i}")))
+            .collect(),
+        ClusterOptions {
+            policy,
+            ..ClusterOptions::default()
+        },
+    )
+}
+
+fn single_runtime() -> SpiderRuntime {
+    SpiderRuntime::new(
+        GpuDevice::a100(),
+        RuntimeOptions {
+            workers: 1,
+            ..RuntimeOptions::default()
+        },
+    )
+}
+
+/// id → checksum for every completed outcome across the fleet.
+fn checksums(report: &ClusterReport) -> std::collections::BTreeMap<u64, u64> {
+    report
+        .devices
+        .iter()
+        .flat_map(|d| d.report.outcomes.iter())
+        .map(|o| (o.id, o.checksum))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sharding invisibility: for every routing policy, a multi-device
+    /// cluster completes exactly the submitted requests with checksums
+    /// bit-identical to a lone `SpiderRuntime` executing the same batch.
+    #[test]
+    fn sharded_cluster_matches_single_runtime(
+        workload in arb_workload(),
+        devices in 2usize..=4,
+    ) {
+        let solo = single_runtime();
+        let solo_report = solo.run_batch(&workload);
+        prop_assert!(solo_report.failures.is_empty());
+        let want: std::collections::BTreeMap<u64, u64> = solo_report
+            .outcomes
+            .iter()
+            .map(|o| (o.id, o.checksum))
+            .collect();
+
+        for policy in [
+            RoutingPolicy::FingerprintAffinity,
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::RoundRobin,
+        ] {
+            let cluster = cluster_of(devices, policy);
+            let report = cluster.run_batch(&workload).expect("Block policy admits");
+            prop_assert_eq!(report.total_completed(), workload.len(), "policy {}", policy);
+            prop_assert_eq!(report.total_failed(), 0);
+            let got = checksums(&report);
+            prop_assert_eq!(&got, &want, "policy {} diverged from single runtime", policy);
+            prop_assert!(report.rates_are_finite());
+        }
+    }
+
+    /// Work stealing preserves the data too: force total skew (every
+    /// request shares one plan key, so affinity stacks one device), steal,
+    /// and compare against the single-runtime checksums.
+    #[test]
+    fn stealing_rebalance_is_bit_identical(
+        kseed in 0u64..8,
+        n in 6usize..14,
+    ) {
+        let kernel = StencilKernel::random(StencilShape::box_2d(2), kseed);
+        let workload: Vec<StencilRequest> = (0..n as u64)
+            .map(|i| StencilRequest::new_2d(i, kernel.clone(), 48, 64).with_seed(i * 31))
+            .collect();
+        let solo = single_runtime();
+        let want: std::collections::BTreeMap<u64, u64> = solo
+            .run_batch(&workload)
+            .outcomes
+            .iter()
+            .map(|o| (o.id, o.checksum))
+            .collect();
+
+        // Paused schedulers: the queue builds fully, the rebalance pass has
+        // real skew to flatten, then drain executes everything.
+        let cluster = SpiderCluster::new(
+            (0..3)
+                .map(|i| {
+                    DeviceSpec::a100(format!("dev{i}")).with_scheduler_options(SchedulerOptions {
+                        workers: 1,
+                        start_paused: true,
+                        aging_step: None,
+                        ..SchedulerOptions::default()
+                    })
+                })
+                .collect(),
+            ClusterOptions::default(),
+        );
+        for req in &workload {
+            cluster.submit(req.clone()).expect("Block policy admits");
+        }
+        let moved = cluster.rebalance();
+        prop_assert!(moved > 0, "total skew must trigger stealing");
+        let report = cluster.drain_all();
+        prop_assert_eq!(report.steals, moved as u64);
+        prop_assert_eq!(report.total_completed(), workload.len());
+        prop_assert_eq!(&checksums(&report), &want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// PlanStore round trip: a plan that went through `to_bytes` →
+    /// `from_bytes` executes bit-identically to the freshly compiled one —
+    /// same output grid bits *and* same `PerfCounters` (the simulated
+    /// machine cannot tell the plans apart).
+    #[test]
+    fn plan_serialization_roundtrip_preserves_execution(
+        shape in arb_shape(),
+        kseed in any::<u64>(),
+        rows in 24usize..72,
+        cols in 32usize..96,
+        gseed in any::<u64>(),
+    ) {
+        let kernel = StencilKernel::random(shape, kseed);
+        let compiled = SpiderPlan::compile(&kernel).unwrap();
+        let restored = SpiderPlan::from_bytes(&compiled.to_bytes()).unwrap();
+        prop_assert_eq!(compiled.fingerprint(), restored.fingerprint());
+
+        let device = GpuDevice::a100();
+        let radius = kernel.radius();
+        let mut grid_a = Grid2D::<f32>::random(rows, cols, radius, gseed);
+        let mut grid_b = grid_a.clone();
+        let exec = SpiderExecutor::new(&device, ExecMode::SparseTcOptimized);
+        let ra = exec.run_2d(&compiled, &mut grid_a, 2).unwrap();
+        let rb = exec.run_2d(&restored, &mut grid_b, 2).unwrap();
+        prop_assert_eq!(grid_a.padded(), grid_b.padded(), "grid bits diverged");
+        prop_assert_eq!(ra.counters, rb.counters, "counters diverged");
+        prop_assert_eq!(ra.points, rb.points);
+    }
+}
+
+/// End-to-end persistence: a store-backed cluster that served a workload
+/// warm-starts a *second* cluster over the same directory — plans load
+/// instead of compiling, tilings come from imported memos, and the outputs
+/// are bit-identical.
+#[test]
+fn cluster_warm_start_from_store_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("spider-cluster-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let workload: Vec<StencilRequest> = (0..10u64)
+        .map(|i| {
+            let k = match i % 3 {
+                0 => StencilKernel::heat_2d(0.12),
+                1 => StencilKernel::gaussian_2d(2),
+                _ => StencilKernel::jacobi_2d(),
+            };
+            StencilRequest::new_2d(i, k, 64, 96).with_seed(i * 7)
+        })
+        .collect();
+    let specs = |n: usize| -> Vec<DeviceSpec> {
+        (0..n)
+            .map(|i| DeviceSpec::a100(format!("dev{i}")))
+            .collect()
+    };
+
+    let store = std::sync::Arc::new(PlanStore::open(&dir).unwrap());
+    let first = SpiderCluster::with_store(specs(2), ClusterOptions::default(), store);
+    let report1 = first.run_batch(&workload).unwrap();
+    assert_eq!(report1.total_completed(), workload.len());
+    let want = checksums(&report1);
+
+    // "Second process": fresh store handle over the same directory.
+    let store2 = std::sync::Arc::new(PlanStore::open(&dir).unwrap());
+    let second = SpiderCluster::with_store(specs(2), ClusterOptions::default(), store2);
+    let report2 = second.run_batch(&workload).unwrap();
+    assert_eq!(&checksums(&report2), &want, "warm start changed outputs");
+    let store_hits: u64 = report2.devices.iter().map(|d| d.cache.store_hits).sum();
+    let compiles: u64 = report2
+        .devices
+        .iter()
+        .map(|d| d.cache.misses - d.cache.store_hits)
+        .sum();
+    assert!(store_hits >= 3, "cold caches must load from the store");
+    assert_eq!(compiles, 0, "warm start must not compile anything");
+    let memo_hits = report2
+        .devices
+        .iter()
+        .flat_map(|d| d.report.outcomes.iter())
+        .filter(|o| o.tuner_memo_hit)
+        .count();
+    assert_eq!(
+        memo_hits,
+        workload.len(),
+        "every tiling must come from a persisted memo"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
