@@ -12,6 +12,7 @@ use spider_gpu_sim::GpuDevice;
 use spider_runtime::{
     RuntimeOptions, SchedulerOptions, SpiderRuntime, SpiderScheduler, StencilRequest,
 };
+use spider_stencil::dim3::Kernel3D;
 use spider_stencil::{StencilKernel, StencilShape};
 
 /// The mixed serving workload: six scenario types, `copies` requests each.
@@ -38,6 +39,27 @@ fn build_batch(id_base: u64, copies: usize) -> Vec<StencilRequest> {
     for _ in 0..copies {
         batch.push(StencilRequest::new_1d(id, StencilKernel::wave_1d(2), 1 << 18).with_seed(id));
         id += 1;
+    }
+    batch
+}
+
+/// The volumetric workload: three 3D kernels, `copies` volumes each, sized
+/// so one volume's plane-sweep work is comparable to one 2D request above
+/// (mixed-traffic throughput should not be dragged by request weight).
+fn build_volume_batch(id_base: u64, copies: usize) -> Vec<StencilRequest> {
+    let kernels = [
+        (Kernel3D::random_box(1, 41), 4usize, 64usize, 64usize),
+        (Kernel3D::random_box(2, 42), 3, 48, 64),
+        (Kernel3D::star_7point(-6.0, 1.0), 6, 64, 64),
+    ];
+    let mut batch = Vec::new();
+    let mut id = id_base;
+    for (kernel, planes, rows, cols) in kernels {
+        for _ in 0..copies {
+            batch
+                .push(StencilRequest::new_3d(id, kernel.clone(), planes, rows, cols).with_seed(id));
+            id += 1;
+        }
     }
     batch
 }
@@ -116,8 +138,44 @@ fn emit_json() {
     let sched_queue = sched_report.queue.expect("drain attaches queue stats");
     let stats = sched.runtime().cache_stats();
 
+    // Volumetric serving: warm batches of 3D volumes through their own
+    // runtime (cache/tuner stats above stay pure-2D).
+    let vol_rt = SpiderRuntime::new(GpuDevice::a100(), options());
+    vol_rt.run_batch(&build_volume_batch(0, 1)); // populate caches
+    let mut vol_reports = Vec::new();
+    for b in 1..=WARM_BATCHES {
+        vol_reports.push(vol_rt.run_batch(&build_volume_batch(1000 * b as u64, 2)));
+    }
+    let vol_wall: f64 = vol_reports.iter().map(|r| r.wall_s).sum();
+    let vol_requests: usize = vol_reports.iter().map(|r| r.outcomes.len()).sum();
+    let vol_rps = vol_requests as f64 / vol_wall;
+    let vol_sim_gsps = vol_reports
+        .last()
+        .map(|r| r.simulated_gstencils_per_sec())
+        .unwrap_or(0.0);
+
+    // Mixed 2D/3D scheduler throughput: the pure-2D scheduler workload plus
+    // volumes, through one warm queue. The acceptance target is that mixing
+    // volumes in keeps request throughput within 15% of the pure-2D
+    // scheduler rate above (per-request work is comparable by design).
+    let mixed_rt = Arc::new(SpiderRuntime::new(GpuDevice::a100(), options()));
+    mixed_rt.run_batch(&build_batch(0, 1));
+    mixed_rt.run_batch(&build_volume_batch(500, 1));
+    let mixed_sched = SpiderScheduler::new(mixed_rt, SchedulerOptions::default());
+    for b in 0..WARM_BATCHES {
+        let base = 20_000 * (b as u64 + 1);
+        for req in build_batch(base, 2) {
+            mixed_sched.submit(req).expect("Block policy admits");
+        }
+        for req in build_volume_batch(base + 500, 2) {
+            mixed_sched.submit(req).expect("Block policy admits");
+        }
+    }
+    let mixed_report = mixed_sched.drain();
+    let mixed_rps = mixed_report.requests_per_sec();
+
     let json = format!(
-        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"scheduler_requests_per_sec\": {:.3},\n  \"scheduler_mean_wait_ms\": {:.3},\n  \"scheduler_dispatch_waves\": {},\n  \"scheduler_coalesced_groups\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"scheduler_requests_per_sec\": {:.3},\n  \"scheduler_mean_wait_ms\": {:.3},\n  \"scheduler_dispatch_waves\": {},\n  \"scheduler_coalesced_groups\": {},\n  \"volume_requests_per_sec\": {:.3},\n  \"volume_simulated_gstencils_per_sec\": {:.4},\n  \"mixed_scheduler_requests_per_sec\": {:.3},\n  \"mixed_volumetric_requests\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
         cold.outcomes.len(),
         WARM_BATCHES,
         cold.requests_per_sec(),
@@ -128,6 +186,10 @@ fn emit_json() {
         sched_queue.mean_wait_s() * 1e3,
         sched_queue.dispatch_waves,
         sched_queue.coalesced_groups,
+        vol_rps,
+        vol_sim_gsps,
+        mixed_rps,
+        mixed_report.volumetric_completed(),
         stats.hits,
         stats.misses,
         sched.runtime().cached_plans(),

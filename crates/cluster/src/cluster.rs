@@ -676,6 +676,50 @@ mod tests {
     }
 
     #[test]
+    fn volumetric_requests_shard_steal_and_account() {
+        use spider_stencil::dim3::Kernel3D;
+        // Affinity concentrates one 3D kernel's volumes on one device...
+        let cluster = SpiderCluster::new(specs(3, true), ClusterOptions::default());
+        let k3 = Kernel3D::random_box(1, 13);
+        let tickets: Vec<ClusterTicket> = (0..9u64)
+            .map(|i| {
+                cluster
+                    .submit(StencilRequest::new_3d(i, k3.clone(), 3, 32, 48).with_seed(i))
+                    .unwrap()
+            })
+            .collect();
+        let before = cluster.queue_depths();
+        assert!(
+            before.contains(&9),
+            "affinity must stack one 3D plan key on one device: {before:?}"
+        );
+        // ...and stealing spreads them without losing or duplicating any.
+        let moved = cluster.rebalance();
+        assert!(moved > 0, "skewed volumes must steal");
+        let report = cluster.drain_all();
+        assert_eq!(report.total_completed(), 9);
+        assert_eq!(report.total_volumetric(), 9);
+        assert_eq!(report.total_volumetric_points(), 9 * 3 * 32 * 48);
+        assert!(report.render().contains("volumetric: 9 of 9"));
+        for t in tickets {
+            assert!(matches!(cluster.poll(t), RequestStatus::Done(_)));
+        }
+        // Mixed traffic: 2D and 3D coexist in one fleet and the volumetric
+        // accounting counts only the volumes.
+        let mixed = SpiderCluster::new(specs(2, false), ClusterOptions::default());
+        for req in mixed_requests(4) {
+            mixed.submit(req).unwrap();
+        }
+        mixed
+            .submit(StencilRequest::new_3d(100, k3, 2, 32, 32))
+            .unwrap();
+        let report = mixed.drain_all();
+        assert_eq!(report.total_completed(), 5);
+        assert_eq!(report.total_volumetric(), 1);
+        assert!(report.rates_are_finite());
+    }
+
+    #[test]
     fn unknown_cluster_tickets_poll_unknown() {
         let cluster = SpiderCluster::new(specs(1, false), ClusterOptions::default());
         assert!(matches!(

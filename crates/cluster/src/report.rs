@@ -79,6 +79,22 @@ impl ClusterReport {
         self.devices.iter().map(|d| d.report.failures.len()).sum()
     }
 
+    /// Completed 3D (volumetric) requests across the fleet.
+    pub fn total_volumetric(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.report.volumetric_completed())
+            .sum()
+    }
+
+    /// Stencil points updated by volumetric requests across the fleet.
+    pub fn total_volumetric_points(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.report.volumetric_points())
+            .sum()
+    }
+
     /// Total stencil points updated across the fleet.
     pub fn total_points(&self) -> u64 {
         self.devices.iter().map(|d| d.report.total_points()).sum()
@@ -207,6 +223,14 @@ impl ClusterReport {
             self.wall_requests_per_sec(),
             self.fleet_hit_rate() * 100.0,
         ));
+        if self.total_volumetric() > 0 {
+            out.push_str(&format!(
+                "volumetric: {} of {} requests ({:.2} Mpoints) served through plane waves\n",
+                self.total_volumetric(),
+                self.total_completed(),
+                self.total_volumetric_points() as f64 / 1e6,
+            ));
+        }
         if self.steals > 0 || self.rebalances > 0 || self.steal_failures > 0 {
             out.push_str(&format!(
                 "rebalance: {} steals across {} passes ({} failed resubmissions)\n",

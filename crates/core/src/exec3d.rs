@@ -19,9 +19,11 @@ use spider_gpu_sim::GpuDevice;
 use spider_stencil::dim3::{Grid3D, Kernel3D};
 use spider_stencil::Grid2D;
 
-/// Compiled 3D plan: one 2D plan per non-zero kernel slice.
+/// Compiled 3D plan: one 2D plan per non-zero kernel slice, plus the source
+/// kernel for identity (fingerprinting, store validation, serialization).
 #[derive(Debug, Clone)]
 pub struct Spider3DPlan {
+    kernel: Kernel3D,
     radius: usize,
     /// `(dz, 2D plan)` for every non-zero plane slice.
     slices: Vec<(isize, SpiderPlan)>,
@@ -39,10 +41,23 @@ impl Spider3DPlan {
         if slices.is_empty() {
             return Err(PlanError::EmptyKernel);
         }
-        Ok(Self {
+        Ok(Self::from_parts(kernel.clone(), slices))
+    }
+
+    /// Reassemble a plan from already-compiled slices — the deserialization
+    /// entry point ([`Self::from_bytes`]); never runs the compile pipeline.
+    pub(crate) fn from_parts(kernel: Kernel3D, slices: Vec<(isize, SpiderPlan)>) -> Self {
+        debug_assert!(!slices.is_empty(), "from_parts requires at least one slice");
+        Self {
             radius: kernel.radius(),
+            kernel,
             slices,
-        })
+        }
+    }
+
+    /// The source 3D kernel this plan was compiled from.
+    pub fn kernel(&self) -> &Kernel3D {
+        &self.kernel
     }
 
     pub fn radius(&self) -> usize {
@@ -51,6 +66,34 @@ impl Spider3DPlan {
 
     pub fn slices(&self) -> &[(isize, SpiderPlan)] {
         &self.slices
+    }
+
+    /// The slice plan serving as the tuning representative: the central
+    /// (`dz = 0`) slice when present — it carries the densest coefficients
+    /// of any box or star kernel — else the first slice. Plane tilings are
+    /// selected against this plan and shared by every slice of the sweep
+    /// (all slices see the same grid extent and block geometry).
+    pub fn representative_slice(&self) -> &SpiderPlan {
+        self.slices
+            .iter()
+            .find(|(dz, _)| *dz == 0)
+            .map(|(_, p)| p)
+            .unwrap_or(&self.slices[0].1)
+    }
+
+    /// Stable content fingerprint of the compiled 3D plan: the kernel's
+    /// [`Kernel3D::fingerprint`] folded with every slice's `(dz,
+    /// [`SpiderPlan::fingerprint`])` through FNV-1a rounds. Compilation is
+    /// deterministic, so equal fingerprints mean interchangeable plans —
+    /// the same contract `spider-runtime`'s plan cache relies on for 2D.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = spider_stencil::fnv::Fnv1a::new();
+        h.word(self.kernel.fingerprint());
+        for (dz, plan) in &self.slices {
+            h.word(*dz as u64);
+            h.word(plan.fingerprint());
+        }
+        h.finish()
     }
 
     /// Total `mma.sp` K-slices per MMA tile across all plane slices.
@@ -80,6 +123,21 @@ impl<'d> Spider3DExecutor<'d> {
     ) -> Self {
         Self {
             exec: SpiderExecutor::with_config(device, mode, config),
+        }
+    }
+
+    /// A 3D executor drawing its plane/accumulator scratch from an existing
+    /// [`crate::pool::BufferPool`] — how `spider-runtime` keeps volume
+    /// sweeps allocation-free *across* requests, exactly like
+    /// [`SpiderExecutor::with_shared_pool`] does for planes.
+    pub fn with_shared_pool(
+        device: &'d GpuDevice,
+        mode: ExecMode,
+        config: crate::exec::ExecConfig,
+        pool: crate::pool::BufferPool,
+    ) -> Self {
+        Self {
+            exec: SpiderExecutor::with_shared_pool(device, mode, config, pool),
         }
     }
 
@@ -290,6 +348,25 @@ mod tests {
         assert!(Spider3DExecutor::new(&dev, ExecMode::SparseTcOptimized)
             .run(&plan, &mut g, 1)
             .is_err());
+    }
+
+    #[test]
+    fn plan3d_identity_is_stable_and_content_bound() {
+        let kernel = Kernel3D::random_box(1, 11);
+        let a = Spider3DPlan::compile(&kernel).unwrap();
+        let b = Spider3DPlan::compile(&kernel).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "compile is deterministic");
+        assert_eq!(a.kernel(), &kernel);
+        let other = Spider3DPlan::compile(&Kernel3D::random_box(1, 12)).unwrap();
+        assert_ne!(a.fingerprint(), other.fingerprint());
+        // The representative slice is the central (dz = 0) one.
+        let central = a
+            .slices()
+            .iter()
+            .find(|(dz, _)| *dz == 0)
+            .map(|(_, p)| p.fingerprint())
+            .unwrap();
+        assert_eq!(a.representative_slice().fingerprint(), central);
     }
 
     #[test]

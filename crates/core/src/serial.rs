@@ -39,10 +39,12 @@
 //! the length/version checks.
 
 use crate::encode::Sparse24Kernel;
+use crate::exec3d::Spider3DPlan;
 use crate::plan::{PlanUnit, SpiderPlan};
 use crate::swap::SwapParity;
 use crate::{K_PAD, M_TILE};
 use spider_gpu_sim::sparse::Sparse24Operand;
+use spider_stencil::dim3::Kernel3D;
 use spider_stencil::{Dim, ShapeKind, StencilKernel, StencilShape};
 
 /// Magic prefix of every serialized plan.
@@ -50,6 +52,12 @@ pub const PLAN_MAGIC: &[u8; 8] = b"SPDRPLAN";
 
 /// Current (and only) format version.
 pub const PLAN_FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of every serialized 3D plan (see [`Spider3DPlan::to_bytes`]).
+pub const PLAN3D_MAGIC: &[u8; 8] = b"SPDRPL3D";
+
+/// Current (and only) 3D container format version.
+pub const PLAN3D_FORMAT_VERSION: u32 = 1;
 
 /// Why a byte stream failed to deserialize into a plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -359,6 +367,154 @@ impl SpiderPlan {
     }
 }
 
+impl Spider3DPlan {
+    /// Serialize the compiled 3D plan into the version-1 container format:
+    ///
+    /// ```text
+    /// magic     8 B   b"SPDRPL3D"
+    /// version   u32   1
+    /// radius    u64
+    /// coeffs    u64 count · count × u64 (f64 bit patterns, [dz][dx][dy])
+    /// slices    u64 count · count × (i64 dz · u64 len · len nested bytes)
+    /// fprint    u64   Spider3DPlan::fingerprint of the serialized plan
+    /// payload   u64   FNV-1a over every preceding byte (fprint included)
+    /// ```
+    ///
+    /// Each nested slice payload is a complete [`SpiderPlan::to_bytes`]
+    /// stream with its own trailers, so every per-slice integrity guard of
+    /// the 2D format applies unchanged inside the container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let kernel = self.kernel();
+        let mut out = Vec::with_capacity(64 + self.slices().len() * 6 * 1024);
+        out.extend_from_slice(PLAN3D_MAGIC);
+        put_u32(&mut out, PLAN3D_FORMAT_VERSION);
+        put_u64(&mut out, kernel.radius() as u64);
+        put_u64(&mut out, kernel.coeffs().len() as u64);
+        for c in kernel.coeffs() {
+            put_u64(&mut out, c.to_bits());
+        }
+        put_u64(&mut out, self.slices().len() as u64);
+        for (dz, plan) in self.slices() {
+            put_i64(&mut out, *dz as i64);
+            let nested = plan.to_bytes();
+            put_u64(&mut out, nested.len() as u64);
+            out.extend_from_slice(&nested);
+        }
+        put_u64(&mut out, self.fingerprint());
+        let payload_hash = fnv1a(&out);
+        put_u64(&mut out, payload_hash);
+        out
+    }
+
+    /// Deserialize a 3D plan previously produced by [`Self::to_bytes`],
+    /// validating the container hash, each nested slice stream (full 2D
+    /// validation: version, operand decompression, trailers), the slice ↔
+    /// kernel binding (every stored slice plan must equal the plan of the
+    /// stored kernel's matching `dz` slice) and the trailing fingerprint.
+    /// Never invokes the compilation pipeline.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SerialError> {
+        if bytes.len() < 8 {
+            return Err(SerialError::Truncated);
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored_hash = u64::from_le_bytes(trailer.try_into().unwrap());
+        if fnv1a(payload) != stored_hash {
+            if !bytes.starts_with(PLAN3D_MAGIC) {
+                return Err(SerialError::BadMagic);
+            }
+            return Err(SerialError::Corrupt(
+                "payload hash mismatch (bit rot or truncation)".into(),
+            ));
+        }
+        let mut r = Reader::new(payload);
+        if r.take(8)? != PLAN3D_MAGIC {
+            return Err(SerialError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != PLAN3D_FORMAT_VERSION {
+            return Err(SerialError::UnsupportedVersion(version));
+        }
+        let radius = r.u64()? as usize;
+        if radius == 0 || radius > 1 << 10 {
+            return Err(SerialError::Corrupt(format!(
+                "implausible 3D radius {radius}"
+            )));
+        }
+        let d = 2 * radius + 1;
+        let ncoeffs = r.u64()? as usize;
+        if ncoeffs != d * d * d {
+            return Err(SerialError::Corrupt(format!(
+                "coefficient count {ncoeffs} does not match radius {radius} ({})",
+                d * d * d
+            )));
+        }
+        let mut coeffs = Vec::with_capacity(ncoeffs);
+        for _ in 0..ncoeffs {
+            coeffs.push(f64::from_bits(r.u64()?));
+        }
+        let kernel = Kernel3D::from_coeffs(radius, coeffs);
+        let nslices = r.u64()? as usize;
+        if nslices == 0 || nslices > d {
+            return Err(SerialError::Corrupt(format!(
+                "implausible slice count {nslices} for radius {radius}"
+            )));
+        }
+        // The stored slice *set* must be exactly the kernel's non-zero
+        // slice enumeration, in order. Checking each slice individually
+        // is not enough: a stitched container could duplicate one dz (a
+        // contribution applied twice) or omit one (a contribution lost)
+        // while every remaining slice still binds to the kernel — and the
+        // hash/fingerprint trailers cover whatever slices are present.
+        let expected_dz: Vec<isize> = (-(radius as isize)..=radius as isize)
+            .filter(|&dz| kernel.slice(dz).is_some())
+            .collect();
+        if nslices != expected_dz.len() {
+            return Err(SerialError::Corrupt(format!(
+                "slice count {nslices} does not match the kernel's {} non-zero slices",
+                expected_dz.len()
+            )));
+        }
+        let mut slices = Vec::with_capacity(nslices);
+        for (i, &want_dz) in expected_dz.iter().enumerate() {
+            let dz = r.i64()? as isize;
+            if dz != want_dz {
+                return Err(SerialError::Corrupt(format!(
+                    "slice {i}: dz {dz}, expected {want_dz} (duplicated or missing slice)"
+                )));
+            }
+            let len = r.u64()? as usize;
+            let nested = r.take(len)?;
+            let plan = SpiderPlan::from_bytes(nested)?;
+            // Slice ↔ kernel binding: the stored slice must be the plan of
+            // the stored kernel's own dz slice, so a container stitched
+            // from mismatched parts can never serve wrong numerics.
+            match kernel.slice(dz) {
+                Some(expect) if &expect == plan.kernel() => {}
+                _ => {
+                    return Err(SerialError::Corrupt(format!(
+                        "slice {i} (dz {dz}) does not match the stored kernel"
+                    )))
+                }
+            }
+            slices.push((dz, plan));
+        }
+        let stored_fprint = r.u64()?;
+        if !r.done() {
+            return Err(SerialError::Corrupt(
+                "trailing bytes after fingerprint".into(),
+            ));
+        }
+        let plan = Spider3DPlan::from_parts(kernel, slices);
+        if plan.fingerprint() != stored_fprint {
+            return Err(SerialError::Corrupt(format!(
+                "3D fingerprint mismatch: stored {stored_fprint:#018x}, reassembled {:#018x}",
+                plan.fingerprint()
+            )));
+        }
+        Ok(plan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +647,113 @@ mod tests {
             Err(SerialError::Corrupt(_)) | Err(SerialError::Truncated) => {}
             other => panic!("corruption must be detected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn plan3d_roundtrip_preserves_every_slice() {
+        for (r, seed) in [(1usize, 3u64), (2, 4)] {
+            let kernel = Kernel3D::random_box(r, seed);
+            let plan = Spider3DPlan::compile(&kernel).unwrap();
+            let back = Spider3DPlan::from_bytes(&plan.to_bytes()).unwrap();
+            assert_eq!(back.kernel(), &kernel);
+            assert_eq!(back.fingerprint(), plan.fingerprint());
+            assert_eq!(back.radius(), plan.radius());
+            assert_eq!(back.slices().len(), plan.slices().len());
+            for ((dz_a, a), (dz_b, b)) in plan.slices().iter().zip(back.slices()) {
+                assert_eq!(dz_a, dz_b);
+                assert_eq!(a.fingerprint(), b.fingerprint());
+                assert_eq!(a.units().len(), b.units().len());
+            }
+        }
+        // Star kernels round-trip their sparse slice set (3, not 2r+1).
+        let star = Kernel3D::star_7point(-6.0, 1.0);
+        let plan = Spider3DPlan::compile(&star).unwrap();
+        let back = Spider3DPlan::from_bytes(&plan.to_bytes()).unwrap();
+        assert_eq!(back.slices().len(), 3);
+        assert_eq!(back.fingerprint(), plan.fingerprint());
+    }
+
+    #[test]
+    fn plan3d_corruption_and_truncation_rejected() {
+        let plan = Spider3DPlan::compile(&Kernel3D::random_box(1, 9)).unwrap();
+        let bytes = plan.to_bytes();
+        // Bad magic.
+        let mut rotted = bytes.clone();
+        rotted[0] ^= 0xFF;
+        assert_eq!(
+            Spider3DPlan::from_bytes(&rotted).err(),
+            Some(SerialError::BadMagic)
+        );
+        // Any flipped interior bit: payload hash (or nested trailers) fire.
+        for off in [9, 20, bytes.len() / 3, bytes.len() / 2] {
+            let mut rotted = bytes.clone();
+            rotted[off] ^= 0x4;
+            assert!(
+                Spider3DPlan::from_bytes(&rotted).is_err(),
+                "flip at {off} must be rejected"
+            );
+        }
+        // Every strict prefix fails.
+        for cut in [0, 7, 8, 19, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Spider3DPlan::from_bytes(&bytes[..cut]).is_err());
+        }
+        // A 2D stream is not a 3D plan and vice versa.
+        let plan2d = SpiderPlan::compile(&StencilKernel::jacobi_2d()).unwrap();
+        assert!(Spider3DPlan::from_bytes(&plan2d.to_bytes()).is_err());
+        assert!(SpiderPlan::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn plan3d_duplicated_or_omitted_slices_rejected() {
+        // Each slice of these containers binds to the stored kernel and
+        // every trailer (payload hash, fingerprint) is self-consistent —
+        // only the slice-set check can catch them.
+        let plan = Spider3DPlan::compile(&Kernel3D::random_box(1, 3)).unwrap();
+        let central = plan
+            .slices()
+            .iter()
+            .find(|(dz, _)| *dz == 0)
+            .cloned()
+            .unwrap();
+        // dz = 0 applied twice: the contribution would double.
+        let doubled =
+            Spider3DPlan::from_parts(plan.kernel().clone(), vec![central.clone(), central]);
+        assert!(matches!(
+            Spider3DPlan::from_bytes(&doubled.to_bytes()),
+            Err(SerialError::Corrupt(_))
+        ));
+        // dz = +1 omitted: the contribution would vanish.
+        let truncated = Spider3DPlan::from_parts(
+            plan.kernel().clone(),
+            plan.slices()[..plan.slices().len() - 1].to_vec(),
+        );
+        assert!(matches!(
+            Spider3DPlan::from_bytes(&truncated.to_bytes()),
+            Err(SerialError::Corrupt(_))
+        ));
+        // Slices out of order (swapped dz = -1 and dz = +1) reject too.
+        let mut swapped = plan.slices().to_vec();
+        swapped.reverse();
+        let reordered = Spider3DPlan::from_parts(plan.kernel().clone(), swapped);
+        assert!(matches!(
+            Spider3DPlan::from_bytes(&reordered.to_bytes()),
+            Err(SerialError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn plan3d_stitched_slice_mismatch_rejected() {
+        // Rebuild a container whose kernel belongs to a *different* volume
+        // than its slices: the slice ↔ kernel binding must reject it even
+        // with a freshly recomputed payload hash.
+        let a = Spider3DPlan::compile(&Kernel3D::random_box(1, 1)).unwrap();
+        let b = Spider3DPlan::compile(&Kernel3D::random_box(1, 2)).unwrap();
+        let stitched = Spider3DPlan::from_parts(a.kernel().clone(), b.slices().to_vec());
+        let bytes = stitched.to_bytes();
+        assert!(matches!(
+            Spider3DPlan::from_bytes(&bytes),
+            Err(SerialError::Corrupt(_))
+        ));
     }
 
     #[test]

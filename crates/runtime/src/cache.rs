@@ -1,5 +1,5 @@
 //! The plan cache: content-addressed, LRU-bounded storage of compiled
-//! [`SpiderPlan`]s.
+//! plans — planar ([`SpiderPlan`]) and volumetric ([`Spider3DPlan`]) alike.
 //!
 //! SPIDER's ahead-of-time compile is `O(1)` in the grid size, but a serving
 //! deployment still pays it once per *request* unless plans are reused — and
@@ -7,19 +7,85 @@
 //! the transform is paid once per kernel, then amortized over millions of
 //! sweeps. The cache makes that amortization explicit: plans are keyed by
 //! the request's content fingerprint (kernel coefficients + shape + exec
-//! mode), shared via `Arc`, and evicted least-recently-used when the
-//! capacity bound is hit.
+//! mode + dimensionality), shared via `Arc`, and evicted least-recently-used
+//! when the capacity bound is hit.
 //!
-//! Compilation happens under the cache lock. That is deliberate: a plan
-//! compiles in microseconds (it touches only the `(2r+1)²` kernel
-//! coefficients), so duplicate-compile races cost more than brief
-//! serialization, and the lock makes the hit/miss statistics exact.
+//! ## Lock scope
+//!
+//! Compilation and store loads run **outside** the cache mutex. The lock
+//! guards only the map lookups and the statistics, so a slow compile (or a
+//! disk read) for one key never blocks concurrent hits or distinct-key
+//! misses. Two threads missing the *same* key may both compile; the
+//! double-checked re-insert makes the first writer win — the loser drops
+//! its plan and returns the winner's `Arc`, so exactly one insertion (and
+//! one write-through) happens per key. An earlier revision held the lock
+//! across compile+load, which serialized the whole runtime behind any one
+//! slow resolution; `slow_resolves_do_not_block_unrelated_lookups` pins
+//! the fix.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
+use spider_core::exec3d::Spider3DPlan;
 use spider_core::plan::{PlanError, SpiderPlan};
-use spider_stencil::StencilKernel;
+
+use crate::request::RequestKernel;
+
+/// A cached compiled artifact: one entry per plan key, planar or
+/// volumetric. Cloning is cheap (`Arc` bumps).
+#[derive(Debug, Clone)]
+pub enum CachedPlan {
+    /// A 1D/2D plan served through [`spider_core::exec::SpiderExecutor`].
+    Planar(Arc<SpiderPlan>),
+    /// A 3D plan served through [`spider_core::exec3d::Spider3DExecutor`].
+    Volumetric(Arc<Spider3DPlan>),
+}
+
+impl CachedPlan {
+    /// Compile the right plan kind for `kernel`.
+    pub fn compile(kernel: &RequestKernel) -> Result<Self, PlanError> {
+        Ok(match kernel {
+            RequestKernel::Planar(k) => CachedPlan::Planar(Arc::new(SpiderPlan::compile(k)?)),
+            RequestKernel::Volumetric(k) => {
+                CachedPlan::Volumetric(Arc::new(Spider3DPlan::compile(k)?))
+            }
+        })
+    }
+
+    /// Stable content fingerprint of the underlying plan.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            CachedPlan::Planar(p) => p.fingerprint(),
+            CachedPlan::Volumetric(p) => p.fingerprint(),
+        }
+    }
+
+    /// The planar plan, if this entry is one.
+    pub fn planar(&self) -> Option<&Arc<SpiderPlan>> {
+        match self {
+            CachedPlan::Planar(p) => Some(p),
+            CachedPlan::Volumetric(_) => None,
+        }
+    }
+
+    /// The volumetric plan, if this entry is one.
+    pub fn volumetric(&self) -> Option<&Arc<Spider3DPlan>> {
+        match self {
+            CachedPlan::Planar(_) => None,
+            CachedPlan::Volumetric(p) => Some(p),
+        }
+    }
+
+    /// Whether this plan was compiled from exactly `kernel` — the
+    /// filename ↔ content binding check the store-load path uses.
+    pub fn matches_kernel(&self, kernel: &RequestKernel) -> bool {
+        match (self, kernel) {
+            (CachedPlan::Planar(p), RequestKernel::Planar(k)) => p.kernel() == k,
+            (CachedPlan::Volumetric(p), RequestKernel::Volumetric(k)) => p.kernel() == k,
+            _ => false,
+        }
+    }
+}
 
 /// Monotonic counters describing cache behaviour since construction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,8 +96,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Misses satisfied by deserializing a persisted plan (via the loader
     /// hook of [`PlanCache::get_or_compile_with_loader`]) instead of
-    /// compiling. Always ≤ `misses`; `misses - store_hits` is the number of
-    /// actual compilations.
+    /// compiling. Always ≤ `misses`; `misses - store_hits` bounds the
+    /// number of compilations (a lost same-key race can compile a plan
+    /// that is then discarded, never inserted).
     pub store_hits: u64,
 }
 
@@ -48,7 +115,7 @@ impl CacheStats {
 }
 
 struct Entry {
-    plan: Arc<SpiderPlan>,
+    plan: CachedPlan,
     /// Recency tick of the most recent touch; also the key into `recency`.
     tick: u64,
 }
@@ -62,7 +129,20 @@ struct Inner {
     stats: CacheStats,
 }
 
-/// LRU-bounded, thread-safe cache of compiled plans.
+impl Inner {
+    /// Touch an existing entry: move it to the back of the recency order.
+    fn touch(&mut self, key: u64) {
+        let old_tick = self.map.get(&key).expect("touched entry exists").tick;
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.recency.remove(&old_tick);
+        self.recency.insert(tick, key);
+        self.map.get_mut(&key).expect("entry vanished").tick = tick;
+    }
+}
+
+/// LRU-bounded, thread-safe cache of compiled plans. See the module docs
+/// for the lock-scope contract.
 pub struct PlanCache {
     inner: Mutex<Inner>,
 }
@@ -87,52 +167,61 @@ impl PlanCache {
     pub fn get_or_compile(
         &self,
         key: u64,
-        kernel: &StencilKernel,
-    ) -> Result<(Arc<SpiderPlan>, bool), PlanError> {
+        kernel: &RequestKernel,
+    ) -> Result<(CachedPlan, bool), PlanError> {
         self.get_or_compile_with_loader(key, kernel, None)
             .map(|(plan, hit, _)| (plan, hit))
     }
 
     /// [`Self::get_or_compile`] with an optional second-level lookup: on a
-    /// memory miss, `loader` (typically [`crate::PlanStore::load_plan`]) is
+    /// memory miss, `loader` (typically a [`crate::PlanStore`] read) is
     /// consulted before compiling. A loaded plan is inserted and counted as
     /// a `store_hit`; only when the loader also comes up empty does the
     /// kernel compile.
     ///
     /// Returns `(plan, memory_hit, compiled)` — `compiled` is `true` exactly
-    /// when this call ran the compilation pipeline, which is the caller's
-    /// cue to write the fresh plan through to its store.
+    /// when this call inserted a freshly compiled plan, which is the
+    /// caller's cue to write it through to the store.
     ///
-    /// Like compilation, the loader runs under the cache lock: both are
-    /// microsecond-scale next to a duplicated compile+insert race, and the
-    /// lock keeps the statistics exact.
+    /// The loader and the compiler both run with the cache **unlocked**;
+    /// concurrent same-key misses resolve the key independently and the
+    /// first writer's plan wins (one insertion, losers adopt it and report
+    /// `compiled = false`).
     #[allow(clippy::type_complexity)]
     pub fn get_or_compile_with_loader(
         &self,
         key: u64,
-        kernel: &StencilKernel,
-        loader: Option<&dyn Fn(u64) -> Option<SpiderPlan>>,
-    ) -> Result<(Arc<SpiderPlan>, bool, bool), PlanError> {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
-        if let Some(entry) = inner.map.get(&key) {
-            let old_tick = entry.tick;
-            let plan = Arc::clone(&entry.plan);
-            let tick = inner.next_tick;
-            inner.next_tick += 1;
-            inner.recency.remove(&old_tick);
-            inner.recency.insert(tick, key);
-            inner.map.get_mut(&key).expect("entry vanished").tick = tick;
-            inner.stats.hits += 1;
-            return Ok((plan, true, false));
-        }
-        inner.stats.misses += 1;
-        let (plan, compiled) = match loader.and_then(|load| load(key)) {
-            Some(loaded) => {
-                inner.stats.store_hits += 1;
-                (Arc::new(loaded), false)
+        kernel: &RequestKernel,
+        loader: Option<&dyn Fn(u64) -> Option<CachedPlan>>,
+    ) -> Result<(CachedPlan, bool, bool), PlanError> {
+        {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            if let Some(entry) = inner.map.get(&key) {
+                let plan = entry.plan.clone();
+                inner.touch(key);
+                inner.stats.hits += 1;
+                return Ok((plan, true, false));
             }
-            None => (Arc::new(SpiderPlan::compile(kernel)?), true),
+            inner.stats.misses += 1;
+        }
+        // Resolve outside the lock: neither a slow disk load nor a compile
+        // may stall unrelated lookups.
+        let (plan, loaded) = match loader.and_then(|load| load(key)) {
+            Some(loaded) => (loaded, true),
+            None => (CachedPlan::compile(kernel)?, false),
         };
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if inner.map.contains_key(&key) {
+            // Another thread resolved the same key while we were unlocked:
+            // first writer wins. Adopt its plan (ours is dropped), report
+            // no fresh compile so the caller does not double write-through.
+            let winner = inner.map.get(&key).expect("present").plan.clone();
+            inner.touch(key);
+            return Ok((winner, false, false));
+        }
+        if loaded {
+            inner.stats.store_hits += 1;
+        }
         let tick = inner.next_tick;
         inner.next_tick += 1;
         if inner.map.len() >= inner.capacity {
@@ -143,30 +232,30 @@ impl PlanCache {
         inner.map.insert(
             key,
             Entry {
-                plan: Arc::clone(&plan),
+                plan: plan.clone(),
                 tick,
             },
         );
         inner.recency.insert(tick, key);
         inner.stats.insertions += 1;
-        Ok((plan, false, compiled))
+        Ok((plan, false, !loaded))
     }
 
     /// Snapshot of every cached `(key, plan)` pair, in no particular order —
     /// the iteration [`crate::SpiderRuntime::persist`] writes to the store.
-    pub fn entries(&self) -> Vec<(u64, Arc<SpiderPlan>)> {
+    pub fn entries(&self) -> Vec<(u64, CachedPlan)> {
         let inner = self.inner.lock().expect("plan cache poisoned");
         inner
             .map
             .iter()
-            .map(|(&k, e)| (k, Arc::clone(&e.plan)))
+            .map(|(&k, e)| (k, e.plan.clone()))
             .collect()
     }
 
     /// Peek without compiling or recording a hit/miss (test/introspection).
-    pub fn peek(&self, key: u64) -> Option<Arc<SpiderPlan>> {
+    pub fn peek(&self, key: u64) -> Option<CachedPlan> {
         let inner = self.inner.lock().expect("plan cache poisoned");
-        inner.map.get(&key).map(|e| Arc::clone(&e.plan))
+        inner.map.get(&key).map(|e| e.plan.clone())
     }
 
     pub fn len(&self) -> usize {
@@ -197,10 +286,11 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spider_stencil::dim3::Kernel3D;
     use spider_stencil::{StencilKernel, StencilShape};
 
-    fn kernel(seed: u64) -> StencilKernel {
-        StencilKernel::random(StencilShape::box_2d(1), seed)
+    fn kernel(seed: u64) -> RequestKernel {
+        RequestKernel::Planar(StencilKernel::random(StencilShape::box_2d(1), seed))
     }
 
     #[test]
@@ -211,10 +301,34 @@ mod tests {
         let (b, hit_b) = cache.get_or_compile(k.fingerprint(), &k).unwrap();
         assert!(!hit_a);
         assert!(hit_b);
-        assert!(Arc::ptr_eq(&a, &b), "hits must share the compiled plan");
+        assert!(
+            Arc::ptr_eq(a.planar().unwrap(), b.planar().unwrap()),
+            "hits must share the compiled plan"
+        );
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn volumetric_plans_cache_alongside_planar() {
+        let cache = PlanCache::new(4);
+        let k3 = RequestKernel::Volumetric(Kernel3D::random_box(1, 7));
+        let (a, hit) = cache.get_or_compile(k3.fingerprint(), &k3).unwrap();
+        assert!(!hit);
+        assert!(a.volumetric().is_some() && a.planar().is_none());
+        assert!(a.matches_kernel(&k3));
+        assert!(!a.matches_kernel(&kernel(7)));
+        let (b, hit) = cache.get_or_compile(k3.fingerprint(), &k3).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(
+            a.volumetric().unwrap(),
+            b.volumetric().unwrap()
+        ));
+        // A planar kernel under a distinct key coexists.
+        let k2 = kernel(7);
+        cache.get_or_compile(k2.fingerprint(), &k2).unwrap();
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
@@ -247,7 +361,7 @@ mod tests {
     #[test]
     fn compile_errors_do_not_occupy_slots() {
         let cache = PlanCache::new(2);
-        let empty = StencilKernel::box_2d(1, &[0.0; 9]);
+        let empty = RequestKernel::Planar(StencilKernel::box_2d(1, &[0.0; 9]));
         assert!(cache.get_or_compile(empty.fingerprint(), &empty).is_err());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.stats().misses, 1);
@@ -258,7 +372,7 @@ mod tests {
     fn loader_satisfies_misses_without_compiling() {
         let cache = PlanCache::new(4);
         let k = kernel(3);
-        let persisted = SpiderPlan::compile(&k).unwrap();
+        let persisted = CachedPlan::compile(&k).unwrap();
         let loader = |_key: u64| Some(persisted.clone());
         let (plan, hit, compiled) = cache
             .get_or_compile_with_loader(k.fingerprint(), &k, Some(&loader))
@@ -268,20 +382,97 @@ mod tests {
         assert_eq!(cache.stats().store_hits, 1);
         assert_eq!(cache.stats().misses, 1);
         // Second lookup is a plain memory hit; the loader is not consulted.
-        let never = |_key: u64| -> Option<SpiderPlan> { panic!("hit must not load") };
+        let never = |_key: u64| -> Option<CachedPlan> { panic!("hit must not load") };
         let (_, hit, compiled) = cache
             .get_or_compile_with_loader(k.fingerprint(), &k, Some(&never))
             .unwrap();
         assert!(hit && !compiled);
         // A key the loader misses compiles (and reports it).
         let k2 = kernel(4);
-        let empty = |_key: u64| -> Option<SpiderPlan> { None };
+        let empty = |_key: u64| -> Option<CachedPlan> { None };
         let (_, hit, compiled) = cache
             .get_or_compile_with_loader(k2.fingerprint(), &k2, Some(&empty))
             .unwrap();
         assert!(!hit && compiled);
         assert_eq!(cache.stats().store_hits, 1);
         assert_eq!(cache.entries().len(), 2);
+    }
+
+    /// Regression for the lock-scope bug: with a resolver (loader/compile)
+    /// parked mid-flight for key A, hits and misses on *other* keys must
+    /// proceed. Under the old hold-the-lock-across-compile behaviour this
+    /// test deadlocks.
+    #[test]
+    fn slow_resolves_do_not_block_unrelated_lookups() {
+        use std::sync::mpsc;
+        let cache = Arc::new(PlanCache::new(4));
+        let kb = kernel(1);
+        cache.get_or_compile(kb.fingerprint(), &kb).unwrap();
+
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let ka = kernel(2);
+        let slow = {
+            let cache = Arc::clone(&cache);
+            let ka = ka.clone();
+            std::thread::spawn(move || {
+                let loader = |_k: u64| -> Option<CachedPlan> {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap(); // park inside the resolver
+                    None
+                };
+                cache
+                    .get_or_compile_with_loader(ka.fingerprint(), &ka, Some(&loader))
+                    .unwrap()
+            })
+        };
+        entered_rx.recv().unwrap(); // the slow resolver is in flight...
+                                    // ...and a hit on B plus a distinct-key miss both complete now.
+        let (_, hit) = cache.get_or_compile(kb.fingerprint(), &kb).unwrap();
+        assert!(hit, "unrelated hit must not wait for the slow resolve");
+        let kc = kernel(3);
+        let (_, hit) = cache.get_or_compile(kc.fingerprint(), &kc).unwrap();
+        assert!(!hit, "unrelated miss must not wait either");
+        release_tx.send(()).unwrap();
+        let (_, hit, compiled) = slow.join().unwrap();
+        assert!(!hit && compiled, "the slow resolve still lands its compile");
+        assert_eq!(cache.stats().insertions, 3);
+    }
+
+    /// Concurrent same-key misses: every thread gets the same plan, exactly
+    /// one insertion happens (first writer wins), and hits + misses still
+    /// add up to the number of lookups.
+    #[test]
+    fn concurrent_same_key_misses_insert_once() {
+        let cache = Arc::new(PlanCache::new(4));
+        let k = kernel(9);
+        const THREADS: usize = 4;
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let plans: Vec<CachedPlan> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let k = k.clone();
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        cache.get_or_compile(k.fingerprint(), &k).unwrap().0
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let first = plans[0].planar().unwrap();
+        for p in &plans {
+            assert!(
+                Arc::ptr_eq(first, p.planar().unwrap()),
+                "losers must adopt the winner's plan"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 1, "first writer wins exactly once");
+        assert_eq!(stats.hits + stats.misses, THREADS as u64);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

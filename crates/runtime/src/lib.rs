@@ -16,7 +16,7 @@
 //! ## Architecture
 //!
 //! ```text
-//!  StencilRequest queue (heterogeneous: 1D/2D, box/star, any radius/size)
+//!  StencilRequest queue (heterogeneous: 1D/2D/3D, box/star, any radius/size)
 //!        │
 //!        ▼
 //!  ┌─────────────────────── SpiderRuntime::run_batch ───────────────────┐
@@ -96,12 +96,12 @@ pub mod scheduler;
 pub mod store;
 pub mod tuner;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use report::{QueueStats, RequestOutcome, RuntimeReport, WaitHistogram};
-pub use request::{Deadline, GridSpec, Priority, StencilRequest};
+pub use request::{Deadline, GridSpec, Priority, RequestKernel, StencilRequest};
 pub use runtime::{output_checksum, RuntimeError, RuntimeOptions, SpiderRuntime};
 pub use scheduler::{
     BackpressurePolicy, RequestStatus, SchedulerOptions, SpiderScheduler, SubmitError, Ticket,
 };
-pub use store::{PersistedMemo, PlanStore, StoreStats};
+pub use store::{PersistedMemo, PlanStore, StoreGcPolicy, StoreStats};
 pub use tuner::{AutoTuner, TuneOutcome};

@@ -20,7 +20,10 @@ pub struct RequestOutcome {
     /// Whether the request executed through a shared (coalesced) executor
     /// alongside at least one other request with the same plan and exec key.
     pub coalesced: bool,
-    /// The tiling the request executed with.
+    /// Whether this was a 3D (volumetric) request served through the plane
+    /// decomposition.
+    pub volumetric: bool,
+    /// The tiling the request executed with (for volumes: the plane tiling).
     pub tiling: TilingConfig,
     /// Simulated-GPU execution report (all sweeps merged).
     pub report: KernelReport,
@@ -189,6 +192,20 @@ impl RuntimeReport {
         self.outcomes.iter().map(|o| o.report.points).sum()
     }
 
+    /// Completed 3D (volumetric) requests in this report.
+    pub fn volumetric_completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.volumetric).count()
+    }
+
+    /// Stencil points updated by volumetric requests (all sweeps).
+    pub fn volumetric_points(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .filter(|o| o.volumetric)
+            .map(|o| o.report.points)
+            .sum()
+    }
+
     /// Total simulated device-busy time across this report's outcomes —
     /// **one device's clock**: the outcomes of a single runtime execute on
     /// its single simulated device, so their times add serially.
@@ -265,6 +282,14 @@ impl RuntimeReport {
         }
         for (id, err) in &self.failures {
             out.push_str(&format!("{id:>6}  FAILED: {err}\n"));
+        }
+        if self.volumetric_completed() > 0 {
+            out.push_str(&format!(
+                "volumetric: {} of {} requests ({:.2} Mpoints)\n",
+                self.volumetric_completed(),
+                self.outcomes.len(),
+                self.volumetric_points() as f64 / 1e6,
+            ));
         }
         out.push_str(&format!(
             "batch: {} ok / {} failed | wall {:.3}s | {:.1} req/s | {:.2} simulated GStencil/s | batch hit rate {:.0}% | cache {}H/{}M/{}E\n",

@@ -3,6 +3,7 @@
 use std::time::{Duration, Instant};
 
 use spider_core::ExecMode;
+use spider_stencil::dim3::{Grid3D, Kernel3D};
 use spider_stencil::{Grid1D, Grid2D, StencilKernel};
 
 /// Scheduling priority of a request. Only the async scheduler consults it —
@@ -96,6 +97,13 @@ pub enum GridSpec {
     D1 { len: usize },
     /// A 2D `rows × cols` plane.
     D2 { rows: usize, cols: usize },
+    /// A 3D `planes × rows × cols` volume, served as per-step waves of 2D
+    /// plane sweeps (`spider_core::exec3d`).
+    D3 {
+        planes: usize,
+        rows: usize,
+        cols: usize,
+    },
 }
 
 impl GridSpec {
@@ -104,15 +112,91 @@ impl GridSpec {
         match *self {
             GridSpec::D1 { len } => len as u64,
             GridSpec::D2 { rows, cols } => (rows * cols) as u64,
+            GridSpec::D3 { planes, rows, cols } => (planes * rows * cols) as u64,
         }
     }
 
-    /// Human-readable extent, e.g. `4096x2048` or `1048576`.
+    /// Human-readable extent, e.g. `4096x2048`, `1048576` or `8x256x256`.
     pub fn extent_label(&self) -> String {
         match *self {
             GridSpec::D1 { len } => format!("{len}"),
             GridSpec::D2 { rows, cols } => format!("{rows}x{cols}"),
+            GridSpec::D3 { planes, rows, cols } => format!("{planes}x{rows}x{cols}"),
         }
+    }
+}
+
+/// The stencil a request applies: a planar (1D/2D) kernel served through
+/// [`spider_core::plan::SpiderPlan`], or a volumetric (3D) kernel served
+/// through [`spider_core::exec3d::Spider3DPlan`]'s plane decomposition.
+/// Both carry stable content fingerprints, so either kind addresses the
+/// plan cache, the store and the cluster router the same way.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKernel {
+    Planar(StencilKernel),
+    Volumetric(Kernel3D),
+}
+
+impl RequestKernel {
+    /// Stable content fingerprint ([`StencilKernel::fingerprint`] /
+    /// [`Kernel3D::fingerprint`] — the two spaces are tag-disjoint).
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            RequestKernel::Planar(k) => k.fingerprint(),
+            RequestKernel::Volumetric(k) => k.fingerprint(),
+        }
+    }
+
+    /// Stencil radius.
+    pub fn radius(&self) -> usize {
+        match self {
+            RequestKernel::Planar(k) => k.radius(),
+            RequestKernel::Volumetric(k) => k.radius(),
+        }
+    }
+
+    /// Grid dimensionality this kernel applies to (1, 2 or 3).
+    pub fn dim_rank(&self) -> u8 {
+        match self {
+            RequestKernel::Planar(k) => k.shape().dim.rank() as u8,
+            RequestKernel::Volumetric(_) => 3,
+        }
+    }
+
+    /// Shape label for scenario strings, e.g. `Box-2D2R` or `Box-3D1R`.
+    pub fn name(&self) -> String {
+        match self {
+            RequestKernel::Planar(k) => k.shape().name(),
+            RequestKernel::Volumetric(k) => k.name(),
+        }
+    }
+
+    /// The planar kernel, if this is a 1D/2D request.
+    pub fn as_planar(&self) -> Option<&StencilKernel> {
+        match self {
+            RequestKernel::Planar(k) => Some(k),
+            RequestKernel::Volumetric(_) => None,
+        }
+    }
+
+    /// The volumetric kernel, if this is a 3D request.
+    pub fn as_volumetric(&self) -> Option<&Kernel3D> {
+        match self {
+            RequestKernel::Planar(_) => None,
+            RequestKernel::Volumetric(k) => Some(k),
+        }
+    }
+}
+
+impl From<StencilKernel> for RequestKernel {
+    fn from(k: StencilKernel) -> Self {
+        RequestKernel::Planar(k)
+    }
+}
+
+impl From<Kernel3D> for RequestKernel {
+    fn from(k: Kernel3D) -> Self {
+        RequestKernel::Volumetric(k)
     }
 }
 
@@ -125,7 +209,7 @@ impl GridSpec {
 pub struct StencilRequest {
     /// Caller-chosen identifier, echoed in the outcome.
     pub id: u64,
-    pub kernel: StencilKernel,
+    pub kernel: RequestKernel,
     pub grid: GridSpec,
     /// Number of sweeps (≥ 1).
     pub steps: usize,
@@ -145,7 +229,7 @@ impl StencilRequest {
     pub fn new_2d(id: u64, kernel: StencilKernel, rows: usize, cols: usize) -> Self {
         Self {
             id,
-            kernel,
+            kernel: RequestKernel::Planar(kernel),
             grid: GridSpec::D2 { rows, cols },
             steps: 1,
             mode: ExecMode::SparseTcOptimized,
@@ -159,8 +243,25 @@ impl StencilRequest {
     pub fn new_1d(id: u64, kernel: StencilKernel, len: usize) -> Self {
         Self {
             id,
-            kernel,
+            kernel: RequestKernel::Planar(kernel),
             grid: GridSpec::D1 { len },
+            steps: 1,
+            mode: ExecMode::SparseTcOptimized,
+            seed: id,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// A 3D (volumetric) request with serving defaults. Served through the
+    /// plane decomposition: each sweep runs as one batched-launch wave of
+    /// per-plane 2D stencils, all sharing one cached
+    /// [`spider_core::exec3d::Spider3DPlan`].
+    pub fn new_3d(id: u64, kernel: Kernel3D, planes: usize, rows: usize, cols: usize) -> Self {
+        Self {
+            id,
+            kernel: RequestKernel::Volumetric(kernel),
+            grid: GridSpec::D3 { planes, rows, cols },
             steps: 1,
             mode: ExecMode::SparseTcOptimized,
             seed: id,
@@ -196,10 +297,33 @@ impl StencilRequest {
     }
 
     /// The plan-cache key this request resolves to: the kernel's content
-    /// fingerprint folded with the execution mode (the cache stores one
-    /// entry per (coefficients, shape, mode) as the runtime's unit of reuse).
+    /// fingerprint, the execution-mode tag and the kernel's dimensionality
+    /// folded through full multiply-then-xor FNV-1a rounds (the cache
+    /// stores one entry per (coefficients, shape, mode, dimensionality) as
+    /// the runtime's unit of reuse).
+    ///
+    /// Every input gets its own byte-wise FNV rounds. An earlier scheme
+    /// XORed the mode tag into the fingerprint *before* a single multiply,
+    /// which made any two kernels whose fingerprints differ by the XOR of
+    /// two mode tags collide across modes — e.g. `f` in `DenseTc` (0xD1)
+    /// and `f ^ 0x80` in `SparseTc` (0x51) mapped to one key and would have
+    /// served each other's plans. The regression test below pins the fix.
     pub fn plan_key(&self) -> u64 {
-        (self.kernel.fingerprint() ^ Self::mode_tag(self.mode)).wrapping_mul(0x100000001b3)
+        Self::mix_plan_key(
+            self.kernel.fingerprint(),
+            Self::mode_tag(self.mode),
+            self.kernel.dim_rank() as u64,
+        )
+    }
+
+    /// FNV-1a over the little-endian bytes of each input word in turn —
+    /// full per-byte rounds, so no pair of inputs can cancel.
+    fn mix_plan_key(fingerprint: u64, mode_tag: u64, dim_tag: u64) -> u64 {
+        let mut h = spider_stencil::fnv::Fnv1a::new();
+        for word in [fingerprint, mode_tag, dim_tag] {
+            h.word(word);
+        }
+        h.finish()
     }
 
     /// Within a plan-key group, requests with equal exec keys (grid extent,
@@ -218,29 +342,32 @@ impl StencilRequest {
         }
     }
 
-    /// Scenario label for reports, e.g. `Box-2D2R@4096x2048`.
+    /// Scenario label for reports, e.g. `Box-2D2R@4096x2048` or
+    /// `Box-3D1R@8x256x256`.
     pub fn scenario(&self) -> String {
-        format!(
-            "{}@{}",
-            self.kernel.shape().name(),
-            self.grid.extent_label()
-        )
+        format!("{}@{}", self.kernel.name(), self.grid.extent_label())
     }
 
     /// Whether the request's grid dimensionality matches its kernel's.
     pub fn dims_consistent(&self) -> bool {
-        matches!(
-            (self.grid, self.kernel.shape().dim),
-            (GridSpec::D1 { .. }, spider_stencil::Dim::D1)
-                | (GridSpec::D2 { .. }, spider_stencil::Dim::D2)
-        )
+        let grid_rank = match self.grid {
+            GridSpec::D1 { .. } => 1u8,
+            GridSpec::D2 { .. } => 2,
+            GridSpec::D3 { .. } => 3,
+        };
+        grid_rank == self.kernel.dim_rank()
+    }
+
+    /// Whether this is a 3D (volumetric) request.
+    pub fn is_volumetric(&self) -> bool {
+        matches!(self.grid, GridSpec::D3 { .. })
     }
 
     /// Materialize the deterministic input grid for a 1D request.
     pub fn materialize_1d(&self) -> Grid1D<f32> {
         match self.grid {
             GridSpec::D1 { len } => Grid1D::random(len, self.kernel.radius(), self.seed),
-            GridSpec::D2 { .. } => panic!("materialize_1d on a 2D request"),
+            _ => panic!("materialize_1d on a non-1D request"),
         }
     }
 
@@ -250,7 +377,17 @@ impl StencilRequest {
             GridSpec::D2 { rows, cols } => {
                 Grid2D::random(rows, cols, self.kernel.radius(), self.seed)
             }
-            GridSpec::D1 { .. } => panic!("materialize_2d on a 1D request"),
+            _ => panic!("materialize_2d on a non-2D request"),
+        }
+    }
+
+    /// Materialize the deterministic input volume for a 3D request.
+    pub fn materialize_3d(&self) -> Grid3D<f32> {
+        match self.grid {
+            GridSpec::D3 { planes, rows, cols } => {
+                Grid3D::random(planes, rows, cols, self.kernel.radius(), self.seed)
+            }
+            _ => panic!("materialize_3d on a non-3D request"),
         }
     }
 }
@@ -296,8 +433,71 @@ mod tests {
         let k1 = StencilKernel::wave_1d(2);
         let k2 = StencilKernel::jacobi_2d();
         assert!(StencilRequest::new_1d(1, k1.clone(), 1000).dims_consistent());
-        assert!(!StencilRequest::new_2d(2, k1, 32, 32).dims_consistent());
+        assert!(!StencilRequest::new_2d(2, k1.clone(), 32, 32).dims_consistent());
         assert!(StencilRequest::new_2d(3, k2, 32, 32).dims_consistent());
+        let k3 = Kernel3D::random_box(1, 5);
+        assert!(StencilRequest::new_3d(4, k3.clone(), 4, 32, 32).dims_consistent());
+        // A volumetric kernel on a planar grid is inconsistent, and so is
+        // a planar kernel on a volume.
+        let mut wrong = StencilRequest::new_3d(5, k3, 4, 32, 32);
+        wrong.grid = GridSpec::D2 { rows: 32, cols: 32 };
+        assert!(!wrong.dims_consistent());
+        let mut wrong2 = StencilRequest::new_1d(6, StencilKernel::wave_1d(1), 100);
+        wrong2.grid = GridSpec::D3 {
+            planes: 2,
+            rows: 8,
+            cols: 8,
+        };
+        assert!(!wrong2.dims_consistent());
+    }
+
+    #[test]
+    fn volumetric_requests_are_first_class() {
+        let k = Kernel3D::random_box(1, 9);
+        let a = StencilRequest::new_3d(1, k.clone(), 6, 48, 64).with_seed(3);
+        assert!(a.is_volumetric());
+        assert_eq!(a.scenario(), "Box-3D1R@6x48x64");
+        assert_eq!(a.grid.points(), 6 * 48 * 64);
+        // Plan key is grid-independent but kernel/mode-bound, like 2D.
+        let b = StencilRequest::new_3d(2, k.clone(), 3, 96, 32);
+        assert_eq!(a.plan_key(), b.plan_key(), "grid must not affect the key");
+        let c = StencilRequest::new_3d(3, k.clone(), 6, 48, 64).with_mode(ExecMode::DenseTc);
+        assert_ne!(a.plan_key(), c.plan_key(), "mode must affect the key");
+        let d = StencilRequest::new_3d(4, Kernel3D::random_box(1, 10), 6, 48, 64);
+        assert_ne!(a.plan_key(), d.plan_key(), "coefficients must affect it");
+        // Deterministic materialization.
+        assert_eq!(a.materialize_3d().padded(), a.materialize_3d().padded());
+        assert_eq!(a.materialize_3d().halo(), 1);
+        // Exec keys split volumes from planes of equal extent products.
+        let plane = StencilRequest::new_2d(5, StencilKernel::jacobi_2d(), 48, 64);
+        assert_ne!(a.exec_key().0, plane.exec_key().0);
+    }
+
+    /// Regression for the pre-fix key mixing: `key = (f ^ mode_tag) * P`
+    /// collides whenever two fingerprints differ by the XOR of two mode
+    /// tags (DenseTc 0xD1 vs SparseTc 0x51 differ by 0x80). The fixed
+    /// multiply-then-xor rounds must separate every such pair, and the
+    /// dimensionality tag must separate planar from volumetric kernels
+    /// even at equal fingerprints.
+    #[test]
+    fn plan_key_mixing_has_no_mode_xor_collisions() {
+        let old_scheme = |f: u64, tag: u64| (f ^ tag).wrapping_mul(0x100000001b3u64);
+        for f in [0u64, 1, 0xdead_beef, 0x1234_5678_9abc_def0, u64::MAX] {
+            // The old scheme demonstrably collides on these pairs...
+            assert_eq!(old_scheme(f, 0xD1), old_scheme(f ^ 0x80, 0x51));
+            // ...the fixed mixing does not.
+            assert_ne!(
+                StencilRequest::mix_plan_key(f, 0xD1, 2),
+                StencilRequest::mix_plan_key(f ^ 0x80, 0x51, 2),
+                "mode-tag XOR collision survived for f = {f:#x}"
+            );
+            // Dimensionality separates keys at equal fingerprint + mode.
+            assert_ne!(
+                StencilRequest::mix_plan_key(f, 0x50, 2),
+                StencilRequest::mix_plan_key(f, 0x50, 3),
+                "dim tag ignored for f = {f:#x}"
+            );
+        }
     }
 
     #[test]

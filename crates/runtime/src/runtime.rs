@@ -6,18 +6,18 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use spider_core::exec::{BatchFeedback, ExecConfig, SpiderExecutor};
-use spider_core::plan::{PlanError, SpiderPlan};
+use spider_core::exec3d::Spider3DExecutor;
+use spider_core::plan::PlanError;
 use spider_core::pool::{BufferPool, PoolStats};
 use spider_core::tiling::TilingConfig;
 use spider_gpu_sim::timing::KernelReport;
 use spider_gpu_sim::GpuDevice;
 
-use crate::cache::{CacheStats, PlanCache};
+use crate::cache::{CacheStats, CachedPlan, PlanCache};
 use crate::report::{RequestOutcome, RuntimeReport};
-use crate::request::{GridSpec, StencilRequest};
+use crate::request::{GridSpec, RequestKernel, StencilRequest};
 use crate::store::{PersistedMemo, PlanStore, StoreStats};
 use crate::tuner::AutoTuner;
-use spider_stencil::StencilKernel;
 
 /// Errors a request can fail with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,7 +162,7 @@ impl SpiderRuntime {
         };
         let entries = self.cache.entries();
         for (key, plan) in &entries {
-            store.save_plan(*key, plan)?;
+            store.save_entry(*key, plan)?;
         }
         let memos: Vec<PersistedMemo> = self
             .tuner
@@ -178,16 +178,16 @@ impl SpiderRuntime {
         Ok(entries.len())
     }
 
-    /// Resolve a plan: memory cache, then the attached store, then compile
-    /// (writing the fresh plan through to the store). Returns the plan and
-    /// whether the *memory* lookup hit — store hits surface in
-    /// [`CacheStats::store_hits`], not here, so hit-rate accounting stays
-    /// comparable with store-less runtimes.
+    /// Resolve a plan (planar or volumetric): memory cache, then the
+    /// attached store, then compile (writing the fresh plan through to the
+    /// store). Returns the plan and whether the *memory* lookup hit — store
+    /// hits surface in [`CacheStats::store_hits`], not here, so hit-rate
+    /// accounting stays comparable with store-less runtimes.
     fn resolve_plan(
         &self,
         key: u64,
-        kernel: &StencilKernel,
-    ) -> Result<(Arc<SpiderPlan>, bool), PlanError> {
+        kernel: &RequestKernel,
+    ) -> Result<(CachedPlan, bool), PlanError> {
         match &self.store {
             None => self.cache.get_or_compile(key, kernel),
             Some(store) => {
@@ -196,14 +196,14 @@ impl SpiderRuntime {
                 // misplaced (renamed, restored-from-backup) artifact whose
                 // kernel is not the requested one must degrade to a
                 // compile, never silently serve wrong numerics.
-                let loader = |k: u64| store.load_plan(k).filter(|p| p.kernel() == kernel);
+                let loader = |k: u64| store.load_entry(k).filter(|p| p.matches_kernel(kernel));
                 let (plan, hit, compiled) =
                     self.cache
                         .get_or_compile_with_loader(key, kernel, Some(&loader))?;
                 if compiled {
                     // Best-effort write-through: a full disk must not fail
                     // the request the plan was compiled for.
-                    let _ = store.save_plan(key, &plan);
+                    let _ = store.save_entry(key, &plan);
                 }
                 Ok((plan, hit))
             }
@@ -258,20 +258,46 @@ impl SpiderRuntime {
             tiling,
             ..ExecConfig::default()
         };
-        let exec =
-            SpiderExecutor::with_shared_pool(&self.device, req.mode, config, self.pool.clone());
         let (report, checksum) = match req.grid {
             GridSpec::D1 { .. } => {
+                let exec = SpiderExecutor::with_shared_pool(
+                    &self.device,
+                    req.mode,
+                    config,
+                    self.pool.clone(),
+                );
+                let plan = plan.planar().expect("dims checked: planar plan");
                 let mut grid = req.materialize_1d();
                 let report = exec
-                    .run_1d(&plan, &mut grid, req.steps)
+                    .run_1d(plan, &mut grid, req.steps)
                     .map_err(RuntimeError::Exec)?;
                 (report, output_checksum(grid.padded()))
             }
             GridSpec::D2 { .. } => {
+                let exec = SpiderExecutor::with_shared_pool(
+                    &self.device,
+                    req.mode,
+                    config,
+                    self.pool.clone(),
+                );
+                let plan = plan.planar().expect("dims checked: planar plan");
                 let mut grid = req.materialize_2d();
                 let report = exec
-                    .run_2d(&plan, &mut grid, req.steps)
+                    .run_2d(plan, &mut grid, req.steps)
+                    .map_err(RuntimeError::Exec)?;
+                (report, output_checksum(grid.padded()))
+            }
+            GridSpec::D3 { .. } => {
+                let exec = Spider3DExecutor::with_shared_pool(
+                    &self.device,
+                    req.mode,
+                    config,
+                    self.pool.clone(),
+                );
+                let plan = plan.volumetric().expect("dims checked: volumetric plan");
+                let mut grid = req.materialize_3d();
+                let report = exec
+                    .run(plan, &mut grid, req.steps)
                     .map_err(RuntimeError::Exec)?;
                 (report, output_checksum(grid.padded()))
             }
@@ -283,23 +309,30 @@ impl SpiderRuntime {
             tuned,
             tuner_memo_hit,
             coalesced: false,
+            volumetric: req.is_volumetric(),
             tiling,
             report,
             checksum,
         })
     }
 
-    /// Resolve the tiling for a request against an already-compiled plan.
+    /// Resolve the tiling for a request against an already-resolved plan.
+    /// Volumes tune their *plane* tiling through the 3D plan's
+    /// representative slice (every plane sweep shares it).
     fn select_tiling(
         &self,
-        plan: &SpiderPlan,
+        plan: &CachedPlan,
         req: &StencilRequest,
         plan_key: u64,
     ) -> (TilingConfig, bool, bool) {
         if self.options.autotune {
+            let rep = match plan {
+                CachedPlan::Planar(p) => p.as_ref(),
+                CachedPlan::Volumetric(p) => p.representative_slice(),
+            };
             let t = self
                 .tuner
-                .tune(&self.device, plan, req.mode, req.grid, plan_key);
+                .tune(&self.device, rep, req.mode, req.grid, plan_key);
             (t.tiling, true, t.memoized)
         } else {
             (TilingConfig::default(), false, false)
@@ -343,7 +376,7 @@ impl SpiderRuntime {
 
         // Per-request plan lookups (hit/miss parity with `run_batch`); the
         // compiled Arc is shared across the group after the first success.
-        let mut plan: Option<Arc<SpiderPlan>> = None;
+        let mut plan: Option<CachedPlan> = None;
         let mut lookups: Vec<Option<bool>> = vec![None; requests.len()];
         let group_key = requests.first().map(|r| r.plan_key());
         for (i, req) in requests.iter().enumerate() {
@@ -383,33 +416,76 @@ impl SpiderRuntime {
         for members in contiguous_key_runs(&order, |i| requests[i].exec_key()) {
             let head = &requests[members[0]];
             let (tiling, tuned, head_memo_hit) = self.select_tiling(&plan, head, head.plan_key());
-            let exec = SpiderExecutor::with_shared_pool(
-                &self.device,
-                head.mode,
-                ExecConfig {
-                    tiling,
-                    ..ExecConfig::default()
-                },
-                self.pool.clone(),
-            );
+            let config = ExecConfig {
+                tiling,
+                ..ExecConfig::default()
+            };
             let coalesced = members.len() > 1;
             let mut fb = Collect::default();
             let run = match head.grid {
                 GridSpec::D1 { .. } => {
+                    let exec = SpiderExecutor::with_shared_pool(
+                        &self.device,
+                        head.mode,
+                        config,
+                        self.pool.clone(),
+                    );
+                    let plan = plan.planar().expect("dims checked: planar plan");
                     let mut grids: Vec<_> = members
                         .iter()
                         .map(|&i| requests[i].materialize_1d())
                         .collect();
-                    let r = exec.run_1d_coalesced(&plan, &mut grids, head.steps, &mut fb);
+                    let r = exec.run_1d_coalesced(plan, &mut grids, head.steps, &mut fb);
                     r.map(|()| grids.iter().map(|g| output_checksum(g.padded())).collect())
                 }
                 GridSpec::D2 { .. } => {
+                    let exec = SpiderExecutor::with_shared_pool(
+                        &self.device,
+                        head.mode,
+                        config,
+                        self.pool.clone(),
+                    );
+                    let plan = plan.planar().expect("dims checked: planar plan");
                     let mut grids: Vec<_> = members
                         .iter()
                         .map(|&i| requests[i].materialize_2d())
                         .collect();
-                    let r = exec.run_2d_coalesced(&plan, &mut grids, head.steps, &mut fb);
+                    let r = exec.run_2d_coalesced(plan, &mut grids, head.steps, &mut fb);
                     r.map(|()| grids.iter().map(|g| output_checksum(g.padded())).collect())
+                }
+                GridSpec::D3 { .. } => {
+                    // Volumes share the subgroup's plan resolution, tuned
+                    // plane tiling and scratch pool; each volume then runs
+                    // its own per-step plane waves (a volume's sweep *is*
+                    // already a batched launch — see `Spider3DExecutor`),
+                    // so per-volume reports and data stay bit-identical to
+                    // a solo run under the same tiling.
+                    let exec = Spider3DExecutor::with_shared_pool(
+                        &self.device,
+                        head.mode,
+                        config,
+                        self.pool.clone(),
+                    );
+                    let plan = plan.volumetric().expect("dims checked: volumetric plan");
+                    let mut checksums = Vec::with_capacity(members.len());
+                    let mut err = None;
+                    for (slot, &i) in members.iter().enumerate() {
+                        let mut grid = requests[i].materialize_3d();
+                        match exec.run(plan, &mut grid, head.steps) {
+                            Ok(report) => {
+                                fb.on_grid_done(slot, &report);
+                                checksums.push(output_checksum(grid.padded()));
+                            }
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    match err {
+                        None => Ok(checksums),
+                        Some(e) => Err(e),
+                    }
                 }
             };
             match run {
@@ -430,6 +506,7 @@ impl SpiderRuntime {
                             tuned,
                             tuner_memo_hit: tuned && memo_hit,
                             coalesced,
+                            volumetric: req.is_volumetric(),
                             tiling,
                             report: fb.reports[slot].clone(),
                             checksum: checksums[slot],
@@ -791,6 +868,117 @@ mod tests {
             Err(RuntimeError::DimensionMismatch { id: 2, .. })
         ));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn volumetric_request_roundtrip_and_cache_reuse() {
+        use spider_stencil::dim3::Kernel3D;
+        let rt = runtime();
+        let k = Kernel3D::random_box(1, 21);
+        let req = StencilRequest::new_3d(1, k.clone(), 4, 40, 56).with_seed(5);
+        let out = rt.execute(&req).unwrap();
+        assert!(!out.cache_hit && out.volumetric);
+        assert_eq!(out.report.points, 4 * 40 * 56);
+        assert!(out.report.gstencils_per_sec() > 0.0);
+        let again = rt.execute(&req).unwrap();
+        assert!(again.cache_hit, "3D plans cache like 2D plans");
+        assert_eq!(out.checksum, again.checksum);
+        // Direct executor under the same tiling: bit-identical output.
+        let plan = spider_core::exec3d::Spider3DPlan::compile(&k).unwrap();
+        let mut grid = req.materialize_3d();
+        let direct = Spider3DExecutor::with_config(
+            rt.device(),
+            req.mode,
+            ExecConfig {
+                tiling: out.tiling,
+                ..ExecConfig::default()
+            },
+        )
+        .run(&plan, &mut grid, req.steps)
+        .unwrap();
+        assert_eq!(out.checksum, output_checksum(grid.padded()));
+        assert_eq!(out.report.counters, direct.counters);
+    }
+
+    #[test]
+    fn mixed_2d_3d_batch_groups_and_coalesces() {
+        use spider_stencil::dim3::Kernel3D;
+        let rt = runtime();
+        let k3 = Kernel3D::random_box(1, 8);
+        let mut batch = mixed_batch(0);
+        let n2d = batch.len();
+        for j in 0..3u64 {
+            batch.push(StencilRequest::new_3d(500 + j, k3.clone(), 3, 40, 48).with_seed(j));
+        }
+        let report = rt.run_batch(&batch);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.outcomes.len(), n2d + 3);
+        assert_eq!(report.volumetric_completed(), 3);
+        assert_eq!(report.volumetric_points(), 3 * 3 * 40 * 48);
+        // One 3D plan resolution for three volumes: 5 misses total
+        // (4 planar plans + 1 volumetric), everything else hits.
+        assert_eq!(rt.cache_stats().misses, 5);
+        let vol_outcomes: Vec<_> = report.outcomes.iter().filter(|o| o.volumetric).collect();
+        assert!(
+            vol_outcomes.iter().all(|o| o.coalesced),
+            "same-key volumes share a subgroup"
+        );
+        assert!(report.render().contains("volumetric: 3 of"));
+        // Bit-identity per volume against solo execution.
+        let solo = runtime();
+        for o in vol_outcomes {
+            let req = batch.iter().find(|r| r.id == o.id).unwrap();
+            assert_eq!(solo.execute(req).unwrap().checksum, o.checksum);
+        }
+    }
+
+    #[test]
+    fn warm_start_after_store_gc_degrades_to_compile() {
+        use crate::store::StoreGcPolicy;
+        let dir = std::env::temp_dir().join(format!(
+            "spider-runtime-gc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Room for exactly one plan artifact: serving two kernels must
+        // evict the older one on write-through.
+        let store = Arc::new(
+            crate::PlanStore::open_with_gc(
+                &dir,
+                StoreGcPolicy {
+                    max_plans: 1,
+                    max_bytes: 0,
+                },
+            )
+            .unwrap(),
+        );
+        let opts = RuntimeOptions {
+            workers: 1,
+            ..RuntimeOptions::default()
+        };
+        let rt1 = SpiderRuntime::with_store(GpuDevice::a100(), opts, Arc::clone(&store));
+        let req_a = StencilRequest::new_2d(1, StencilKernel::gaussian_2d(1), 64, 64).with_seed(1);
+        let req_b = StencilRequest::new_2d(2, StencilKernel::jacobi_2d(), 64, 64).with_seed(2);
+        let first_a = rt1.execute(&req_a).unwrap();
+        let first_b = rt1.execute(&req_b).unwrap();
+        assert_eq!(store.plans_on_disk(), 1, "GC held the bound");
+        assert!(store.stats().plan_evictions >= 1);
+
+        // A restarted runtime over the GC'd store: the surviving plan
+        // (req_b's — the later save evicted req_a's) loads, the evicted one
+        // recompiles, outputs stay bit-identical — eviction degrades warm
+        // starts, never corrupts them. Read the survivor first: req_a's
+        // recompile write-through would GC it.
+        let rt2 = SpiderRuntime::with_store(GpuDevice::a100(), opts, Arc::clone(&store));
+        let again_b = rt2.execute(&req_b).unwrap();
+        let again_a = rt2.execute(&req_a).unwrap();
+        assert_eq!(again_a.checksum, first_a.checksum);
+        assert_eq!(again_b.checksum, first_b.checksum);
+        let stats = rt2.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.store_hits, 1, "survivor loads, victim compiles");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -28,19 +28,24 @@
 //! never as an error that takes serving down.
 
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use spider_core::exec3d::Spider3DPlan;
 use spider_core::plan::SpiderPlan;
 use spider_core::tiling::TilingConfig;
 
+use crate::cache::CachedPlan;
 use crate::request::GridSpec;
 use crate::tuner::TuneOutcome;
 
 /// Magic prefix of a persisted memo file.
 const MEMO_MAGIC: &[u8; 8] = b"SPDRMEMO";
 
-/// Version of the memo file format.
-const MEMO_FORMAT_VERSION: u32 = 1;
+/// Version of the memo file format. Version 2 widened the grid record to
+/// three extents so `GridSpec::D3` scenarios persist; version-1 files are
+/// rejected on load (the memos they held re-tune and re-persist — a few
+/// dry-runs, never a correctness issue).
+const MEMO_FORMAT_VERSION: u32 = 2;
 
 /// Monotonic counters describing store traffic since construction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,10 +59,43 @@ pub struct StoreStats {
     pub plan_rejected: u64,
     /// Plans written to disk.
     pub plan_saves: u64,
+    /// Plan artifacts deleted by the [`StoreGcPolicy`] (oldest-mtime-first;
+    /// an evicted plan degrades the next warm start to a compile, nothing
+    /// else).
+    pub plan_evictions: u64,
     /// Memo entries read back by [`PlanStore::load_memos`].
     pub memo_loads: u64,
     /// Memo entries written by [`PlanStore::save_memos`].
     pub memo_saves: u64,
+}
+
+/// Retention bounds for the plan-artifact directory. A long-lived store
+/// directory otherwise grows one file per plan key forever; the policy caps
+/// it, evicting the oldest-modified artifacts first on every
+/// [`PlanStore::save_plan`] / [`PlanStore::save_plan3d`] write-through.
+/// Either bound at `0` means "unbounded" on that axis (the default). Memo
+/// files are exempt: there is one per device spec and they are merged in
+/// place, so they cannot grow with the key space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreGcPolicy {
+    /// Maximum plan artifacts kept on disk (`0` = unbounded).
+    pub max_plans: usize,
+    /// Maximum total bytes of plan artifacts (`0` = unbounded).
+    pub max_bytes: u64,
+}
+
+impl StoreGcPolicy {
+    /// Whether any bound is active.
+    pub fn is_bounded(&self) -> bool {
+        self.max_plans > 0 || self.max_bytes > 0
+    }
+}
+
+/// One plan artifact's directory-listing record (the GC working set).
+struct PlanFile {
+    mtime: std::time::SystemTime,
+    bytes: u64,
+    path: PathBuf,
 }
 
 /// One persisted tuner memo: the scenario key plus the tuned outcome.
@@ -84,22 +122,35 @@ pub struct PersistedMemo {
 /// drain.
 pub struct PlanStore {
     dir: PathBuf,
+    gc: StoreGcPolicy,
     stats: Mutex<StoreStats>,
     /// Serializes intra-process memo read-merge-write cycles.
     memo_write: Mutex<()>,
+    /// Serializes intra-process GC passes (save → enforce cycles).
+    gc_lock: Mutex<()>,
     /// Uniquifies temp-file names across threads of this process.
     tmp_counter: std::sync::atomic::AtomicU64,
 }
 
 impl PlanStore {
-    /// Open (creating if necessary) a store rooted at `dir`.
+    /// Open (creating if necessary) an unbounded store rooted at `dir`.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::open_with_gc(dir, StoreGcPolicy::default())
+    }
+
+    /// Open a store with a retention policy: every plan save is followed by
+    /// an oldest-mtime-first eviction pass holding the directory within
+    /// `policy`'s bounds (the just-written artifact is never the victim of
+    /// its own save).
+    pub fn open_with_gc(dir: impl AsRef<Path>, policy: StoreGcPolicy) -> std::io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         Ok(Self {
             dir,
+            gc: policy,
             stats: Mutex::new(StoreStats::default()),
             memo_write: Mutex::new(()),
+            gc_lock: Mutex::new(()),
             tmp_counter: std::sync::atomic::AtomicU64::new(0),
         })
     }
@@ -107,6 +158,11 @@ impl PlanStore {
     /// The directory this store persists into.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The retention policy this store enforces.
+    pub fn gc_policy(&self) -> StoreGcPolicy {
+        self.gc
     }
 
     /// Snapshot of the traffic counters.
@@ -138,10 +194,55 @@ impl PlanStore {
             .unwrap_or(0)
     }
 
-    /// Load the plan stored under `plan_key`, or `None` when the store has
-    /// no (valid) artifact for it. Corruption is counted, never propagated:
-    /// a bad file degrades to a compile, not an outage.
+    /// Load the planar plan stored under `plan_key`, or `None` when the
+    /// store has no (valid) artifact for it. Corruption is counted, never
+    /// propagated: a bad file degrades to a compile, not an outage.
     pub fn load_plan(&self, plan_key: u64) -> Option<SpiderPlan> {
+        self.load_with(plan_key, |bytes| {
+            SpiderPlan::from_bytes(bytes)
+                .ok()
+                .map(Arc::new)
+                .map(CachedPlan::Planar)
+        })
+        .and_then(|p| p.planar().map(|a| (**a).clone()))
+    }
+
+    /// Load the volumetric (3D) plan stored under `plan_key`, with the same
+    /// corruption-degrades-to-absent contract as [`Self::load_plan`].
+    pub fn load_plan3d(&self, plan_key: u64) -> Option<Spider3DPlan> {
+        self.load_with(plan_key, |bytes| {
+            Spider3DPlan::from_bytes(bytes)
+                .ok()
+                .map(Arc::new)
+                .map(CachedPlan::Volumetric)
+        })
+        .and_then(|p| p.volumetric().map(|a| (**a).clone()))
+    }
+
+    /// Load whichever plan kind is stored under `plan_key`, dispatching on
+    /// the artifact's magic — the generic read behind the runtime's
+    /// cache-miss loader.
+    pub fn load_entry(&self, plan_key: u64) -> Option<CachedPlan> {
+        self.load_with(plan_key, |bytes| {
+            if bytes.starts_with(spider_core::serial::PLAN3D_MAGIC) {
+                Spider3DPlan::from_bytes(bytes)
+                    .ok()
+                    .map(Arc::new)
+                    .map(CachedPlan::Volumetric)
+            } else {
+                SpiderPlan::from_bytes(bytes)
+                    .ok()
+                    .map(Arc::new)
+                    .map(CachedPlan::Planar)
+            }
+        })
+    }
+
+    fn load_with(
+        &self,
+        plan_key: u64,
+        parse: impl FnOnce(&[u8]) -> Option<CachedPlan>,
+    ) -> Option<CachedPlan> {
         let path = self.plan_path(plan_key);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -150,12 +251,12 @@ impl PlanStore {
                 return None;
             }
         };
-        match SpiderPlan::from_bytes(&bytes) {
-            Ok(plan) => {
+        match parse(&bytes) {
+            Some(plan) => {
                 self.stats.lock().expect("store stats poisoned").plan_loads += 1;
                 Some(plan)
             }
-            Err(_) => {
+            None => {
                 self.stats
                     .lock()
                     .expect("store stats poisoned")
@@ -165,11 +266,96 @@ impl PlanStore {
         }
     }
 
-    /// Persist `plan` under `plan_key` (atomic replace).
+    /// Persist a planar `plan` under `plan_key` (atomic replace), then
+    /// enforce the retention policy.
     pub fn save_plan(&self, plan_key: u64, plan: &SpiderPlan) -> std::io::Result<()> {
-        self.write_atomic(&self.plan_path(plan_key), &plan.to_bytes())?;
+        self.save_plan_bytes(plan_key, &plan.to_bytes())
+    }
+
+    /// Persist a volumetric `plan` under `plan_key` (atomic replace), then
+    /// enforce the retention policy.
+    pub fn save_plan3d(&self, plan_key: u64, plan: &Spider3DPlan) -> std::io::Result<()> {
+        self.save_plan_bytes(plan_key, &plan.to_bytes())
+    }
+
+    /// Persist either plan kind — the write behind
+    /// [`crate::SpiderRuntime::persist`]'s cache iteration.
+    pub fn save_entry(&self, plan_key: u64, plan: &CachedPlan) -> std::io::Result<()> {
+        match plan {
+            CachedPlan::Planar(p) => self.save_plan(plan_key, p),
+            CachedPlan::Volumetric(p) => self.save_plan3d(plan_key, p),
+        }
+    }
+
+    fn save_plan_bytes(&self, plan_key: u64, bytes: &[u8]) -> std::io::Result<()> {
+        let path = self.plan_path(plan_key);
+        self.write_atomic(&path, bytes)?;
         self.stats.lock().expect("store stats poisoned").plan_saves += 1;
+        self.enforce_gc(&path);
         Ok(())
+    }
+
+    /// Total bytes of plan artifacts currently on disk.
+    pub fn plan_bytes_on_disk(&self) -> u64 {
+        self.plan_files().iter().map(|f| f.bytes).sum()
+    }
+
+    /// Snapshot every plan artifact's `(mtime, size, path)`, oldest first
+    /// (mtime ties broken by file name so eviction order is total).
+    fn plan_files(&self) -> Vec<PlanFile> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut files: Vec<PlanFile> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if !(name.starts_with("plan-") && name.ends_with(".spb")) {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                Some(PlanFile {
+                    mtime: meta.modified().ok()?,
+                    bytes: meta.len(),
+                    path: e.path(),
+                })
+            })
+            .collect();
+        files.sort_by(|a, b| (a.mtime, &a.path).cmp(&(b.mtime, &b.path)));
+        files
+    }
+
+    /// Oldest-mtime-first eviction down to the policy bounds. `keep` (the
+    /// artifact a save just wrote) is never evicted by its own save — with
+    /// coarse filesystem timestamps it could otherwise tie with genuinely
+    /// old files and lose. Eviction failures (a concurrently removed file)
+    /// are ignored; the next save retries.
+    fn enforce_gc(&self, keep: &Path) {
+        if !self.gc.is_bounded() {
+            return;
+        }
+        let _one_pass = self.gc_lock.lock().expect("store gc lock poisoned");
+        let files = self.plan_files();
+        let mut count = files.len();
+        let mut bytes: u64 = files.iter().map(|f| f.bytes).sum();
+        for f in files {
+            let over_count = self.gc.max_plans > 0 && count > self.gc.max_plans;
+            let over_bytes = self.gc.max_bytes > 0 && bytes > self.gc.max_bytes;
+            if !over_count && !over_bytes {
+                break;
+            }
+            if f.path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&f.path).is_ok() {
+                count -= 1;
+                bytes = bytes.saturating_sub(f.bytes);
+                self.stats
+                    .lock()
+                    .expect("store stats poisoned")
+                    .plan_evictions += 1;
+            }
+        }
     }
 
     /// Persist a memo set for one device spec, **merging** with what is
@@ -206,17 +392,16 @@ impl PlanStore {
         out.extend_from_slice(&(memos.len() as u64).to_le_bytes());
         for m in memos {
             out.extend_from_slice(&m.plan_key.to_le_bytes());
-            match m.grid {
-                GridSpec::D1 { len } => {
-                    out.push(1);
-                    out.extend_from_slice(&(len as u64).to_le_bytes());
-                    out.extend_from_slice(&0u64.to_le_bytes());
-                }
-                GridSpec::D2 { rows, cols } => {
-                    out.push(2);
-                    out.extend_from_slice(&(rows as u64).to_le_bytes());
-                    out.extend_from_slice(&(cols as u64).to_le_bytes());
-                }
+            // Grid record: dimensionality tag + three u64 extents (unused
+            // extents zero) — the version-2 widening that fits `D3`.
+            let (tag, a, b, c) = match m.grid {
+                GridSpec::D1 { len } => (1u8, len, 0, 0),
+                GridSpec::D2 { rows, cols } => (2, rows, cols, 0),
+                GridSpec::D3 { planes, rows, cols } => (3, planes, rows, cols),
+            };
+            out.push(tag);
+            for extent in [a, b, c] {
+                out.extend_from_slice(&(extent as u64).to_le_bytes());
             }
             let t = m.outcome.tiling;
             for v in [t.block_x, t.block_y, t.warp_x, t.warp_y, t.block_1d] {
@@ -298,9 +483,15 @@ fn parse_memos(bytes: &[u8]) -> Option<Vec<PersistedMemo>> {
         let tag = take(&mut pos, 1)?[0];
         let a = u64_at(&mut pos)? as usize;
         let b = u64_at(&mut pos)? as usize;
+        let c = u64_at(&mut pos)? as usize;
         let grid = match tag {
             1 => GridSpec::D1 { len: a },
             2 => GridSpec::D2 { rows: a, cols: b },
+            3 => GridSpec::D3 {
+                planes: a,
+                rows: b,
+                cols: c,
+            },
             _ => return None,
         };
         let mut dims = [0usize; 5];
@@ -439,6 +630,119 @@ mod tests {
         bytes[8] = 0xEE;
         std::fs::write(&path, &bytes).unwrap();
         assert!(store.load_memos(99).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plan3d_roundtrip_through_disk_and_load_entry_dispatches() {
+        use spider_stencil::dim3::Kernel3D;
+        let dir = tmp_dir("plan3d");
+        let store = PlanStore::open(&dir).unwrap();
+        let p2 = SpiderPlan::compile(&StencilKernel::gaussian_2d(1)).unwrap();
+        let p3 = Spider3DPlan::compile(&Kernel3D::random_box(1, 5)).unwrap();
+        store.save_plan(1, &p2).unwrap();
+        store.save_plan3d(2, &p3).unwrap();
+        assert_eq!(store.plans_on_disk(), 2);
+        let back = store.load_plan3d(2).expect("3D plan loads");
+        assert_eq!(back.fingerprint(), p3.fingerprint());
+        // The generic loader dispatches on the artifact magic.
+        assert!(store.load_entry(1).unwrap().planar().is_some());
+        assert!(store.load_entry(2).unwrap().volumetric().is_some());
+        // Kind confusion degrades to absent, never panics or mis-serves.
+        assert!(store.load_plan(2).is_none());
+        assert!(store.load_plan3d(1).is_none());
+        assert_eq!(store.stats().plan_rejected, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_policy_bounds_plan_count_oldest_first() {
+        let dir = tmp_dir("gc-count");
+        let store = PlanStore::open_with_gc(
+            &dir,
+            StoreGcPolicy {
+                max_plans: 3,
+                max_bytes: 0,
+            },
+        )
+        .unwrap();
+        let plan = SpiderPlan::compile(&StencilKernel::jacobi_2d()).unwrap();
+        // Ascending keys: with tied mtimes the name tie-break equals save
+        // order, so "oldest first" is deterministic here.
+        for key in 0..6u64 {
+            store.save_plan(key, &plan).unwrap();
+            assert!(store.plans_on_disk() <= 3, "bound violated mid-stream");
+        }
+        assert_eq!(store.plans_on_disk(), 3);
+        assert_eq!(store.stats().plan_evictions, 3);
+        // The newest artifacts survive; the oldest were evicted.
+        assert!(store.load_plan(5).is_some());
+        assert!(store.load_plan(0).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_policy_bounds_plan_bytes_and_spares_the_fresh_write() {
+        let dir = tmp_dir("gc-bytes");
+        let plan = SpiderPlan::compile(&StencilKernel::jacobi_2d()).unwrap();
+        let one = plan.to_bytes().len() as u64;
+        let store = PlanStore::open_with_gc(
+            &dir,
+            StoreGcPolicy {
+                max_plans: 0,
+                max_bytes: one * 2 + one / 2, // room for two artifacts
+            },
+        )
+        .unwrap();
+        for key in 0..5u64 {
+            store.save_plan(key, &plan).unwrap();
+        }
+        assert!(store.plan_bytes_on_disk() <= one * 2 + one / 2);
+        assert_eq!(store.plans_on_disk(), 2);
+        assert!(store.stats().plan_evictions >= 3);
+        // A policy tighter than a single artifact still keeps the fresh
+        // write (the keep guard): the store never GCs itself to zero.
+        let tight_dir = tmp_dir("gc-tight");
+        let tight = PlanStore::open_with_gc(
+            &tight_dir,
+            StoreGcPolicy {
+                max_plans: 0,
+                max_bytes: 1,
+            },
+        )
+        .unwrap();
+        tight.save_plan(9, &plan).unwrap();
+        assert_eq!(tight.plans_on_disk(), 1, "own write survives its save");
+        assert!(tight.load_plan(9).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&tight_dir).unwrap();
+    }
+
+    #[test]
+    fn d3_memos_roundtrip() {
+        let dir = tmp_dir("memo3d");
+        let store = PlanStore::open(&dir).unwrap();
+        let memo = PersistedMemo {
+            plan_key: 21,
+            grid: GridSpec::D3 {
+                planes: 8,
+                rows: 128,
+                cols: 192,
+            },
+            outcome: TuneOutcome {
+                tiling: TilingConfig::default(),
+                predicted_time_s: 2.0e-5,
+                default_time_s: 2.5e-5,
+                candidates: 12,
+                dry_runs: 3,
+                memoized: false,
+            },
+        };
+        store.save_memos(7, std::slice::from_ref(&memo)).unwrap();
+        let back = store.load_memos(7);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].grid, memo.grid);
+        assert_eq!(back[0].outcome.tiling, memo.outcome.tiling);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

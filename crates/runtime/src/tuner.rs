@@ -132,7 +132,8 @@ impl AutoTuner {
     /// dry-runs they stand for were already paid in a previous process.
     pub fn import_memos(&self, memos: impl IntoIterator<Item = ((u64, GridSpec), TuneOutcome)>) {
         let mut memo = self.memo.lock().expect("tuner memo poisoned");
-        for (key, outcome) in memos {
+        for ((plan_key, grid), outcome) in memos {
+            let key = (plan_key, Self::memo_grid(grid));
             if memo.slots.contains_key(&key) {
                 continue;
             }
@@ -147,6 +148,22 @@ impl AutoTuner {
         }
     }
 
+    /// Memo-key normalization: a volume's tuned *plane* tiling provably
+    /// does not depend on the plane count — only `rows`/`cols` feed the
+    /// cost model and the dry-run sweeps a single plane — so volumes
+    /// differing only in depth share one memo slot (and one persisted
+    /// record) instead of re-tuning per depth.
+    fn memo_grid(grid: GridSpec) -> GridSpec {
+        match grid {
+            GridSpec::D3 { rows, cols, .. } => GridSpec::D3 {
+                planes: 0,
+                rows,
+                cols,
+            },
+            planar => planar,
+        }
+    }
+
     /// Select a tiling for `plan` on `grid`, reusing a memoized winner when
     /// this (plan, grid) scenario was tuned before.
     pub fn tune(
@@ -157,7 +174,7 @@ impl AutoTuner {
         grid: GridSpec,
         plan_key: u64,
     ) -> TuneOutcome {
-        let key: ScenarioKey = (plan_key, grid);
+        let key: ScenarioKey = (plan_key, Self::memo_grid(grid));
         let slot: MemoSlot = {
             let mut memo = self.memo.lock().expect("tuner memo poisoned");
             if let Some(slot) = memo.slots.get(&key) {
@@ -195,9 +212,13 @@ impl AutoTuner {
         grid: GridSpec,
     ) -> TuneOutcome {
         let specs = device.specs();
+        // A volume tunes its *plane* tiling: every slice sweep of every
+        // plane runs the 2D pipeline over a rows × cols plane, so the 2D
+        // lattice and cost model apply unchanged (`plan` is the volume's
+        // representative slice plan).
         let (rows, cols) = match grid {
             GridSpec::D1 { len } => (len, 1),
-            GridSpec::D2 { rows, cols } => (rows, cols),
+            GridSpec::D2 { rows, cols } | GridSpec::D3 { rows, cols, .. } => (rows, cols),
         };
         let problem = TuningProblem {
             radius: plan.radius(),
@@ -211,7 +232,7 @@ impl AutoTuner {
         // Closed-form pre-ranking over the full lattice.
         let candidates = match grid {
             GridSpec::D1 { .. } => candidates_1d(),
-            GridSpec::D2 { .. } => candidates_2d(),
+            GridSpec::D2 { .. } | GridSpec::D3 { .. } => candidates_2d(),
         };
         let total = candidates.len();
         let mut ranked: Vec<(f64, TilingConfig)> = candidates
@@ -219,7 +240,7 @@ impl AutoTuner {
             .map(|t| {
                 let a = match grid {
                     GridSpec::D1 { .. } => assess_1d(&t, &problem),
-                    GridSpec::D2 { .. } => assess_2d(&t, &problem),
+                    GridSpec::D2 { .. } | GridSpec::D3 { .. } => assess_2d(&t, &problem),
                 };
                 (a.score, t)
             })
@@ -277,7 +298,12 @@ impl AutoTuner {
         let exec = SpiderExecutor::with_shared_pool(device, mode, config, self.pool.clone());
         let report = match grid {
             GridSpec::D1 { len } => exec.estimate_1d(plan, len),
-            GridSpec::D2 { rows, cols } => exec.estimate_2d(plan, rows, cols),
+            // One plane sweep stands in for the volume: per-plane cost is
+            // what the plane tiling controls, and the argmin over candidate
+            // tilings is invariant under the planes × slices scale factor.
+            GridSpec::D2 { rows, cols } | GridSpec::D3 { rows, cols, .. } => {
+                exec.estimate_2d(plan, rows, cols)
+            }
         };
         report.time_s()
     }
@@ -504,6 +530,50 @@ mod tests {
         };
         tuner.import_memos((0..5u64).map(|i| ((i, GridSpec::D1 { len: 1024 }), outcome)));
         assert_eq!(tuner.memo_len(), 2, "FIFO bound applies to imports");
+    }
+
+    #[test]
+    fn d3_tuning_selects_a_plane_tiling() {
+        let dev = GpuDevice::a100();
+        let tuner = AutoTuner::new(1 << 12, 2);
+        let k3 = spider_stencil::dim3::Kernel3D::random_box(1, 4);
+        let p3 = spider_core::exec3d::Spider3DPlan::compile(&k3).unwrap();
+        let rep = p3.representative_slice();
+        let grid = GridSpec::D3 {
+            planes: 4,
+            rows: 96,
+            cols: 128,
+        };
+        let out = tuner.tune(&dev, rep, ExecMode::SparseTcOptimized, grid, 9);
+        assert!(out.predicted_time_s <= out.default_time_s * 1.0000001);
+        assert!(out.predicted_time_s.is_finite());
+        assert!(
+            tuner
+                .tune(&dev, rep, ExecMode::SparseTcOptimized, grid, 9)
+                .memoized
+        );
+        // The plane tiling is depth-invariant: a deeper volume of the same
+        // plane extent shares the memo instead of re-tuning.
+        let deeper = GridSpec::D3 {
+            planes: 16,
+            rows: 96,
+            cols: 128,
+        };
+        let shared = tuner.tune(&dev, rep, ExecMode::SparseTcOptimized, deeper, 9);
+        assert!(shared.memoized, "plane tilings must share across depths");
+        assert_eq!(shared.tiling, out.tiling);
+        assert_eq!(tuner.memo_len(), 1);
+        // A D2 plane of the same extent is a distinct memo scenario.
+        let plane = GridSpec::D2 {
+            rows: 96,
+            cols: 128,
+        };
+        assert!(
+            !tuner
+                .tune(&dev, rep, ExecMode::SparseTcOptimized, plane, 9)
+                .memoized
+        );
+        assert_eq!(tuner.memo_len(), 2);
     }
 
     #[test]

@@ -156,6 +156,13 @@ impl<T: Scalar> Grid3D<T> {
             data: self.data.iter().map(|&v| U::from_f64(v.to_f64())).collect(),
         }
     }
+
+    /// The full padded storage (halo shell included), plane-major — the
+    /// slice serving-side checksums and bit-identity comparisons run over,
+    /// mirroring [`Grid2D::padded`].
+    pub fn padded(&self) -> &[T] {
+        &self.data
+    }
 }
 
 /// A 3D stencil kernel: dense `(2r+1)³` coefficient cube (`[dz][dx][dy]`).
@@ -204,12 +211,48 @@ impl Kernel3D {
         })
     }
 
+    /// Rebuild a kernel from its radius and dense coefficient cube (the
+    /// inverse of [`Self::coeffs`]) — the deserialization entry point.
+    pub fn from_coeffs(radius: usize, coeffs: Vec<f64>) -> Self {
+        assert!(radius >= 1);
+        let d = 2 * radius + 1;
+        assert_eq!(coeffs.len(), d * d * d, "coefficient cube size mismatch");
+        Self { radius, coeffs }
+    }
+
     pub fn radius(&self) -> usize {
         self.radius
     }
 
     pub fn diameter(&self) -> usize {
         2 * self.radius + 1
+    }
+
+    /// The dense `(2r+1)³` coefficient cube, `[dz][dx][dy]`-major.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Stable 64-bit content fingerprint: dimensionality tag, radius and
+    /// every coefficient bit pattern through FNV-1a — the 3D counterpart of
+    /// [`StencilKernel::fingerprint`], safe to persist across processes.
+    /// Two kernels share a fingerprint exactly when they are `==` (modulo
+    /// the usual 2^-64 collision odds of a 64-bit content hash).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fnv::Fnv1a::new();
+        // Dense 3D cubes have no ShapeKind; tag the dimensionality so a 3D
+        // kernel can never alias a planar kernel's fingerprint space.
+        h.byte(3);
+        h.word(self.radius as u64);
+        for c in &self.coeffs {
+            h.word(c.to_bits());
+        }
+        h.finish()
+    }
+
+    /// Shape label for scenario strings, e.g. `Box-3D2R`.
+    pub fn name(&self) -> String {
+        format!("Box-3D{}R", self.radius)
     }
 
     pub fn at(&self, dz: isize, dx: isize, dy: isize) -> f64 {
@@ -360,6 +403,30 @@ mod tests {
         let s = k.slice(1).unwrap();
         assert_eq!(s.at(0, 0), 1.0);
         assert_eq!(s.at(1, 0), 0.0);
+    }
+
+    #[test]
+    fn kernel3d_fingerprint_tracks_content() {
+        let a = Kernel3D::random_box(2, 5);
+        let b = Kernel3D::from_coeffs(a.radius(), a.coeffs().to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal kernels, equal fp");
+        let c = Kernel3D::random_box(2, 6);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "coefficients must bind");
+        let d = Kernel3D::random_box(1, 5);
+        assert_ne!(a.fingerprint(), d.fingerprint(), "radius must bind");
+        assert_eq!(a.name(), "Box-3D2R");
+    }
+
+    #[test]
+    fn grid3d_padded_covers_halo_shell() {
+        let g = Grid3D::<f32>::random(2, 3, 4, 1, 3);
+        let (pp, pr, pc) = (2 + 2, 3 + 2, 4 + 2);
+        assert_eq!(g.padded().len(), pp * pr * pc);
+        // Interior values are reachable through the padded slice.
+        let h = g.halo();
+        let idx = (h * pr + h) * pc + h;
+        assert_eq!(g.padded()[idx], g.get(0, 0, 0));
     }
 
     #[test]

@@ -333,27 +333,17 @@ impl StencilKernel {
     /// kernels share a fingerprint exactly when they are `==` (up to the
     /// 2^-64 collision probability of any 64-bit content hash).
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf29ce484222325;
-        const PRIME: u64 = 0x100000001b3;
-        let mut h = OFFSET;
-        let mut eat = |byte: u8| {
-            h ^= byte as u64;
-            h = h.wrapping_mul(PRIME);
-        };
-        eat(match self.shape.kind {
+        let mut h = crate::fnv::Fnv1a::new();
+        h.byte(match self.shape.kind {
             crate::shape::ShapeKind::Star => 1,
             crate::shape::ShapeKind::Box => 2,
         });
-        eat(self.shape.dim.rank() as u8);
-        for b in (self.shape.radius as u64).to_le_bytes() {
-            eat(b);
-        }
+        h.byte(self.shape.dim.rank() as u8);
+        h.word(self.shape.radius as u64);
         for c in &self.coeffs {
-            for b in c.to_bits().to_le_bytes() {
-                eat(b);
-            }
+            h.word(c.to_bits());
         }
-        h
+        h.finish()
     }
 }
 

@@ -17,6 +17,7 @@
 pub mod boundary;
 pub mod dim3;
 pub mod exec;
+pub mod fnv;
 pub mod grid;
 pub mod kernel;
 pub mod problem;

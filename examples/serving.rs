@@ -123,7 +123,8 @@ fn main() {
             .into_iter()
             .find(|r| r.scenario() == outcome.scenario)
             .expect("scenario came from this batch");
-        let plan = SpiderPlan::compile(&req.kernel).expect("kernel compiles");
+        let plan = SpiderPlan::compile(req.kernel.as_planar().expect("2D/1D scenario"))
+            .expect("kernel compiles");
         let time_with = |tiling: TilingConfig| {
             let exec = SpiderExecutor::with_config(
                 rt.device(),
@@ -136,6 +137,7 @@ fn main() {
             match req.grid {
                 GridSpec::D1 { len } => exec.estimate_1d(&plan, len).time_s(),
                 GridSpec::D2 { rows, cols } => exec.estimate_2d(&plan, rows, cols).time_s(),
+                GridSpec::D3 { .. } => unreachable!("this demo serves planar scenarios"),
             }
         };
         let tuned_s = time_with(outcome.tiling);

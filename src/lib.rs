@@ -92,6 +92,7 @@ pub mod prelude {
     pub use spider_core::{
         encode::Sparse24Kernel,
         exec::{ExecMode, SpiderExecutor},
+        exec3d::{Spider3DExecutor, Spider3DPlan},
         plan::SpiderPlan,
         swap::{strided_swap, SwapParity},
         tiling::TilingConfig,
@@ -101,10 +102,12 @@ pub mod prelude {
     };
     pub use spider_runtime::{
         BackpressurePolicy, CacheStats, Deadline, GridSpec, PlanStore, Priority, QueueStats,
-        RequestOutcome, RequestStatus, RuntimeOptions, RuntimeReport, SchedulerOptions,
-        SpiderRuntime, SpiderScheduler, StencilRequest, StoreStats, SubmitError, Ticket,
+        RequestKernel, RequestOutcome, RequestStatus, RuntimeOptions, RuntimeReport,
+        SchedulerOptions, SpiderRuntime, SpiderScheduler, StencilRequest, StoreGcPolicy,
+        StoreStats, SubmitError, Ticket,
     };
     pub use spider_stencil::{
+        dim3::{Grid3D, Kernel3D},
         exec::reference,
         grid::{Grid1D, Grid2D},
         kernel::StencilKernel,

@@ -160,6 +160,73 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Volumetric sharding invisibility: a mixed 2D/3D workload served by a
+    /// multi-device cluster is bit-identical — outputs *and* `PerfCounters`
+    /// — to a lone `SpiderRuntime`, under every routing policy.
+    #[test]
+    fn sharded_3d_matches_single_runtime_all_policies(
+        n_2d in 2usize..5,
+        n_3d in 2usize..5,
+        kseed in 0u64..8,
+        devices in 2usize..=3,
+    ) {
+        let mut workload: Vec<StencilRequest> = (0..n_2d as u64)
+            .map(|i| {
+                StencilRequest::new_2d(
+                    i,
+                    StencilKernel::random(StencilShape::box_2d(1), kseed + (i % 2)),
+                    40,
+                    56,
+                )
+                .with_seed(i * 13)
+            })
+            .collect();
+        for j in 0..n_3d as u64 {
+            let k3 = Kernel3D::random_box(1, 100 + kseed + (j % 2));
+            workload.push(
+                StencilRequest::new_3d(50 + j, k3, 3, 28, 36).with_seed(j * 17),
+            );
+        }
+
+        let solo_report = single_runtime().run_batch(&workload);
+        prop_assert!(solo_report.failures.is_empty());
+        prop_assert_eq!(solo_report.volumetric_completed(), n_3d);
+        let want: std::collections::BTreeMap<u64, (u64, PerfCounters)> = solo_report
+            .outcomes
+            .iter()
+            .map(|o| (o.id, (o.checksum, o.report.counters)))
+            .collect();
+
+        for policy in [
+            RoutingPolicy::FingerprintAffinity,
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::RoundRobin,
+        ] {
+            let cluster = cluster_of(devices, policy);
+            let report = cluster.run_batch(&workload).expect("Block policy admits");
+            prop_assert_eq!(report.total_completed(), workload.len(), "policy {}", policy);
+            prop_assert_eq!(report.total_volumetric(), n_3d, "policy {}", policy);
+            for d in &report.devices {
+                for o in &d.report.outcomes {
+                    let (checksum, counters) = want.get(&o.id).expect("known id");
+                    prop_assert_eq!(
+                        o.checksum, *checksum,
+                        "policy {}: request {} output diverged", policy, o.id
+                    );
+                    prop_assert_eq!(
+                        &o.report.counters, counters,
+                        "policy {}: request {} counters diverged", policy, o.id
+                    );
+                }
+            }
+            prop_assert!(report.rates_are_finite());
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// PlanStore round trip: a plan that went through `to_bytes` →
@@ -189,6 +256,110 @@ proptest! {
         prop_assert_eq!(grid_a.padded(), grid_b.padded(), "grid bits diverged");
         prop_assert_eq!(ra.counters, rb.counters, "counters diverged");
         prop_assert_eq!(ra.points, rb.points);
+    }
+
+    /// The 3D container round trip preserves execution exactly: a
+    /// `Spider3DPlan` restored from bytes sweeps a volume bit-identically
+    /// to the freshly compiled plan, counters included.
+    #[test]
+    fn plan3d_serialization_roundtrip_preserves_execution(
+        radius in 1usize..=2,
+        kseed in any::<u64>(),
+        planes in 2usize..4,
+        rows in 18usize..36,
+        cols in 20usize..40,
+        gseed in any::<u64>(),
+    ) {
+        let kernel = Kernel3D::random_box(radius, kseed);
+        let compiled = Spider3DPlan::compile(&kernel).unwrap();
+        let restored = Spider3DPlan::from_bytes(&compiled.to_bytes()).unwrap();
+        prop_assert_eq!(compiled.fingerprint(), restored.fingerprint());
+
+        let device = GpuDevice::a100();
+        let mut vol_a = Grid3D::<f32>::random(planes, rows, cols, radius, gseed);
+        let mut vol_b = vol_a.clone();
+        let exec = Spider3DExecutor::new(&device, ExecMode::SparseTcOptimized);
+        let ra = exec.run(&compiled, &mut vol_a, 2).unwrap();
+        let rb = exec.run(&restored, &mut vol_b, 2).unwrap();
+        prop_assert_eq!(vol_a.padded(), vol_b.padded(), "volume bits diverged");
+        prop_assert_eq!(ra.counters, rb.counters, "counters diverged");
+        prop_assert_eq!(ra.points, rb.points);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The tentpole acceptance property: a *restarted* store-backed runtime
+    /// serves a 3D batch with **zero compiles** (every plan loads from
+    /// disk, every tiling from a persisted memo) and the outputs are
+    /// bit-identical to direct `Spider3DExecutor::run` on freshly compiled
+    /// plans.
+    #[test]
+    fn restarted_runtime_serves_3d_with_zero_compiles(
+        kseed in 0u64..100,
+        planes in 2usize..4,
+        rows in 20usize..36,
+        cols in 24usize..40,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "spider-3d-warm-{}-{kseed}-{planes}x{rows}x{cols}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let batch: Vec<StencilRequest> = (0..4u64)
+            .map(|i| {
+                let k3 = Kernel3D::random_box(1, kseed + (i % 2));
+                StencilRequest::new_3d(i, k3, planes, rows, cols).with_seed(i * 3)
+            })
+            .collect();
+        let opts = RuntimeOptions { workers: 1, ..RuntimeOptions::default() };
+
+        // Process 1 serves and persists (write-through + explicit persist).
+        let store = std::sync::Arc::new(PlanStore::open(&dir).unwrap());
+        let rt1 = SpiderRuntime::with_store(GpuDevice::a100(), opts, store);
+        let first = rt1.run_batch(&batch);
+        prop_assert!(first.failures.is_empty());
+        rt1.persist().unwrap();
+
+        // Process 2: fresh store handle, fresh runtime — zero compiles.
+        let store2 = std::sync::Arc::new(PlanStore::open(&dir).unwrap());
+        let rt2 = SpiderRuntime::with_store(GpuDevice::a100(), opts, store2);
+        let second = rt2.run_batch(&batch);
+        prop_assert!(second.failures.is_empty());
+        let stats = rt2.cache_stats();
+        prop_assert_eq!(
+            stats.misses - stats.store_hits, 0,
+            "a restarted runtime must not compile 3D plans"
+        );
+        prop_assert!(
+            second.outcomes.iter().all(|o| o.tuner_memo_hit),
+            "every plane tiling must come from a persisted memo"
+        );
+        // Bit-identity against direct execution of fresh compiles, under
+        // the tiling the runtime actually used.
+        let device = GpuDevice::a100();
+        for (req, out) in batch.iter().zip(&second.outcomes) {
+            prop_assert_eq!(out.id, req.id);
+            let plan = Spider3DPlan::compile(req.kernel.as_volumetric().unwrap()).unwrap();
+            let mut volume = req.materialize_3d();
+            let exec = Spider3DExecutor::with_config(
+                &device,
+                ExecMode::SparseTcOptimized,
+                spider::core::exec::ExecConfig {
+                    tiling: out.tiling,
+                    ..spider::core::exec::ExecConfig::default()
+                },
+            );
+            let direct = exec.run(&plan, &mut volume, req.steps).unwrap();
+            prop_assert_eq!(
+                out.checksum,
+                spider::runtime::output_checksum(volume.padded()),
+                "restarted runtime diverged from direct execution on {}", out.id
+            );
+            prop_assert_eq!(&out.report.counters, &direct.counters);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 

@@ -82,8 +82,13 @@ proptest! {
             rng
         };
         // A pool of distinct kernels, addressed by index.
-        let pool: Vec<StencilKernel> = (0..10)
-            .map(|i| StencilKernel::random(StencilShape::box_2d(1), 7000 + i))
+        let pool: Vec<spider::runtime::RequestKernel> = (0..10)
+            .map(|i| {
+                spider::runtime::RequestKernel::Planar(StencilKernel::random(
+                    StencilShape::box_2d(1),
+                    7000 + i,
+                ))
+            })
             .collect();
         // Reference LRU: most-recent at the back.
         let mut reference: Vec<u64> = Vec::new();
@@ -112,6 +117,55 @@ proptest! {
             stats.insertions - cache.len() as u64,
             "every insertion beyond the resident set must have evicted"
         );
+    }
+}
+
+// --------------------------------------------------------- volumetric --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// 3D requests through the runtime are bit-identical — output *and*
+    /// `PerfCounters` — to a fresh `Spider3DExecutor` run of a freshly
+    /// compiled `Spider3DPlan` on the same volume: caching, pooling and
+    /// the serving wrapper must be invisible in the data.
+    #[test]
+    fn cached_3d_execution_is_bit_identical_to_fresh(
+        radius in 1usize..=2,
+        kseed in 0u64..200,
+        planes in 2usize..5,
+        rows in 18usize..40,
+        cols in 20usize..44,
+        steps in 1usize..=2,
+    ) {
+        let kernel = Kernel3D::random_box(radius, kseed);
+        let rt = SpiderRuntime::new(
+            GpuDevice::a100(),
+            RuntimeOptions { autotune: false, workers: 1, ..RuntimeOptions::default() },
+        );
+        let req = StencilRequest::new_3d(1, kernel.clone(), planes, rows, cols)
+            .with_steps(steps)
+            .with_seed(kseed + 7);
+        let cold = rt.execute(&req).unwrap();
+        let warm = rt.execute(&req).unwrap();
+        prop_assert!(!cold.cache_hit && warm.cache_hit);
+        prop_assert!(cold.volumetric && warm.volumetric);
+        prop_assert_eq!(cold.checksum, warm.checksum);
+        prop_assert_eq!(&cold.report.counters, &warm.report.counters);
+
+        // Fresh pipeline, no runtime.
+        let plan = Spider3DPlan::compile(&kernel).unwrap();
+        let mut volume = req.materialize_3d();
+        let fresh = Spider3DExecutor::new(rt.device(), ExecMode::SparseTcOptimized)
+            .run(&plan, &mut volume, steps)
+            .unwrap();
+        prop_assert_eq!(
+            cold.checksum,
+            spider::runtime::output_checksum(volume.padded()),
+            "cached 3D output diverged from fresh compile"
+        );
+        prop_assert_eq!(&cold.report.counters, &fresh.counters, "counters diverged");
+        prop_assert_eq!(cold.report.points, fresh.points);
     }
 }
 
@@ -257,6 +311,57 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// Mixed 2D/3D traffic through the async scheduler is bit-identical to
+    /// the blocking `run_batch` path, volumes and planes coalesce under one
+    /// queue, and every ticket completes exactly once.
+    #[test]
+    fn scheduler_mixed_2d_3d_matches_run_batch(
+        n_2d in 2usize..6,
+        n_3d in 1usize..4,
+        kernel_seed in 0usize..9,
+        vol_seed in 0u64..50,
+    ) {
+        let mut requests: Vec<StencilRequest> = (0..n_2d as u64)
+            .map(|i| pooled_request(i, kernel_seed + i as usize, Priority::Normal))
+            .collect();
+        // Volumes drawn from two kernels so some share a plan key.
+        for j in 0..n_3d as u64 {
+            let k3 = Kernel3D::random_box(1, vol_seed + (j % 2));
+            requests.push(
+                StencilRequest::new_3d(100 + j, k3, 3, 32, 40).with_seed(vol_seed + j),
+            );
+        }
+
+        let blocking = scheduler_runtime().run_batch(&requests);
+        prop_assert!(blocking.failures.is_empty());
+        prop_assert_eq!(blocking.volumetric_completed(), n_3d);
+
+        let sched = SpiderScheduler::new(
+            Arc::new(scheduler_runtime()),
+            SchedulerOptions { start_paused: true, ..SchedulerOptions::default() },
+        );
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| sched.submit(r.clone()).unwrap())
+            .collect();
+        let report = sched.drain();
+        prop_assert_eq!(report.outcomes.len(), requests.len());
+        prop_assert_eq!(report.volumetric_completed(), n_3d);
+        prop_assert!(report.rates_are_finite());
+        for (req, t) in requests.iter().zip(&tickets) {
+            let RequestStatus::Done(async_outcome) = sched.poll(*t) else {
+                return Err(TestCaseError::fail(format!("ticket for {} not Done", req.id)));
+            };
+            let want = blocking.outcomes.iter().find(|o| o.id == req.id).unwrap();
+            prop_assert_eq!(
+                async_outcome.checksum, want.checksum,
+                "request {} diverged from run_batch", req.id
+            );
+            prop_assert_eq!(&async_outcome.report.counters, &want.report.counters);
+            prop_assert_eq!(async_outcome.volumetric, want.volumetric);
         }
     }
 
