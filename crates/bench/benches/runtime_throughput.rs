@@ -174,8 +174,30 @@ fn emit_json() {
     let mixed_report = mixed_sched.drain();
     let mixed_rps = mixed_report.requests_per_sec();
 
+    // Telemetry overhead guard: the same warm 2D workload with telemetry on
+    // (the default) and explicitly off. `telemetry_on_requests_per_sec`
+    // carries the gated `_per_sec` suffix, so instrumentation creeping past
+    // the 15% tolerance fails the bench gate.
+    let telemetry_rps = |opts: RuntimeOptions| {
+        let rt = SpiderRuntime::new(GpuDevice::a100(), opts);
+        rt.run_batch(&build_batch(0, 1)); // populate caches
+        let mut wall = 0.0;
+        let mut requests = 0usize;
+        for b in 1..=WARM_BATCHES {
+            let r = rt.run_batch(&build_batch(30_000 * b as u64, 2));
+            wall += r.wall_s;
+            requests += r.outcomes.len();
+        }
+        requests as f64 / wall
+    };
+    let telemetry_on_rps = telemetry_rps(options());
+    let telemetry_off_rps = telemetry_rps(RuntimeOptions {
+        telemetry: spider_telemetry::TelemetryConfig::disabled(),
+        ..options()
+    });
+
     let json = format!(
-        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"scheduler_requests_per_sec\": {:.3},\n  \"scheduler_mean_wait_ms\": {:.3},\n  \"scheduler_dispatch_waves\": {},\n  \"scheduler_coalesced_groups\": {},\n  \"volume_requests_per_sec\": {:.3},\n  \"volume_simulated_gstencils_per_sec\": {:.4},\n  \"mixed_scheduler_requests_per_sec\": {:.3},\n  \"mixed_volumetric_requests\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"scheduler_requests_per_sec\": {:.3},\n  \"scheduler_mean_wait_ms\": {:.3},\n  \"scheduler_dispatch_waves\": {},\n  \"scheduler_coalesced_groups\": {},\n  \"volume_requests_per_sec\": {:.3},\n  \"volume_simulated_gstencils_per_sec\": {:.4},\n  \"mixed_scheduler_requests_per_sec\": {:.3},\n  \"mixed_volumetric_requests\": {},\n  \"telemetry_on_requests_per_sec\": {:.3},\n  \"telemetry_off_requests_per_sec\": {:.3},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
         cold.outcomes.len(),
         WARM_BATCHES,
         cold.requests_per_sec(),
@@ -190,6 +212,8 @@ fn emit_json() {
         vol_sim_gsps,
         mixed_rps,
         mixed_report.volumetric_completed(),
+        telemetry_on_rps,
+        telemetry_off_rps,
         stats.hits,
         stats.misses,
         sched.runtime().cached_plans(),

@@ -506,6 +506,58 @@ impl SpiderCluster {
         }
         Ok(total)
     }
+
+    /// Fleet-wide metrics snapshot: every device syncs its cumulative
+    /// counters into its registry, then the per-device snapshots merge
+    /// (counters and gauges add, histograms merge bucket-wise). Empty when
+    /// telemetry is disabled on every device.
+    pub fn fleet_metrics(&self) -> spider_telemetry::MetricsSnapshot {
+        let mut merged = spider_telemetry::MetricsSnapshot::default();
+        for d in &self.devices {
+            d.runtime.sync_metrics();
+            merged.merge(&d.runtime.telemetry().metrics().snapshot());
+        }
+        merged
+    }
+
+    /// Prometheus text exposition of the whole fleet: one block per device
+    /// (labelled `device="<name>"`), then the merged fleet snapshot with no
+    /// labels.
+    pub fn fleet_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.devices {
+            d.runtime.sync_metrics();
+            let snap = d.runtime.telemetry().metrics().snapshot();
+            out.push_str(&snap.prometheus_text(&[("device", &d.spec.name)]));
+        }
+        out.push_str(&self.fleet_metrics().prometheus_text(&[]));
+        out
+    }
+
+    /// Fleet-wide per-plan phase profile: each device's profiler snapshot,
+    /// merged by plan key and sorted heaviest-first.
+    pub fn fleet_profile(&self) -> Vec<spider_telemetry::PlanProfile> {
+        let per_device: Vec<Vec<spider_telemetry::PlanProfile>> = self
+            .devices
+            .iter()
+            .map(|d| d.runtime.telemetry().profiler().snapshot())
+            .collect();
+        spider_telemetry::merge_profiles(&per_device)
+    }
+
+    /// Render the traced lifecycle of a cluster submission on whichever
+    /// device currently owns it. A stolen request's trace lives on its
+    /// *current* device (admission events on the source device are keyed by
+    /// the same request id but sit in that device's ring). `None` for
+    /// unknown tickets or when telemetry is disabled.
+    pub fn timeline(&self, ticket: ClusterTicket) -> Option<String> {
+        let (device, dev_ticket) = {
+            let st = self.lock();
+            let p = st.pending.get(&ticket.seq)?;
+            (p.device, p.ticket)
+        };
+        self.devices[device].scheduler.timeline(dev_ticket)
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,17 @@ impl Default for ExecConfig {
 pub trait BatchFeedback {
     /// Grid `index` finished all its sweeps with the given merged report.
     fn on_grid_done(&mut self, index: usize, report: &KernelReport);
+
+    /// The batch is about to execute as one coalesced launch wave covering
+    /// `members` valid grids spanning `wave_blocks` thread blocks, each
+    /// grid billed `launch_share` of the kernel-launch overhead. Fires once
+    /// per coalesced entry-point call (for the 3D executor: once per plane
+    /// wave, i.e. per step), before any `on_grid_done`. Default: ignored —
+    /// this is the telemetry channel for launch/wave events and costs
+    /// nothing when unused.
+    fn on_batch_launch(&mut self, members: usize, wave_blocks: u64, launch_share: f64) {
+        let _ = (members, wave_blocks, launch_share);
+    }
 }
 
 /// [`BatchFeedback`] that discards every notification.
@@ -380,6 +391,7 @@ impl<'d> SpiderExecutor<'d> {
         }
         let wave_blocks: u64 = grids[..valid].iter().map(&blocks_of).sum();
         let launch_share = 1.0 / valid.max(1) as f64;
+        feedback.on_batch_launch(valid, wave_blocks, launch_share);
         let dims = LaunchDims::new(wave_blocks, self.config.tiling.threads_per_block());
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -1345,12 +1357,17 @@ mod tests {
     struct Collect {
         order: Vec<usize>,
         reports: Vec<KernelReport>,
+        launches: Vec<(usize, u64, f64)>,
     }
 
     impl BatchFeedback for Collect {
         fn on_grid_done(&mut self, index: usize, report: &KernelReport) {
             self.order.push(index);
             self.reports.push(report.clone());
+        }
+
+        fn on_batch_launch(&mut self, members: usize, wave_blocks: u64, launch_share: f64) {
+            self.launches.push((members, wave_blocks, launch_share));
         }
     }
 
@@ -1375,6 +1392,13 @@ mod tests {
         exec.run_2d_coalesced(&plan, &mut grids, 2, &mut fb)
             .unwrap();
         assert_eq!(fb.order, vec![0, 1, 2, 3], "input-order completion");
+        // The launch hook fires exactly once, before completions, covering
+        // every valid grid with an even launch-overhead share.
+        assert_eq!(fb.launches.len(), 1);
+        let (members, wave_blocks, share) = fb.launches[0];
+        assert_eq!(members, 4);
+        assert!(wave_blocks > 0);
+        assert_eq!(share, 0.25);
         for (i, (got, want)) in grids.iter().zip(&expect).enumerate() {
             assert_eq!(got.padded(), want.padded(), "grid {i} diverged");
         }

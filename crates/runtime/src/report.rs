@@ -2,6 +2,7 @@
 
 use spider_core::tiling::TilingConfig;
 use spider_gpu_sim::timing::KernelReport;
+use spider_telemetry::{render_top_profiles, LogHistogram, PlanProfile};
 
 use crate::cache::CacheStats;
 
@@ -32,81 +33,58 @@ pub struct RequestOutcome {
     pub checksum: u64,
 }
 
-/// Fixed log-scale histogram of queueing delays: bucket `i` counts waits in
+/// Log-scale histogram of queueing delays: bucket `i` counts waits in
 /// `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs sub-microsecond
 /// waits; the last bucket absorbs everything from ~2 seconds up). Fixed
 /// bucket bounds keep the struct `Copy`, mergeable by plain addition, and
 /// comparable across runs — the shape a serving dashboard wants, and the
 /// tail-latency detail the scalar mean/max pair in [`QueueStats`] cannot
 /// express.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The bucket math lives in the shared
+/// [`spider_telemetry::LogHistogram`] (this type records seconds and
+/// forwards to it in microseconds); the rendered format is unchanged from
+/// when the buckets were implemented here, regression-pinned by the tests
+/// below.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WaitHistogram {
-    /// Per-bucket counts; see the type docs for the bucket bounds.
-    pub buckets: [u64; Self::BUCKETS],
+    /// The underlying microsecond-valued histogram (p50/p90/p99 estimation,
+    /// Prometheus export and merging come with it).
+    pub hist: LogHistogram,
 }
 
 impl WaitHistogram {
     /// Number of buckets: sub-µs through ≥ ~2 s in doubling steps.
-    pub const BUCKETS: usize = 22;
+    pub const BUCKETS: usize = LogHistogram::BUCKETS;
 
     /// Record one queueing delay (seconds).
     pub fn record(&mut self, wait_s: f64) {
-        let us = wait_s.max(0.0) * 1e6;
-        let idx = if us < 1.0 {
-            0
-        } else {
-            (us.log2() as usize).min(Self::BUCKETS - 1)
-        };
-        self.buckets[idx] += 1;
+        self.hist.record(wait_s.max(0.0) * 1e6);
     }
 
     /// Total recorded waits.
     pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
+        self.hist.count()
     }
 
     /// Lower bound of bucket `i` in microseconds (`2^i`, with bucket 0
     /// starting at 0).
     pub fn bucket_lower_us(i: usize) -> u64 {
-        if i == 0 {
-            0
-        } else {
-            1u64 << i
-        }
+        LogHistogram::bucket_lower(i)
+    }
+
+    /// Estimated `q`-quantile of the queueing delay, in **seconds**.
+    pub fn quantile_s(&self, q: f64) -> f64 {
+        self.hist.quantile(q) / 1e6
     }
 
     /// Compact one-line rendering of the non-empty buckets, e.g.
     /// `[64µs,128µs):3 [128µs,256µs):9`.
     pub fn render(&self) -> String {
-        let label = |us: u64| -> String {
-            if us >= 1_000_000 {
-                format!("{}s", us / 1_000_000)
-            } else if us >= 1_000 {
-                format!("{}ms", us / 1_000)
-            } else {
-                format!("{us}\u{b5}s")
-            }
-        };
-        let mut parts = Vec::new();
-        for (i, &count) in self.buckets.iter().enumerate() {
-            if count == 0 {
-                continue;
-            }
-            let lo = Self::bucket_lower_us(i);
-            if i + 1 == Self::BUCKETS {
-                parts.push(format!("[{},\u{221e}):{count}", label(lo)));
-            } else {
-                parts.push(format!(
-                    "[{},{}):{count}",
-                    label(lo),
-                    label(1u64 << (i + 1))
-                ));
-            }
-        }
-        if parts.is_empty() {
+        if self.hist.count() == 0 {
             "(no dispatched requests)".into()
         } else {
-            parts.join(" ")
+            self.hist.render_us()
         }
     }
 }
@@ -176,6 +154,10 @@ pub struct RuntimeReport {
     /// Admission-queue counters — `Some` only for scheduler drain reports
     /// (the blocking `run_batch` path has no queue).
     pub queue: Option<QueueStats>,
+    /// Per-plan phase profiles (heaviest first), filled from the runtime's
+    /// [`spider_telemetry::PhaseProfiler`] when telemetry is enabled; empty
+    /// otherwise. Cumulative for the runtime, like [`Self::cache`].
+    pub profile: Vec<PlanProfile>,
 }
 
 impl RuntimeReport {
@@ -319,6 +301,7 @@ impl RuntimeReport {
             ));
             out.push_str(&format!("queue wait histogram: {}\n", q.wait_hist.render()));
         }
+        out.push_str(&render_top_profiles(&self.profile));
         out
     }
 }
@@ -336,10 +319,10 @@ mod tests {
         h.record(100e-6); // [64µs,128µs) → bucket 6
         h.record(5.0); // seconds → clamped to last bucket
         h.record(-1.0); // negative clock skew → bucket 0, never panics
-        assert_eq!(h.buckets[0], 3);
-        assert_eq!(h.buckets[1], 1);
-        assert_eq!(h.buckets[6], 1);
-        assert_eq!(h.buckets[WaitHistogram::BUCKETS - 1], 1);
+        assert_eq!(h.hist.buckets[0], 3);
+        assert_eq!(h.hist.buckets[1], 1);
+        assert_eq!(h.hist.buckets[6], 1);
+        assert_eq!(h.hist.buckets[WaitHistogram::BUCKETS - 1], 1);
         assert_eq!(h.count(), 6);
         let text = h.render();
         assert!(text.contains("[64µs,128µs):1"), "{text}");
@@ -350,6 +333,69 @@ mod tests {
         );
     }
 
+    /// Satellite regression: `WaitHistogram` now delegates its bucket math
+    /// to the shared `LogHistogram`; the rendered drain-report format must
+    /// stay byte-identical to the historical bespoke implementation.
+    #[test]
+    fn wait_histogram_render_is_byte_compatible_with_legacy() {
+        let legacy_render = |buckets: &[u64; WaitHistogram::BUCKETS]| -> String {
+            // The pre-dedup implementation, verbatim.
+            let label = |us: u64| -> String {
+                if us >= 1_000_000 {
+                    format!("{}s", us / 1_000_000)
+                } else if us >= 1_000 {
+                    format!("{}ms", us / 1_000)
+                } else {
+                    format!("{us}\u{b5}s")
+                }
+            };
+            let mut parts = Vec::new();
+            for (i, &count) in buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let lo = WaitHistogram::bucket_lower_us(i);
+                if i + 1 == WaitHistogram::BUCKETS {
+                    parts.push(format!("[{},\u{221e}):{count}", label(lo)));
+                } else {
+                    parts.push(format!(
+                        "[{},{}):{count}",
+                        label(lo),
+                        label(1u64 << (i + 1))
+                    ));
+                }
+            }
+            if parts.is_empty() {
+                "(no dispatched requests)".into()
+            } else {
+                parts.join(" ")
+            }
+        };
+        // Deterministic pseudo-random wait mixes spanning every bucket.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut h = WaitHistogram::default();
+        for _ in 0..256 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let us = (state >> 40) as f64; // 0 .. ~16.7M µs
+            h.record(us / 1e6);
+            assert_eq!(h.render(), legacy_render(&h.hist.buckets));
+        }
+        assert_eq!(
+            WaitHistogram::default().render(),
+            legacy_render(&[0; WaitHistogram::BUCKETS])
+        );
+    }
+
+    #[test]
+    fn wait_histogram_quantiles_are_seconds() {
+        let mut h = WaitHistogram::default();
+        for _ in 0..10 {
+            h.record(100e-6); // [64µs,128µs)
+        }
+        let p99 = h.quantile_s(0.99);
+        assert!((64e-6..=128e-6).contains(&p99), "{p99}");
+    }
+
     #[test]
     fn wait_histogram_bucket_bounds() {
         assert_eq!(WaitHistogram::bucket_lower_us(0), 0);
@@ -358,9 +404,9 @@ mod tests {
         // Boundary values land in the bucket they open.
         let mut h = WaitHistogram::default();
         h.record(2e-6);
-        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.hist.buckets[1], 1);
         h.record(4e-6);
-        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.hist.buckets[2], 1);
     }
 
     /// Satellite regression: a batch where everything was shed/expired has
@@ -379,6 +425,7 @@ mod tests {
                 max_depth: 4,
                 ..QueueStats::default()
             }),
+            profile: Vec::new(),
         };
         assert!(report.rates_are_finite());
         assert_eq!(report.batch_hit_rate(), 0.0);
@@ -397,6 +444,7 @@ mod tests {
             wall_s: 0.0,
             cache: CacheStats::default(),
             queue: None,
+            profile: Vec::new(),
         };
         assert!(report.rates_are_finite());
     }

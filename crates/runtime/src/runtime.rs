@@ -12,6 +12,9 @@ use spider_core::pool::{BufferPool, PoolStats};
 use spider_core::tiling::TilingConfig;
 use spider_gpu_sim::timing::KernelReport;
 use spider_gpu_sim::GpuDevice;
+use spider_telemetry::{
+    Counter, EventKind, Histogram, Phase, ResolveSource, Telemetry, TelemetryConfig, Terminal,
+};
 
 use crate::cache::{CacheStats, CachedPlan, PlanCache};
 use crate::report::{RequestOutcome, RuntimeReport};
@@ -70,6 +73,11 @@ pub struct RuntimeOptions {
     pub tuner_shortlist: usize,
     /// Scenarios the tuner memoizes before FIFO-evicting the oldest.
     pub tuner_memo_capacity: usize,
+    /// Observability configuration (tracing, metrics, profiling). Defaults
+    /// to enabled-but-cheap; see [`spider_telemetry::TelemetryConfig`].
+    /// Telemetry never changes execution — outputs and `PerfCounters` are
+    /// bit-identical with it on or off (property-tested).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RuntimeOptions {
@@ -81,6 +89,40 @@ impl Default for RuntimeOptions {
             tuner_dry_run_cap: 1 << 14,
             tuner_shortlist: 4,
             tuner_memo_capacity: 1024,
+            telemetry: TelemetryConfig::default(),
+        }
+    }
+}
+
+/// Pre-resolved metrics-registry handles for the request hot path.
+/// Resolving a metric by name costs a map lock and a string compare; doing
+/// it once at construction keeps the per-request cost to plain atomic
+/// increments. A disabled runtime gets detached handles (fresh atomics
+/// registered nowhere), so the registry of a telemetry-off runtime stays
+/// empty.
+#[derive(Debug, Default)]
+struct RuntimeMeters {
+    completed: Counter,
+    failed: Counter,
+    volumetric: Counter,
+    compiles: Counter,
+    service_us: Histogram,
+    sim_exec_us: Histogram,
+}
+
+impl RuntimeMeters {
+    fn new(telemetry: &Telemetry) -> Self {
+        if !telemetry.enabled() {
+            return Self::default();
+        }
+        let m = telemetry.metrics();
+        Self {
+            completed: m.counter("spider_runtime_requests_completed_total"),
+            failed: m.counter("spider_runtime_requests_failed_total"),
+            volumetric: m.counter("spider_runtime_volumetric_completed_total"),
+            compiles: m.counter("spider_runtime_plan_compiles_total"),
+            service_us: m.histogram("spider_runtime_service_time_us"),
+            sim_exec_us: m.histogram("spider_runtime_sim_exec_us"),
         }
     }
 }
@@ -100,10 +142,16 @@ pub struct SpiderRuntime {
     /// misses consult the store before compiling, fresh compiles write
     /// through, and [`Self::persist`] snapshots cache + tuner memos.
     store: Option<Arc<PlanStore>>,
+    /// Observability: trace ring, metrics registry and phase profiler.
+    /// `Arc` so the scheduler (and cluster) can share the same sinks.
+    telemetry: Arc<Telemetry>,
+    meters: RuntimeMeters,
 }
 
 impl SpiderRuntime {
     pub fn new(device: GpuDevice, options: RuntimeOptions) -> Self {
+        let telemetry = Arc::new(Telemetry::new(options.telemetry));
+        let meters = RuntimeMeters::new(&telemetry);
         Self {
             cache: PlanCache::new(options.cache_capacity),
             tuner: AutoTuner::with_memo_capacity(
@@ -115,6 +163,8 @@ impl SpiderRuntime {
             options,
             pool: BufferPool::new(),
             store: None,
+            telemetry,
+            meters,
         }
     }
 
@@ -180,23 +230,42 @@ impl SpiderRuntime {
 
     /// Resolve a plan (planar or volumetric): memory cache, then the
     /// attached store, then compile (writing the fresh plan through to the
-    /// store). Returns the plan and whether the *memory* lookup hit — store
+    /// store). Returns the plan, whether the *memory* lookup hit — store
     /// hits surface in [`CacheStats::store_hits`], not here, so hit-rate
-    /// accounting stays comparable with store-less runtimes.
+    /// accounting stays comparable with store-less runtimes — and the
+    /// [`ResolveSource`] recorded in the request's trace.
     fn resolve_plan(
         &self,
         key: u64,
         kernel: &RequestKernel,
-    ) -> Result<(CachedPlan, bool), PlanError> {
+    ) -> Result<(CachedPlan, bool, ResolveSource), PlanError> {
         match &self.store {
-            None => self.cache.get_or_compile(key, kernel),
+            None => {
+                let (plan, hit) = self.cache.get_or_compile(key, kernel)?;
+                let source = if hit {
+                    ResolveSource::CacheHit
+                } else {
+                    ResolveSource::Compile
+                };
+                Ok((plan, hit, source))
+            }
             Some(store) => {
                 // The on-disk format validates its *internal* consistency;
                 // the filename → content binding is validated here: a
                 // misplaced (renamed, restored-from-backup) artifact whose
                 // kernel is not the requested one must degrade to a
                 // compile, never silently serve wrong numerics.
-                let loader = |k: u64| store.load_entry(k).filter(|p| p.matches_kernel(kernel));
+                let loader = |k: u64| {
+                    store
+                        .load_entry_sized(k)
+                        .filter(|(p, _)| p.matches_kernel(kernel))
+                        .map(|(p, bytes)| {
+                            if self.telemetry.enabled() {
+                                self.telemetry.profiler().add_store_load(k, bytes);
+                            }
+                            p
+                        })
+                };
                 let (plan, hit, compiled) =
                     self.cache
                         .get_or_compile_with_loader(key, kernel, Some(&loader))?;
@@ -205,7 +274,14 @@ impl SpiderRuntime {
                     // the request the plan was compiled for.
                     let _ = store.save_entry(key, &plan);
                 }
-                Ok((plan, hit))
+                let source = if compiled {
+                    ResolveSource::Compile
+                } else if hit {
+                    ResolveSource::CacheHit
+                } else {
+                    ResolveSource::StoreHit
+                };
+                Ok((plan, hit, source))
             }
         }
     }
@@ -240,19 +316,157 @@ impl SpiderRuntime {
         self.pool.stats()
     }
 
+    /// The runtime's telemetry handle: trace ring, metrics registry and
+    /// per-plan phase profiler. Always present; when
+    /// [`RuntimeOptions::telemetry`] disables it, every sink is an inert
+    /// no-op and stays empty.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Push the runtime's cumulative counters (cache, tuner, pool, store)
+    /// into the metrics registry as authoritative values, so an exported
+    /// snapshot reconciles exactly with [`CacheStats`] / [`PoolStats`] /
+    /// [`StoreStats`]. Cheap; called by report/drain paths and safe to call
+    /// any time. No-op when telemetry is disabled.
+    pub fn sync_metrics(&self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let m = self.telemetry.metrics();
+        let cache = self.cache.stats();
+        m.counter("spider_plan_cache_hits_total").set(cache.hits);
+        m.counter("spider_plan_cache_misses_total")
+            .set(cache.misses);
+        m.counter("spider_plan_cache_insertions_total")
+            .set(cache.insertions);
+        m.counter("spider_plan_cache_evictions_total")
+            .set(cache.evictions);
+        m.counter("spider_plan_cache_store_hits_total")
+            .set(cache.store_hits);
+        m.gauge("spider_runtime_cached_plans")
+            .set(self.cache.len() as f64);
+        m.gauge("spider_tuner_memo_entries")
+            .set(self.tuner.memo_len() as f64);
+        let pool = self.pool.stats();
+        m.counter("spider_pool_hits_total").set(pool.hits);
+        m.counter("spider_pool_misses_total").set(pool.misses);
+        if let Some(store) = &self.store {
+            let s = store.stats();
+            m.counter("spider_plan_store_plan_loads_total")
+                .set(s.plan_loads);
+            m.counter("spider_plan_store_plan_absent_total")
+                .set(s.plan_absent);
+            m.counter("spider_plan_store_plan_rejected_total")
+                .set(s.plan_rejected);
+            m.counter("spider_plan_store_plan_saves_total")
+                .set(s.plan_saves);
+            m.counter("spider_plan_store_plan_evictions_total")
+                .set(s.plan_evictions);
+            m.counter("spider_plan_store_plan_bytes_loaded_total")
+                .set(s.plan_bytes_loaded);
+            m.counter("spider_plan_store_memo_loads_total")
+                .set(s.memo_loads);
+            m.counter("spider_plan_store_memo_saves_total")
+                .set(s.memo_saves);
+        }
+    }
+
     /// Execute one request end to end: plan lookup (compile on miss), tiling
     /// selection, functional simulated execution, output checksum.
+    ///
+    /// Emits the request's full trace (admit → plan-resolve → tune →
+    /// execute → complete) and updates metrics + the phase profiler; all of
+    /// it is skipped when telemetry is disabled and none of it touches the
+    /// numerics either way.
     pub fn execute(&self, req: &StencilRequest) -> Result<RequestOutcome, RuntimeError> {
+        let start = Instant::now();
+        let t = &self.telemetry;
+        let plan_key = req.plan_key();
+        t.record(req.id, plan_key, EventKind::Admit, 0.0);
+        if t.enabled() {
+            t.profiler().touch(plan_key, &req.scenario());
+        }
+        match self.execute_inner(req, plan_key) {
+            Ok(out) => {
+                let sim_s = out.report.time_s();
+                t.record(
+                    req.id,
+                    plan_key,
+                    EventKind::Complete {
+                        terminal: Terminal::Done,
+                    },
+                    sim_s,
+                );
+                if t.enabled() {
+                    self.meters.completed.inc();
+                    if out.volumetric {
+                        self.meters.volumetric.inc();
+                    }
+                    self.meters
+                        .service_us
+                        .record(start.elapsed().as_secs_f64() * 1e6);
+                    self.meters.sim_exec_us.record(sim_s * 1e6);
+                    t.profiler().add_request(plan_key, sim_s);
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                t.record(
+                    req.id,
+                    plan_key,
+                    EventKind::Complete {
+                        terminal: Terminal::Failed,
+                    },
+                    0.0,
+                );
+                if t.enabled() {
+                    self.meters.failed.inc();
+                    self.meters
+                        .service_us
+                        .record(start.elapsed().as_secs_f64() * 1e6);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn execute_inner(
+        &self,
+        req: &StencilRequest,
+        plan_key: u64,
+    ) -> Result<RequestOutcome, RuntimeError> {
+        let t = &self.telemetry;
         if !req.dims_consistent() {
             return Err(RuntimeError::DimensionMismatch {
                 id: req.id,
                 scenario: req.scenario(),
             });
         }
-        let plan_key = req.plan_key();
-        let (plan, cache_hit) = self.resolve_plan(plan_key, &req.kernel)?;
+        let span = t.span(req.id, plan_key, Phase::Resolve);
+        let resolved = self.resolve_plan(plan_key, &req.kernel);
+        span.exit();
+        let (plan, cache_hit, source) = resolved?;
+        t.record(req.id, plan_key, EventKind::PlanResolve { source }, 0.0);
+        if source == ResolveSource::Compile && t.enabled() {
+            self.meters.compiles.inc();
+            t.profiler().add_compile(plan_key);
+        }
 
-        let (tiling, tuned, tuner_memo_hit) = self.select_tiling(&plan, req, plan_key);
+        let span = t.span(req.id, plan_key, Phase::Tune);
+        let (tiling, tuned, tuner_memo_hit, dry_runs) = self.select_tiling(&plan, req, plan_key);
+        span.exit();
+        t.record(
+            req.id,
+            plan_key,
+            EventKind::Tune {
+                memo_hit: tuner_memo_hit,
+                dry_runs,
+            },
+            0.0,
+        );
+
+        let exec_span = t.span(req.id, plan_key, Phase::Exec);
 
         let config = ExecConfig {
             tiling,
@@ -302,6 +516,17 @@ impl SpiderRuntime {
                 (report, output_checksum(grid.padded()))
             }
         };
+        exec_span.exit();
+        t.record(
+            req.id,
+            plan_key,
+            EventKind::Execute {
+                wave_id: t.next_wave_id(),
+                coalesced: false,
+                launch_share: 1.0,
+            },
+            report.time_s(),
+        );
         Ok(RequestOutcome {
             id: req.id,
             scenario: req.scenario(),
@@ -318,13 +543,15 @@ impl SpiderRuntime {
 
     /// Resolve the tiling for a request against an already-resolved plan.
     /// Volumes tune their *plane* tiling through the 3D plan's
-    /// representative slice (every plane sweep shares it).
+    /// representative slice (every plane sweep shares it). The last tuple
+    /// element is the dry-run count the tune call paid (0 on a memo hit or
+    /// with autotuning off) — traced, never decision-relevant.
     fn select_tiling(
         &self,
         plan: &CachedPlan,
         req: &StencilRequest,
         plan_key: u64,
-    ) -> (TilingConfig, bool, bool) {
+    ) -> (TilingConfig, bool, bool, u64) {
         if self.options.autotune {
             let rep = match plan {
                 CachedPlan::Planar(p) => p.as_ref(),
@@ -333,9 +560,9 @@ impl SpiderRuntime {
             let t = self
                 .tuner
                 .tune(&self.device, rep, req.mode, req.grid, plan_key);
-            (t.tiling, true, t.memoized)
+            (t.tiling, true, t.memoized, t.dry_runs as u64)
         } else {
-            (TilingConfig::default(), false, false)
+            (TilingConfig::default(), false, false, 0)
         }
     }
 
@@ -360,17 +587,36 @@ impl SpiderRuntime {
         &self,
         requests: &[StencilRequest],
     ) -> Vec<Result<RequestOutcome, RuntimeError>> {
-        /// Feedback hook: collects each grid's merged report, in order.
-        #[derive(Default)]
-        struct Collect {
+        /// Feedback hook: collects each grid's merged report, in order, and
+        /// forwards the core's batched-launch callback into the trace as a
+        /// `Launch` event on the subgroup head.
+        struct Collect<'t> {
             reports: Vec<KernelReport>,
+            telemetry: &'t Telemetry,
+            head_id: u64,
+            plan_key: u64,
+            wave_id: u64,
         }
-        impl BatchFeedback for Collect {
+        impl BatchFeedback for Collect<'_> {
             fn on_grid_done(&mut self, _index: usize, report: &KernelReport) {
                 self.reports.push(report.clone());
             }
+            fn on_batch_launch(&mut self, members: usize, _wave_blocks: u64, launch_share: f64) {
+                self.telemetry.record(
+                    self.head_id,
+                    self.plan_key,
+                    EventKind::Launch {
+                        wave_id: self.wave_id,
+                        members,
+                        launch_share,
+                    },
+                    0.0,
+                );
+            }
         }
 
+        let group_start = Instant::now();
+        let t = &self.telemetry;
         let mut results: Vec<Option<Result<RequestOutcome, RuntimeError>>> =
             (0..requests.len()).map(|_| None).collect();
 
@@ -379,6 +625,28 @@ impl SpiderRuntime {
         let mut plan: Option<CachedPlan> = None;
         let mut lookups: Vec<Option<bool>> = vec![None; requests.len()];
         let group_key = requests.first().map(|r| r.plan_key());
+        if t.enabled() {
+            if let (Some(key), Some(first)) = (group_key, requests.first()) {
+                t.profiler().touch(key, &first.scenario());
+            }
+        }
+        let mut fail = |i: usize, req: &StencilRequest, e: RuntimeError| {
+            t.record(
+                req.id,
+                req.plan_key(),
+                EventKind::Complete {
+                    terminal: Terminal::Failed,
+                },
+                0.0,
+            );
+            if t.enabled() {
+                self.meters.failed.inc();
+                self.meters
+                    .service_us
+                    .record(group_start.elapsed().as_secs_f64() * 1e6);
+            }
+            results[i] = Some(Err(e));
+        };
         for (i, req) in requests.iter().enumerate() {
             debug_assert_eq!(
                 Some(req.plan_key()),
@@ -386,18 +654,35 @@ impl SpiderRuntime {
                 "run_group requires a single plan key"
             );
             if !req.dims_consistent() {
-                results[i] = Some(Err(RuntimeError::DimensionMismatch {
-                    id: req.id,
-                    scenario: req.scenario(),
-                }));
+                fail(
+                    i,
+                    req,
+                    RuntimeError::DimensionMismatch {
+                        id: req.id,
+                        scenario: req.scenario(),
+                    },
+                );
                 continue;
             }
-            match self.resolve_plan(req.plan_key(), &req.kernel) {
-                Ok((p, hit)) => {
+            let span = t.span(req.id, req.plan_key(), Phase::Resolve);
+            let resolved = self.resolve_plan(req.plan_key(), &req.kernel);
+            span.exit();
+            match resolved {
+                Ok((p, hit, source)) => {
+                    t.record(
+                        req.id,
+                        req.plan_key(),
+                        EventKind::PlanResolve { source },
+                        0.0,
+                    );
+                    if source == ResolveSource::Compile && t.enabled() {
+                        self.meters.compiles.inc();
+                        t.profiler().add_compile(req.plan_key());
+                    }
                     plan = Some(p);
                     lookups[i] = Some(hit);
                 }
-                Err(e) => results[i] = Some(Err(e.into())),
+                Err(e) => fail(i, req, e.into()),
             }
         }
         let Some(plan) = plan else {
@@ -415,13 +700,39 @@ impl SpiderRuntime {
 
         for members in contiguous_key_runs(&order, |i| requests[i].exec_key()) {
             let head = &requests[members[0]];
-            let (tiling, tuned, head_memo_hit) = self.select_tiling(&plan, head, head.plan_key());
+            let span = t.span(head.id, head.plan_key(), Phase::Tune);
+            let (tiling, tuned, head_memo_hit, head_dry_runs) =
+                self.select_tiling(&plan, head, head.plan_key());
+            span.exit();
+            for (slot, &i) in members.iter().enumerate() {
+                let req = &requests[i];
+                // Trace parity with the memo-hit accounting below: the head
+                // pays the dry-runs (if any); every later member rides its
+                // memo entry.
+                t.record(
+                    req.id,
+                    req.plan_key(),
+                    EventKind::Tune {
+                        memo_hit: tuned && (slot > 0 || head_memo_hit),
+                        dry_runs: if slot == 0 { head_dry_runs } else { 0 },
+                    },
+                    0.0,
+                );
+            }
             let config = ExecConfig {
                 tiling,
                 ..ExecConfig::default()
             };
             let coalesced = members.len() > 1;
-            let mut fb = Collect::default();
+            let wave_id = t.next_wave_id();
+            let mut fb = Collect {
+                reports: Vec::new(),
+                telemetry: t,
+                head_id: head.id,
+                plan_key: head.plan_key(),
+                wave_id,
+            };
+            let exec_span = t.span(head.id, head.plan_key(), Phase::Exec);
             let run = match head.grid {
                 GridSpec::D1 { .. } => {
                     let exec = SpiderExecutor::with_shared_pool(
@@ -488,9 +799,11 @@ impl SpiderRuntime {
                     }
                 }
             };
+            exec_span.exit();
             match run {
                 Ok(checksums) => {
                     let checksums: Vec<u64> = checksums;
+                    let launch_share = 1.0 / members.len() as f64;
                     for (slot, &i) in members.iter().enumerate() {
                         let req = &requests[i];
                         // Memo-hit parity with `execute`: the head's tune
@@ -499,6 +812,36 @@ impl SpiderRuntime {
                         // guaranteed (the tuner memoizes per plan/grid/mode,
                         // and the subgroup shares all three).
                         let memo_hit = slot > 0 || head_memo_hit;
+                        let sim_s = fb.reports[slot].time_s();
+                        t.record(
+                            req.id,
+                            req.plan_key(),
+                            EventKind::Execute {
+                                wave_id,
+                                coalesced,
+                                launch_share,
+                            },
+                            sim_s,
+                        );
+                        t.record(
+                            req.id,
+                            req.plan_key(),
+                            EventKind::Complete {
+                                terminal: Terminal::Done,
+                            },
+                            sim_s,
+                        );
+                        if t.enabled() {
+                            self.meters.completed.inc();
+                            if req.is_volumetric() {
+                                self.meters.volumetric.inc();
+                            }
+                            self.meters
+                                .service_us
+                                .record(group_start.elapsed().as_secs_f64() * 1e6);
+                            self.meters.sim_exec_us.record(sim_s * 1e6);
+                            t.profiler().add_request(req.plan_key(), sim_s);
+                        }
                         results[i] = Some(Ok(RequestOutcome {
                             id: req.id,
                             scenario: req.scenario(),
@@ -517,6 +860,21 @@ impl SpiderRuntime {
                     // A shared-executor failure is attributed to every
                     // member: the whole subgroup ran under one launch plan.
                     for &i in members {
+                        let req = &requests[i];
+                        t.record(
+                            req.id,
+                            req.plan_key(),
+                            EventKind::Complete {
+                                terminal: Terminal::Failed,
+                            },
+                            0.0,
+                        );
+                        if t.enabled() {
+                            self.meters.failed.inc();
+                            self.meters
+                                .service_us
+                                .record(group_start.elapsed().as_secs_f64() * 1e6);
+                        }
                         results[i] = Some(Err(RuntimeError::Exec(e.clone())));
                     }
                 }
@@ -543,6 +901,10 @@ impl SpiderRuntime {
     /// batched launch (amortized overhead, combined-residency occupancy).
     pub fn run_batch(&self, requests: &[StencilRequest]) -> RuntimeReport {
         let start = Instant::now();
+        for req in requests {
+            self.telemetry
+                .record(req.id, req.plan_key(), EventKind::Admit, 0.0);
+        }
 
         // Group by plan key to amortize compile + tuning within the batch.
         let mut order: Vec<usize> = (0..requests.len()).collect();
@@ -594,12 +956,14 @@ impl SpiderRuntime {
                 Err(e) => failures.push((requests[idx].id, e.to_string())),
             }
         }
+        self.sync_metrics();
         RuntimeReport {
             outcomes,
             failures,
             wall_s: start.elapsed().as_secs_f64(),
             cache: self.cache.stats(),
             queue: None,
+            profile: self.telemetry.profiler().top(8),
         }
     }
 }

@@ -43,6 +43,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use spider_telemetry::{EventKind, Phase, Telemetry, Terminal};
+
 use crate::report::{QueueStats, RequestOutcome, RuntimeReport};
 use crate::request::{Priority, StencilRequest};
 use crate::runtime::SpiderRuntime;
@@ -290,6 +292,7 @@ impl SpiderScheduler {
     /// important queued request (possibly the newcomer itself — the
     /// returned ticket then polls as [`RequestStatus::Shed`]).
     pub fn submit(&self, req: StencilRequest) -> Result<Ticket, SubmitError> {
+        let t = Arc::clone(self.runtime.telemetry());
         let mut st = self.lock();
         loop {
             if st.shutdown {
@@ -297,7 +300,7 @@ impl SpiderScheduler {
             }
             // Lapsed deadlines free capacity before any backpressure call —
             // and must wake submitters blocked under the `Block` policy.
-            if expire_due(&mut st) > 0 {
+            if expire_due(&mut st, &t) > 0 {
                 self.shared.space.notify_all();
                 self.shared.idle.notify_all();
             }
@@ -335,19 +338,32 @@ impl SpiderScheduler {
                         // arrival, but still hand back a pollable ticket.
                         let ticket = alloc_ticket(&mut st, &req);
                         st.stats.submitted += 1;
+                        t.record(req.id, req.plan_key(), EventKind::Admit, 0.0);
+                        t.record(
+                            req.id,
+                            req.plan_key(),
+                            EventKind::Complete {
+                                terminal: Terminal::Shed,
+                            },
+                            0.0,
+                        );
                         finish(&mut st, ticket, Slot::Shed);
                         st.stats.shed += 1;
                         self.shared.idle.notify_all();
                         return Ok(Ticket { seq: ticket });
                     }
                     let victim = st.queue.remove(victim_idx);
+                    let waited = now
+                        .saturating_duration_since(victim.submitted)
+                        .as_secs_f64();
+                    trace_queue_exit(&t, &victim.req, waited, Terminal::Shed);
                     finish(&mut st, victim.ticket, Slot::Shed);
                     st.stats.shed += 1;
                     self.shared.idle.notify_all();
                 }
             }
         }
-        let ticket = admit(&mut st, req);
+        let ticket = admit(&mut st, req, &t);
         self.shared.work.notify_one();
         Ok(Ticket { seq: ticket })
     }
@@ -361,11 +377,12 @@ impl SpiderScheduler {
     /// steal-and-requeue path, which would otherwise deadlock a paused
     /// fleet by blocking on a full destination queue.
     pub fn try_submit(&self, req: StencilRequest) -> Result<Ticket, SubmitError> {
+        let t = Arc::clone(self.runtime.telemetry());
         let mut st = self.lock();
         if st.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
-        if expire_due(&mut st) > 0 {
+        if expire_due(&mut st, &t) > 0 {
             self.shared.space.notify_all();
             self.shared.idle.notify_all();
         }
@@ -374,7 +391,7 @@ impl SpiderScheduler {
                 capacity: self.options.queue_capacity,
             });
         }
-        let ticket = admit(&mut st, req);
+        let ticket = admit(&mut st, req, &t);
         self.shared.work.notify_one();
         Ok(Ticket { seq: ticket })
     }
@@ -383,8 +400,9 @@ impl SpiderScheduler {
     /// has passed expires it on the spot (lazy expiry — the dispatcher would
     /// do the same at dispatch time).
     pub fn poll(&self, ticket: Ticket) -> RequestStatus {
+        let t = Arc::clone(self.runtime.telemetry());
         let mut st = self.lock();
-        if expire_due(&mut st) > 0 {
+        if expire_due(&mut st, &t) > 0 {
             self.shared.space.notify_all();
             self.shared.idle.notify_all();
         }
@@ -438,7 +456,14 @@ impl SpiderScheduler {
         let Some(pos) = st.queue.iter().position(|q| q.ticket == ticket.seq) else {
             return false;
         };
-        st.queue.remove(pos);
+        let entry = st.queue.remove(pos);
+        let waited = entry.submitted.elapsed().as_secs_f64();
+        trace_queue_exit(
+            self.runtime.telemetry(),
+            &entry.req,
+            waited,
+            Terminal::Cancelled,
+        );
         finish(&mut st, ticket.seq, Slot::Cancelled);
         st.stats.cancelled += 1;
         drop(st);
@@ -458,9 +483,10 @@ impl SpiderScheduler {
     /// submissions returns the same report.
     pub fn drain(&self) -> RuntimeReport {
         self.resume();
+        let t = Arc::clone(self.runtime.telemetry());
         let mut st = self.lock();
         loop {
-            if expire_due(&mut st) > 0 {
+            if expire_due(&mut st, &t) > 0 {
                 self.shared.space.notify_all();
             }
             if st.queue.is_empty() && st.running == 0 {
@@ -484,13 +510,63 @@ impl SpiderScheduler {
             (Some(a), Some(b)) => b.saturating_duration_since(a).as_secs_f64(),
             _ => 0.0,
         };
+        let stats = st.stats;
+        drop(st);
+        self.sync_metrics(&stats);
         RuntimeReport {
             outcomes,
             failures,
             wall_s,
             cache: self.runtime.cache_stats(),
-            queue: Some(st.stats),
+            queue: Some(stats),
+            profile: self.runtime.telemetry().profiler().top(8),
         }
+    }
+
+    /// Push the scheduler's cumulative [`QueueStats`] into the shared
+    /// metrics registry as authoritative values (and sync the runtime's own
+    /// counters), so an exported snapshot reconciles exactly with the drain
+    /// report. No-op when telemetry is disabled.
+    fn sync_metrics(&self, stats: &QueueStats) {
+        let t = self.runtime.telemetry();
+        if !t.enabled() {
+            return;
+        }
+        self.runtime.sync_metrics();
+        let m = t.metrics();
+        m.counter("spider_scheduler_submitted_total")
+            .set(stats.submitted);
+        m.counter("spider_scheduler_completed_total")
+            .set(stats.completed);
+        m.counter("spider_scheduler_failed_total").set(stats.failed);
+        m.counter("spider_scheduler_shed_total").set(stats.shed);
+        m.counter("spider_scheduler_expired_total")
+            .set(stats.expired);
+        m.counter("spider_scheduler_cancelled_total")
+            .set(stats.cancelled);
+        m.counter("spider_scheduler_rejected_total")
+            .set(stats.rejected);
+        m.counter("spider_scheduler_dispatch_waves_total")
+            .set(stats.dispatch_waves);
+        m.counter("spider_scheduler_coalesced_groups_total")
+            .set(stats.coalesced_groups);
+        m.gauge("spider_scheduler_max_depth")
+            .set(stats.max_depth as f64);
+        m.histogram("spider_scheduler_wait_us")
+            .set(stats.wait_hist.hist);
+    }
+
+    /// Render the traced lifecycle of a submitted request — every event
+    /// from admission to its terminal state, with relative wall-clock
+    /// offsets and simulated-time annotations. Returns `None` for unknown
+    /// tickets, when telemetry is disabled, or when the ring has already
+    /// dropped the request's events.
+    pub fn timeline(&self, ticket: Ticket) -> Option<String> {
+        let req_id = {
+            let st = self.lock();
+            st.slots.get(&ticket.seq).map(|e| e.req_id)?
+        };
+        self.runtime.telemetry().trace().render_timeline(req_id)
     }
 
     /// Stop dispatching new waves (already-running waves finish).
@@ -548,13 +624,26 @@ impl Drop for SpiderScheduler {
 }
 
 /// Admit a request into the queue (capacity already checked by the
-/// caller): allocate its ticket, record the submission and enqueue.
-fn admit(st: &mut State, req: StencilRequest) -> u64 {
+/// caller): allocate its ticket, record the submission and enqueue. Traces
+/// the request's admission and opens its queue span (closed at dispatch,
+/// or implicitly abandoned by shed/expire/cancel — terminal events carry
+/// the verdict either way).
+fn admit(st: &mut State, req: StencilRequest, t: &Telemetry) -> u64 {
     let ticket = alloc_ticket(st, &req);
     st.stats.submitted += 1;
     if st.first_submit.is_none() {
         st.first_submit = Some(Instant::now());
     }
+    t.record(req.id, req.plan_key(), EventKind::Admit, 0.0);
+    t.record(req.id, req.plan_key(), EventKind::Queued, 0.0);
+    t.record(
+        req.id,
+        req.plan_key(),
+        EventKind::SpanEnter {
+            phase: Phase::Queue,
+        },
+        0.0,
+    );
     st.queue.push(QueuedEntry {
         ticket,
         req,
@@ -562,6 +651,26 @@ fn admit(st: &mut State, req: StencilRequest) -> u64 {
     });
     st.stats.max_depth = st.stats.max_depth.max(st.queue.len());
     ticket
+}
+
+/// Trace a queued request leaving the queue without executing: close its
+/// queue span and record the terminal verdict.
+fn trace_queue_exit(t: &Telemetry, req: &StencilRequest, waited_s: f64, terminal: Terminal) {
+    t.record(
+        req.id,
+        req.plan_key(),
+        EventKind::SpanExit {
+            phase: Phase::Queue,
+            elapsed_s: waited_s,
+        },
+        0.0,
+    );
+    t.record(
+        req.id,
+        req.plan_key(),
+        EventKind::Complete { terminal },
+        0.0,
+    );
 }
 
 /// Allocate a ticket and its slot for `req` (does not enqueue).
@@ -588,7 +697,7 @@ fn finish(st: &mut State, ticket: u64, slot: Slot) {
 
 /// Expire every queued request whose deadline has passed. Returns how many
 /// were expired (callers notify `space`/`idle` when > 0).
-fn expire_due(st: &mut State) -> usize {
+fn expire_due(st: &mut State, t: &Telemetry) -> usize {
     let now = Instant::now();
     let mut expired = 0;
     let mut i = 0;
@@ -599,6 +708,8 @@ fn expire_due(st: &mut State) -> usize {
             .is_some_and(|d| d.is_expired_at(now));
         if due {
             let entry = st.queue.remove(i);
+            let waited = now.saturating_duration_since(entry.submitted).as_secs_f64();
+            trace_queue_exit(t, &entry.req, waited, Terminal::Expired);
             finish(st, entry.ticket, Slot::Expired);
             st.stats.expired += 1;
             expired += 1;
@@ -635,6 +746,7 @@ struct WaveGroup {
 /// The dispatcher: pick the top-effective-priority cohort, coalesce it by
 /// plan key, execute the groups across a worker pool, mark completions.
 fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: SchedulerOptions) {
+    let telemetry = Arc::clone(runtime.telemetry());
     loop {
         let wave: Vec<WaveGroup> = {
             let mut st = shared.state.lock().expect("scheduler state poisoned");
@@ -642,7 +754,7 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: SchedulerO
                 if st.shutdown {
                     return;
                 }
-                if expire_due(&mut st) > 0 {
+                if expire_due(&mut st, &telemetry) > 0 {
                     shared.space.notify_all();
                     shared.idle.notify_all();
                 }
@@ -692,6 +804,22 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: SchedulerO
                         st.stats.total_wait_s += wait;
                         st.stats.max_wait_s = st.stats.max_wait_s.max(wait);
                         st.stats.wait_hist.record(wait);
+                        // Close the queue span opened at admission and fold
+                        // the wait into the plan's queue-phase accumulator.
+                        telemetry.record(
+                            entry.req.id,
+                            entry.req.plan_key(),
+                            EventKind::SpanExit {
+                                phase: Phase::Queue,
+                                elapsed_s: wait,
+                            },
+                            0.0,
+                        );
+                        if telemetry.enabled() {
+                            let key = entry.req.plan_key();
+                            telemetry.profiler().touch(key, &entry.req.scenario());
+                            telemetry.profiler().add_phase(key, Phase::Queue, wait);
+                        }
                         st.slots.get_mut(&entry.ticket).expect("known ticket").slot = Slot::Running;
                         wave[g].tickets.push(entry.ticket);
                         wave[g].requests.push(entry.req);

@@ -52,6 +52,9 @@ const MEMO_FORMAT_VERSION: u32 = 2;
 pub struct StoreStats {
     /// Plans served from disk (cache misses the store satisfied).
     pub plan_loads: u64,
+    /// Total artifact bytes read by successful plan loads — the number the
+    /// per-plan profiler attributes back to individual plan keys.
+    pub plan_bytes_loaded: u64,
     /// Load attempts that found no file for the key.
     pub plan_absent: u64,
     /// Load attempts that found a file but rejected it (corrupt, truncated,
@@ -204,7 +207,7 @@ impl PlanStore {
                 .map(Arc::new)
                 .map(CachedPlan::Planar)
         })
-        .and_then(|p| p.planar().map(|a| (**a).clone()))
+        .and_then(|(p, _)| p.planar().map(|a| (**a).clone()))
     }
 
     /// Load the volumetric (3D) plan stored under `plan_key`, with the same
@@ -216,13 +219,20 @@ impl PlanStore {
                 .map(Arc::new)
                 .map(CachedPlan::Volumetric)
         })
-        .and_then(|p| p.volumetric().map(|a| (**a).clone()))
+        .and_then(|(p, _)| p.volumetric().map(|a| (**a).clone()))
     }
 
     /// Load whichever plan kind is stored under `plan_key`, dispatching on
     /// the artifact's magic — the generic read behind the runtime's
     /// cache-miss loader.
     pub fn load_entry(&self, plan_key: u64) -> Option<CachedPlan> {
+        self.load_entry_sized(plan_key).map(|(plan, _)| plan)
+    }
+
+    /// Like [`Self::load_entry`], also reporting the artifact's size in
+    /// bytes — the hook the runtime's phase profiler uses to attribute
+    /// store traffic to individual plan keys.
+    pub fn load_entry_sized(&self, plan_key: u64) -> Option<(CachedPlan, u64)> {
         self.load_with(plan_key, |bytes| {
             if bytes.starts_with(spider_core::serial::PLAN3D_MAGIC) {
                 Spider3DPlan::from_bytes(bytes)
@@ -242,7 +252,7 @@ impl PlanStore {
         &self,
         plan_key: u64,
         parse: impl FnOnce(&[u8]) -> Option<CachedPlan>,
-    ) -> Option<CachedPlan> {
+    ) -> Option<(CachedPlan, u64)> {
         let path = self.plan_path(plan_key);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -253,8 +263,10 @@ impl PlanStore {
         };
         match parse(&bytes) {
             Some(plan) => {
-                self.stats.lock().expect("store stats poisoned").plan_loads += 1;
-                Some(plan)
+                let mut stats = self.stats.lock().expect("store stats poisoned");
+                stats.plan_loads += 1;
+                stats.plan_bytes_loaded += bytes.len() as u64;
+                Some((plan, bytes.len() as u64))
             }
             None => {
                 self.stats

@@ -1,0 +1,362 @@
+//! Per-plan_key phase profiling.
+//!
+//! Answers "which plan is burning the budget, and in which phase" — the
+//! serving-layer analogue of the simulator's swap/pack/MMA/launch breakdown.
+//! Each plan fingerprint accumulates wall time per lifecycle phase
+//! (queue/resolve/tune/exec), simulated execution time, compile counts and
+//! persistent-store load bytes. Exports:
+//!
+//! * [`PhaseProfiler::top`] — the heaviest plans, for the `top plans`
+//!   table in drain reports;
+//! * [`PhaseProfiler::folded`] — folded-stack lines
+//!   (`scenario;phase <µs>`) consumable by standard flamegraph tooling.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::trace::Phase;
+
+/// Accumulated per-plan phase totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Requests that finished execution under this plan.
+    pub requests: u64,
+    /// Admission-queue residence, seconds (scheduler path only).
+    pub queue_s: f64,
+    /// Plan lookup / store load / compile wall time, seconds.
+    pub resolve_s: f64,
+    /// Tiling-selection wall time, seconds.
+    pub tune_s: f64,
+    /// Execution wall time, seconds (host clock around the simulator).
+    pub exec_wall_s: f64,
+    /// Simulated GPU time, seconds.
+    pub exec_sim_s: f64,
+    /// Fresh compiles charged to this plan.
+    pub compiles: u64,
+    /// Plan loads served by the persistent store.
+    pub store_hits: u64,
+    /// Bytes read from the persistent store for this plan.
+    pub store_bytes: u64,
+}
+
+impl PhaseStats {
+    /// Total attributed wall time across all phases, seconds — the sort key
+    /// for `top plans`.
+    pub fn total_wall_s(&self) -> f64 {
+        self.queue_s + self.resolve_s + self.tune_s + self.exec_wall_s
+    }
+
+    fn add_phase(&mut self, phase: Phase, secs: f64) {
+        let secs = secs.max(0.0);
+        match phase {
+            Phase::Queue => self.queue_s += secs,
+            Phase::Resolve => self.resolve_s += secs,
+            Phase::Tune => self.tune_s += secs,
+            Phase::Exec => self.exec_wall_s += secs,
+        }
+    }
+
+    /// Add another plan's totals into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &Self) {
+        self.requests += other.requests;
+        self.queue_s += other.queue_s;
+        self.resolve_s += other.resolve_s;
+        self.tune_s += other.tune_s;
+        self.exec_wall_s += other.exec_wall_s;
+        self.exec_sim_s += other.exec_sim_s;
+        self.compiles += other.compiles;
+        self.store_hits += other.store_hits;
+        self.store_bytes += other.store_bytes;
+    }
+}
+
+/// One plan's profile: fingerprint, human label (the scenario of the first
+/// request seen under the plan) and accumulated stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanProfile {
+    pub plan_key: u64,
+    pub label: String,
+    pub stats: PhaseStats,
+}
+
+/// Thread-safe per-plan_key accumulator.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    inner: Mutex<HashMap<u64, (String, PhaseStats)>>,
+}
+
+impl PhaseProfiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_entry(&self, plan_key: u64, f: impl FnOnce(&mut (String, PhaseStats))) {
+        let mut map = self.inner.lock().unwrap();
+        f(map.entry(plan_key).or_default())
+    }
+
+    /// Ensure the plan exists and label it (first label wins; labels are
+    /// scenarios like `Box-2D2R@96x128`, identical for every request that
+    /// shares a plan key).
+    pub fn touch(&self, plan_key: u64, label: &str) {
+        self.with_entry(plan_key, |(l, _)| {
+            if l.is_empty() {
+                *l = label.to_string();
+            }
+        });
+    }
+
+    /// Attribute `secs` of wall time in `phase` to `plan_key`.
+    pub fn add_phase(&self, plan_key: u64, phase: Phase, secs: f64) {
+        self.with_entry(plan_key, |(_, s)| s.add_phase(phase, secs));
+    }
+
+    /// Count one finished request under `plan_key`, with its simulated
+    /// execution time.
+    pub fn add_request(&self, plan_key: u64, sim_s: f64) {
+        self.with_entry(plan_key, |(_, s)| {
+            s.requests += 1;
+            s.exec_sim_s += sim_s.max(0.0);
+        });
+    }
+
+    /// Count one fresh compile.
+    pub fn add_compile(&self, plan_key: u64) {
+        self.with_entry(plan_key, |(_, s)| s.compiles += 1);
+    }
+
+    /// Count one persistent-store plan load of `bytes` bytes.
+    pub fn add_store_load(&self, plan_key: u64, bytes: u64) {
+        self.with_entry(plan_key, |(_, s)| {
+            s.store_hits += 1;
+            s.store_bytes += bytes;
+        });
+    }
+
+    /// All profiles, heaviest (total wall time) first; ties break by plan
+    /// key so the order is deterministic.
+    pub fn snapshot(&self) -> Vec<PlanProfile> {
+        let map = self.inner.lock().unwrap();
+        let mut out: Vec<PlanProfile> = map
+            .iter()
+            .map(|(&plan_key, (label, stats))| PlanProfile {
+                plan_key,
+                label: label.clone(),
+                stats: *stats,
+            })
+            .collect();
+        drop(map);
+        sort_profiles(&mut out);
+        out
+    }
+
+    /// The `n` heaviest plans.
+    pub fn top(&self, n: usize) -> Vec<PlanProfile> {
+        let mut all = self.snapshot();
+        all.truncate(n);
+        all
+    }
+
+    /// Folded-stack export (`frame;frame count` per line, counts in whole
+    /// microseconds) for flamegraph tooling. The root frame is the plan's
+    /// scenario label (fingerprint when unlabeled), the leaf is the phase.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for p in self.snapshot() {
+            let root = if p.label.is_empty() {
+                format!("plan_{:#018x}", p.plan_key)
+            } else {
+                p.label.replace([';', ' '], "_")
+            };
+            for (phase, secs) in [
+                ("queue", p.stats.queue_s),
+                ("resolve", p.stats.resolve_s),
+                ("tune", p.stats.tune_s),
+                ("exec", p.stats.exec_wall_s),
+            ] {
+                let us = (secs * 1e6).round() as u64;
+                if us > 0 {
+                    out.push_str(&format!("{root};{phase} {us}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fixed-width `top plans` table for drain reports; empty string when
+    /// nothing was profiled.
+    pub fn render_top(&self, n: usize) -> String {
+        render_top_profiles(&self.top(n))
+    }
+}
+
+/// Heaviest-first, plan-key tiebreak (shared by profiler and fleet merges).
+pub fn sort_profiles(profiles: &mut [PlanProfile]) {
+    profiles.sort_by(|a, b| {
+        b.stats
+            .total_wall_s()
+            .partial_cmp(&a.stats.total_wall_s())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.plan_key.cmp(&b.plan_key))
+    });
+}
+
+/// Merge per-device profile lists into one fleet list (stats add per plan
+/// key; first non-empty label wins), heaviest first.
+pub fn merge_profiles(lists: &[Vec<PlanProfile>]) -> Vec<PlanProfile> {
+    let mut by_key: HashMap<u64, PlanProfile> = HashMap::new();
+    for list in lists {
+        for p in list {
+            match by_key.entry(p.plan_key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(p.clone());
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let merged = e.get_mut();
+                    if merged.label.is_empty() {
+                        merged.label = p.label.clone();
+                    }
+                    merged.stats.merge(&p.stats);
+                }
+            }
+        }
+    }
+    let mut out: Vec<PlanProfile> = by_key.into_values().collect();
+    sort_profiles(&mut out);
+    out
+}
+
+/// Render a profile list as the `top plans` table (used by
+/// `RuntimeReport::render` and the cluster's fleet view).
+pub fn render_top_profiles(profiles: &[PlanProfile]) -> String {
+    if profiles.is_empty() {
+        return String::new();
+    }
+    let mut out = format!(
+        "top plans by wall time:\n{:>18}  {:<22} {:>5} {:>10} {:>10} {:>10} {:>10} {:>11} {:>8} {:>10}\n",
+        "plan", "scenario", "reqs", "queue", "resolve", "tune", "exec", "sim", "compile", "store"
+    );
+    for p in profiles {
+        out.push_str(&format!(
+            "{:#018x}  {:<22} {:>5} {:>8.3}ms {:>8.3}ms {:>8.3}ms {:>8.3}ms {:>9.3}\u{b5}s {:>8} {:>9}B\n",
+            p.plan_key,
+            p.label,
+            p.stats.requests,
+            p.stats.queue_s * 1e3,
+            p.stats.resolve_s * 1e3,
+            p.stats.tune_s * 1e3,
+            p.stats.exec_wall_s * 1e3,
+            p.stats.exec_sim_s * 1e6,
+            p.stats.compiles,
+            p.stats.store_bytes,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_phases_per_plan() {
+        let prof = PhaseProfiler::new();
+        prof.touch(1, "Box-2D1R@64x64");
+        prof.add_phase(1, Phase::Resolve, 0.002);
+        prof.add_phase(1, Phase::Exec, 0.010);
+        prof.add_request(1, 50e-6);
+        prof.add_compile(1);
+        prof.add_store_load(1, 4096);
+        prof.add_phase(2, Phase::Exec, 0.001);
+
+        let snap = prof.snapshot();
+        assert_eq!(snap.len(), 2);
+        // Plan 1 is heavier, so it sorts first.
+        assert_eq!(snap[0].plan_key, 1);
+        assert_eq!(snap[0].label, "Box-2D1R@64x64");
+        let s = snap[0].stats;
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.compiles, 1);
+        assert_eq!(s.store_hits, 1);
+        assert_eq!(s.store_bytes, 4096);
+        assert!((s.resolve_s - 0.002).abs() < 1e-12);
+        assert!((s.total_wall_s() - 0.012).abs() < 1e-12);
+        assert!((s.exec_sim_s - 50e-6).abs() < 1e-12);
+        // Unlabeled plan 2 still profiles.
+        assert_eq!(snap[1].plan_key, 2);
+        assert_eq!(snap[1].label, "");
+        assert_eq!(prof.top(1).len(), 1);
+    }
+
+    #[test]
+    fn negative_durations_clamp_to_zero() {
+        let prof = PhaseProfiler::new();
+        prof.add_phase(1, Phase::Queue, -1.0);
+        prof.add_request(1, -1.0);
+        let s = prof.snapshot()[0].stats;
+        assert_eq!(s.queue_s, 0.0);
+        assert_eq!(s.exec_sim_s, 0.0);
+    }
+
+    #[test]
+    fn folded_stacks_emit_per_phase_lines() {
+        let prof = PhaseProfiler::new();
+        prof.touch(1, "Star-2D1R@32x32");
+        prof.add_phase(1, Phase::Resolve, 150e-6);
+        prof.add_phase(1, Phase::Exec, 2.5e-3);
+        let folded = prof.folded();
+        assert!(folded.contains("Star-2D1R@32x32;resolve 150\n"), "{folded}");
+        assert!(folded.contains("Star-2D1R@32x32;exec 2500\n"), "{folded}");
+        // Zero-time phases are omitted.
+        assert!(!folded.contains(";queue"), "{folded}");
+    }
+
+    #[test]
+    fn merge_profiles_adds_per_key() {
+        let a = vec![PlanProfile {
+            plan_key: 1,
+            label: String::new(),
+            stats: PhaseStats {
+                requests: 2,
+                exec_wall_s: 0.5,
+                ..PhaseStats::default()
+            },
+        }];
+        let b = vec![
+            PlanProfile {
+                plan_key: 1,
+                label: "Box-2D1R@64x64".into(),
+                stats: PhaseStats {
+                    requests: 3,
+                    exec_wall_s: 0.25,
+                    compiles: 1,
+                    ..PhaseStats::default()
+                },
+            },
+            PlanProfile {
+                plan_key: 2,
+                label: "Wave".into(),
+                stats: PhaseStats::default(),
+            },
+        ];
+        let merged = merge_profiles(&[a, b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].plan_key, 1);
+        assert_eq!(merged[0].label, "Box-2D1R@64x64");
+        assert_eq!(merged[0].stats.requests, 5);
+        assert!((merged[0].stats.exec_wall_s - 0.75).abs() < 1e-12);
+        assert_eq!(merged[0].stats.compiles, 1);
+    }
+
+    #[test]
+    fn render_top_is_empty_for_no_profiles() {
+        assert_eq!(PhaseProfiler::new().render_top(5), "");
+        let prof = PhaseProfiler::new();
+        prof.touch(0xdead, "Box-2D1R@64x64");
+        prof.add_phase(0xdead, Phase::Exec, 1e-3);
+        let table = prof.render_top(5);
+        assert!(table.contains("top plans by wall time:"), "{table}");
+        assert!(table.contains("0x000000000000dead"), "{table}");
+        assert!(table.contains("Box-2D1R@64x64"), "{table}");
+    }
+}

@@ -1,0 +1,423 @@
+//! Request-lifecycle tracing: a bounded ring buffer of structured events.
+//!
+//! Every serving-layer action on a request appends one [`Event`]:
+//!
+//! ```text
+//! admit → queued → plan-resolve{cache_hit|store_hit|compile}
+//!       → tune{memo_hit|dry_run} → launch/execute{wave, coalesced, share}
+//!       → complete{done|failed|expired|shed|cancelled}
+//! ```
+//!
+//! interleaved with `span-enter`/`span-exit` pairs from the [`Span`] API so
+//! phase nesting is explicit. Events carry both the host wall clock
+//! (seconds since the owning `Telemetry`'s epoch) and the simulated GPU
+//! clock where one exists (`Execute`/`Launch` events carry the simulated
+//! kernel time; other events stamp 0).
+//!
+//! The log is a fixed-capacity ring: at capacity it drops **oldest-first**
+//! and counts the drops ([`TraceLog::dropped_events`]) — a serving system
+//! must never let its own observability grow without bound.
+//!
+//! [`Span`]: crate::Span
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Where a plan resolution was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveSource {
+    /// In-memory `PlanCache` hit.
+    CacheHit,
+    /// Loaded (and validated) from the persistent `PlanStore`.
+    StoreHit,
+    /// Compiled fresh on this request.
+    Compile,
+}
+
+impl fmt::Display for ResolveSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResolveSource::CacheHit => "cache-hit",
+            ResolveSource::StoreHit => "store-hit",
+            ResolveSource::Compile => "compile",
+        })
+    }
+}
+
+/// Lifecycle phase a [`Span`](crate::Span) can cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Admission-queue residence (scheduler path only).
+    Queue,
+    /// Plan lookup / store load / compile.
+    Resolve,
+    /// Tiling selection (memo lookup or dry runs).
+    Tune,
+    /// Simulated-GPU execution.
+    Exec,
+}
+
+impl Phase {
+    /// Stable lowercase name (folded-stack frames, timeline rendering).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Queue => "queue",
+            Phase::Resolve => "resolve",
+            Phase::Tune => "tune",
+            Phase::Exec => "exec",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a request's lifecycle ended. Exactly one terminal event per admitted
+/// request — a property-tested invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminal {
+    /// Executed and produced an outcome.
+    Done,
+    /// Executed and failed (plan or execution error).
+    Failed,
+    /// Deadline passed before dispatch; never executed.
+    Expired,
+    /// Evicted by the `ShedLowestPriority` backpressure policy.
+    Shed,
+    /// Cancelled while still queued; never executed.
+    Cancelled,
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Terminal::Done => "done",
+            Terminal::Failed => "failed",
+            Terminal::Expired => "expired",
+            Terminal::Shed => "shed",
+            Terminal::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// One structured lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Request accepted by a serving entry point (`submit`, `run_batch`,
+    /// `execute`).
+    Admit,
+    /// Request entered the scheduler's admission queue.
+    Queued,
+    /// Plan resolved (cache / store / fresh compile).
+    PlanResolve { source: ResolveSource },
+    /// Tiling selected (`memo_hit`: served from the tuner's memo table;
+    /// `dry_runs`: simulator dry runs paid on this resolution).
+    Tune { memo_hit: bool, dry_runs: u64 },
+    /// One coalesced executor launch covering `members` grids; each grid is
+    /// billed `launch_share` of the kernel-launch overhead.
+    Launch {
+        wave_id: u64,
+        members: usize,
+        launch_share: f64,
+    },
+    /// This request's execution finished within wave `wave_id`.
+    Execute {
+        wave_id: u64,
+        coalesced: bool,
+        launch_share: f64,
+    },
+    /// Lifecycle ended.
+    Complete { terminal: Terminal },
+    /// A [`Span`](crate::Span) opened for `phase`.
+    SpanEnter { phase: Phase },
+    /// The matching span closed; `elapsed_s` is its wall duration.
+    SpanExit { phase: Phase, elapsed_s: f64 },
+}
+
+impl EventKind {
+    /// Terminal outcome carried by this event, if it is a `Complete`.
+    pub fn terminal(&self) -> Option<Terminal> {
+        match self {
+            EventKind::Complete { terminal } => Some(*terminal),
+            _ => None,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            EventKind::Admit => "admit".into(),
+            EventKind::Queued => "queued".into(),
+            EventKind::PlanResolve { source } => format!("plan-resolve: {source}"),
+            EventKind::Tune { memo_hit, dry_runs } => {
+                if *memo_hit {
+                    "tune: memo-hit".into()
+                } else {
+                    format!("tune: dry-run\u{d7}{dry_runs}")
+                }
+            }
+            EventKind::Launch {
+                wave_id,
+                members,
+                launch_share,
+            } => format!("launch: wave {wave_id}, \u{d7}{members} grids, share {launch_share:.3}"),
+            EventKind::Execute {
+                wave_id,
+                coalesced,
+                launch_share,
+            } => {
+                if *coalesced {
+                    format!("execute: wave {wave_id}, coalesced, share {launch_share:.3}")
+                } else {
+                    format!("execute: wave {wave_id}, solo")
+                }
+            }
+            EventKind::Complete { terminal } => format!("complete: {terminal}"),
+            EventKind::SpanEnter { phase } => format!("\u{25b6} {phase}"),
+            EventKind::SpanExit { phase, elapsed_s } => {
+                format!("\u{25c0} {phase} ({:.3}ms)", elapsed_s * 1e3)
+            }
+        }
+    }
+}
+
+/// One trace-log entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Global append order (monotone even across drops).
+    pub seq: u64,
+    /// The request this event belongs to (scheduler tickets map to request
+    /// ids via the scheduler's slot table).
+    pub request_id: u64,
+    /// Plan fingerprint the request resolves to (0 when not yet known).
+    pub plan_key: u64,
+    /// Host wall clock, seconds since the owning `Telemetry` epoch.
+    pub wall_s: f64,
+    /// Simulated GPU clock attributable to this event (kernel time for
+    /// `Execute`/`Launch`, 0 elsewhere).
+    pub sim_s: f64,
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    ring: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Bounded, thread-safe ring buffer of [`Event`]s. One short mutexed append
+/// per event — "lock-cheap" in the sense that the critical section is a
+/// `VecDeque` push plus at most one pop, never an allocation once the ring
+/// has reached capacity.
+#[derive(Debug)]
+pub struct TraceLog {
+    inner: Mutex<TraceInner>,
+    capacity: usize,
+}
+
+impl TraceLog {
+    /// A trace log holding at most `capacity` events (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(TraceInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum resident events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append one event; assigns and returns its `seq`. Drops the oldest
+    /// resident event when full.
+    pub fn push(&self, mut event: Event) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        event.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(event);
+        event.seq
+    }
+
+    /// Events currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted oldest-first because the ring was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Copy of the resident events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().ring.iter().copied().collect()
+    }
+
+    /// Resident events for one request, oldest first.
+    pub fn timeline(&self, request_id: u64) -> Vec<Event> {
+        self.inner
+            .lock()
+            .unwrap()
+            .ring
+            .iter()
+            .filter(|e| e.request_id == request_id)
+            .copied()
+            .collect()
+    }
+
+    /// Render one request's timeline: per-event wall-clock offsets from its
+    /// first resident event, span nesting as indentation, simulated-clock
+    /// stamps where present. Returns `None` when no events survive for the
+    /// request (never admitted, or its events were dropped).
+    pub fn render_timeline(&self, request_id: u64) -> Option<String> {
+        let events = self.timeline(request_id);
+        let first = events.first()?;
+        let t0 = first.wall_s;
+        let plan_key = events
+            .iter()
+            .map(|e| e.plan_key)
+            .find(|&k| k != 0)
+            .unwrap_or(0);
+        let mut out = format!(
+            "request {request_id} timeline (plan {plan_key:#018x}, {} events):\n",
+            events.len()
+        );
+        let mut depth: usize = 0;
+        for e in &events {
+            if matches!(e.kind, EventKind::SpanExit { .. }) {
+                depth = depth.saturating_sub(1);
+            }
+            let indent = "  ".repeat(depth);
+            let sim = if e.sim_s > 0.0 {
+                format!("  [sim {:.3}\u{b5}s]", e.sim_s * 1e6)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  +{:>9.3}ms  {indent}{}{sim}\n",
+                (e.wall_s - t0) * 1e3,
+                e.kind.describe()
+            ));
+            if matches!(e.kind, EventKind::SpanEnter { .. }) {
+                depth += 1;
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(request_id: u64, kind: EventKind) -> Event {
+        Event {
+            seq: 0,
+            request_id,
+            plan_key: 0xabc,
+            wall_s: 0.0,
+            sim_s: 0.0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_first_and_counts() {
+        let log = TraceLog::new(3);
+        for i in 0..5 {
+            log.push(ev(i, EventKind::Admit));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped_events(), 2);
+        let snap = log.snapshot();
+        // Requests 0 and 1 were evicted; seq numbering never reset.
+        assert_eq!(
+            snap.iter().map(|e| e.request_id).collect::<Vec<_>>(),
+            [2, 3, 4]
+        );
+        assert_eq!(snap.iter().map(|e| e.seq).collect::<Vec<_>>(), [2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_floors_at_one() {
+        let log = TraceLog::new(0);
+        assert_eq!(log.capacity(), 1);
+        log.push(ev(1, EventKind::Admit));
+        log.push(ev(2, EventKind::Admit));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped_events(), 1);
+    }
+
+    #[test]
+    fn timeline_filters_by_request() {
+        let log = TraceLog::new(16);
+        log.push(ev(1, EventKind::Admit));
+        log.push(ev(2, EventKind::Admit));
+        log.push(ev(
+            1,
+            EventKind::Complete {
+                terminal: Terminal::Done,
+            },
+        ));
+        let t = log.timeline(1);
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|e| e.request_id == 1));
+        assert_eq!(t[1].kind.terminal(), Some(Terminal::Done));
+        assert!(log.timeline(99).is_empty());
+        assert!(log.render_timeline(99).is_none());
+    }
+
+    #[test]
+    fn render_shows_nesting_and_descriptions() {
+        let log = TraceLog::new(16);
+        log.push(ev(7, EventKind::Admit));
+        log.push(ev(7, EventKind::SpanEnter { phase: Phase::Exec }));
+        let mut e = ev(
+            7,
+            EventKind::Execute {
+                wave_id: 3,
+                coalesced: true,
+                launch_share: 0.25,
+            },
+        );
+        e.sim_s = 12.5e-6;
+        log.push(e);
+        log.push(ev(
+            7,
+            EventKind::SpanExit {
+                phase: Phase::Exec,
+                elapsed_s: 1e-3,
+            },
+        ));
+        log.push(ev(
+            7,
+            EventKind::Complete {
+                terminal: Terminal::Done,
+            },
+        ));
+        let text = log.render_timeline(7).unwrap();
+        assert!(text.contains("request 7 timeline"), "{text}");
+        assert!(text.contains("\u{25b6} exec"), "{text}");
+        // The execute line is indented under the span and carries sim time.
+        assert!(
+            text.contains("  execute: wave 3, coalesced, share 0.250  [sim 12.500\u{b5}s]"),
+            "{text}"
+        );
+        assert!(text.contains("\u{25c0} exec (1.000ms)"), "{text}");
+        assert!(text.contains("complete: done"), "{text}");
+    }
+}

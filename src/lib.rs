@@ -83,6 +83,7 @@ pub use spider_fft as fft;
 pub use spider_gpu_sim as gpu_sim;
 pub use spider_runtime as runtime;
 pub use spider_stencil as stencil;
+pub use spider_telemetry as telemetry;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
@@ -113,4 +114,5 @@ pub mod prelude {
         kernel::StencilKernel,
         shape::{ShapeKind, StencilShape},
     };
+    pub use spider_telemetry::{Telemetry, TelemetryConfig};
 }
