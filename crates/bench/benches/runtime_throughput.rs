@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, Criterion};
+use spider_bench::traffic;
 use spider_gpu_sim::GpuDevice;
 use spider_runtime::{
     RuntimeOptions, SchedulerOptions, SpiderRuntime, SpiderScheduler, StencilRequest,
@@ -196,8 +197,21 @@ fn emit_json() {
         ..options()
     });
 
+    // Multi-tenant SLO scene: the canonical noisy-neighbor traffic (paced
+    // victim vs closed-loop bully) under weights + admission quota. The
+    // victim's p99 wait carries the inverted-gate `_p99_wait_us` suffix —
+    // a scheduler change that lets the bully inflate the victim's tail
+    // past tolerance fails the bench gate even with throughput flat.
+    let slo = traffic::run(
+        &traffic::noisy_neighbor_spec(24, 96),
+        traffic::noisy_neighbor_options(Some(16)),
+    );
+    let victim = slo.tenant(traffic::VICTIM).expect("victim row");
+    let noisy = slo.tenant(traffic::NOISY).expect("noisy row");
+    let fairness = slo.fairness_ratio(traffic::VICTIM, traffic::NOISY);
+
     let json = format!(
-        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"scheduler_requests_per_sec\": {:.3},\n  \"scheduler_mean_wait_ms\": {:.3},\n  \"scheduler_dispatch_waves\": {},\n  \"scheduler_coalesced_groups\": {},\n  \"volume_requests_per_sec\": {:.3},\n  \"volume_simulated_gstencils_per_sec\": {:.4},\n  \"mixed_scheduler_requests_per_sec\": {:.3},\n  \"mixed_volumetric_requests\": {},\n  \"telemetry_on_requests_per_sec\": {:.3},\n  \"telemetry_off_requests_per_sec\": {:.3},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"scheduler_requests_per_sec\": {:.3},\n  \"scheduler_mean_wait_ms\": {:.3},\n  \"scheduler_p99_wait_us\": {:.1},\n  \"scheduler_dispatch_waves\": {},\n  \"scheduler_coalesced_groups\": {},\n  \"volume_requests_per_sec\": {:.3},\n  \"volume_simulated_gstencils_per_sec\": {:.4},\n  \"mixed_scheduler_requests_per_sec\": {:.3},\n  \"mixed_volumetric_requests\": {},\n  \"telemetry_on_requests_per_sec\": {:.3},\n  \"telemetry_off_requests_per_sec\": {:.3},\n  \"traffic_victim_p99_wait_us\": {:.1},\n  \"traffic_noisy_p99_wait_ms\": {:.3},\n  \"traffic_victim_completed\": {},\n  \"traffic_noisy_rejected\": {},\n  \"traffic_fairness_victim_per_noisy\": {:.4},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
         cold.outcomes.len(),
         WARM_BATCHES,
         cold.requests_per_sec(),
@@ -206,6 +220,7 @@ fn emit_json() {
         sim_gsps,
         sched_rps,
         sched_queue.mean_wait_s() * 1e3,
+        sched_queue.p99_wait_s() * 1e6,
         sched_queue.dispatch_waves,
         sched_queue.coalesced_groups,
         vol_rps,
@@ -214,6 +229,11 @@ fn emit_json() {
         mixed_report.volumetric_completed(),
         telemetry_on_rps,
         telemetry_off_rps,
+        victim.p99_wait_us,
+        noisy.p99_wait_us / 1e3,
+        victim.completed,
+        noisy.rejected,
+        fairness,
         stats.hits,
         stats.misses,
         sched.runtime().cached_plans(),

@@ -11,20 +11,28 @@
 //! bench's `warm_requests_per_sec` / `scheduler_requests_per_sec` /
 //! `simulated_gstencils_per_sec` and the core bench's
 //! `core_*_gstencils_per_sec` family are all gated by the same binary
-//! without a hard-coded list. Keys without the suffix (counts, hit rates,
-//! the noisy `host_*_mpoints` wall-clock rates) are informational only, as
-//! is `cold_requests_per_sec`: the cold number is dominated by first-touch
+//! without a hard-coded list. Keys ending in `_p99_wait_us` are the
+//! **lower-is-better** tail-latency family (the traffic harness's
+//! `scheduler_p99_wait_us`, `victim_p99_wait_us`, …): the gate direction
+//! inverts, failing when the candidate's p99 *grows* past tolerance — a
+//! serving deployment is priced on the wait distribution's tail, not its
+//! mean throughput, so a p99 inflation is a regression even with
+//! `*_per_sec` flat. Keys matching neither suffix (counts, hit rates, the
+//! noisy `host_*_mpoints` wall-clock rates) are informational only, as is
+//! `cold_requests_per_sec`: the cold number is dominated by first-touch
 //! plan compiles and tuner dry-runs, which makes it far too
 //! machine-sensitive to hold a shared CI runner to a dev-machine baseline
 //! (the reason the old hard-coded list never included it).
 //!
 //! The gate fails (exit code 1) when `candidate < baseline * (1 −
-//! tolerance)` for any gated metric. The default tolerance is 0.15 — a >15%
-//! throughput drop blocks the PR. Metrics present in the candidate but not
-//! the baseline are reported as `new` and pass (the next baseline refresh
-//! starts gating them); metrics that *disappear* from the candidate fail,
-//! because a silently vanished number is indistinguishable from a
-//! regression nobody measured.
+//! tolerance)` for any higher-is-better metric, or when `candidate >
+//! baseline * (1 + tolerance)` for any lower-is-better one. The default
+//! tolerance is 0.15 — a >15% throughput drop (or p99 inflation) blocks
+//! the PR. Metrics present in the candidate but not the baseline are
+//! reported as `new` and pass (the next baseline refresh starts gating
+//! them); metrics that *disappear* from the candidate fail, because a
+//! silently vanished number is indistinguishable from a regression nobody
+//! measured.
 //!
 //! The parser handles exactly the flat `{"key": number, ...}` shape the
 //! benches emit — no JSON dependency, the build image has no registry
@@ -34,9 +42,17 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Whether a metric is gate-enforced: higher-is-better rates by naming
-/// convention, minus the cold-start rate (see the module docs).
+/// convention, minus the cold-start rate (see the module docs), plus the
+/// lower-is-better tail-latency family.
 fn is_gated(metric: &str) -> bool {
-    metric.ends_with("_per_sec") && metric != "cold_requests_per_sec"
+    (metric.ends_with("_per_sec") && metric != "cold_requests_per_sec") || is_inverted(metric)
+}
+
+/// Whether a gated metric is *lower-is-better*: the `*_p99_wait_us`
+/// tail-latency family inverts the gate direction — the candidate fails
+/// when its p99 wait grows past tolerance.
+fn is_inverted(metric: &str) -> bool {
+    metric.ends_with("_p99_wait_us")
 }
 
 const DEFAULT_TOLERANCE: f64 = 0.15;
@@ -103,10 +119,13 @@ fn evaluate(
         .map(|metric| {
             let b = baseline.get(metric).copied();
             let c = candidate.get(metric).copied();
+            let inverted = is_inverted(metric);
             let verdict = match (b, c) {
                 (None, Some(_)) => Verdict::NewMetric,
-                (Some(b), Some(c)) if c >= b * (1.0 - tolerance) => Verdict::Pass,
-                // Missing from the candidate, or regressed past tolerance.
+                (Some(b), Some(c)) if inverted && c <= b * (1.0 + tolerance) => Verdict::Pass,
+                (Some(b), Some(c)) if !inverted && c >= b * (1.0 - tolerance) => Verdict::Pass,
+                // Missing from the candidate, or regressed past tolerance
+                // (dropped throughput, or an inflated p99 tail).
                 _ => Verdict::Fail,
             };
             GateRow {
@@ -192,7 +211,7 @@ fn main() -> ExitCode {
     let (table, failed) = render(&rows, tolerance);
     print!("{table}");
     if failed {
-        eprintln!("bench gate: FAILED — throughput regressed past tolerance");
+        eprintln!("bench gate: FAILED — throughput or tail latency regressed past tolerance");
         ExitCode::FAILURE
     } else {
         println!("bench gate: OK");
@@ -327,6 +346,57 @@ mod tests {
         let rows = evaluate(&old_baseline, &baseline(), DEFAULT_TOLERANCE);
         assert!(failed(&rows).is_empty(), "new metrics are ungated");
         assert!(rows.iter().any(|r| matches!(r.verdict, Verdict::NewMetric)));
+    }
+
+    /// The `*_p99_wait_us` family gates in the opposite direction: an
+    /// inflated tail fails even though every throughput rate is flat.
+    #[test]
+    fn inflated_p99_wait_fails_the_inverted_gate() {
+        let mut with_p99 = baseline();
+        with_p99.insert("scheduler_p99_wait_us".into(), 500.0);
+        with_p99.insert("victim_p99_wait_us".into(), 800.0);
+
+        let mut inflated = with_p99.clone();
+        inflated.insert("scheduler_p99_wait_us".into(), 700.0); // +40%
+        let rows = evaluate(&with_p99, &inflated, DEFAULT_TOLERANCE);
+        assert_eq!(failed(&rows), vec!["scheduler_p99_wait_us"]);
+        let (table, any_failed) = render(&rows, DEFAULT_TOLERANCE);
+        assert!(any_failed);
+        assert!(table.contains("+40.0%"), "{table}");
+
+        // Within tolerance (+10%) and improvements (lower p99) both pass.
+        let mut mild = with_p99.clone();
+        mild.insert("scheduler_p99_wait_us".into(), 550.0); // +10%
+        mild.insert("victim_p99_wait_us".into(), 100.0); // -87%, an improvement
+        let rows = evaluate(&with_p99, &mild, DEFAULT_TOLERANCE);
+        assert!(failed(&rows).is_empty(), "+10% tail and any shrink pass");
+
+        // Boundary is inclusive on the high side (checked just inside it —
+        // 0.15 is not exact in binary, so "exactly" +15% sits a ULP off).
+        let mut edge = with_p99.clone();
+        edge.insert("victim_p99_wait_us".into(), 919.9); // +14.99%
+        assert!(failed(&evaluate(&with_p99, &edge, DEFAULT_TOLERANCE)).is_empty());
+        edge.insert("victim_p99_wait_us".into(), 921.0);
+        assert_eq!(
+            failed(&evaluate(&with_p99, &edge, DEFAULT_TOLERANCE)),
+            vec!["victim_p99_wait_us"]
+        );
+
+        // Vanished-fails / new-passes applies to the inverted family too.
+        let mut gone = with_p99.clone();
+        gone.remove("victim_p99_wait_us");
+        assert_eq!(
+            failed(&evaluate(&with_p99, &gone, DEFAULT_TOLERANCE)),
+            vec!["victim_p99_wait_us"]
+        );
+        let rows = evaluate(&baseline(), &with_p99, DEFAULT_TOLERANCE);
+        assert!(failed(&rows).is_empty(), "newly emitted p99s are ungated");
+        assert_eq!(
+            rows.iter()
+                .filter(|r| matches!(r.verdict, Verdict::NewMetric))
+                .count(),
+            2
+        );
     }
 
     #[test]

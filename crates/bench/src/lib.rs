@@ -11,6 +11,11 @@
 //! | Fig 10 (performance comparison)  | [`fig10`] |
 //! | Fig 11 (scaling trend)           | [`fig11`] |
 //! | Fig 12 (ablation breakdown)      | [`fig12`] |
+//!
+//! Beyond the paper artifacts, [`traffic`] is the deterministic
+//! multi-tenant traffic generator behind the serving-SLO bench metrics
+//! (`*_p99_wait_us` in `BENCH_runtime.json`) and the noisy-neighbor
+//! example scenes.
 
 pub mod fig10;
 pub mod fig11;
@@ -18,6 +23,7 @@ pub mod fig12;
 pub mod report;
 pub mod suite;
 pub mod table3;
+pub mod traffic;
 
 pub use report::{render, Series};
 pub use suite::{benchmark_kernel, MethodResult};

@@ -1,0 +1,385 @@
+//! Deterministic multi-tenant traffic generator for the serving layer.
+//!
+//! The SLO story the weighted-fair scheduler tells ("a noisy neighbor
+//! cannot blow up the victim's p99") is only checkable under *traffic* —
+//! a batch run has no arrival process, so every request's wait time is an
+//! artifact of batch order, not contention. This module generates the
+//! contention: per-tenant arrival processes (open-loop paced bursts or a
+//! closed-loop blast), Zipf-skewed plan popularity over a synthetic plan
+//! population, all driven by a seeded splitmix64 RNG so a scene replays
+//! identically bar wall-clock noise.
+//!
+//! Used by `benches/runtime_throughput.rs` (which emits the gated
+//! `*_p99_wait_us` metrics into `BENCH_runtime.json`) and by
+//! `examples/multi_tenant_serving.rs` scenes. No external dependencies —
+//! the RNG and the Zipf sampler are hand-rolled because the build image
+//! has no registry access.
+//!
+//! ```
+//! use spider_bench::traffic::{self, ArrivalProcess, TenantLoad, TrafficSpec};
+//! use spider_runtime::{SchedulerOptions, TenantConfig, TenantId};
+//!
+//! let spec = TrafficSpec {
+//!     plans: 4,
+//!     zipf_s: 1.1,
+//!     seed: 7,
+//!     rows: 32,
+//!     cols: 32,
+//!     tenants: vec![TenantLoad::closed(TenantId::new(1), 8)],
+//! };
+//! let opts = SchedulerOptions::default()
+//!     .with_tenant(TenantId::new(1), TenantConfig::weighted(2));
+//! let out = traffic::run(&spec, opts);
+//! assert_eq!(out.tenant(TenantId::new(1)).unwrap().completed, 8);
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spider_gpu_sim::GpuDevice;
+use spider_runtime::{
+    QueueStats, RuntimeOptions, RuntimeReport, SchedulerOptions, SpiderRuntime, SpiderScheduler,
+    StencilRequest, SubmitError, TenantId,
+};
+use spider_stencil::{StencilKernel, StencilShape};
+
+/// Seeded splitmix64 — the standard 64-bit mixer; deterministic, no deps.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf(`s`) popularity over ranks `0..n`: rank `k` has weight
+/// `1/(k+1)^s`. Sampled by binary search over the precomputed CDF, so a
+/// draw is `O(log n)` and the distribution is exact (no rejection loop).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "a plan population needs at least one plan");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// How one tenant's requests arrive at the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// Open loop: `burst` requests, then a `gap` pause, repeated — arrivals
+    /// do not wait for service, so queueing delay reflects contention.
+    Open { burst: usize, gap: Duration },
+    /// Closed loop: the whole demand submitted as fast as the scheduler
+    /// accepts it (the saturating, noisy-neighbor shape).
+    Closed,
+}
+
+/// One tenant's offered load.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantLoad {
+    pub tenant: TenantId,
+    /// Requests this tenant offers over the scene.
+    pub requests: usize,
+    pub arrival: ArrivalProcess,
+}
+
+impl TenantLoad {
+    /// A closed-loop (blast) load.
+    pub fn closed(tenant: TenantId, requests: usize) -> Self {
+        Self {
+            tenant,
+            requests,
+            arrival: ArrivalProcess::Closed,
+        }
+    }
+
+    /// An open-loop load: `requests` total, arriving `burst` at a time with
+    /// `gap` between bursts.
+    pub fn open(tenant: TenantId, requests: usize, burst: usize, gap: Duration) -> Self {
+        Self {
+            tenant,
+            requests,
+            arrival: ArrivalProcess::Open { burst, gap },
+        }
+    }
+}
+
+/// A complete traffic scene: the plan population and every tenant's load.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// Distinct plans in the population (each a distinct plan key).
+    pub plans: usize,
+    /// Zipf skew of plan popularity (`0.0` = uniform; `~1.1` = the classic
+    /// hot-head shape where coalescing pays off).
+    pub zipf_s: f64,
+    /// RNG seed: same seed, same per-tenant request sequences.
+    pub seed: u64,
+    /// Grid extent of every request (equal extents make DRR costs equal, so
+    /// served-work ratios read directly as request-count ratios).
+    pub rows: usize,
+    pub cols: usize,
+    pub tenants: Vec<TenantLoad>,
+}
+
+/// Per-tenant SLO outcome distilled from the drain report.
+#[derive(Debug, Clone)]
+pub struct TenantSlo {
+    pub tenant: TenantId,
+    pub submitted: u64,
+    pub completed: u64,
+    /// Submissions refused by the tenant's admission quota.
+    pub rejected: u64,
+    pub served_cost: u64,
+    pub mean_wait_us: f64,
+    pub p99_wait_us: f64,
+}
+
+/// What a scene run produced: the raw drain report plus per-tenant SLOs.
+#[derive(Debug)]
+pub struct TrafficOutcome {
+    pub report: RuntimeReport,
+    pub per_tenant: Vec<TenantSlo>,
+}
+
+impl TrafficOutcome {
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantSlo> {
+        self.per_tenant.iter().find(|s| s.tenant == tenant)
+    }
+
+    /// `a`'s served work per unit of `b`'s — the weighted-fairness ratio
+    /// (∞ when `b` served nothing).
+    pub fn fairness_ratio(&self, a: TenantId, b: TenantId) -> f64 {
+        let cost = |t| self.tenant(t).map_or(0, |s| s.served_cost) as f64;
+        cost(a) / cost(b)
+    }
+}
+
+/// The synthetic plan population: `n` distinct box-2D1R kernels (distinct
+/// coefficient seeds ⇒ distinct fingerprints ⇒ distinct plan keys).
+pub fn plan_population(n: usize, seed: u64) -> Vec<StencilKernel> {
+    (0..n)
+        .map(|i| StencilKernel::random(StencilShape::box_2d(1), seed ^ (0xA5A5 + i as u64)))
+        .collect()
+}
+
+/// Run one scene against a fresh warm runtime and return per-tenant SLOs.
+///
+/// One submitter thread per tenant drives its arrival process concurrently
+/// (contention between tenants is the point); quota refusals are counted
+/// and dropped, any other submit error panics. The runtime's caches are
+/// pre-warmed with one request per plan so the scene measures queueing, not
+/// first-touch compiles.
+pub fn run(spec: &TrafficSpec, scheduler: SchedulerOptions) -> TrafficOutcome {
+    let kernels = plan_population(spec.plans, spec.seed);
+    let runtime = Arc::new(SpiderRuntime::new(
+        GpuDevice::a100(),
+        RuntimeOptions {
+            cache_capacity: spec.plans.max(8),
+            ..RuntimeOptions::default()
+        },
+    ));
+    // Warm every plan so queueing delay is not dominated by compiles.
+    let warmup: Vec<StencilRequest> = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, k)| StencilRequest::new_2d(1_000_000 + i as u64, k.clone(), spec.rows, spec.cols))
+        .collect();
+    runtime.run_batch(&warmup);
+
+    // Pre-generate each tenant's request sequence so the submitter threads
+    // do no RNG work (determinism does not depend on thread interleaving).
+    let zipf = ZipfSampler::new(spec.plans, spec.zipf_s);
+    let mut sequences: Vec<(TenantLoad, Vec<StencilRequest>)> = Vec::new();
+    for (t_idx, load) in spec.tenants.iter().enumerate() {
+        let mut rng = Rng::new(spec.seed ^ (load.tenant.as_u64().wrapping_mul(0x9E37)));
+        let reqs = (0..load.requests)
+            .map(|i| {
+                let plan = zipf.sample(&mut rng);
+                let id = (t_idx as u64) << 32 | i as u64;
+                StencilRequest::new_2d(id, kernels[plan].clone(), spec.rows, spec.cols)
+                    .with_seed(id)
+                    .with_tenant(load.tenant)
+            })
+            .collect();
+        sequences.push((*load, reqs));
+    }
+
+    let sched = SpiderScheduler::new(runtime, scheduler);
+    std::thread::scope(|scope| {
+        for (load, reqs) in &sequences {
+            let sched = &sched;
+            scope.spawn(move || {
+                let burst_gap = match load.arrival {
+                    ArrivalProcess::Open { burst, gap } => Some((burst.max(1), gap)),
+                    ArrivalProcess::Closed => None,
+                };
+                for (i, req) in reqs.iter().enumerate() {
+                    if let Some((burst, gap)) = burst_gap {
+                        if i > 0 && i % burst == 0 {
+                            std::thread::sleep(gap);
+                        }
+                    }
+                    match sched.submit(req.clone()) {
+                        Ok(_) => {}
+                        // Quota refusals are part of the scene (the noisy
+                        // tenant is *supposed* to be clipped); anything
+                        // else is a harness bug.
+                        Err(SubmitError::QuotaExceeded { .. }) => {}
+                        Err(e) => panic!("traffic submit failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let report = sched.drain();
+
+    let slo = |tenant: TenantId, q: &QueueStats| TenantSlo {
+        tenant,
+        submitted: q.submitted,
+        completed: q.completed,
+        rejected: q.rejected,
+        served_cost: q.served_cost,
+        mean_wait_us: q.mean_wait_s() * 1e6,
+        p99_wait_us: q.p99_wait_s() * 1e6,
+    };
+    let per_tenant = report.tenants.iter().map(|(t, q)| slo(*t, q)).collect();
+    TrafficOutcome { report, per_tenant }
+}
+
+/// The canonical noisy-neighbor scene: a paced victim sharing the scheduler
+/// with a closed-loop bully offering `noisy_requests`. Returned spec is
+/// deterministic; pair it with [`noisy_neighbor_options`].
+pub fn noisy_neighbor_spec(victim_requests: usize, noisy_requests: usize) -> TrafficSpec {
+    TrafficSpec {
+        plans: 6,
+        zipf_s: 1.1,
+        seed: 42,
+        rows: 48,
+        cols: 64,
+        tenants: vec![
+            TenantLoad::open(VICTIM, victim_requests, 2, Duration::from_millis(2)),
+            TenantLoad::closed(NOISY, noisy_requests),
+        ],
+    }
+}
+
+/// The victim tenant of [`noisy_neighbor_spec`].
+pub const VICTIM: TenantId = TenantId::new(1);
+/// The bully tenant of [`noisy_neighbor_spec`].
+pub const NOISY: TenantId = TenantId::new(2);
+
+/// Scheduler options for the noisy-neighbor scene: victim weighted 4:1
+/// over the bully, and (optionally) an admission quota clipping how much
+/// of the bully's blast may even queue.
+pub fn noisy_neighbor_options(noisy_quota: Option<usize>) -> SchedulerOptions {
+    use spider_runtime::TenantConfig;
+    let mut noisy = TenantConfig::weighted(1);
+    if let Some(q) = noisy_quota {
+        noisy = noisy.with_admission_quota(q);
+    }
+    SchedulerOptions::default()
+        .with_tenant(VICTIM, TenantConfig::weighted(4))
+        .with_tenant(NOISY, noisy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_and_zipf_are_deterministic_and_skewed() {
+        let mut a = Rng::new(9);
+        let mut b = Rng::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let zipf = ZipfSampler::new(16, 1.1);
+        let mut rng = Rng::new(1);
+        let mut counts = [0usize; 16];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8], "rank 0 must dominate the tail");
+        assert!(counts.iter().sum::<usize>() == 4000);
+        // Uniform (s = 0) spreads the mass.
+        let flat = ZipfSampler::new(4, 0.0);
+        let mut rng = Rng::new(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[flat.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{counts:?}");
+    }
+
+    #[test]
+    fn plan_population_has_distinct_plan_keys() {
+        let kernels = plan_population(8, 3);
+        let keys: std::collections::HashSet<u64> =
+            kernels.iter().map(|k| k.fingerprint()).collect();
+        assert_eq!(keys.len(), 8);
+    }
+
+    #[test]
+    fn closed_loop_scene_completes_every_request() {
+        let spec = TrafficSpec {
+            plans: 3,
+            zipf_s: 1.0,
+            seed: 5,
+            rows: 32,
+            cols: 32,
+            tenants: vec![
+                TenantLoad::closed(TenantId::new(1), 6),
+                TenantLoad::closed(TenantId::new(2), 6),
+            ],
+        };
+        let opts = noisy_neighbor_options(None);
+        let out = run(&spec, opts);
+        let t1 = out.tenant(TenantId::new(1)).unwrap();
+        let t2 = out.tenant(TenantId::new(2)).unwrap();
+        assert_eq!(t1.completed, 6);
+        assert_eq!(t2.completed, 6);
+        assert_eq!(t1.rejected + t2.rejected, 0);
+        assert!(out.fairness_ratio(TenantId::new(1), TenantId::new(2)) > 0.0);
+    }
+
+    #[test]
+    fn quota_clips_the_noisy_tenant_in_scene() {
+        let spec = noisy_neighbor_spec(8, 40);
+        let out = run(&spec, noisy_neighbor_options(Some(4)));
+        let noisy = out.tenant(NOISY).unwrap();
+        assert!(noisy.rejected > 0, "a 40-request blast must hit quota 4");
+        assert_eq!(out.tenant(VICTIM).unwrap().completed, 8);
+    }
+}

@@ -5,7 +5,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use spider_runtime::{
-    PlanStore, RequestStatus, SpiderRuntime, SpiderScheduler, StencilRequest, SubmitError, Ticket,
+    PlanStore, RequestStatus, SpiderRuntime, SpiderScheduler, StencilRequest, Submit, SubmitError,
+    Ticket,
 };
 
 use crate::report::{ClusterReport, DeviceReport};
@@ -141,7 +142,7 @@ impl SpiderCluster {
                     }
                     None => SpiderRuntime::new(device, spec.runtime),
                 });
-                let scheduler = SpiderScheduler::new(Arc::clone(&runtime), spec.scheduler);
+                let scheduler = SpiderScheduler::new(Arc::clone(&runtime), spec.scheduler.clone());
                 ClusterDevice {
                     spec,
                     runtime,
@@ -216,41 +217,70 @@ impl SpiderCluster {
         self.state.lock().expect("cluster state poisoned")
     }
 
-    /// Route and submit one request. The returned ticket stays valid across
-    /// work stealing.
-    pub fn submit(&self, req: StencilRequest) -> Result<ClusterTicket, SubmitError> {
-        // Only the load-aware policy pays for a fleet-wide depth snapshot
-        // (N scheduler locks); affinity and round-robin ignore loads.
+    /// Pick the destination device for `req` under the configured policy.
+    /// Only the load-aware policy pays for a fleet-wide depth snapshot
+    /// (N scheduler locks); affinity and round-robin ignore loads.
+    fn route(&self, req: &StencilRequest) -> usize {
         let loads = if self.router.policy() == RoutingPolicy::LeastLoaded {
             self.queue_depths()
         } else {
             vec![0; self.devices.len()]
         };
-        let device = self.router.route(&req, &loads);
-        let ticket = self.devices[device].scheduler.submit(req.clone())?;
-        let seq = {
-            let mut st = self.lock();
-            if st.first_submit.is_none() {
-                st.first_submit = Some(Instant::now());
-            }
-            let seq = st.next_seq;
-            st.next_seq += 1;
-            st.pending.insert(
-                seq,
-                Pending {
-                    req,
-                    device,
-                    ticket,
-                },
-            );
-            st.device_order[device].push(seq);
-            st.routed[device] += 1;
-            seq
-        };
-        if self.options.rebalance_every > 0 && (seq + 1) % self.options.rebalance_every as u64 == 0
+        self.router.route(req, &loads)
+    }
+
+    /// Record an accepted submission in the cluster state and return its
+    /// cluster-wide sequence number.
+    fn record_submission(&self, req: StencilRequest, device: usize, ticket: Ticket) -> u64 {
+        let mut st = self.lock();
+        if st.first_submit.is_none() {
+            st.first_submit = Some(Instant::now());
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.pending.insert(
+            seq,
+            Pending {
+                req,
+                device,
+                ticket,
+            },
+        );
+        st.device_order[device].push(seq);
+        st.routed[device] += 1;
+        seq
+    }
+
+    fn maybe_rebalance(&self, seq: u64) {
+        if self.options.rebalance_every > 0
+            && (seq + 1).is_multiple_of(self.options.rebalance_every as u64)
         {
             self.rebalance();
         }
+    }
+
+    /// Route and submit one request. The returned ticket stays valid across
+    /// work stealing. Blocks while the destination queue is full (unless
+    /// its backpressure policy sheds or rejects); admission-quota rejections
+    /// surface as [`SubmitError::QuotaExceeded`] either way.
+    pub fn submit(&self, req: StencilRequest) -> Result<ClusterTicket, SubmitError> {
+        let device = self.route(&req);
+        let ticket = self.devices[device].scheduler.submit(req.clone())?;
+        let seq = self.record_submission(req, device, ticket);
+        self.maybe_rebalance(seq);
+        Ok(ClusterTicket { seq })
+    }
+
+    /// Non-blocking [`Self::submit`]: routes identically, but a full
+    /// destination queue returns [`SubmitError::QueueFull`] immediately
+    /// instead of parking. No fallback to other devices — the router's
+    /// placement (plan-key affinity) is the point; [`Self::rebalance`]
+    /// flattens persistent skew.
+    pub fn try_submit(&self, req: StencilRequest) -> Result<ClusterTicket, SubmitError> {
+        let device = self.route(&req);
+        let ticket = self.devices[device].scheduler.try_submit(req.clone())?;
+        let seq = self.record_submission(req, device, ticket);
+        self.maybe_rebalance(seq);
         Ok(ClusterTicket { seq })
     }
 
@@ -557,6 +587,21 @@ impl SpiderCluster {
             (p.device, p.ticket)
         };
         self.devices[device].scheduler.timeline(dev_ticket)
+    }
+}
+
+/// The cluster front door satisfies the same [`Submit`] contract as a
+/// single-device [`SpiderScheduler`], so serving code can be generic over
+/// "something I can submit stencil requests to".
+impl Submit for SpiderCluster {
+    type Ticket = ClusterTicket;
+
+    fn submit(&self, req: StencilRequest) -> Result<ClusterTicket, SubmitError> {
+        SpiderCluster::submit(self, req)
+    }
+
+    fn try_submit(&self, req: StencilRequest) -> Result<ClusterTicket, SubmitError> {
+        SpiderCluster::try_submit(self, req)
     }
 }
 

@@ -254,6 +254,7 @@ mod tests {
                 wall_s: 0.0,
                 cache: CacheStats::default(),
                 queue: None,
+                tenants: Vec::new(),
                 profile: Vec::new(),
             },
             routed: 0,

@@ -22,6 +22,28 @@
 //! across compile+load, which serialized the whole runtime behind any one
 //! slow resolution; `slow_resolves_do_not_block_unrelated_lookups` pins
 //! the fix.
+//!
+//! ## Tenancy
+//!
+//! Every entry records the [`TenantId`] that inserted it. Two per-tenant
+//! policy knobs bound multi-tenant interference ([`PlanCache::set_tenant_policy`]):
+//! a **reserve** — other tenants may never evict a tenant below that many
+//! owned entries — and a **cap** — a tenant at its cap evicts its *own*
+//! least-recently-used plan on insert instead of pressuring everyone
+//! else's. Reserves should sum to less than the capacity; if every entry
+//! is reserve-protected the cache admits over capacity rather than violate
+//! a reserve.
+//!
+//! ## Capacity auto-sizing
+//!
+//! With [`PlanCache::enable_autosize`], the cache periodically re-derives
+//! its capacity from the *observed working-set entropy*: if `p(k)` is the
+//! (decayed) access frequency of plan key `k`, the Shannon entropy `H =
+//! -Σ p log₂ p` gives `2^H` — the number of equally-hot plans that would
+//! produce the observed traffic. Capacity follows `2^H` (plus slack,
+//! clamped to the configured bounds), so a serving deployment with a
+//! Zipf-concentrated working set shrinks its plan footprint while a flat
+//! one grows it, no hand tuning.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
@@ -29,7 +51,7 @@ use std::sync::{Arc, Mutex};
 use spider_core::exec3d::Spider3DPlan;
 use spider_core::plan::{PlanError, SpiderPlan};
 
-use crate::request::RequestKernel;
+use crate::request::{RequestKernel, TenantId};
 
 /// A cached compiled artifact: one entry per plan key, planar or
 /// volumetric. Cloning is cheap (`Arc` bumps).
@@ -114,10 +136,53 @@ impl CacheStats {
     }
 }
 
+/// Entropy-driven capacity auto-sizing configuration
+/// ([`PlanCache::enable_autosize`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAutosize {
+    /// Capacity never shrinks below this (≥ 1).
+    pub min_capacity: usize,
+    /// Capacity never grows beyond this.
+    pub max_capacity: usize,
+    /// Recompute the entropy target every this many lookups (≥ 1).
+    pub every: usize,
+    /// Extra entries kept beyond the entropy estimate `2^H` — headroom for
+    /// the estimate's granularity and for in-flight inserts.
+    pub slack: usize,
+}
+
+impl CacheAutosize {
+    /// Auto-size between `min` and `max` entries with serving defaults
+    /// (recompute every 64 lookups, 1 entry of slack).
+    pub fn bounded(min: usize, max: usize) -> Self {
+        assert!(
+            min >= 1 && max >= min,
+            "autosize bounds must be 1 ≤ min ≤ max"
+        );
+        Self {
+            min_capacity: min,
+            max_capacity: max,
+            every: 64,
+            slack: 1,
+        }
+    }
+}
+
+/// Per-tenant eviction policy (see the module docs on tenancy).
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantPolicy {
+    /// Other tenants may never evict this tenant below this many entries.
+    reserve: usize,
+    /// Owning this many entries forces self-eviction on insert.
+    cap: Option<usize>,
+}
+
 struct Entry {
     plan: CachedPlan,
     /// Recency tick of the most recent touch; also the key into `recency`.
     tick: u64,
+    /// The tenant that inserted this entry (eviction accounting).
+    owner: TenantId,
 }
 
 struct Inner {
@@ -127,6 +192,15 @@ struct Inner {
     /// tick → cache key, ordered oldest-first (the eviction order).
     recency: BTreeMap<u64, u64>,
     stats: CacheStats,
+    /// Registered per-tenant reserves and caps.
+    policies: HashMap<TenantId, TenantPolicy>,
+    /// Entries currently owned per tenant.
+    owned: HashMap<TenantId, usize>,
+    /// Decayed per-plan-key access counts — the entropy estimator's input.
+    access_counts: HashMap<u64, u64>,
+    /// Lookups since construction (drives the autosize recompute cadence).
+    total_accesses: u64,
+    autosize: Option<CacheAutosize>,
 }
 
 impl Inner {
@@ -138,6 +212,97 @@ impl Inner {
         self.recency.remove(&old_tick);
         self.recency.insert(tick, key);
         self.map.get_mut(&key).expect("entry vanished").tick = tick;
+    }
+
+    fn reserve_of(&self, tenant: TenantId) -> usize {
+        self.policies.get(&tenant).map_or(0, |p| p.reserve)
+    }
+
+    fn cap_of(&self, tenant: TenantId) -> Option<usize> {
+        self.policies.get(&tenant).and_then(|p| p.cap)
+    }
+
+    fn owned_count(&self, tenant: TenantId) -> usize {
+        self.owned.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Remove `key` and account the eviction.
+    fn evict_key(&mut self, key: u64) {
+        let entry = self.map.remove(&key).expect("evicted entry exists");
+        self.recency.remove(&entry.tick);
+        if let Some(n) = self.owned.get_mut(&entry.owner) {
+            *n = n.saturating_sub(1);
+        }
+        self.stats.evictions += 1;
+    }
+
+    /// Oldest entry that may be evicted on behalf of `for_tenant` (or of
+    /// the auto-sizer when `None`): a tenant's own entries are always fair
+    /// game to itself; anyone else's only while its owner stays above its
+    /// reserve. `None` when every entry is reserve-protected.
+    fn pick_victim(&self, for_tenant: Option<TenantId>) -> Option<u64> {
+        for &key in self.recency.values() {
+            let owner = self.map.get(&key).expect("recency entry exists").owner;
+            let evictable =
+                for_tenant == Some(owner) || self.owned_count(owner) > self.reserve_of(owner);
+            if evictable {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// The `for_tenant`'s own least-recently-used entry, if it owns any.
+    fn own_lru(&self, tenant: TenantId) -> Option<u64> {
+        self.recency
+            .values()
+            .copied()
+            .find(|k| self.map.get(k).expect("recency entry exists").owner == tenant)
+    }
+
+    /// Count one lookup against `key`; on the configured cadence, re-derive
+    /// the capacity from the access distribution's entropy.
+    fn note_access(&mut self, key: u64) {
+        *self.access_counts.entry(key).or_insert(0) += 1;
+        self.total_accesses += 1;
+        let Some(cfg) = self.autosize else { return };
+        if !self.total_accesses.is_multiple_of(cfg.every.max(1) as u64) {
+            return;
+        }
+        let target = (self.effective_working_set().ceil() as usize)
+            .saturating_add(cfg.slack)
+            .clamp(cfg.min_capacity, cfg.max_capacity);
+        self.capacity = target;
+        while self.map.len() > self.capacity {
+            match self.pick_victim(None) {
+                Some(victim) => self.evict_key(victim),
+                None => break, // everything reserve-protected: stay over
+            }
+        }
+        // Age the estimator so it tracks the *recent* working set: halve
+        // all counts, dropping keys that decay to zero.
+        self.access_counts.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+    }
+
+    /// `2^H` over the decayed access distribution: the number of
+    /// equally-hot plans that would explain the observed traffic.
+    fn effective_working_set(&self) -> f64 {
+        let total: u64 = self.access_counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut entropy = 0.0;
+        for &count in self.access_counts.values() {
+            if count == 0 {
+                continue;
+            }
+            let p = count as f64 / total as f64;
+            entropy -= p * p.log2();
+        }
+        entropy.exp2()
     }
 }
 
@@ -158,12 +323,53 @@ impl PlanCache {
                 map: HashMap::new(),
                 recency: BTreeMap::new(),
                 stats: CacheStats::default(),
+                policies: HashMap::new(),
+                owned: HashMap::new(),
+                access_counts: HashMap::new(),
+                total_accesses: 0,
+                autosize: None,
             }),
         }
     }
 
+    /// Register (or replace) `tenant`'s eviction policy: a `reserve` other
+    /// tenants can never evict it below, and an optional `cap` at which it
+    /// evicts its own LRU entry on insert. See the module docs on tenancy.
+    pub fn set_tenant_policy(&self, tenant: TenantId, reserve: usize, cap: Option<usize>) {
+        if let Some(cap) = cap {
+            assert!(cap >= 1, "tenant cache cap must be at least 1");
+        }
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.policies.insert(tenant, TenantPolicy { reserve, cap });
+    }
+
+    /// Turn on entropy-driven capacity auto-sizing (module docs). The
+    /// current capacity stays in force until the first recompute.
+    pub fn enable_autosize(&self, cfg: CacheAutosize) {
+        assert!(
+            cfg.min_capacity >= 1 && cfg.max_capacity >= cfg.min_capacity,
+            "autosize bounds must be 1 ≤ min ≤ max"
+        );
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.autosize = Some(cfg);
+    }
+
+    /// Entries currently owned by each tenant (sorted by tenant id).
+    pub fn tenant_footprint(&self) -> Vec<(TenantId, usize)> {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        let mut v: Vec<_> = inner
+            .owned
+            .iter()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(&t, &n)| (t, n))
+            .collect();
+        v.sort_unstable_by_key(|&(t, _)| t.as_u64());
+        v
+    }
+
     /// Look up `key`, compiling `kernel` on a miss. Returns the shared plan
-    /// and whether the lookup was a hit.
+    /// and whether the lookup was a hit. Anonymous-tenant shorthand for
+    /// [`Self::get_or_compile_for_tenant`].
     pub fn get_or_compile(
         &self,
         key: u64,
@@ -194,8 +400,25 @@ impl PlanCache {
         kernel: &RequestKernel,
         loader: Option<&dyn Fn(u64) -> Option<CachedPlan>>,
     ) -> Result<(CachedPlan, bool, bool), PlanError> {
+        self.get_or_compile_for_tenant(key, kernel, TenantId::ANONYMOUS, loader)
+    }
+
+    /// Tenant-attributed lookup: identical to
+    /// [`Self::get_or_compile_with_loader`], except an inserted entry is
+    /// owned by `tenant` for eviction accounting — `tenant`'s cap forces it
+    /// to evict its own LRU, and victim selection skips entries whose owner
+    /// is at or below its reserve.
+    #[allow(clippy::type_complexity)]
+    pub fn get_or_compile_for_tenant(
+        &self,
+        key: u64,
+        kernel: &RequestKernel,
+        tenant: TenantId,
+        loader: Option<&dyn Fn(u64) -> Option<CachedPlan>>,
+    ) -> Result<(CachedPlan, bool, bool), PlanError> {
         {
             let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.note_access(key);
             if let Some(entry) = inner.map.get(&key) {
                 let plan = entry.plan.clone();
                 inner.touch(key);
@@ -222,21 +445,35 @@ impl PlanCache {
         if loaded {
             inner.stats.store_hits += 1;
         }
+        // A tenant at its cap makes room from its *own* entries first, so
+        // its churn never pressures the rest of the fleet.
+        if let Some(cap) = inner.cap_of(tenant) {
+            while inner.owned_count(tenant) >= cap {
+                match inner.own_lru(tenant) {
+                    Some(victim) if victim != key => inner.evict_key(victim),
+                    _ => break,
+                }
+            }
+        }
+        if inner.map.len() >= inner.capacity {
+            // Respect reserves; if every entry is protected, admit over
+            // capacity rather than violate one.
+            if let Some(victim) = inner.pick_victim(Some(tenant)) {
+                inner.evict_key(victim);
+            }
+        }
         let tick = inner.next_tick;
         inner.next_tick += 1;
-        if inner.map.len() >= inner.capacity {
-            let (_, victim) = inner.recency.pop_first().expect("non-empty recency");
-            inner.map.remove(&victim);
-            inner.stats.evictions += 1;
-        }
         inner.map.insert(
             key,
             Entry {
                 plan: plan.clone(),
                 tick,
+                owner: tenant,
             },
         );
         inner.recency.insert(tick, key);
+        *inner.owned.entry(tenant).or_insert(0) += 1;
         inner.stats.insertions += 1;
         Ok((plan, false, !loaded))
     }
@@ -280,6 +517,7 @@ impl PlanCache {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         inner.map.clear();
         inner.recency.clear();
+        inner.owned.clear();
     }
 }
 
@@ -483,5 +721,110 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().insertions, 1);
+        assert!(cache.tenant_footprint().is_empty());
+    }
+
+    fn insert_for(cache: &PlanCache, seed: u64, tenant: TenantId) -> u64 {
+        let k = kernel(seed);
+        cache
+            .get_or_compile_for_tenant(k.fingerprint(), &k, tenant, None)
+            .unwrap();
+        k.fingerprint()
+    }
+
+    /// A protected tenant's reserve survives another tenant's churn: once
+    /// the bully can no longer evict the victim below its reserve, it
+    /// starts eating its own entries instead.
+    #[test]
+    fn tenant_reserve_protects_entries() {
+        let cache = PlanCache::new(4);
+        let victim = TenantId::new(1);
+        let bully = TenantId::new(2);
+        cache.set_tenant_policy(victim, 2, None);
+        let a = insert_for(&cache, 1, victim);
+        let b = insert_for(&cache, 2, victim);
+        // The bully churns through far more keys than the capacity.
+        for s in 10..20 {
+            insert_for(&cache, s, bully);
+            assert!(
+                cache.peek(a).is_some() && cache.peek(b).is_some(),
+                "reserve-protected entries must never be evicted by another tenant"
+            );
+        }
+        assert_eq!(cache.len(), 4);
+        let footprint = cache.tenant_footprint();
+        assert_eq!(footprint, vec![(victim, 2), (bully, 2)]);
+    }
+
+    /// A capped tenant at its cap evicts its own LRU on insert; everyone
+    /// else's entries are untouched even without reserves.
+    #[test]
+    fn tenant_cap_forces_self_eviction() {
+        let cache = PlanCache::new(8);
+        let capped = TenantId::new(3);
+        cache.set_tenant_policy(capped, 0, Some(2));
+        let other = insert_for(&cache, 1, TenantId::ANONYMOUS);
+        let first = insert_for(&cache, 10, capped);
+        insert_for(&cache, 11, capped);
+        insert_for(&cache, 12, capped); // third insert: evicts `first`
+        assert!(
+            cache.peek(first).is_none(),
+            "cap evicts the tenant's own LRU"
+        );
+        assert!(cache.peek(other).is_some(), "unrelated entries survive");
+        assert_eq!(
+            cache
+                .tenant_footprint()
+                .iter()
+                .find(|&&(t, _)| t == capped)
+                .map(|&(_, n)| n),
+            Some(2)
+        );
+        // The cache is nowhere near capacity — these evictions were purely
+        // cap-driven.
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    /// Entropy auto-sizing: a flat 12-key working set pushes the capacity
+    /// up toward 12; a 2-key working set pulls it back down.
+    #[test]
+    fn entropy_autosize_tracks_working_set() {
+        let cache = PlanCache::new(4);
+        cache.enable_autosize(CacheAutosize {
+            min_capacity: 2,
+            max_capacity: 16,
+            every: 24,
+            slack: 1,
+        });
+        let keys: Vec<u64> = (0..12).map(|s| kernel(s).fingerprint()).collect();
+        // Uniform traffic over 12 distinct plans: H ≈ log2(12), so the
+        // capacity should grow well past the initial 4.
+        for _ in 0..8 {
+            for s in 0..12u64 {
+                let k = kernel(s);
+                cache.get_or_compile(k.fingerprint(), &k).unwrap();
+            }
+        }
+        assert!(
+            cache.capacity() >= 12,
+            "flat working set must grow capacity, got {}",
+            cache.capacity()
+        );
+        assert!(keys.iter().all(|&k| cache.peek(k).is_some()));
+        // Concentrate on 2 plans: decayed counts forget the old set and the
+        // capacity shrinks toward 2 + slack.
+        for _ in 0..40 {
+            for s in 0..2u64 {
+                let k = kernel(s);
+                cache.get_or_compile(k.fingerprint(), &k).unwrap();
+            }
+        }
+        assert!(
+            cache.capacity() <= 6,
+            "concentrated working set must shrink capacity, got {}",
+            cache.capacity()
+        );
+        assert!(cache.len() <= cache.capacity());
     }
 }

@@ -96,12 +96,15 @@ pub mod scheduler;
 pub mod store;
 pub mod tuner;
 
-pub use cache::{CacheStats, CachedPlan, PlanCache};
+pub use cache::{CacheAutosize, CacheStats, CachedPlan, PlanCache};
 pub use report::{QueueStats, RequestOutcome, RuntimeReport, WaitHistogram};
-pub use request::{Deadline, GridSpec, Priority, RequestKernel, StencilRequest};
+pub use request::{
+    Deadline, GridSpec, Priority, RequestKernel, StencilRequest, StencilRequestBuilder, TenantId,
+};
 pub use runtime::{output_checksum, RuntimeError, RuntimeOptions, SpiderRuntime};
 pub use scheduler::{
-    BackpressurePolicy, RequestStatus, SchedulerOptions, SpiderScheduler, SubmitError, Ticket,
+    BackpressurePolicy, RequestStatus, SchedulerOptions, SpiderScheduler, Submit, SubmitError,
+    TenantConfig, Ticket,
 };
 pub use store::{PersistedMemo, PlanStore, StoreGcPolicy, StoreStats};
 pub use tuner::{AutoTuner, TuneOutcome};

@@ -5,6 +5,7 @@ use spider_gpu_sim::timing::KernelReport;
 use spider_telemetry::{render_top_profiles, LogHistogram, PlanProfile};
 
 use crate::cache::CacheStats;
+use crate::request::TenantId;
 
 /// What happened to one request.
 #[derive(Debug, Clone)]
@@ -117,6 +118,11 @@ pub struct QueueStats {
     pub dispatch_waves: u64,
     /// Plan-key groups executed across all waves.
     pub coalesced_groups: u64,
+    /// Work dispatched, in deficit-round-robin cost units (grid points ×
+    /// sweeps). The denominator of weighted-fairness checks: under
+    /// saturation, two tenants' `served_cost` rates track their configured
+    /// weight ratio.
+    pub served_cost: u64,
     /// Total queueing delay across dispatched tickets, seconds.
     pub total_wait_s: f64,
     /// Worst single-ticket queueing delay, seconds.
@@ -137,6 +143,16 @@ impl QueueStats {
             self.total_wait_s / dispatched as f64
         }
     }
+
+    /// Estimated 99th-percentile queueing delay, seconds (0 when nothing
+    /// was dispatched) — the tail the SLO gate watches.
+    pub fn p99_wait_s(&self) -> f64 {
+        if self.wait_hist.count() == 0 {
+            0.0
+        } else {
+            self.wait_hist.quantile_s(0.99)
+        }
+    }
 }
 
 /// Aggregate of one [`crate::SpiderRuntime::run_batch`] call or one
@@ -154,6 +170,12 @@ pub struct RuntimeReport {
     /// Admission-queue counters — `Some` only for scheduler drain reports
     /// (the blocking `run_batch` path has no queue).
     pub queue: Option<QueueStats>,
+    /// Per-tenant admission-queue counters, sorted by tenant id — filled by
+    /// scheduler drain reports (anonymous traffic appears under
+    /// [`TenantId::ANONYMOUS`]); empty for the blocking `run_batch` path.
+    /// Each tenant's counters sum exactly to the global [`Self::queue`]
+    /// stats — `drain` asserts it.
+    pub tenants: Vec<(TenantId, QueueStats)>,
     /// Per-plan phase profiles (heaviest first), filled from the runtime's
     /// [`spider_telemetry::PhaseProfiler`] when telemetry is enabled; empty
     /// otherwise. Cumulative for the runtime, like [`Self::cache`].
@@ -240,8 +262,21 @@ impl RuntimeReport {
         if let Some(q) = &self.queue {
             rates.push(q.mean_wait_s());
             rates.push(q.max_wait_s);
+            rates.push(q.p99_wait_s());
+        }
+        for (_, q) in &self.tenants {
+            rates.push(q.mean_wait_s());
+            rates.push(q.p99_wait_s());
         }
         rates.iter().all(|r| r.is_finite())
+    }
+
+    /// Queue counters for one tenant, if it appeared in this report.
+    pub fn tenant_queue(&self, tenant: TenantId) -> Option<&QueueStats> {
+        self.tenants
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, q)| q)
     }
 
     /// Render a summary table plus aggregate lines.
@@ -300,6 +335,25 @@ impl RuntimeReport {
                 q.max_wait_s * 1e3,
             ));
             out.push_str(&format!("queue wait histogram: {}\n", q.wait_hist.render()));
+        }
+        // Per-tenant breakdown — skipped when the only traffic was the
+        // implicit anonymous tenant (the line would repeat the global row).
+        let lone_anonymous = self.tenants.len() == 1 && self.tenants[0].0.is_anonymous();
+        if !self.tenants.is_empty() && !lone_anonymous {
+            for (tenant, q) in &self.tenants {
+                out.push_str(&format!(
+                    "tenant {:<12} {} submitted | {} done | {} shed | {} expired | {} rejected | {:.2} Mcost | wait mean {:.3}ms p99 {:.3}ms\n",
+                    tenant.label(),
+                    q.submitted,
+                    q.completed,
+                    q.shed,
+                    q.expired,
+                    q.rejected,
+                    q.served_cost as f64 / 1e6,
+                    q.mean_wait_s() * 1e3,
+                    q.p99_wait_s() * 1e3,
+                ));
+            }
         }
         out.push_str(&render_top_profiles(&self.profile));
         out
@@ -425,6 +479,7 @@ mod tests {
                 max_depth: 4,
                 ..QueueStats::default()
             }),
+            tenants: Vec::new(),
             profile: Vec::new(),
         };
         assert!(report.rates_are_finite());
@@ -444,6 +499,7 @@ mod tests {
             wall_s: 0.0,
             cache: CacheStats::default(),
             queue: None,
+            tenants: Vec::new(),
             profile: Vec::new(),
         };
         assert!(report.rates_are_finite());

@@ -52,6 +52,58 @@ impl std::fmt::Display for Priority {
     }
 }
 
+/// Identity of the tenant a request is submitted on behalf of.
+///
+/// Tenancy is a *serving* concept: the scheduler's weighted-fair dispatcher,
+/// admission quotas and the plan cache's per-tenant accounting all key on
+/// it, but — like [`Priority`] and [`Deadline`] — it never leaks into
+/// [`StencilRequest::plan_key`] or [`StencilRequest::exec_key`], so two
+/// tenants running the same kernel still share one compiled plan.
+///
+/// `TenantId::default()` is [`TenantId::ANONYMOUS`] (id 0): traffic that
+/// never mentions tenancy behaves exactly as before this type existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(u64);
+
+impl TenantId {
+    /// The implicit tenant of tenant-unaware callers (id 0).
+    pub const ANONYMOUS: TenantId = TenantId(0);
+
+    pub const fn new(id: u64) -> Self {
+        Self(id)
+    }
+
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the implicit anonymous tenant.
+    pub fn is_anonymous(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Stable label for reports and telemetry exports (`tenant="…"`).
+    pub fn label(self) -> String {
+        if self.is_anonymous() {
+            "anonymous".into()
+        } else {
+            format!("tenant-{}", self.0)
+        }
+    }
+}
+
+impl From<u64> for TenantId {
+    fn from(id: u64) -> Self {
+        Self(id)
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// Absolute completion deadline for a request.
 ///
 /// A request whose deadline has passed when the scheduler would dispatch it
@@ -222,52 +274,66 @@ pub struct StencilRequest {
     pub priority: Priority,
     /// Optional completion deadline (async scheduler only; see [`Deadline`]).
     pub deadline: Option<Deadline>,
+    /// The tenant this request is billed to (serving layers only; see
+    /// [`TenantId`]). Defaults to [`TenantId::ANONYMOUS`].
+    pub tenant: TenantId,
 }
 
 impl StencilRequest {
-    /// A 2D request with serving defaults: one sweep, optimized sparse arm.
-    pub fn new_2d(id: u64, kernel: StencilKernel, rows: usize, cols: usize) -> Self {
-        Self {
-            id,
-            kernel: RequestKernel::Planar(kernel),
-            grid: GridSpec::D2 { rows, cols },
-            steps: 1,
-            mode: ExecMode::SparseTcOptimized,
-            seed: id,
-            priority: Priority::Normal,
-            deadline: None,
+    /// Start building a request from its identity triple — id, kernel
+    /// (planar or volumetric) and grid — with serving defaults for every
+    /// optional knob: one sweep, the optimized sparse arm, `seed = id`,
+    /// normal priority, no deadline, anonymous tenant.
+    ///
+    /// ```
+    /// # use spider_runtime::{GridSpec, StencilRequest, Priority, TenantId};
+    /// # use spider_stencil::StencilKernel;
+    /// let req = StencilRequest::builder(7, StencilKernel::jacobi_2d(), GridSpec::D2 { rows: 64, cols: 64 })
+    ///     .tenant(TenantId::new(3))
+    ///     .priority(Priority::High)
+    ///     .steps(2)
+    ///     .build();
+    /// assert_eq!(req.tenant, TenantId::new(3));
+    /// ```
+    pub fn builder(
+        id: u64,
+        kernel: impl Into<RequestKernel>,
+        grid: GridSpec,
+    ) -> StencilRequestBuilder {
+        StencilRequestBuilder {
+            req: Self {
+                id,
+                kernel: kernel.into(),
+                grid,
+                steps: 1,
+                mode: ExecMode::SparseTcOptimized,
+                seed: id,
+                priority: Priority::Normal,
+                deadline: None,
+                tenant: TenantId::ANONYMOUS,
+            },
         }
     }
 
-    /// A 1D request with serving defaults.
+    /// A 2D request with serving defaults: one sweep, optimized sparse arm.
+    /// Thin wrapper over [`StencilRequest::builder`].
+    pub fn new_2d(id: u64, kernel: StencilKernel, rows: usize, cols: usize) -> Self {
+        Self::builder(id, kernel, GridSpec::D2 { rows, cols }).build()
+    }
+
+    /// A 1D request with serving defaults. Thin wrapper over
+    /// [`StencilRequest::builder`].
     pub fn new_1d(id: u64, kernel: StencilKernel, len: usize) -> Self {
-        Self {
-            id,
-            kernel: RequestKernel::Planar(kernel),
-            grid: GridSpec::D1 { len },
-            steps: 1,
-            mode: ExecMode::SparseTcOptimized,
-            seed: id,
-            priority: Priority::Normal,
-            deadline: None,
-        }
+        Self::builder(id, kernel, GridSpec::D1 { len }).build()
     }
 
     /// A 3D (volumetric) request with serving defaults. Served through the
     /// plane decomposition: each sweep runs as one batched-launch wave of
     /// per-plane 2D stencils, all sharing one cached
-    /// [`spider_core::exec3d::Spider3DPlan`].
+    /// [`spider_core::exec3d::Spider3DPlan`]. Thin wrapper over
+    /// [`StencilRequest::builder`].
     pub fn new_3d(id: u64, kernel: Kernel3D, planes: usize, rows: usize, cols: usize) -> Self {
-        Self {
-            id,
-            kernel: RequestKernel::Volumetric(kernel),
-            grid: GridSpec::D3 { planes, rows, cols },
-            steps: 1,
-            mode: ExecMode::SparseTcOptimized,
-            seed: id,
-            priority: Priority::Normal,
-            deadline: None,
-        }
+        Self::builder(id, kernel, GridSpec::D3 { planes, rows, cols }).build()
     }
 
     pub fn with_steps(mut self, steps: usize) -> Self {
@@ -293,6 +359,11 @@ impl StencilRequest {
 
     pub fn with_deadline(mut self, deadline: Deadline) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn with_tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.tenant = tenant.into();
         self
     }
 
@@ -389,6 +460,59 @@ impl StencilRequest {
             }
             _ => panic!("materialize_3d on a non-3D request"),
         }
+    }
+}
+
+/// Fluent builder returned by [`StencilRequest::builder`].
+///
+/// Every optional per-request knob — tenancy, priority, deadline, sweep
+/// count, execution mode, seed — is set here, so growing the serving
+/// surface stops growing `StencilRequest`'s constructor signatures.
+#[derive(Debug, Clone)]
+pub struct StencilRequestBuilder {
+    req: StencilRequest,
+}
+
+impl StencilRequestBuilder {
+    /// Bill the request to `tenant` (default: [`TenantId::ANONYMOUS`]).
+    pub fn tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.req.tenant = tenant.into();
+        self
+    }
+
+    /// Scheduling priority (default: [`Priority::Normal`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.req.priority = priority;
+        self
+    }
+
+    /// Completion deadline (default: none).
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.req.deadline = Some(deadline);
+        self
+    }
+
+    /// Number of sweeps, ≥ 1 (default: 1).
+    pub fn steps(mut self, steps: usize) -> Self {
+        assert!(steps >= 1, "a request must run at least one sweep");
+        self.req.steps = steps;
+        self
+    }
+
+    /// Executor arm (default: [`ExecMode::SparseTcOptimized`]).
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.req.mode = mode;
+        self
+    }
+
+    /// Seed for the deterministic initial grid (default: the request id).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.req.seed = seed;
+        self
+    }
+
+    pub fn build(self) -> StencilRequest {
+        self.req
     }
 }
 
@@ -526,6 +650,57 @@ mod tests {
             .with_deadline(Deadline::within(Duration::from_secs(1)));
         assert_eq!(plain.plan_key(), urgent.plan_key());
         assert_eq!(plain.exec_key(), urgent.exec_key());
+        // …and neither must tenancy: two tenants running the same kernel
+        // share one compiled plan and one coalesced executor.
+        let tenanted = plain.clone().with_tenant(42);
+        assert_eq!(plain.plan_key(), tenanted.plan_key());
+        assert_eq!(plain.exec_key(), tenanted.exec_key());
+    }
+
+    #[test]
+    fn builder_matches_the_thin_constructors() {
+        let k = StencilKernel::gaussian_2d(1);
+        let built = StencilRequest::builder(5, k.clone(), GridSpec::D2 { rows: 96, cols: 64 })
+            .steps(3)
+            .mode(ExecMode::DenseTc)
+            .seed(77)
+            .priority(Priority::High)
+            .tenant(TenantId::new(9))
+            .build();
+        let chained = StencilRequest::new_2d(5, k, 96, 64)
+            .with_steps(3)
+            .with_mode(ExecMode::DenseTc)
+            .with_seed(77)
+            .with_priority(Priority::High)
+            .with_tenant(9);
+        assert_eq!(built.plan_key(), chained.plan_key());
+        assert_eq!(built.exec_key(), chained.exec_key());
+        assert_eq!(built.seed, chained.seed);
+        assert_eq!(built.priority, chained.priority);
+        assert_eq!(built.tenant, chained.tenant);
+        // Builder defaults are the serving defaults.
+        let plain =
+            StencilRequest::builder(1, StencilKernel::jacobi_2d(), GridSpec::D1 { len: 128 })
+                .build();
+        assert_eq!(plain.steps, 1);
+        assert_eq!(plain.mode, ExecMode::SparseTcOptimized);
+        assert_eq!(plain.seed, 1);
+        assert_eq!(plain.priority, Priority::Normal);
+        assert!(plain.deadline.is_none());
+        assert_eq!(plain.tenant, TenantId::ANONYMOUS);
+    }
+
+    #[test]
+    fn tenant_ids_label_and_default_sanely() {
+        assert_eq!(TenantId::default(), TenantId::ANONYMOUS);
+        assert!(TenantId::ANONYMOUS.is_anonymous());
+        assert_eq!(TenantId::ANONYMOUS.label(), "anonymous");
+        let t = TenantId::new(12);
+        assert!(!t.is_anonymous());
+        assert_eq!(t.label(), "tenant-12");
+        assert_eq!(t.as_u64(), 12);
+        assert_eq!(TenantId::from(12u64), t);
+        assert_eq!(format!("{t}"), "tenant-12");
     }
 
     #[test]

@@ -16,9 +16,9 @@ use spider_telemetry::{
     Counter, EventKind, Histogram, Phase, ResolveSource, Telemetry, TelemetryConfig, Terminal,
 };
 
-use crate::cache::{CacheStats, CachedPlan, PlanCache};
+use crate::cache::{CacheAutosize, CacheStats, CachedPlan, PlanCache};
 use crate::report::{RequestOutcome, RuntimeReport};
-use crate::request::{GridSpec, RequestKernel, StencilRequest};
+use crate::request::{GridSpec, RequestKernel, StencilRequest, TenantId};
 use crate::store::{PersistedMemo, PlanStore, StoreStats};
 use crate::tuner::AutoTuner;
 
@@ -78,6 +78,10 @@ pub struct RuntimeOptions {
     /// Telemetry never changes execution — outputs and `PerfCounters` are
     /// bit-identical with it on or off (property-tested).
     pub telemetry: TelemetryConfig,
+    /// When set, the plan cache re-derives its capacity from the observed
+    /// working-set entropy ([`CacheAutosize`]); `cache_capacity` is the
+    /// starting point. `None` keeps the fixed capacity.
+    pub cache_autosize: Option<CacheAutosize>,
 }
 
 impl Default for RuntimeOptions {
@@ -90,6 +94,7 @@ impl Default for RuntimeOptions {
             tuner_shortlist: 4,
             tuner_memo_capacity: 1024,
             telemetry: TelemetryConfig::default(),
+            cache_autosize: None,
         }
     }
 }
@@ -152,8 +157,12 @@ impl SpiderRuntime {
     pub fn new(device: GpuDevice, options: RuntimeOptions) -> Self {
         let telemetry = Arc::new(Telemetry::new(options.telemetry));
         let meters = RuntimeMeters::new(&telemetry);
+        let cache = PlanCache::new(options.cache_capacity);
+        if let Some(autosize) = options.cache_autosize {
+            cache.enable_autosize(autosize);
+        }
         Self {
-            cache: PlanCache::new(options.cache_capacity),
+            cache,
             tuner: AutoTuner::with_memo_capacity(
                 options.tuner_dry_run_cap,
                 options.tuner_shortlist,
@@ -228,20 +237,44 @@ impl SpiderRuntime {
         Ok(entries.len())
     }
 
+    /// Register (or replace) `tenant`'s plan-cache policy: a `reserve`
+    /// other tenants can never evict it below and an optional `cap` at
+    /// which it evicts its own LRU plan on insert. Called by
+    /// [`crate::SpiderScheduler`] for every registered tenant; usable
+    /// directly on a standalone runtime too.
+    pub fn configure_tenant_cache(&self, tenant: TenantId, reserve: usize, cap: Option<usize>) {
+        self.cache.set_tenant_policy(tenant, reserve, cap);
+    }
+
+    /// Plan-cache entries currently owned by each tenant.
+    pub fn tenant_cache_footprint(&self) -> Vec<(TenantId, usize)> {
+        self.cache.tenant_footprint()
+    }
+
+    /// Current plan-cache capacity — moves under
+    /// [`RuntimeOptions::cache_autosize`].
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
     /// Resolve a plan (planar or volumetric): memory cache, then the
     /// attached store, then compile (writing the fresh plan through to the
     /// store). Returns the plan, whether the *memory* lookup hit — store
     /// hits surface in [`CacheStats::store_hits`], not here, so hit-rate
     /// accounting stays comparable with store-less runtimes — and the
-    /// [`ResolveSource`] recorded in the request's trace.
+    /// [`ResolveSource`] recorded in the request's trace. An inserted entry
+    /// is owned by `tenant` for the cache's reserve/cap accounting.
     fn resolve_plan(
         &self,
         key: u64,
         kernel: &RequestKernel,
+        tenant: TenantId,
     ) -> Result<(CachedPlan, bool, ResolveSource), PlanError> {
         match &self.store {
             None => {
-                let (plan, hit) = self.cache.get_or_compile(key, kernel)?;
+                let (plan, hit, _) = self
+                    .cache
+                    .get_or_compile_for_tenant(key, kernel, tenant, None)?;
                 let source = if hit {
                     ResolveSource::CacheHit
                 } else {
@@ -268,7 +301,7 @@ impl SpiderRuntime {
                 };
                 let (plan, hit, compiled) =
                     self.cache
-                        .get_or_compile_with_loader(key, kernel, Some(&loader))?;
+                        .get_or_compile_for_tenant(key, kernel, tenant, Some(&loader))?;
                 if compiled {
                     // Best-effort write-through: a full disk must not fail
                     // the request the plan was compiled for.
@@ -444,7 +477,7 @@ impl SpiderRuntime {
             });
         }
         let span = t.span(req.id, plan_key, Phase::Resolve);
-        let resolved = self.resolve_plan(plan_key, &req.kernel);
+        let resolved = self.resolve_plan(plan_key, &req.kernel, req.tenant);
         span.exit();
         let (plan, cache_hit, source) = resolved?;
         t.record(req.id, plan_key, EventKind::PlanResolve { source }, 0.0);
@@ -665,7 +698,7 @@ impl SpiderRuntime {
                 continue;
             }
             let span = t.span(req.id, req.plan_key(), Phase::Resolve);
-            let resolved = self.resolve_plan(req.plan_key(), &req.kernel);
+            let resolved = self.resolve_plan(req.plan_key(), &req.kernel, req.tenant);
             span.exit();
             match resolved {
                 Ok((p, hit, source)) => {
@@ -963,6 +996,7 @@ impl SpiderRuntime {
             wall_s: start.elapsed().as_secs_f64(),
             cache: self.cache.stats(),
             queue: None,
+            tenants: Vec::new(),
             profile: self.telemetry.profiler().top(8),
         }
     }

@@ -53,9 +53,17 @@ fn mixed_traffic() -> Vec<StencilRequest> {
                 _ => Priority::High,
             };
             reqs.push(
-                StencilRequest::new_2d(id, kernel.clone(), 128, 160)
-                    .with_seed(500 + id)
-                    .with_priority(priority),
+                StencilRequest::builder(
+                    id,
+                    kernel.clone(),
+                    GridSpec::D2 {
+                        rows: 128,
+                        cols: 160,
+                    },
+                )
+                .seed(500 + id)
+                .priority(priority)
+                .build(),
             );
             id += 1;
         }
@@ -137,8 +145,9 @@ fn scene_2_deadlines() {
     let doomed_kernel = StencilKernel::random(StencilShape::box_2d(3), 0xDEAD);
     let doomed = sched
         .submit(
-            StencilRequest::new_2d(100, doomed_kernel, 96, 96)
-                .with_deadline(Deadline::within(Duration::ZERO)),
+            StencilRequest::builder(100, doomed_kernel, GridSpec::D2 { rows: 96, cols: 96 })
+                .deadline(Deadline::within(Duration::ZERO))
+                .build(),
         )
         .unwrap();
     let live = sched
@@ -214,8 +223,13 @@ fn scene_3_backpressure() {
     );
     let low = shed
         .submit(
-            StencilRequest::new_2d(10, StencilKernel::jacobi_2d(), 64, 64)
-                .with_priority(Priority::Low),
+            StencilRequest::builder(
+                10,
+                StencilKernel::jacobi_2d(),
+                GridSpec::D2 { rows: 64, cols: 64 },
+            )
+            .priority(Priority::Low)
+            .build(),
         )
         .unwrap();
     shed.submit(StencilRequest::new_2d(

@@ -117,7 +117,7 @@ fn scene_3_work_stealing() {
                 let sched = SchedulerOptions {
                     start_paused: true,
                     aging_step: None,
-                    ..s.scheduler
+                    ..s.scheduler.clone()
                 };
                 s.with_scheduler_options(sched)
             })

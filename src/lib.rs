@@ -102,10 +102,10 @@ pub mod prelude {
         counters::PerfCounters, specs::GpuSpecs, timing::KernelReport, GpuDevice,
     };
     pub use spider_runtime::{
-        BackpressurePolicy, CacheStats, Deadline, GridSpec, PlanStore, Priority, QueueStats,
-        RequestKernel, RequestOutcome, RequestStatus, RuntimeOptions, RuntimeReport,
-        SchedulerOptions, SpiderRuntime, SpiderScheduler, StencilRequest, StoreGcPolicy,
-        StoreStats, SubmitError, Ticket,
+        BackpressurePolicy, CacheAutosize, CacheStats, Deadline, GridSpec, PlanStore, Priority,
+        QueueStats, RequestKernel, RequestOutcome, RequestStatus, RuntimeOptions, RuntimeReport,
+        SchedulerOptions, SpiderRuntime, SpiderScheduler, StencilRequest, StencilRequestBuilder,
+        StoreGcPolicy, StoreStats, Submit, SubmitError, TenantConfig, TenantId, Ticket,
     };
     pub use spider_stencil::{
         dim3::{Grid3D, Kernel3D},
