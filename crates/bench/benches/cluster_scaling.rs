@@ -110,6 +110,55 @@ fn measure(cluster: &SpiderCluster, id_base: u64) -> (f64, f64, f64, u64) {
     )
 }
 
+/// The elasticity scene: scale 2→8→2 under steady pulsed load, one
+/// membership change per pulse, with every queue movement going through
+/// the graceful-drain machinery. Fully deterministic: paused submits pin
+/// the routing and steal decisions, each membership op moves queued work
+/// while it is still queued, and the drain between pulses keeps queue
+/// depths bounded. Returns (simulated req/s over the whole run, requests
+/// lost — which the gate requires to be **zero**).
+fn measure_elastic() -> (f64, u64) {
+    let cluster = SpiderCluster::new(specs(2), options());
+    let mut submitted = 0usize;
+    let mut id = 50_000u64;
+    let mut pulse = |cluster: &SpiderCluster| {
+        cluster.pause_all();
+        for req in workload(id) {
+            cluster.submit(req).expect("Block policy admits");
+        }
+        submitted += BATCH;
+        id += 10_000;
+    };
+    // Grow 2→8: each pulse lands on the old fleet, then a device joins and
+    // a rebalance pass sheds backlog onto it while everything is queued.
+    for n in 2..8usize {
+        pulse(&cluster);
+        cluster
+            .add_device(specs(n + 1).pop().expect("spec"))
+            .expect("fresh name");
+        cluster.rebalance();
+        cluster.drain_all();
+    }
+    assert_eq!(cluster.devices(), 8);
+    // Shrink 8→2: each pulse lands on the full fleet, then the youngest
+    // device drains out — its queued share moves to survivors exactly-once.
+    while cluster.devices() > 2 {
+        pulse(&cluster);
+        let victim = cluster.device_names().pop().expect("non-empty fleet");
+        cluster
+            .remove_device(&victim)
+            .expect("never the last device");
+        cluster.rebalance();
+        cluster.drain_all();
+    }
+    let report = cluster.drain_all();
+    assert!(report.rates_are_finite());
+    assert_eq!(report.devices_added, 6);
+    assert_eq!(report.devices_removed, 6);
+    let lost = submitted - report.total_completed();
+    (report.simulated_requests_per_sec(), lost as u64)
+}
+
 fn bench_cluster(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_scaling");
     group.bench_function("warm_batch_4dev", |b| {
@@ -175,8 +224,13 @@ fn emit_json() {
     assert_eq!(warm_compiles, 0, "warm start must not compile");
     let _ = std::fs::remove_dir_all(&dir);
 
+    // Elasticity scene: 2→8→2 under pulsed load. The lost-request count is
+    // a hard zero — the gate fails the build on any other value.
+    let (elastic_rps, elastic_lost) = measure_elastic();
+    assert_eq!(elastic_lost, 0, "elastic scale curve lost requests");
+
     let json = format!(
-        "{{\n  \"bench\": \"cluster_scaling\",\n  \"batch_requests\": {BATCH},\n  \"distinct_plans\": {DISTINCT_PLANS},\n  \"cluster_warm_1dev_requests_per_sec\": {:.1},\n  \"cluster_warm_2dev_requests_per_sec\": {:.1},\n  \"cluster_warm_4dev_requests_per_sec\": {:.1},\n  \"cluster_warm_8dev_requests_per_sec\": {:.1},\n  \"cluster_warm_4dev_gstencils_per_sec\": {:.4},\n  \"cluster_scaling_2dev_vs_1dev\": {:.3},\n  \"cluster_scaling_4dev_vs_1dev\": {:.3},\n  \"cluster_scaling_8dev_vs_1dev\": {:.3},\n  \"cluster_warm_4dev_hit_rate\": {:.4},\n  \"cluster_warm_4dev_steals\": {},\n  \"planstore_cold_first_batch_ms\": {:.3},\n  \"planstore_warmstart_first_batch_ms\": {:.3},\n  \"planstore_warm_start_speedup\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"cluster_scaling\",\n  \"batch_requests\": {BATCH},\n  \"distinct_plans\": {DISTINCT_PLANS},\n  \"cluster_warm_1dev_requests_per_sec\": {:.1},\n  \"cluster_warm_2dev_requests_per_sec\": {:.1},\n  \"cluster_warm_4dev_requests_per_sec\": {:.1},\n  \"cluster_warm_8dev_requests_per_sec\": {:.1},\n  \"cluster_warm_4dev_gstencils_per_sec\": {:.4},\n  \"cluster_scaling_2dev_vs_1dev\": {:.3},\n  \"cluster_scaling_4dev_vs_1dev\": {:.3},\n  \"cluster_scaling_8dev_vs_1dev\": {:.3},\n  \"cluster_warm_4dev_hit_rate\": {:.4},\n  \"cluster_warm_4dev_steals\": {},\n  \"elastic_requests_per_sec\": {elastic_rps:.1},\n  \"elastic_lost_requests\": {elastic_lost},\n  \"planstore_cold_first_batch_ms\": {:.3},\n  \"planstore_warmstart_first_batch_ms\": {:.3},\n  \"planstore_warm_start_speedup\": {:.3}\n}}\n",
         rps_at(1),
         rps_at(2),
         rps_at(4),

@@ -17,7 +17,12 @@
 //! inverts, failing when the candidate's p99 *grows* past tolerance — a
 //! serving deployment is priced on the wait distribution's tail, not its
 //! mean throughput, so a p99 inflation is a regression even with
-//! `*_per_sec` flat. Keys matching neither suffix (counts, hit rates, the
+//! `*_per_sec` flat. Keys ending in `_lost_requests` are the
+//! **must-be-zero** family (the elasticity scene's
+//! `elastic_lost_requests`): tolerance does not apply — any nonzero
+//! candidate fails outright, because a lost request under a membership
+//! change is a correctness bug, not a performance regression, and no
+//! baseline drift can excuse it. Keys matching no suffix (counts, hit rates, the
 //! noisy `host_*_mpoints` wall-clock rates) are informational only, as is
 //! `cold_requests_per_sec`: the cold number is dominated by first-touch
 //! plan compiles and tuner dry-runs, which makes it far too
@@ -43,9 +48,18 @@ use std::process::ExitCode;
 
 /// Whether a metric is gate-enforced: higher-is-better rates by naming
 /// convention, minus the cold-start rate (see the module docs), plus the
-/// lower-is-better tail-latency family.
+/// lower-is-better tail-latency family and the must-be-zero loss counters.
 fn is_gated(metric: &str) -> bool {
-    (metric.ends_with("_per_sec") && metric != "cold_requests_per_sec") || is_inverted(metric)
+    (metric.ends_with("_per_sec") && metric != "cold_requests_per_sec")
+        || is_inverted(metric)
+        || is_zero_required(metric)
+}
+
+/// Whether a gated metric must be **exactly zero**: the `*_lost_requests`
+/// family counts requests dropped across membership changes — any nonzero
+/// value is a correctness failure, regardless of tolerance or baseline.
+fn is_zero_required(metric: &str) -> bool {
+    metric.ends_with("_lost_requests")
 }
 
 /// Whether a gated metric is *lower-is-better*: the `*_p99_wait_us`
@@ -120,13 +134,24 @@ fn evaluate(
             let b = baseline.get(metric).copied();
             let c = candidate.get(metric).copied();
             let inverted = is_inverted(metric);
-            let verdict = match (b, c) {
-                (None, Some(_)) => Verdict::NewMetric,
-                (Some(b), Some(c)) if inverted && c <= b * (1.0 + tolerance) => Verdict::Pass,
-                (Some(b), Some(c)) if !inverted && c >= b * (1.0 - tolerance) => Verdict::Pass,
-                // Missing from the candidate, or regressed past tolerance
-                // (dropped throughput, or an inflated p99 tail).
-                _ => Verdict::Fail,
+            let verdict = if is_zero_required(metric) {
+                // Tolerance-free: the candidate must report exactly zero.
+                // A vanished counter fails too — "not measured" and "lost
+                // requests" must not be confusable.
+                match c {
+                    Some(0.0) if b.is_none() => Verdict::NewMetric,
+                    Some(0.0) => Verdict::Pass,
+                    _ => Verdict::Fail,
+                }
+            } else {
+                match (b, c) {
+                    (None, Some(_)) => Verdict::NewMetric,
+                    (Some(b), Some(c)) if inverted && c <= b * (1.0 + tolerance) => Verdict::Pass,
+                    (Some(b), Some(c)) if !inverted && c >= b * (1.0 - tolerance) => Verdict::Pass,
+                    // Missing from the candidate, or regressed past tolerance
+                    // (dropped throughput, or an inflated p99 tail).
+                    _ => Verdict::Fail,
+                }
             };
             GateRow {
                 metric: metric.clone(),
@@ -396,6 +421,43 @@ mod tests {
                 .filter(|r| matches!(r.verdict, Verdict::NewMetric))
                 .count(),
             2
+        );
+    }
+
+    /// The `*_lost_requests` family is tolerance-free: only an exact zero
+    /// passes, a vanished counter fails, and even a "new" nonzero fails —
+    /// a lost request is a correctness bug, not a slow number.
+    #[test]
+    fn nonzero_lost_requests_fail_regardless_of_tolerance() {
+        let mut with_lost = baseline();
+        with_lost.insert("elastic_lost_requests".into(), 0.0);
+
+        // Zero against a zero baseline passes.
+        let rows = evaluate(&with_lost, &with_lost, DEFAULT_TOLERANCE);
+        assert!(failed(&rows).is_empty());
+
+        // Any nonzero fails, even under a maximally lax tolerance.
+        let mut lossy = with_lost.clone();
+        lossy.insert("elastic_lost_requests".into(), 1.0);
+        assert_eq!(
+            failed(&evaluate(&with_lost, &lossy, 0.99)),
+            vec!["elastic_lost_requests"]
+        );
+
+        // A vanished loss counter fails — "not measured" is not "zero".
+        let gone = baseline();
+        assert_eq!(
+            failed(&evaluate(&with_lost, &gone, DEFAULT_TOLERANCE)),
+            vec!["elastic_lost_requests"]
+        );
+
+        // Newly emitted: zero passes (reported as new), nonzero fails.
+        let rows = evaluate(&baseline(), &with_lost, DEFAULT_TOLERANCE);
+        assert!(failed(&rows).is_empty());
+        assert!(rows.iter().any(|r| matches!(r.verdict, Verdict::NewMetric)));
+        assert_eq!(
+            failed(&evaluate(&baseline(), &lossy, DEFAULT_TOLERANCE)),
+            vec!["elastic_lost_requests"]
         );
     }
 

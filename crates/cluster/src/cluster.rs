@@ -1,7 +1,32 @@
-//! The cluster itself: N devices behind one front door.
+//! The cluster itself: N devices behind one front door — with runtime
+//! membership changes, graceful drains and failure recovery.
+//!
+//! ## Elasticity model
+//!
+//! Devices live in **slots** that are allocated once and never reused:
+//! every [`ClusterTicket`] records the slot of the device serving it, and
+//! slot indices stay valid across any sequence of
+//! [`SpiderCluster::add_device`] / [`SpiderCluster::remove_device`] /
+//! [`SpiderCluster::fail_device`] calls. A departed device's slot keeps
+//! its (retired) scheduler handle, so old tickets keep resolving and the
+//! fleet reports keep counting the work it served — the `departed`
+//! roll-up, not an accounting hole.
+//!
+//! The rendezvous router hashes device *names only* (never slot
+//! positions), so adding or removing a device remaps exactly the keys
+//! that hash to it — every survivor keeps its plan-key partition, its
+//! plan cache and its tuner memos (property-tested per removal position
+//! in `router.rs`).
+//!
+//! ## Lock order
+//!
+//! `membership` (RwLock) → `state` (Mutex) → per-device scheduler /
+//! telemetry locks (leaves). Blocking scheduler submits happen with *no*
+//! cluster lock held.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use spider_runtime::{
@@ -9,6 +34,7 @@ use spider_runtime::{
     Ticket,
 };
 
+use crate::elastic::{FaultEvent, FaultPlan, RecoveryReport, RetryPolicy};
 use crate::report::{ClusterReport, DeviceReport};
 use crate::router::{Router, RoutingPolicy};
 use crate::spec::DeviceSpec;
@@ -29,6 +55,9 @@ pub struct ClusterOptions {
     /// Run a rebalance pass automatically after every `n` submissions
     /// (`0` = only when [`SpiderCluster::rebalance`] is called).
     pub rebalance_every: usize,
+    /// What happens to in-flight casualties when a device dies (see
+    /// [`RetryPolicy`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClusterOptions {
@@ -38,13 +67,49 @@ impl Default for ClusterOptions {
             steal_skew: 2.0,
             max_steals_per_pass: 0,
             rebalance_every: 0,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// Opaque handle to a cluster submission. Stable across work stealing: the
-/// ticket keeps resolving even after a rebalance moves the request to a
-/// different device.
+/// Why a membership operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No live device has that name.
+    UnknownDevice(String),
+    /// Removing or killing this device would leave the cluster with no
+    /// serving device — refused; a cluster never drains itself to zero.
+    LastDevice,
+    /// A live device already carries that name (departed names may be
+    /// reused — replacing a dead shard under its old name is normal ops).
+    DuplicateName(String),
+    /// [`SpiderCluster::finish_drain`] on a device that was never marked
+    /// by [`SpiderCluster::begin_drain`].
+    NotDraining(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownDevice(n) => write!(f, "no live device named {n:?}"),
+            ClusterError::LastDevice => {
+                write!(f, "refusing to remove the cluster's last serving device")
+            }
+            ClusterError::DuplicateName(n) => {
+                write!(f, "a live device named {n:?} already exists")
+            }
+            ClusterError::NotDraining(n) => {
+                write!(f, "device {n:?} is not draining (call begin_drain first)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Opaque handle to a cluster submission. Stable across work stealing,
+/// drains and device failures: the ticket keeps resolving even after its
+/// request moves devices or its device leaves the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClusterTicket {
     seq: u64,
@@ -61,6 +126,52 @@ struct ClusterDevice {
     spec: DeviceSpec,
     runtime: Arc<SpiderRuntime>,
     scheduler: SpiderScheduler,
+    /// Draining out: admissions routed here are refused with
+    /// [`SubmitError::DeviceDraining`] until the drain completes.
+    draining: AtomicBool,
+    /// Left the cluster (gracefully or by death). The slot's scheduler is
+    /// retired but still answers polls and reports.
+    departed: AtomicBool,
+}
+
+impl ClusterDevice {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn departed(&self) -> bool {
+        self.departed.load(Ordering::SeqCst)
+    }
+}
+
+/// The mutable device roster. Slots only grow; `routable` lists the slot
+/// indices the router currently spreads over (in router-identity order).
+struct Membership {
+    slots: Vec<Arc<ClusterDevice>>,
+    routable: Vec<usize>,
+    router: Router,
+}
+
+impl Membership {
+    fn rebuild_router(&mut self, policy: RoutingPolicy) {
+        let names: Vec<String> = self
+            .routable
+            .iter()
+            .map(|&s| self.slots[s].spec.name.clone())
+            .collect();
+        self.router = Router::new(policy, &names);
+    }
+
+    /// Slot index of the live (non-departed) device named `name`.
+    fn live_slot(&self, name: &str) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|d| !d.departed() && d.spec.name == name)
+    }
+
+    fn live_count(&self) -> usize {
+        self.slots.iter().filter(|d| !d.departed()).count()
+    }
 }
 
 /// Where one cluster submission currently lives.
@@ -68,6 +179,8 @@ struct Pending {
     req: StencilRequest,
     device: usize,
     ticket: Ticket,
+    /// Device-loss retries consumed so far (see [`RetryPolicy`]).
+    attempts: u32,
 }
 
 #[derive(Default)]
@@ -78,16 +191,27 @@ struct ClusterState {
     /// its terminal slots for `poll`/`drain` (drain reports are cumulative
     /// by design). The rebalance path never walks this map.
     pending: HashMap<u64, Pending>,
-    /// Per-device cluster-ticket seqs in submission order — the rebalance
+    /// Per-slot cluster-ticket seqs in submission order — the rebalance
     /// working set. Unlike `pending`, this *is* pruned: each rebalance
     /// pass drops entries that moved away or reached a terminal state, so
     /// steal planning scans live queues, not lifetime history.
     device_order: Vec<Vec<u64>>,
     next_seq: u64,
+    /// Per-slot router assignment counts (kept for departed slots too —
+    /// the departed roll-up reports them).
     routed: Vec<u64>,
     steals: u64,
     rebalances: u64,
     steal_failures: u64,
+    /// Unstarted requests moved off departing/failed devices exactly-once.
+    requeued: u64,
+    /// In-flight casualties re-routed under the retry policy.
+    retried: u64,
+    devices_added: u64,
+    devices_removed: u64,
+    devices_failed: u64,
+    /// Armed fault-injection plan (see [`FaultPlan`]).
+    faults: Option<FaultPlan>,
     first_submit: Option<Instant>,
 }
 
@@ -96,14 +220,27 @@ struct ClusterState {
 /// stealing to flatten queue skew, and (optionally) a shared [`PlanStore`]
 /// every device warm-starts from and persists into.
 ///
+/// Membership is **elastic**: [`Self::add_device`] joins a device live,
+/// [`Self::remove_device`] drains one out gracefully, and
+/// [`Self::fail_device`] (or an armed [`FaultPlan`]) hard-kills one with
+/// exactly-once recovery of its queue. See the module docs for the slot
+/// and locking model.
+///
 /// Execution on a device is exactly the single-runtime path — same plan
 /// cache, tuner, coalescing and pooling — so a sharded cluster's outputs
 /// are bit-identical to one runtime serving the same requests (the property
-/// tests pin this for every routing policy).
+/// tests pin this for every routing policy, membership churn included).
 pub struct SpiderCluster {
-    devices: Vec<ClusterDevice>,
-    router: Router,
+    membership: RwLock<Membership>,
     options: ClusterOptions,
+    /// The shared store new devices warm-start from (None = no
+    /// persistence).
+    store: Option<Arc<PlanStore>>,
+    /// Cluster-level lifecycle counters
+    /// (`spider_cluster_device_{added,removed,failed}_total`,
+    /// `spider_cluster_{requeued,retried}_total`), merged into
+    /// [`Self::fleet_metrics`].
+    metrics: spider_telemetry::MetricsRegistry,
     state: Mutex<ClusterState>,
 }
 
@@ -116,7 +253,8 @@ impl SpiderCluster {
     /// Stand up the cluster over a shared [`PlanStore`]: every device's
     /// plan-cache misses consult the store before compiling, compiles write
     /// through, tuner memos import per spec fingerprint at construction,
-    /// and [`Self::drain_all`] persists each device's memos back.
+    /// and [`Self::drain_all`] persists each device's memos back. Devices
+    /// added later warm-start from the same store.
     pub fn with_store(
         specs: Vec<DeviceSpec>,
         options: ClusterOptions,
@@ -132,101 +270,146 @@ impl SpiderCluster {
     ) -> Self {
         assert!(!specs.is_empty(), "a cluster needs at least one device");
         let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
-        let devices: Vec<ClusterDevice> = specs
+        let slots: Vec<Arc<ClusterDevice>> = specs
             .into_iter()
-            .map(|spec| {
-                let device = spider_gpu_sim::GpuDevice::new(spec.specs.clone());
-                let runtime = Arc::new(match &store {
-                    Some(store) => {
-                        SpiderRuntime::with_store(device, spec.runtime, Arc::clone(store))
-                    }
-                    None => SpiderRuntime::new(device, spec.runtime),
-                });
-                let scheduler = SpiderScheduler::new(Arc::clone(&runtime), spec.scheduler.clone());
-                ClusterDevice {
-                    spec,
-                    runtime,
-                    scheduler,
-                }
-            })
+            .map(|spec| Arc::new(make_device(spec, store.as_ref())))
             .collect();
         let state = ClusterState {
-            device_order: vec![Vec::new(); devices.len()],
-            routed: vec![0; devices.len()],
+            device_order: vec![Vec::new(); slots.len()],
+            routed: vec![0; slots.len()],
             ..ClusterState::default()
         };
+        let routable: Vec<usize> = (0..slots.len()).collect();
         Self {
-            router: Router::new(options.policy, &names),
-            devices,
+            membership: RwLock::new(Membership {
+                router: Router::new(options.policy, &names),
+                slots,
+                routable,
+            }),
             options,
+            store,
+            metrics: spider_telemetry::MetricsRegistry::new(),
             state: Mutex::new(state),
         }
     }
 
-    /// Number of devices serving.
+    /// Number of live (non-departed) devices, draining ones included.
     pub fn devices(&self) -> usize {
-        self.devices.len()
+        self.read_membership().live_count()
     }
 
-    /// The spec a device was built from.
-    pub fn device_spec(&self, index: usize) -> &DeviceSpec {
-        &self.devices[index].spec
+    /// Live device names in slot (join) order.
+    pub fn device_names(&self) -> Vec<String> {
+        self.read_membership()
+            .slots
+            .iter()
+            .filter(|d| !d.departed())
+            .map(|d| d.spec.name.clone())
+            .collect()
     }
 
-    /// The runtime behind a device (statistics introspection).
-    pub fn device_runtime(&self, index: usize) -> &SpiderRuntime {
-        &self.devices[index].runtime
+    /// The spec a device slot was built from (slots never shift — see the
+    /// module docs — so an index stays valid after membership changes).
+    pub fn device_spec(&self, index: usize) -> DeviceSpec {
+        self.read_membership().slots[index].spec.clone()
+    }
+
+    /// The runtime behind a device slot (statistics introspection).
+    pub fn device_runtime(&self, index: usize) -> Arc<SpiderRuntime> {
+        Arc::clone(&self.read_membership().slots[index].runtime)
     }
 
     pub fn options(&self) -> &ClusterOptions {
         &self.options
     }
 
-    /// The router in front of the devices.
-    pub fn router(&self) -> &Router {
-        &self.router
+    /// The active routing policy.
+    pub fn routing_policy(&self) -> RoutingPolicy {
+        self.options.policy
     }
 
-    /// Pause dispatch on every device (queues keep accepting submissions).
-    /// With paused schedulers, submit → [`Self::rebalance`] →
-    /// [`Self::drain_all`] is fully deterministic: queue depths at
+    /// Pause dispatch on every live device (queues keep accepting
+    /// submissions). With paused schedulers, submit → [`Self::rebalance`]
+    /// → [`Self::drain_all`] is fully deterministic: queue depths at
     /// rebalance time do not race the dispatchers — what the scaling bench
     /// and several tests rely on.
     pub fn pause_all(&self) {
-        for d in &self.devices {
+        for d in self
+            .read_membership()
+            .slots
+            .iter()
+            .filter(|d| !d.departed())
+        {
             d.scheduler.pause();
         }
     }
 
-    /// Resume dispatch on every device ([`Self::drain_all`] also resumes).
+    /// Resume dispatch on every live device ([`Self::drain_all`] also
+    /// resumes).
     pub fn resume_all(&self) {
-        for d in &self.devices {
+        for d in self
+            .read_membership()
+            .slots
+            .iter()
+            .filter(|d| !d.departed())
+        {
             d.scheduler.resume();
         }
     }
 
-    /// Current admission-queue depth per device.
+    /// Current admission-queue depth per live device (slot order — aligned
+    /// with [`Self::device_names`]).
     pub fn queue_depths(&self) -> Vec<usize> {
-        self.devices
+        self.read_membership()
+            .slots
             .iter()
+            .filter(|d| !d.departed())
             .map(|d| d.scheduler.queue_depth())
             .collect()
+    }
+
+    /// Fleet-cumulative queue-wait histogram (µs buckets), departed
+    /// devices included so the series is monotone — the signal the
+    /// [`crate::AutoScaler`] diffs between steps.
+    pub fn fleet_wait_hist(&self) -> spider_telemetry::LogHistogram {
+        let mut h = spider_telemetry::LogHistogram::default();
+        for d in &self.read_membership().slots {
+            h.merge(&d.scheduler.queue_stats().wait_hist.hist);
+        }
+        h
     }
 
     fn lock(&self) -> MutexGuard<'_, ClusterState> {
         self.state.lock().expect("cluster state poisoned")
     }
 
+    fn read_membership(&self) -> RwLockReadGuard<'_, Membership> {
+        self.membership.read().expect("cluster membership poisoned")
+    }
+
+    fn write_membership(&self) -> RwLockWriteGuard<'_, Membership> {
+        self.membership
+            .write()
+            .expect("cluster membership poisoned")
+    }
+
     /// Pick the destination device for `req` under the configured policy.
     /// Only the load-aware policy pays for a fleet-wide depth snapshot
     /// (N scheduler locks); affinity and round-robin ignore loads.
-    fn route(&self, req: &StencilRequest) -> usize {
-        let loads = if self.router.policy() == RoutingPolicy::LeastLoaded {
-            self.queue_depths()
+    /// Returns the slot index and a handle that outlives membership
+    /// changes.
+    fn route(&self, req: &StencilRequest) -> (usize, Arc<ClusterDevice>) {
+        let m = self.read_membership();
+        let loads = if m.router.policy() == RoutingPolicy::LeastLoaded {
+            m.routable
+                .iter()
+                .map(|&s| m.slots[s].scheduler.queue_depth())
+                .collect()
         } else {
-            vec![0; self.devices.len()]
+            vec![0; m.routable.len()]
         };
-        self.router.route(req, &loads)
+        let slot = m.routable[m.router.route(req, &loads)];
+        (slot, Arc::clone(&m.slots[slot]))
     }
 
     /// Record an accepted submission in the cluster state and return its
@@ -244,6 +427,7 @@ impl SpiderCluster {
                 req,
                 device,
                 ticket,
+                attempts: 0,
             },
         );
         st.device_order[device].push(seq);
@@ -259,16 +443,75 @@ impl SpiderCluster {
         }
     }
 
+    /// Consume one injected submit-path fault, if armed.
+    fn take_submit_fault(&self) -> bool {
+        self.lock()
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.take_submit_fault())
+    }
+
+    /// The shared submit core: route, refuse draining destinations with a
+    /// typed error, re-route around devices that shut down between the
+    /// route and the submit, and close the narrow race against a
+    /// concurrent drain/kill.
+    fn submit_inner(
+        &self,
+        req: StencilRequest,
+        blocking: bool,
+    ) -> Result<ClusterTicket, SubmitError> {
+        if self.take_submit_fault() {
+            return Err(SubmitError::QueueFull { capacity: 0 });
+        }
+        loop {
+            let (slot, dev) = self.route(&req);
+            if dev.draining() {
+                // Typed refusal, never a silent drop: the caller sees
+                // exactly which device is on its way out and can back off
+                // or retry (the router stops mapping keys here the moment
+                // the drain's unroute step runs).
+                return Err(SubmitError::DeviceDraining {
+                    device: dev.spec.name.clone(),
+                });
+            }
+            let submitted = if blocking {
+                dev.scheduler.submit(req.clone())
+            } else {
+                dev.scheduler.try_submit(req.clone())
+            };
+            let ticket = match submitted {
+                Ok(t) => t,
+                // The device retired or died between route and submit:
+                // the roster has already moved on, so route again.
+                Err(SubmitError::ShuttingDown) => continue,
+                Err(e) => return Err(e),
+            };
+            if dev.draining() && dev.scheduler.cancel(ticket) {
+                // A drain began between the draining check and the
+                // submit, and our request was still queued: pull it back
+                // (cancel-true ⇒ it never started there) and re-route.
+                continue;
+            }
+            let seq = self.record_submission(req, slot, ticket);
+            if dev.departed() {
+                // The device died between submit and record, and the
+                // recovery sweep may have run before our pending entry
+                // existed — rescue it ourselves.
+                self.rescue(seq);
+            }
+            self.maybe_rebalance(seq);
+            return Ok(ClusterTicket { seq });
+        }
+    }
+
     /// Route and submit one request. The returned ticket stays valid across
-    /// work stealing. Blocks while the destination queue is full (unless
-    /// its backpressure policy sheds or rejects); admission-quota rejections
-    /// surface as [`SubmitError::QuotaExceeded`] either way.
+    /// work stealing, drains and device failures. Blocks while the
+    /// destination queue is full (unless its backpressure policy sheds or
+    /// rejects); admission-quota rejections surface as
+    /// [`SubmitError::QuotaExceeded`], and a draining destination refuses
+    /// with [`SubmitError::DeviceDraining`].
     pub fn submit(&self, req: StencilRequest) -> Result<ClusterTicket, SubmitError> {
-        let device = self.route(&req);
-        let ticket = self.devices[device].scheduler.submit(req.clone())?;
-        let seq = self.record_submission(req, device, ticket);
-        self.maybe_rebalance(seq);
-        Ok(ClusterTicket { seq })
+        self.submit_inner(req, true)
     }
 
     /// Non-blocking [`Self::submit`]: routes identically, but a full
@@ -277,19 +520,56 @@ impl SpiderCluster {
     /// placement (plan-key affinity) is the point; [`Self::rebalance`]
     /// flattens persistent skew.
     pub fn try_submit(&self, req: StencilRequest) -> Result<ClusterTicket, SubmitError> {
-        let device = self.route(&req);
-        let ticket = self.devices[device].scheduler.try_submit(req.clone())?;
-        let seq = self.record_submission(req, device, ticket);
-        self.maybe_rebalance(seq);
-        Ok(ClusterTicket { seq })
+        self.submit_inner(req, false)
+    }
+
+    /// Recovery for a submission that raced a device failure: the request
+    /// landed (or died) on a device whose recovery sweep could not see it
+    /// yet. Requeue or retry it through the same paths the sweep uses.
+    fn rescue(&self, seq: u64) {
+        let m = self.read_membership();
+        let mut st = self.lock();
+        let Some(p) = st.pending.get(&seq) else {
+            return;
+        };
+        let dev = Arc::clone(&m.slots[p.device]);
+        if !dev.departed() {
+            return;
+        }
+        match dev.scheduler.poll(p.ticket) {
+            // Cancelled by the kill sweep before it ever started: requeue
+            // exactly-once (the sweep didn't know this seq, so only we
+            // can).
+            RequestStatus::Cancelled => {
+                let req = p.req.clone();
+                let unplaced = self.place_on_survivors(&m, &mut st, vec![(seq, req)], false);
+                drop(st);
+                drop(m);
+                self.place_blocking(unplaced, false);
+            }
+            // Died mid-flight: retry under the policy.
+            RequestStatus::Failed { .. } => {
+                let attempts = p.attempts;
+                if attempts < self.options.retry.max_attempts {
+                    let req = p.req.clone();
+                    let unplaced = self.place_on_survivors(&m, &mut st, vec![(seq, req)], true);
+                    drop(st);
+                    drop(m);
+                    self.place_blocking(unplaced, true);
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Current status of a cluster ticket (resolved against whichever
-    /// device currently owns the request).
+    /// device currently owns the request — departed devices keep
+    /// answering for the history they served).
     pub fn poll(&self, ticket: ClusterTicket) -> RequestStatus {
+        let m = self.read_membership();
         let st = self.lock();
         match st.pending.get(&ticket.seq) {
-            Some(p) => self.devices[p.device].scheduler.poll(p.ticket),
+            Some(p) => m.slots[p.device].scheduler.poll(p.ticket),
             None => RequestStatus::Unknown,
         }
     }
@@ -297,11 +577,17 @@ impl SpiderCluster {
     /// Cancel a still-queued cluster ticket (see
     /// [`SpiderScheduler::cancel`] for the exact semantics).
     pub fn cancel(&self, ticket: ClusterTicket) -> bool {
+        let m = self.read_membership();
         let st = self.lock();
         match st.pending.get(&ticket.seq) {
-            Some(p) => self.devices[p.device].scheduler.cancel(p.ticket),
+            Some(p) => m.slots[p.device].scheduler.cancel(p.ticket),
             None => false,
         }
+    }
+
+    /// Consume one injected steal-placement fault, if armed.
+    fn take_steal_fault(st: &mut ClusterState) -> bool {
+        st.faults.as_mut().is_some_and(|f| f.take_steal_fault())
     }
 
     /// One work-stealing pass: find devices whose queue depth exceeds
@@ -326,23 +612,37 @@ impl SpiderCluster {
     /// [`SpiderScheduler::try_submit`] (a blocking submit here, while
     /// holding the cluster's own lock, could park on a full destination
     /// queue and freeze every other cluster operation) and falls back
-    /// through every device with room — the source's just-freed slot last.
-    /// Only when every queue in the fleet is simultaneously full does a
-    /// stolen request stay cancelled; that is counted in
+    /// through every candidate with room — the source's just-freed slot
+    /// last. Only when every queue in the fleet is simultaneously full
+    /// does a stolen request stay cancelled; that is counted in
     /// [`ClusterReport::steal_failures`] rather than silently swallowed.
+    ///
+    /// Draining and departed devices are neither sources nor destinations.
     pub fn rebalance(&self) -> usize {
-        if self.devices.len() < 2 {
+        let m = self.read_membership();
+        // Steal candidates: routable, not draining.
+        let cands: Vec<usize> = m
+            .routable
+            .iter()
+            .copied()
+            .filter(|&s| !m.slots[s].draining())
+            .collect();
+        if cands.len() < 2 {
             return 0;
         }
         let mut st = self.lock();
-        let mut depths = self.queue_depths();
+        let mut depths: Vec<usize> = cands
+            .iter()
+            .map(|&s| m.slots[s].scheduler.queue_depth())
+            .collect();
         let total: usize = depths.iter().sum();
         let mean = (total as f64 / depths.len() as f64).max(1.0);
         let threshold = mean * self.options.steal_skew.max(1.0);
         let target = mean.ceil() as usize;
         let mut moved = 0usize;
-        'sources: for src in 0..self.devices.len() {
-            if (depths[src] as f64) < threshold {
+        'sources: for src_pos in 0..cands.len() {
+            let src = cands[src_pos];
+            if (depths[src_pos] as f64) < threshold {
                 continue;
             }
             // Group this device's *currently queued* submissions by plan
@@ -352,7 +652,7 @@ impl SpiderCluster {
             // rescan a long-lived cluster's full history nor rank keys by
             // historical popularity instead of present queue depth.
             let mut by_key: Vec<(u64, Vec<u64>)> = Vec::new();
-            let mut live = Vec::with_capacity(depths[src]);
+            let mut live = Vec::with_capacity(depths[src_pos]);
             for &seq in &st.device_order[src] {
                 let Some(p) = st.pending.get(&seq) else {
                     continue;
@@ -360,7 +660,7 @@ impl SpiderCluster {
                 if p.device != src {
                     continue; // moved away: no longer this device's entry
                 }
-                let status = self.devices[src].scheduler.poll(p.ticket);
+                let status = m.slots[src].scheduler.poll(p.ticket);
                 if status.is_terminal() {
                     continue; // done/failed/cancelled: prune
                 }
@@ -378,7 +678,7 @@ impl SpiderCluster {
             // Largest keys first: maximizes whole-group moves.
             by_key.sort_by_key(|(k, seqs)| (std::cmp::Reverse(seqs.len()), *k));
             for (_, seqs) in by_key {
-                if depths[src] <= target {
+                if depths[src_pos] <= target {
                     break;
                 }
                 // Chunk destination: the least-loaded other device, kept
@@ -387,7 +687,7 @@ impl SpiderCluster {
                 // behind keeps its arrival order.
                 let mut chunk_dest: Option<usize> = None;
                 for &seq in seqs.iter().rev() {
-                    if depths[src] <= target {
+                    if depths[src_pos] <= target {
                         break;
                     }
                     if self.options.max_steals_per_pass > 0
@@ -395,16 +695,16 @@ impl SpiderCluster {
                     {
                         break 'sources;
                     }
-                    let dest = match chunk_dest {
+                    let dest_pos = match chunk_dest {
                         Some(d) if depths[d] < target => d,
                         _ => {
                             let d = depths
                                 .iter()
                                 .enumerate()
-                                .filter(|&(i, _)| i != src)
+                                .filter(|&(i, _)| i != src_pos)
                                 .min_by_key(|&(i, &d)| (d, i))
                                 .map(|(i, _)| i)
-                                .expect("at least two devices");
+                                .expect("at least two candidates");
                             chunk_dest = Some(d);
                             d
                         }
@@ -415,30 +715,37 @@ impl SpiderCluster {
                     if p.device != src {
                         continue; // defensive: moved since grouping
                     }
-                    if !self.devices[src].scheduler.cancel(p.ticket) {
+                    if !m.slots[src].scheduler.cancel(p.ticket) {
                         continue; // dispatched since grouping: not stealable
                     }
-                    depths[src] -= 1;
+                    depths[src_pos] -= 1;
                     // Placement: the chunk's pinned destination first, then
-                    // any other device with room, the source's freed slot
-                    // last. try_submit never parks, so holding the cluster
-                    // lock here is safe.
-                    let mut candidates: Vec<usize> = (0..self.devices.len())
-                        .filter(|&i| i != src && i != dest)
+                    // any other candidate with room, the source's freed
+                    // slot last. try_submit never parks, so holding the
+                    // cluster lock here is safe. An injected steal fault
+                    // makes the pinned destination refuse — the fall-
+                    // through must absorb it.
+                    let mut order: Vec<usize> = (0..cands.len())
+                        .filter(|&i| i != src_pos && i != dest_pos)
                         .collect();
-                    candidates.sort_by_key(|&i| (depths[i], i));
-                    candidates.insert(0, dest);
-                    candidates.push(src);
+                    order.sort_by_key(|&i| (depths[i], i));
+                    if Self::take_steal_fault(&mut st) {
+                        order.push(dest_pos); // preferred dest refused: last resort
+                    } else {
+                        order.insert(0, dest_pos);
+                    }
+                    order.push(src_pos);
                     let req = st.pending.get(&seq).expect("entry exists").req.clone();
-                    let placed = candidates.into_iter().find_map(|d| {
-                        self.devices[d]
+                    let placed = order.into_iter().find_map(|i| {
+                        m.slots[cands[i]]
                             .scheduler
                             .try_submit(req.clone())
                             .ok()
-                            .map(|ticket| (d, ticket))
+                            .map(|ticket| (i, ticket))
                     });
                     match placed {
-                        Some((d, ticket)) => {
+                        Some((i, ticket)) => {
+                            let d = cands[i];
                             let p = st.pending.get_mut(&seq).expect("entry exists");
                             p.device = d;
                             p.ticket = ticket;
@@ -448,7 +755,7 @@ impl SpiderCluster {
                                 // later pass could double-cancel on)
                                 st.device_order[d].push(seq);
                             }
-                            depths[d] += 1;
+                            depths[i] += 1;
                             if d == src {
                                 // Every other queue was full: the request
                                 // went back where it came from (losing only
@@ -476,18 +783,441 @@ impl SpiderCluster {
         moved
     }
 
-    /// Block until every device's queue is empty, then aggregate the fleet
-    /// report. When a [`PlanStore`] is attached, each device persists its
+    /// Place `(seq, req)` pairs onto non-draining routable survivors in
+    /// plan-key chunks (largest keys first, chunk destination = least
+    /// loaded, pinned per chunk). Placement is non-blocking; pairs no
+    /// destination had room for come back for [`Self::place_blocking`].
+    /// `retry` selects which counters the placements bump (requeue vs
+    /// retry) and whether an attempt is consumed.
+    fn place_on_survivors(
+        &self,
+        m: &Membership,
+        st: &mut ClusterState,
+        items: Vec<(u64, StencilRequest)>,
+        retry: bool,
+    ) -> Vec<(u64, StencilRequest)> {
+        let dests: Vec<usize> = m
+            .routable
+            .iter()
+            .copied()
+            .filter(|&s| !m.slots[s].draining() && !m.slots[s].departed())
+            .collect();
+        if dests.is_empty() {
+            return items;
+        }
+        let mut depths: Vec<usize> = dests
+            .iter()
+            .map(|&s| m.slots[s].scheduler.queue_depth())
+            .collect();
+        // Plan-key chunks, largest first — the same coalescing-preserving
+        // shape the steal path uses.
+        let mut by_key: Vec<(u64, Vec<(u64, StencilRequest)>)> = Vec::new();
+        for (seq, req) in items {
+            let key = req.plan_key();
+            match by_key.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push((seq, req)),
+                None => by_key.push((key, vec![(seq, req)])),
+            }
+        }
+        by_key.sort_by_key(|(k, v)| (std::cmp::Reverse(v.len()), *k));
+        let mut unplaced = Vec::new();
+        for (_, chunk) in by_key {
+            let dest_pos = depths
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &d)| (d, i))
+                .map(|(i, _)| i)
+                .expect("non-empty dests");
+            for (seq, req) in chunk {
+                let mut order: Vec<usize> = (0..dests.len()).filter(|&i| i != dest_pos).collect();
+                order.sort_by_key(|&i| (depths[i], i));
+                if Self::take_steal_fault(st) {
+                    order.push(dest_pos);
+                } else {
+                    order.insert(0, dest_pos);
+                }
+                let placed = order.into_iter().find_map(|i| {
+                    m.slots[dests[i]]
+                        .scheduler
+                        .try_submit(req.clone())
+                        .ok()
+                        .map(|ticket| (i, ticket))
+                });
+                match placed {
+                    Some((i, ticket)) => {
+                        let d = dests[i];
+                        depths[i] += 1;
+                        self.commit_move(st, seq, d, ticket, retry);
+                    }
+                    None => unplaced.push((seq, req)),
+                }
+            }
+        }
+        unplaced
+    }
+
+    /// Re-point a pending entry at its new device and bump the recovery
+    /// counters.
+    fn commit_move(
+        &self,
+        st: &mut ClusterState,
+        seq: u64,
+        device: usize,
+        ticket: Ticket,
+        retry: bool,
+    ) {
+        let p = st.pending.get_mut(&seq).expect("pending entry exists");
+        p.device = device;
+        p.ticket = ticket;
+        st.device_order[device].push(seq);
+        if retry {
+            p.attempts += 1;
+            st.retried += 1;
+            self.metrics.counter("spider_cluster_retried_total").inc();
+        } else {
+            st.requeued += 1;
+            self.metrics.counter("spider_cluster_requeued_total").inc();
+        }
+    }
+
+    /// Blocking fallback for pairs [`Self::place_on_survivors`] found no
+    /// room for: park on the least-loaded live destination with **no**
+    /// cluster lock held. Extremely rare — it needs every survivor queue
+    /// simultaneously full — but "every queue full" must degrade to
+    /// waiting, never to losing a request.
+    fn place_blocking(&self, unplaced: Vec<(u64, StencilRequest)>, retry: bool) {
+        for (seq, req) in unplaced {
+            loop {
+                let dev = {
+                    let m = self.read_membership();
+                    m.routable
+                        .iter()
+                        .copied()
+                        .filter(|&s| !m.slots[s].draining() && !m.slots[s].departed())
+                        .min_by_key(|&s| (m.slots[s].scheduler.queue_depth(), s))
+                        .map(|s| (s, Arc::clone(&m.slots[s])))
+                };
+                let Some((slot, dev)) = dev else {
+                    // No survivor at all (concurrent drains raced the
+                    // LastDevice guard): surface as a steal failure.
+                    self.lock().steal_failures += 1;
+                    break;
+                };
+                match dev.scheduler.submit(req.clone()) {
+                    Ok(ticket) => {
+                        let m = self.read_membership();
+                        let mut st = self.lock();
+                        self.commit_move(&mut st, seq, slot, ticket, retry);
+                        drop(st);
+                        drop(m);
+                        break;
+                    }
+                    Err(SubmitError::ShuttingDown) => continue, // died meanwhile: re-pick
+                    Err(_) => {
+                        // Policy refusal (reject/shed/quota): the request
+                        // stays cancelled — counted, not swallowed.
+                        self.lock().steal_failures += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Join a new device live: it starts serving (and warm-starts from the
+    /// shared store, when one is attached) immediately, and the rendezvous
+    /// router moves exactly the plan keys that hash to it — every existing
+    /// device keeps its partition. Queued work already placed elsewhere is
+    /// *not* moved automatically; run [`Self::rebalance`] to shed backlog
+    /// onto the newcomer.
+    pub fn add_device(&self, spec: DeviceSpec) -> Result<(), ClusterError> {
+        let mut m = self.write_membership();
+        if m.slots
+            .iter()
+            .any(|d| !d.departed() && d.spec.name == spec.name)
+        {
+            return Err(ClusterError::DuplicateName(spec.name));
+        }
+        let dev = Arc::new(make_device(spec, self.store.as_ref()));
+        let slot = m.slots.len();
+        {
+            let mut st = self.lock();
+            st.device_order.push(Vec::new());
+            st.routed.push(0);
+            st.devices_added += 1;
+        }
+        m.slots.push(dev);
+        m.routable.push(slot);
+        m.rebuild_router(self.options.policy);
+        self.metrics
+            .counter("spider_cluster_device_added_total")
+            .inc();
+        Ok(())
+    }
+
+    /// Mark a device as draining: it stays in the router (so the refusal
+    /// is observable) but every submission routed to it is refused with
+    /// [`SubmitError::DeviceDraining`]. The drain completes with
+    /// [`Self::finish_drain`]; [`Self::remove_device`] does both
+    /// back-to-back.
+    pub fn begin_drain(&self, name: &str) -> Result<(), ClusterError> {
+        let m = self.write_membership();
+        let slot = m
+            .live_slot(name)
+            .ok_or_else(|| ClusterError::UnknownDevice(name.to_string()))?;
+        let serving = m
+            .slots
+            .iter()
+            .filter(|d| !d.departed() && !d.draining())
+            .count();
+        if serving <= 1 && !m.slots[slot].draining() {
+            return Err(ClusterError::LastDevice);
+        }
+        m.slots[slot].draining.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Complete a graceful drain begun with [`Self::begin_drain`]:
+    ///
+    /// 1. **Unroute** — rebuild the router without the device; rendezvous
+    ///    remaps only its keys.
+    /// 2. **Steal the queue** — cancel every still-queued request and
+    ///    requeue it on the survivors in plan-key chunks (exactly-once:
+    ///    cancel-true ⇒ never started).
+    /// 3. **Wait out in-flight waves** — `scheduler.drain()`.
+    /// 4. **Persist** what the device learned (when a store is attached).
+    /// 5. **Retire** — the dispatcher thread exits; the slot stays
+    ///    pollable and rolls into the `departed` report section.
+    ///
+    /// Returns the departed device's final report slice.
+    pub fn finish_drain(&self, name: &str) -> Result<DeviceReport, ClusterError> {
+        let (slot, dev) = {
+            let mut m = self.write_membership();
+            let slot = m
+                .live_slot(name)
+                .ok_or_else(|| ClusterError::UnknownDevice(name.to_string()))?;
+            if !m.slots[slot].draining() {
+                return Err(ClusterError::NotDraining(name.to_string()));
+            }
+            if let Some(pos) = m.routable.iter().position(|&s| s == slot) {
+                m.routable.remove(pos);
+                m.rebuild_router(self.options.policy);
+            }
+            (slot, Arc::clone(&m.slots[slot]))
+        };
+        // Steal-and-requeue the departing queue (plan-key chunks).
+        let unplaced = {
+            let m = self.read_membership();
+            let mut st = self.lock();
+            let mut items = Vec::new();
+            let order = std::mem::take(&mut st.device_order[slot]);
+            let mut live = Vec::new();
+            for seq in order {
+                let Some(p) = st.pending.get(&seq) else {
+                    continue;
+                };
+                if p.device != slot {
+                    continue;
+                }
+                let status = dev.scheduler.poll(p.ticket);
+                if status.is_terminal() {
+                    continue;
+                }
+                if matches!(status, RequestStatus::Queued { .. }) && dev.scheduler.cancel(p.ticket)
+                {
+                    items.push((seq, p.req.clone()));
+                } else {
+                    live.push(seq); // running: waited out below
+                }
+            }
+            st.device_order[slot] = live;
+            self.place_on_survivors(&m, &mut st, items, false)
+        };
+        self.place_blocking(unplaced, false);
+        // Wait out in-flight waves (and any stragglers that raced the
+        // draining flag — they simply execute here before retirement).
+        dev.scheduler.drain();
+        if dev.runtime.store().is_some() {
+            let _ = dev.runtime.persist();
+        }
+        dev.scheduler.retire();
+        dev.departed.store(true, Ordering::SeqCst);
+        self.lock().devices_removed += 1;
+        self.metrics
+            .counter("spider_cluster_device_removed_total")
+            .inc();
+        Ok(self.device_report(slot, &dev))
+    }
+
+    /// Gracefully remove a device: [`Self::begin_drain`] +
+    /// [`Self::finish_drain`]. No request is lost: queued work moves to
+    /// survivors exactly-once, in-flight work completes on the departing
+    /// device, and its cumulative counters stay in the fleet reports'
+    /// `departed` roll-up.
+    pub fn remove_device(&self, name: &str) -> Result<DeviceReport, ClusterError> {
+        self.begin_drain(name)?;
+        self.finish_drain(name)
+    }
+
+    /// Hard-kill a device, as a crash (or an armed [`FaultPlan`]) would,
+    /// and recover:
+    ///
+    /// * its **queued** requests are requeued on survivors exactly-once
+    ///   (they never started — [`spider_runtime::KillReport::unstarted`]);
+    /// * its **in-flight** requests are casualties, re-routed at most
+    ///   [`RetryPolicy::max_attempts`] times (the retry executes the same
+    ///   content-addressed plan, so outcomes stay bit-identical) or left
+    ///   surfacing [`spider_runtime::FailureReason::DeviceLost`];
+    /// * the slot departs into the report roll-up, still pollable.
+    pub fn fail_device(&self, name: &str) -> Result<RecoveryReport, ClusterError> {
+        let (slot, dev) = {
+            let mut m = self.write_membership();
+            let slot = m
+                .live_slot(name)
+                .ok_or_else(|| ClusterError::UnknownDevice(name.to_string()))?;
+            if m.live_count() <= 1 {
+                return Err(ClusterError::LastDevice);
+            }
+            let dev = Arc::clone(&m.slots[slot]);
+            dev.draining.store(true, Ordering::SeqCst);
+            dev.departed.store(true, Ordering::SeqCst);
+            if let Some(pos) = m.routable.iter().position(|&s| s == slot) {
+                m.routable.remove(pos);
+                m.rebuild_router(self.options.policy);
+            }
+            (slot, dev)
+        };
+        let kr = dev.scheduler.kill();
+        let mut report = RecoveryReport::default();
+        // Map the dead device's tickets back to cluster seqs. (A submission
+        // racing the kill may not be recorded yet — its submitter's rescue
+        // path covers it; see `submit_inner`.)
+        let (unplaced_requeues, retries) = {
+            let m = self.read_membership();
+            let mut st = self.lock();
+            let mut by_ticket: HashMap<Ticket, u64> = HashMap::new();
+            for (&seq, p) in st.pending.iter() {
+                if p.device == slot {
+                    by_ticket.insert(p.ticket, seq);
+                }
+            }
+            let mut requeues = Vec::new();
+            for (ticket, req) in kr.unstarted {
+                if let Some(&seq) = by_ticket.get(&ticket) {
+                    requeues.push((seq, req));
+                }
+            }
+            report.requeued = requeues.len();
+            let unplaced = self.place_on_survivors(&m, &mut st, requeues, false);
+            let mut retries = Vec::new();
+            for ticket in kr.lost {
+                let Some(&seq) = by_ticket.get(&ticket) else {
+                    continue;
+                };
+                let p = st.pending.get(&seq).expect("mapped entry exists");
+                if p.attempts < self.options.retry.max_attempts {
+                    retries.push((seq, p.req.clone()));
+                } else {
+                    report.abandoned += 1;
+                }
+            }
+            (unplaced, retries)
+        };
+        // (the blocking fallback parks rather than loses, so the report
+        // counts every requeue/retry it was handed, landed or parked)
+        self.place_blocking(unplaced_requeues, false);
+        if !retries.is_empty() {
+            if !self.options.retry.backoff.is_zero() {
+                std::thread::sleep(self.options.retry.backoff);
+            }
+            report.retried = retries.len();
+            let unplaced = {
+                let m = self.read_membership();
+                let mut st = self.lock();
+                self.place_on_survivors(&m, &mut st, retries, true)
+            };
+            self.place_blocking(unplaced, true);
+        }
+        {
+            let mut st = self.lock();
+            st.devices_failed += 1;
+        }
+        self.metrics
+            .counter("spider_cluster_device_failed_total")
+            .inc();
+        Ok(report)
+    }
+
+    /// Arm (or replace) the fault-injection plan. Triggers fire only from
+    /// [`Self::fault_tick`] and the submit/steal paths — deterministically,
+    /// never from a background thread.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        self.lock().faults = Some(plan);
+    }
+
+    /// Evaluate the armed kill trigger: if the target device has
+    /// dispatched at least `after_waves` waves, kill it (consuming the
+    /// trigger) and return the recovery report. The harness calls this
+    /// between traffic pulses — mid-batch by construction.
+    pub fn fault_tick(&self) -> Option<FaultEvent> {
+        let target = {
+            let m = self.read_membership();
+            let mut st = self.lock();
+            let f = st.faults.as_mut()?;
+            let trigger = f.kill.as_ref()?;
+            let slot = m.live_slot(&trigger.device)?;
+            let waves = m.slots[slot].scheduler.queue_stats().dispatch_waves;
+            if waves >= trigger.after_waves {
+                f.kill.take().map(|k| k.device)
+            } else {
+                None
+            }
+        }?;
+        let recovery = self.fail_device(&target).ok()?;
+        Some(FaultEvent {
+            device: target,
+            recovery,
+        })
+    }
+
+    /// Build one device's report slice (callable for live and departed
+    /// slots alike — a departed scheduler's `drain` returns immediately).
+    fn device_report(&self, slot: usize, dev: &ClusterDevice) -> DeviceReport {
+        let report = dev.scheduler.drain();
+        let routed = self.lock().routed[slot];
+        DeviceReport {
+            name: dev.spec.name.clone(),
+            cache: dev.runtime.cache_stats(),
+            store: dev.runtime.store_stats(),
+            routed,
+            report,
+        }
+    }
+
+    /// Block until every live device's queue is empty, then aggregate the
+    /// fleet report — departed devices included in the `departed` roll-up,
+    /// so a removed device's served work never vanishes from fleet totals.
+    /// When a [`PlanStore`] is attached, each live device persists its
     /// plans and tuner memos first (best effort), so the next process
     /// warm-starts from everything this one learned.
     pub fn drain_all(&self) -> ClusterReport {
-        let mut reports = Vec::with_capacity(self.devices.len());
-        for d in &self.devices {
-            reports.push(d.scheduler.drain());
+        let m = self.read_membership();
+        let mut devices = Vec::new();
+        let mut departed = Vec::new();
+        for dev in m.slots.iter().filter(|d| !d.departed()) {
+            dev.scheduler.drain();
         }
-        for d in &self.devices {
-            if d.runtime.store().is_some() {
-                let _ = d.runtime.persist();
+        for dev in m.slots.iter().filter(|d| !d.departed()) {
+            if dev.runtime.store().is_some() {
+                let _ = dev.runtime.persist();
+            }
+        }
+        for (slot, dev) in m.slots.iter().enumerate() {
+            let report = self.device_report(slot, dev);
+            if dev.departed() {
+                departed.push(report);
+            } else {
+                devices.push(report);
             }
         }
         let st = self.lock();
@@ -496,23 +1226,17 @@ impl SpiderCluster {
             .map(|t| t.elapsed().as_secs_f64())
             .unwrap_or(0.0);
         ClusterReport {
-            devices: self
-                .devices
-                .iter()
-                .zip(reports)
-                .enumerate()
-                .map(|(i, (d, report))| DeviceReport {
-                    name: d.spec.name.clone(),
-                    cache: d.runtime.cache_stats(),
-                    store: d.runtime.store_stats(),
-                    routed: st.routed[i],
-                    report,
-                })
-                .collect(),
+            devices,
+            departed,
             wall_s,
             steals: st.steals,
             rebalances: st.rebalances,
             steal_failures: st.steal_failures,
+            requeued: st.requeued,
+            retried: st.retried,
+            devices_added: st.devices_added,
+            devices_removed: st.devices_removed,
+            devices_failed: st.devices_failed,
         }
     }
 
@@ -527,35 +1251,46 @@ impl SpiderCluster {
         Ok(self.drain_all())
     }
 
-    /// Persist every device's cached plans and tuner memos into the
+    /// Persist every live device's cached plans and tuner memos into the
     /// attached store. Returns total plans written (0 without a store).
     pub fn persist_all(&self) -> std::io::Result<usize> {
         let mut total = 0;
-        for d in &self.devices {
+        for d in self
+            .read_membership()
+            .slots
+            .iter()
+            .filter(|d| !d.departed())
+        {
             total += d.runtime.persist()?;
         }
         Ok(total)
     }
 
-    /// Fleet-wide metrics snapshot: every device syncs its cumulative
-    /// counters into its registry, then the per-device snapshots merge
-    /// (counters and gauges add, histograms merge bucket-wise). Empty when
-    /// telemetry is disabled on every device.
+    /// Fleet-wide metrics snapshot: every device (departed ones included —
+    /// their final counters must not vanish from fleet totals) syncs its
+    /// cumulative counters into its registry, then the per-device
+    /// snapshots merge (counters and gauges add, histograms merge
+    /// bucket-wise), plus the cluster's own lifecycle counters
+    /// (`spider_cluster_device_{added,removed,failed}_total`,
+    /// `spider_cluster_{requeued,retried}_total`). Per-device telemetry is
+    /// absent when disabled on every device; the cluster counters are
+    /// always present.
     pub fn fleet_metrics(&self) -> spider_telemetry::MetricsSnapshot {
         let mut merged = spider_telemetry::MetricsSnapshot::default();
-        for d in &self.devices {
+        for d in &self.read_membership().slots {
             d.runtime.sync_metrics();
             merged.merge(&d.runtime.telemetry().metrics().snapshot());
         }
+        merged.merge(&self.metrics.snapshot());
         merged
     }
 
     /// Prometheus text exposition of the whole fleet: one block per device
-    /// (labelled `device="<name>"`), then the merged fleet snapshot with no
-    /// labels.
+    /// (labelled `device="<name>"`, departed devices included with their
+    /// final counters), then the merged fleet snapshot with no labels.
     pub fn fleet_prometheus_text(&self) -> String {
         let mut out = String::new();
-        for d in &self.devices {
+        for d in &self.read_membership().slots {
             d.runtime.sync_metrics();
             let snap = d.runtime.telemetry().metrics().snapshot();
             out.push_str(&snap.prometheus_text(&[("device", &d.spec.name)]));
@@ -564,11 +1299,13 @@ impl SpiderCluster {
         out
     }
 
-    /// Fleet-wide per-plan phase profile: each device's profiler snapshot,
-    /// merged by plan key and sorted heaviest-first.
+    /// Fleet-wide per-plan phase profile: each device's profiler snapshot
+    /// (departed devices' history included), merged by plan key and sorted
+    /// heaviest-first.
     pub fn fleet_profile(&self) -> Vec<spider_telemetry::PlanProfile> {
         let per_device: Vec<Vec<spider_telemetry::PlanProfile>> = self
-            .devices
+            .read_membership()
+            .slots
             .iter()
             .map(|d| d.runtime.telemetry().profiler().snapshot())
             .collect();
@@ -581,12 +1318,29 @@ impl SpiderCluster {
     /// the same request id but sit in that device's ring). `None` for
     /// unknown tickets or when telemetry is disabled.
     pub fn timeline(&self, ticket: ClusterTicket) -> Option<String> {
+        let m = self.read_membership();
         let (device, dev_ticket) = {
             let st = self.lock();
             let p = st.pending.get(&ticket.seq)?;
             (p.device, p.ticket)
         };
-        self.devices[device].scheduler.timeline(dev_ticket)
+        m.slots[device].scheduler.timeline(dev_ticket)
+    }
+}
+
+fn make_device(spec: DeviceSpec, store: Option<&Arc<PlanStore>>) -> ClusterDevice {
+    let device = spider_gpu_sim::GpuDevice::new(spec.specs.clone());
+    let runtime = Arc::new(match store {
+        Some(store) => SpiderRuntime::with_store(device, spec.runtime, Arc::clone(store)),
+        None => SpiderRuntime::new(device, spec.runtime),
+    });
+    let scheduler = SpiderScheduler::new(Arc::clone(&runtime), spec.scheduler.clone());
+    ClusterDevice {
+        spec,
+        runtime,
+        scheduler,
+        draining: AtomicBool::new(false),
+        departed: AtomicBool::new(false),
     }
 }
 
@@ -608,7 +1362,8 @@ impl Submit for SpiderCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spider_runtime::{Priority, SchedulerOptions};
+    use crate::elastic::{FaultPlan, RetryPolicy};
+    use spider_runtime::{FailureReason, Priority, SchedulerOptions};
     use spider_stencil::{StencilKernel, StencilShape};
 
     fn specs(n: usize, paused: bool) -> Vec<DeviceSpec> {
@@ -680,9 +1435,8 @@ mod tests {
 
     #[test]
     fn rebalance_steals_from_skewed_queues() {
-        // Pause dispatch so queues build deterministically, overload dev0
-        // via round-robin on... actually force skew with affinity: all
-        // requests share one kernel, so they all land on one device.
+        // Pause dispatch so queues build deterministically; affinity
+        // concentrates one kernel's requests on one device.
         let cluster = SpiderCluster::new(specs(2, true), ClusterOptions::default());
         let k = StencilKernel::jacobi_2d();
         let tickets: Vec<ClusterTicket> = (0..10u64)
@@ -823,5 +1577,272 @@ mod tests {
             cluster.poll(ClusterTicket { seq: 123 }),
             RequestStatus::Unknown
         ));
+    }
+
+    // ───────────────────────── elasticity ─────────────────────────
+
+    #[test]
+    fn add_device_joins_live_and_serves() {
+        let cluster = SpiderCluster::new(specs(2, false), ClusterOptions::default());
+        for req in mixed_requests(4) {
+            cluster.submit(req).unwrap();
+        }
+        cluster.add_device(specs(3, false).pop().unwrap()).unwrap();
+        assert_eq!(cluster.devices(), 3);
+        assert_eq!(
+            cluster.device_names(),
+            vec!["dev0", "dev1", "dev2"],
+            "join order"
+        );
+        // The newcomer is routable: some plan key must hash to it.
+        for req in mixed_requests(16).into_iter().skip(4) {
+            cluster.submit(req).unwrap();
+        }
+        let report = cluster.drain_all();
+        assert_eq!(report.total_completed(), 16);
+        assert_eq!(report.devices_added, 1);
+        assert_eq!(report.devices.len(), 3);
+        assert!(report.departed.is_empty());
+    }
+
+    #[test]
+    fn duplicate_live_names_are_refused() {
+        let cluster = SpiderCluster::new(specs(2, false), ClusterOptions::default());
+        assert_eq!(
+            cluster.add_device(DeviceSpec::a100("dev1")),
+            Err(ClusterError::DuplicateName("dev1".into()))
+        );
+        // A departed name may be reused (replacing a dead shard).
+        cluster.remove_device("dev1").unwrap();
+        cluster.add_device(DeviceSpec::a100("dev1")).unwrap();
+        assert_eq!(cluster.devices(), 2);
+    }
+
+    #[test]
+    fn remove_device_drains_gracefully_and_loses_nothing() {
+        let cluster = SpiderCluster::new(specs(3, true), ClusterOptions::default());
+        let tickets: Vec<ClusterTicket> = mixed_requests(24)
+            .into_iter()
+            .map(|r| cluster.submit(r).unwrap())
+            .collect();
+        // Pick the device with the deepest queue and drain it out while
+        // every request is still queued (dispatch paused).
+        let depths = cluster.queue_depths();
+        let names = cluster.device_names();
+        let victim = &names[depths
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &d)| d)
+            .unwrap()
+            .0];
+        let moved = depths.iter().max().copied().unwrap();
+        assert!(moved > 0, "victim must hold queued work: {depths:?}");
+        let dr = cluster.remove_device(victim).unwrap();
+        assert_eq!(dr.name, *victim);
+        assert_eq!(cluster.devices(), 2);
+        assert!(!cluster.device_names().contains(victim));
+        let report = cluster.drain_all();
+        assert_eq!(report.total_completed(), 24, "drain loses zero requests");
+        assert_eq!(report.devices_removed, 1);
+        assert_eq!(report.requeued as usize, moved);
+        assert_eq!(report.departed.len(), 1);
+        assert_eq!(report.departed[0].name, *victim);
+        for t in tickets {
+            assert!(matches!(cluster.poll(t), RequestStatus::Done(_)));
+        }
+    }
+
+    #[test]
+    fn removing_the_last_device_is_refused() {
+        let cluster = SpiderCluster::new(specs(2, false), ClusterOptions::default());
+        cluster.remove_device("dev0").unwrap();
+        assert!(matches!(
+            cluster.remove_device("dev1"),
+            Err(ClusterError::LastDevice)
+        ));
+        assert_eq!(cluster.fail_device("dev1"), Err(ClusterError::LastDevice));
+        assert!(matches!(
+            cluster.remove_device("nope"),
+            Err(ClusterError::UnknownDevice(n)) if n == "nope"
+        ));
+    }
+
+    #[test]
+    fn draining_devices_refuse_submits_with_a_typed_error() {
+        // Affinity: one kernel's requests all route to one device. Mark it
+        // draining and the next submit must be refused, not dropped.
+        let cluster = SpiderCluster::new(specs(2, true), ClusterOptions::default());
+        let k = StencilKernel::jacobi_2d();
+        cluster
+            .submit(StencilRequest::new_2d(0, k.clone(), 48, 48))
+            .unwrap();
+        let victim = {
+            let depths = cluster.queue_depths();
+            let names = cluster.device_names();
+            names[depths.iter().position(|&d| d > 0).unwrap()].clone()
+        };
+        cluster.begin_drain(&victim).unwrap();
+        match cluster.submit(StencilRequest::new_2d(1, k, 48, 48)) {
+            Err(SubmitError::DeviceDraining { device }) => assert_eq!(device, victim),
+            other => panic!("expected DeviceDraining, got {other:?}"),
+        }
+        cluster.finish_drain(&victim).unwrap();
+        // Unrouted now: the same kernel re-routes to the survivor.
+        assert!(matches!(
+            cluster.finish_drain(&victim),
+            Err(ClusterError::UnknownDevice(n)) if n == victim
+        ));
+        let report = cluster.drain_all();
+        assert_eq!(report.total_completed(), 1);
+    }
+
+    #[test]
+    fn finish_drain_requires_begin_drain() {
+        let cluster = SpiderCluster::new(specs(2, false), ClusterOptions::default());
+        assert!(matches!(
+            cluster.finish_drain("dev0"),
+            Err(ClusterError::NotDraining(n)) if n == "dev0"
+        ));
+    }
+
+    #[test]
+    fn killed_device_requeues_queued_work_exactly_once() {
+        let cluster = SpiderCluster::new(specs(3, true), ClusterOptions::default());
+        let tickets: Vec<ClusterTicket> = mixed_requests(18)
+            .into_iter()
+            .map(|r| cluster.submit(r).unwrap())
+            .collect();
+        let depths = cluster.queue_depths();
+        let names = cluster.device_names();
+        let (victim_pos, &victim_depth) =
+            depths.iter().enumerate().max_by_key(|&(_, &d)| d).unwrap();
+        let victim = names[victim_pos].clone();
+        assert!(victim_depth > 0);
+        // Dispatch is paused: nothing has started, so the kill finds only
+        // queued work and recovery requeues all of it.
+        let recovery = cluster.fail_device(&victim).unwrap();
+        assert_eq!(recovery.requeued, victim_depth);
+        assert_eq!(recovery.retried, 0);
+        assert_eq!(recovery.abandoned, 0);
+        assert_eq!(cluster.devices(), 2);
+        let report = cluster.drain_all();
+        assert_eq!(report.total_completed(), 18, "kill loses zero queued work");
+        assert_eq!(report.devices_failed, 1);
+        assert_eq!(report.requeued, victim_depth as u64);
+        // Exactly-once: completions across survivors + departed == 18,
+        // with no duplicates (each ticket resolves Done exactly once).
+        for t in tickets {
+            assert!(matches!(cluster.poll(t), RequestStatus::Done(_)));
+        }
+    }
+
+    #[test]
+    fn fault_tick_kills_mid_batch_and_recovers() {
+        let cluster = SpiderCluster::new(specs(2, false), ClusterOptions::default());
+        // Wave threshold 0: fires on the first tick.
+        cluster.inject_faults(FaultPlan::kill_after("dev0", 0));
+        let tickets: Vec<ClusterTicket> = mixed_requests(8)
+            .into_iter()
+            .map(|r| cluster.submit(r).unwrap())
+            .collect();
+        let event = cluster.fault_tick().expect("trigger must fire");
+        assert_eq!(event.device, "dev0");
+        assert!(cluster.fault_tick().is_none(), "trigger is consumed");
+        let report = cluster.drain_all();
+        assert_eq!(report.devices_failed, 1);
+        // Every ticket resolves: completed (on a survivor, the victim
+        // pre-kill, or after a retry) or surfaced as a device loss.
+        for t in tickets {
+            match cluster.poll(t) {
+                RequestStatus::Done(_)
+                | RequestStatus::Failed {
+                    reason: FailureReason::DeviceLost,
+                } => {}
+                s => panic!("unresolved ticket after fault: {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_submit_faults_surface_and_clear() {
+        let cluster = SpiderCluster::new(specs(2, false), ClusterOptions::default());
+        cluster.inject_faults(FaultPlan::default().with_failed_submits(2));
+        let req = mixed_requests(1).pop().unwrap();
+        assert!(matches!(
+            cluster.submit(req.clone()),
+            Err(SubmitError::QueueFull { capacity: 0 })
+        ));
+        assert!(matches!(
+            cluster.try_submit(req.clone()),
+            Err(SubmitError::QueueFull { capacity: 0 })
+        ));
+        cluster.submit(req).unwrap();
+        let report = cluster.drain_all();
+        assert_eq!(report.total_completed(), 1);
+    }
+
+    #[test]
+    fn in_flight_casualties_retry_and_stay_bit_identical() {
+        // Reference: the same requests on one runtime.
+        let reqs = mixed_requests(6);
+        let single = SpiderCluster::new(specs(1, false), ClusterOptions::default());
+        let mut want = std::collections::HashMap::new();
+        let single_tickets: Vec<(u64, ClusterTicket)> = reqs
+            .iter()
+            .map(|r| (r.id, single.submit(r.clone()).unwrap()))
+            .collect();
+        single.drain_all();
+        for (id, t) in single_tickets {
+            match single.poll(t) {
+                RequestStatus::Done(c) => {
+                    want.insert(id, c.checksum);
+                }
+                s => panic!("reference must complete: {s:?}"),
+            }
+        }
+        // Cluster with retries enabled: kill a device mid-flight; the
+        // casualties re-route and their checksums match the reference.
+        let cluster = SpiderCluster::new(
+            specs(3, false),
+            ClusterOptions {
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    ..RetryPolicy::default()
+                },
+                ..ClusterOptions::default()
+            },
+        );
+        let tickets: Vec<(u64, ClusterTicket)> = reqs
+            .iter()
+            .map(|r| (r.id, cluster.submit(r.clone()).unwrap()))
+            .collect();
+        let victim = cluster.device_names()[0].clone();
+        cluster.fail_device(&victim).unwrap();
+        cluster.drain_all();
+        for (id, t) in tickets {
+            match cluster.poll(t) {
+                RequestStatus::Done(c) => {
+                    assert_eq!(c.checksum, want[&id], "retries stay bit-identical");
+                }
+                RequestStatus::Failed {
+                    reason: FailureReason::DeviceLost,
+                } => {
+                    // Only possible once the retry budget is spent.
+                }
+                s => panic!("unresolved ticket after recovery: {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_metrics_include_cluster_lifecycle_counters() {
+        let cluster = SpiderCluster::new(specs(2, false), ClusterOptions::default());
+        cluster.add_device(DeviceSpec::a100("dev2")).unwrap();
+        cluster.remove_device("dev2").unwrap();
+        let snap = cluster.fleet_metrics();
+        assert_eq!(snap.counter_value("spider_cluster_device_added_total"), 1);
+        assert_eq!(snap.counter_value("spider_cluster_device_removed_total"), 1);
+        let text = cluster.fleet_prometheus_text();
+        assert!(text.contains("spider_cluster_device_added_total 1"));
     }
 }

@@ -45,6 +45,23 @@
 //! sharded cluster is bit-identical to one runtime serving the same
 //! requests — under every routing policy (property-tested).
 //!
+//! ## Elasticity and failure tolerance
+//!
+//! Membership is not fixed at construction: [`SpiderCluster::add_device`]
+//! joins a device live (warm-starting from the shared store when one is
+//! attached), [`SpiderCluster::remove_device`] performs a graceful drain
+//! (typed [`spider_runtime::SubmitError::DeviceDraining`] refusals, queued
+//! work stolen to survivors exactly-once in plan-key chunks, in-flight
+//! waves waited out), and [`SpiderCluster::fail_device`] — or an armed
+//! [`FaultPlan`] — hard-kills one mid-batch with exactly-once recovery:
+//! unstarted work is requeued, in-flight casualties surface as
+//! `Failed { reason: DeviceLost }` and re-route under a bounded
+//! [`RetryPolicy`]. The [`AutoScaler`] drives the same membership calls
+//! from queue-wait/depth signals (`step()` is explicit, so a harness
+//! replays scale curves deterministically). Departed devices keep their
+//! cumulative counters in the fleet reports' `departed` roll-up. See the
+//! [`cluster`] module docs for the slot and locking model.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -68,11 +85,16 @@
 //! ```
 
 pub mod cluster;
+pub mod elastic;
 pub mod report;
 pub mod router;
 pub mod spec;
 
-pub use cluster::{ClusterOptions, ClusterTicket, SpiderCluster};
+pub use cluster::{ClusterError, ClusterOptions, ClusterTicket, SpiderCluster};
+pub use elastic::{
+    AutoScaler, FaultEvent, FaultPlan, KillTrigger, RecoveryReport, RetryPolicy, ScaleAction,
+    ScalePolicy,
+};
 pub use report::{ClusterReport, DeviceReport};
 pub use router::{Router, RoutingPolicy};
 pub use spec::DeviceSpec;

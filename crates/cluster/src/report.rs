@@ -47,9 +47,19 @@ pub struct DeviceReport {
 }
 
 /// Aggregate of one [`crate::SpiderCluster::drain_all`].
+///
+/// Elasticity splits the fleet into two sections: [`Self::devices`] holds
+/// the devices still serving, [`Self::departed`] the final report slices
+/// of devices that left (gracefully or by failure). Every `total_*` and
+/// `simulated_*` aggregate covers **both** — a removed device's served
+/// work never vanishes from fleet totals.
 #[derive(Debug, Clone)]
 pub struct ClusterReport {
     pub devices: Vec<DeviceReport>,
+    /// Final report slices of devices that left the cluster, in slot
+    /// (join) order. Their counters are cumulative up to departure and
+    /// frozen after it.
+    pub departed: Vec<DeviceReport>,
     /// Host wall clock from the cluster's **first submission ever** to the
     /// end of this drain — the cluster clock, not any single device's.
     /// Cumulative on purpose: the per-device drain reports (and therefore
@@ -66,46 +76,60 @@ pub struct ClusterReport {
     /// Steal attempts whose resubmission was refused (the request stays
     /// cancelled on its original device).
     pub steal_failures: u64,
+    /// Unstarted requests moved off departing/failed devices exactly-once.
+    pub requeued: u64,
+    /// In-flight device-loss casualties re-routed under the retry policy.
+    pub retried: u64,
+    /// Devices joined live via [`crate::SpiderCluster::add_device`].
+    pub devices_added: u64,
+    /// Devices drained out via [`crate::SpiderCluster::remove_device`].
+    pub devices_removed: u64,
+    /// Devices hard-killed via [`crate::SpiderCluster::fail_device`] or a
+    /// fired [`crate::FaultPlan`] trigger.
+    pub devices_failed: u64,
 }
 
 impl ClusterReport {
-    /// Completed requests across the fleet.
-    pub fn total_completed(&self) -> usize {
-        self.devices.iter().map(|d| d.report.outcomes.len()).sum()
+    /// Every device slice, serving and departed alike — the iterator all
+    /// fleet totals run over.
+    pub fn all_devices(&self) -> impl Iterator<Item = &DeviceReport> {
+        self.devices.iter().chain(self.departed.iter())
     }
 
-    /// Failed requests across the fleet.
+    /// Completed requests across the fleet (departed devices included).
+    pub fn total_completed(&self) -> usize {
+        self.all_devices().map(|d| d.report.outcomes.len()).sum()
+    }
+
+    /// Failed requests across the fleet (departed devices included).
     pub fn total_failed(&self) -> usize {
-        self.devices.iter().map(|d| d.report.failures.len()).sum()
+        self.all_devices().map(|d| d.report.failures.len()).sum()
     }
 
     /// Completed 3D (volumetric) requests across the fleet.
     pub fn total_volumetric(&self) -> usize {
-        self.devices
-            .iter()
+        self.all_devices()
             .map(|d| d.report.volumetric_completed())
             .sum()
     }
 
     /// Stencil points updated by volumetric requests across the fleet.
     pub fn total_volumetric_points(&self) -> u64 {
-        self.devices
-            .iter()
+        self.all_devices()
             .map(|d| d.report.volumetric_points())
             .sum()
     }
 
     /// Total stencil points updated across the fleet.
     pub fn total_points(&self) -> u64 {
-        self.devices.iter().map(|d| d.report.total_points()).sum()
+        self.all_devices().map(|d| d.report.total_points()).sum()
     }
 
     /// Simulated fleet makespan: the busiest device's simulated busy time.
     /// Devices run concurrently, so this — not the sum of device clocks —
     /// is the denominator of every `simulated_*` aggregate rate.
     pub fn simulated_makespan_s(&self) -> f64 {
-        self.devices
-            .iter()
+        self.all_devices()
             .map(|d| d.report.simulated_busy_s())
             .fold(0.0, f64::max)
     }
@@ -114,8 +138,7 @@ impl ClusterReport {
     /// (what one device would have needed). `busy / makespan` is the
     /// fleet's parallel speedup.
     pub fn simulated_busy_s(&self) -> f64 {
-        self.devices
-            .iter()
+        self.all_devices()
             .map(|d| d.report.simulated_busy_s())
             .sum()
     }
@@ -163,7 +186,7 @@ impl ClusterReport {
 
     /// Fleet-wide plan-cache hit rate (memory hits over lookups).
     pub fn fleet_hit_rate(&self) -> f64 {
-        let (hits, lookups) = self.devices.iter().fold((0u64, 0u64), |(h, l), d| {
+        let (hits, lookups) = self.all_devices().fold((0u64, 0u64), |(h, l), d| {
             (h + d.cache.hits, l + d.cache.hits + d.cache.misses)
         });
         if lookups == 0 {
@@ -187,7 +210,7 @@ impl ClusterReport {
             self.fleet_hit_rate(),
         ];
         aggregates.iter().all(|r| r.is_finite())
-            && self.devices.iter().all(|d| d.report.rates_are_finite())
+            && self.all_devices().all(|d| d.report.rates_are_finite())
     }
 
     /// Render a per-device table plus the fleet aggregates.
@@ -197,9 +220,14 @@ impl ClusterReport {
             "{:<10} {:>7} {:>7} {:>6} {:>9} {:>11} {:>11} {:>12}\n",
             "device", "routed", "done", "fail", "hit rate", "store hits", "sim busy", "GStencil/s"
         ));
-        for d in &self.devices {
+        for (d, gone) in self
+            .devices
+            .iter()
+            .map(|d| (d, false))
+            .chain(self.departed.iter().map(|d| (d, true)))
+        {
             out.push_str(&format!(
-                "{:<10} {:>7} {:>7} {:>6} {:>8.0}% {:>11} {:>9.1}us {:>12.2}\n",
+                "{:<10} {:>7} {:>7} {:>6} {:>8.0}% {:>11} {:>9.1}us {:>12.2}{}\n",
                 d.name,
                 d.routed,
                 d.report.outcomes.len(),
@@ -208,6 +236,7 @@ impl ClusterReport {
                 d.cache.store_hits,
                 d.report.simulated_busy_s() * 1e6,
                 d.report.simulated_gstencils_per_sec(),
+                if gone { "  (departed)" } else { "" },
             ));
         }
         out.push_str(&format!(
@@ -235,6 +264,16 @@ impl ClusterReport {
             out.push_str(&format!(
                 "rebalance: {} steals across {} passes ({} failed resubmissions)\n",
                 self.steals, self.rebalances, self.steal_failures,
+            ));
+        }
+        if self.devices_added > 0 || self.devices_removed > 0 || self.devices_failed > 0 {
+            out.push_str(&format!(
+                "elasticity: +{} added / -{} removed / {} failed | {} requeued, {} retried\n",
+                self.devices_added,
+                self.devices_removed,
+                self.devices_failed,
+                self.requeued,
+                self.retried,
             ));
         }
         out
@@ -270,10 +309,16 @@ mod tests {
     fn idle_fleet_has_finite_rates() {
         let report = ClusterReport {
             devices: vec![empty_device("a"), empty_device("b")],
+            departed: Vec::new(),
             wall_s: 0.0,
             steals: 0,
             rebalances: 0,
             steal_failures: 0,
+            requeued: 0,
+            retried: 0,
+            devices_added: 0,
+            devices_removed: 0,
+            devices_failed: 0,
         };
         assert!(report.rates_are_finite());
         assert_eq!(report.simulated_requests_per_sec(), 0.0);
@@ -288,10 +333,16 @@ mod tests {
     fn empty_device_list_is_finite_too() {
         let report = ClusterReport {
             devices: Vec::new(),
+            departed: Vec::new(),
             wall_s: 0.1,
             steals: 0,
             rebalances: 0,
             steal_failures: 0,
+            requeued: 0,
+            retried: 0,
+            devices_added: 0,
+            devices_removed: 0,
+            devices_failed: 0,
         };
         assert!(report.rates_are_finite());
         assert_eq!(report.simulated_makespan_s(), 0.0);

@@ -103,8 +103,8 @@ pub use request::{
 };
 pub use runtime::{output_checksum, RuntimeError, RuntimeOptions, SpiderRuntime};
 pub use scheduler::{
-    BackpressurePolicy, RequestStatus, SchedulerOptions, SpiderScheduler, Submit, SubmitError,
-    TenantConfig, Ticket,
+    BackpressurePolicy, FailureReason, KillReport, RequestStatus, SchedulerOptions,
+    SpiderScheduler, Submit, SubmitError, TenantConfig, Ticket,
 };
 pub use store::{PersistedMemo, PlanStore, StoreGcPolicy, StoreStats};
 pub use tuner::{AutoTuner, TuneOutcome};

@@ -215,6 +215,43 @@ impl Ticket {
     }
 }
 
+/// What a [`SpiderScheduler::kill`] swept up — the recovery worklist a
+/// cluster turns into exactly-once requeues and bounded retries.
+#[derive(Debug, Default)]
+pub struct KillReport {
+    /// Queued requests that never started (each left the queue as a
+    /// cancel, so resubmitting elsewhere cannot double-execute), with the
+    /// tickets they held on the dead device.
+    pub unstarted: Vec<(Ticket, StencilRequest)>,
+    /// Tickets that were mid-execution when the device died; they now poll
+    /// as [`RequestStatus::Failed`] with [`FailureReason::DeviceLost`].
+    pub lost: Vec<Ticket>,
+}
+
+/// Why a request reached [`RequestStatus::Failed`] — typed, because the
+/// cluster's recovery machinery must tell an execution error (retrying
+/// cannot help: same plan, same failure) from a device loss (retrying on a
+/// *different* device is exactly the right move).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The device executing (or about to execute) the request was lost —
+    /// hard-killed by fault injection or a real crash. The request itself
+    /// is fine; a retry elsewhere produces the bit-identical outcome.
+    DeviceLost,
+    /// The runtime rejected or failed the request itself (plan compile
+    /// error, dimension mismatch, ...). Deterministic: not retried.
+    Execution(String),
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureReason::DeviceLost => write!(f, "device lost"),
+            FailureReason::Execution(e) => write!(f, "{e}"),
+        }
+    }
+}
+
 /// Where a submitted request currently stands.
 #[derive(Debug, Clone)]
 pub enum RequestStatus {
@@ -229,8 +266,9 @@ pub enum RequestStatus {
     Running,
     /// Executed successfully.
     Done(Box<RequestOutcome>),
-    /// Executed and failed (plan compile error, dimension mismatch, ...).
-    Failed(String),
+    /// Failed — see [`FailureReason`] for whether the request or its
+    /// device is at fault.
+    Failed { reason: FailureReason },
     /// Evicted by the `ShedLowestPriority` backpressure policy.
     Shed,
     /// Deadline passed before dispatch; the request never executed.
@@ -248,7 +286,7 @@ impl RequestStatus {
         matches!(
             self,
             RequestStatus::Done(_)
-                | RequestStatus::Failed(_)
+                | RequestStatus::Failed { .. }
                 | RequestStatus::Shed
                 | RequestStatus::Expired
                 | RequestStatus::Cancelled
@@ -268,6 +306,12 @@ pub enum SubmitError {
     /// global [`BackpressurePolicy`] — an over-quota tenant is refused, not
     /// blocked, so it cannot park threads against everyone else's capacity.
     QuotaExceeded { tenant: TenantId, quota: usize },
+    /// The routed device is draining out of the cluster: admissions on it
+    /// are refused (never silently dropped) until the drain completes and
+    /// the router stops mapping keys to it. Produced by the cluster front
+    /// door, not by a single scheduler — it lives in the shared error
+    /// vocabulary so `Submit`-generic callers can match it.
+    DeviceDraining { device: String },
     /// The scheduler is shutting down.
     ShuttingDown,
 }
@@ -280,6 +324,9 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::QuotaExceeded { tenant, quota } => {
                 write!(f, "{tenant} admission quota exhausted ({quota} queued)")
+            }
+            SubmitError::DeviceDraining { device } => {
+                write!(f, "device {device} is draining out of the cluster")
             }
             SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
         }
@@ -312,7 +359,7 @@ enum Slot {
     Queued,
     Running,
     Done(Box<RequestOutcome>),
-    Failed(String),
+    Failed(FailureReason),
     Shed,
     Expired,
     Cancelled,
@@ -321,6 +368,12 @@ enum Slot {
 struct SlotEntry {
     /// The caller's request id, echoed into drain-report failures.
     req_id: u64,
+    /// The request's plan key (trace events are keyed by it; a kill must
+    /// trace terminal verdicts for requests whose `QueuedEntry` is gone).
+    plan_key: u64,
+    /// The submitting tenant — kill-time accounting must land the failure
+    /// in the right tenant row long after dispatch consumed the queue entry.
+    tenant: TenantId,
     slot: Slot,
 }
 
@@ -336,6 +389,10 @@ struct State {
     next_ticket: u64,
     paused: bool,
     shutdown: bool,
+    /// Set by [`SpiderScheduler::kill`]: the simulated device is gone.
+    /// Workers returning from an in-flight wave must not overwrite the
+    /// `Failed(DeviceLost)` verdicts the kill already recorded.
+    killed: bool,
     /// Tickets dispatched and currently executing.
     running: usize,
     stats: QueueStats,
@@ -402,6 +459,7 @@ impl SpiderScheduler {
                 next_ticket: 0,
                 paused: options.start_paused,
                 shutdown: false,
+                killed: false,
                 running: 0,
                 stats: QueueStats::default(),
                 tenant_stats: BTreeMap::new(),
@@ -624,7 +682,9 @@ impl SpiderScheduler {
             }
             Slot::Running => RequestStatus::Running,
             Slot::Done(outcome) => RequestStatus::Done(outcome.clone()),
-            Slot::Failed(e) => RequestStatus::Failed(e.clone()),
+            Slot::Failed(reason) => RequestStatus::Failed {
+                reason: reason.clone(),
+            },
             Slot::Shed => RequestStatus::Shed,
             Slot::Expired => RequestStatus::Expired,
             Slot::Cancelled => RequestStatus::Cancelled,
@@ -672,6 +732,95 @@ impl SpiderScheduler {
         true
     }
 
+    /// Hard-kill the simulated device under this scheduler, as a crash or
+    /// fault injection would: no new admissions, no further dispatch, and
+    /// no waiting for in-flight waves.
+    ///
+    /// * Every **queued** request leaves exactly as a [`Self::cancel`]
+    ///   would — it has not started and never will here, so the returned
+    ///   `(ticket, request)` pairs can be requeued on another device
+    ///   without double-executing (the same invariant the cluster's
+    ///   steal-and-requeue path is built on).
+    /// * Every **running** request is a casualty: its slot becomes
+    ///   [`RequestStatus::Failed`] with [`FailureReason::DeviceLost`]
+    ///   immediately, and whatever result its worker thread later produces
+    ///   is discarded — the device it "ran" on no longer exists.
+    ///
+    /// Idempotent: a second kill returns an empty report. [`Self::poll`]
+    /// and [`Self::drain`] keep working against the corpse (drain returns
+    /// at once — the queue is empty and nothing counts as running), so
+    /// completed work remains reported and departed-device accounting
+    /// stays exact.
+    pub fn kill(&self) -> KillReport {
+        let t = Arc::clone(self.runtime.telemetry());
+        let mut st = self.lock();
+        if st.killed {
+            return KillReport::default();
+        }
+        st.killed = true;
+        st.shutdown = true;
+        let mut unstarted = Vec::new();
+        for entry in std::mem::take(&mut st.queue) {
+            let waited = entry.submitted.elapsed().as_secs_f64();
+            trace_queue_exit(&t, &entry.req, waited, Terminal::Cancelled);
+            finish(&mut st, entry.ticket, Slot::Cancelled);
+            st.stats.cancelled += 1;
+            st.tenant_stats_mut(entry.req.tenant).cancelled += 1;
+            st.dec_queued(entry.req.tenant);
+            unstarted.push((Ticket { seq: entry.ticket }, entry.req));
+        }
+        let mut running: Vec<u64> = st
+            .slots
+            .iter()
+            .filter(|(_, e)| matches!(e.slot, Slot::Running))
+            .map(|(&seq, _)| seq)
+            .collect();
+        running.sort_unstable();
+        let mut lost = Vec::new();
+        for seq in running {
+            let (req_id, plan_key, tenant) = {
+                let e = st.slots.get(&seq).expect("known ticket");
+                (e.req_id, e.plan_key, e.tenant)
+            };
+            t.record(
+                req_id,
+                plan_key,
+                EventKind::Complete {
+                    terminal: Terminal::Failed,
+                },
+                0.0,
+            );
+            finish(&mut st, seq, Slot::Failed(FailureReason::DeviceLost));
+            st.stats.failed += 1;
+            st.tenant_stats_mut(tenant).failed += 1;
+            lost.push(Ticket { seq });
+        }
+        st.running = 0;
+        drop(st);
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        self.shared.idle.notify_all();
+        KillReport { unstarted, lost }
+    }
+
+    /// Gracefully shut the dispatcher down: no further admissions
+    /// (submits return [`SubmitError::ShuttingDown`]) and the dispatcher
+    /// thread exits, while [`Self::poll`], [`Self::drain`],
+    /// [`Self::queue_stats`] and [`Self::timeline`] keep answering.
+    ///
+    /// The seam a cluster uses after draining a departing device: the
+    /// device stops consuming a thread but its served history stays
+    /// queryable for as long as the handle lives. Call only once the queue
+    /// is empty — queued work after retirement would never dispatch
+    /// (the cluster's drain sequence guarantees emptiness; a racing
+    /// submission is cancelled and rerouted by the cluster front door).
+    pub fn retire(&self) {
+        self.lock().shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        self.shared.idle.notify_all();
+    }
+
     /// Block until every admitted ticket reaches a terminal state, then
     /// return the aggregate report (outcomes in ticket order, queue counters
     /// in [`RuntimeReport::queue`]).
@@ -700,7 +849,7 @@ impl SpiderScheduler {
         for (_, entry) in done {
             match &entry.slot {
                 Slot::Done(o) => outcomes.push((**o).clone()),
-                Slot::Failed(e) => failures.push((entry.req_id, e.clone())),
+                Slot::Failed(e) => failures.push((entry.req_id, e.to_string())),
                 _ => {}
             }
         }
@@ -978,6 +1127,8 @@ fn alloc_ticket(st: &mut State, req: &StencilRequest) -> u64 {
         ticket,
         SlotEntry {
             req_id: req.id,
+            plan_key: req.plan_key(),
+            tenant: req.tenant,
             slot: Slot::Queued,
         },
     );
@@ -1235,6 +1386,14 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
                     for ((&ticket, result), req) in
                         group.tickets.iter().zip(results).zip(&group.requests)
                     {
+                        // A kill may already have recorded this slot's
+                        // verdict (`Failed(DeviceLost)`) and zeroed the
+                        // running count while the wave was in flight —
+                        // the simulated device died under us, so the
+                        // result is discarded, not double-finished.
+                        if !matches!(st.slots.get(&ticket).map(|e| &e.slot), Some(Slot::Running)) {
+                            continue;
+                        }
                         match result {
                             Ok(outcome) => {
                                 finish(&mut st, ticket, Slot::Done(Box::new(outcome)));
@@ -1242,7 +1401,11 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
                                 st.tenant_stats_mut(req.tenant).completed += 1;
                             }
                             Err(e) => {
-                                finish(&mut st, ticket, Slot::Failed(e.to_string()));
+                                finish(
+                                    &mut st,
+                                    ticket,
+                                    Slot::Failed(FailureReason::Execution(e.to_string())),
+                                );
                                 st.stats.failed += 1;
                                 st.tenant_stats_mut(req.tenant).failed += 1;
                             }
@@ -1810,5 +1973,101 @@ mod tests {
             vec![(TenantId::new(1), 1), (TenantId::new(2), 1)],
             "each tenant owns the plan it compiled"
         );
+    }
+
+    #[test]
+    fn kill_cancels_queued_and_fails_running() {
+        // Paused: everything stays queued, so a kill returns the whole
+        // queue as unstarted (exactly-once requeue material) and loses
+        // nothing in flight.
+        let s = sched(SchedulerOptions {
+            start_paused: true,
+            ..SchedulerOptions::default()
+        });
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| s.submit(req(i, Priority::Normal)).unwrap())
+            .collect();
+        let kr = s.kill();
+        assert_eq!(kr.unstarted.len(), 4);
+        assert!(kr.lost.is_empty());
+        // Requeue material pairs each ticket with its original request.
+        for (i, (t, r)) in kr.unstarted.iter().enumerate() {
+            assert_eq!(*t, tickets[i]);
+            assert_eq!(r.id, i as u64);
+        }
+        for t in tickets {
+            assert!(matches!(s.poll(t), RequestStatus::Cancelled));
+        }
+        // Dead schedulers refuse admissions and kill idempotently.
+        assert!(matches!(
+            s.submit(req(9, Priority::Normal)),
+            Err(SubmitError::ShuttingDown)
+        ));
+        let again = s.kill();
+        assert!(again.unstarted.is_empty() && again.lost.is_empty());
+        // Drain on a corpse returns the (cancellation-only) report.
+        let report = s.drain();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.queue.unwrap().cancelled, 4);
+    }
+
+    #[test]
+    fn kill_surfaces_in_flight_work_as_device_lost() {
+        // One worker, unpaused: let the dispatcher pick work up, then
+        // kill mid-flight. Whatever had started must surface as
+        // Failed { DeviceLost }, never as a silent disappearance.
+        let s = sched(SchedulerOptions {
+            workers: 1,
+            ..SchedulerOptions::default()
+        });
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| s.submit(req(i, Priority::Normal)).unwrap())
+            .collect();
+        // Wait until at least one request is off the queue.
+        while s.queue_depth() == 6 {
+            std::thread::yield_now();
+        }
+        let kr = s.kill();
+        for t in tickets {
+            match s.poll(t) {
+                RequestStatus::Done(_) | RequestStatus::Cancelled => {}
+                RequestStatus::Failed {
+                    reason: FailureReason::DeviceLost,
+                } => {}
+                other => panic!("unresolved ticket after kill: {other:?}"),
+            }
+        }
+        for t in &kr.lost {
+            assert!(matches!(
+                s.poll(*t),
+                RequestStatus::Failed {
+                    reason: FailureReason::DeviceLost
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn retire_shuts_down_but_keeps_the_corpse_pollable() {
+        let s = sched(SchedulerOptions::default());
+        let t = s.submit(req(1, Priority::Normal)).unwrap();
+        let report = s.drain();
+        assert_eq!(report.outcomes.len(), 1);
+        s.retire();
+        assert!(matches!(
+            s.submit(req(2, Priority::Normal)),
+            Err(SubmitError::ShuttingDown)
+        ));
+        // History survives retirement.
+        assert!(matches!(s.poll(t), RequestStatus::Done(_)));
+        assert_eq!(s.drain().outcomes.len(), 1, "drain stays cumulative");
+    }
+
+    #[test]
+    fn device_draining_error_renders_the_device_name() {
+        let e = SubmitError::DeviceDraining {
+            device: "dev3".into(),
+        };
+        assert_eq!(e.to_string(), "device dev3 is draining out of the cluster");
     }
 }

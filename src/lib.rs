@@ -88,7 +88,9 @@ pub use spider_telemetry as telemetry;
 /// Commonly used items across the workspace.
 pub mod prelude {
     pub use spider_cluster::{
-        ClusterOptions, ClusterReport, ClusterTicket, DeviceSpec, RoutingPolicy, SpiderCluster,
+        AutoScaler, ClusterError, ClusterOptions, ClusterReport, ClusterTicket, DeviceSpec,
+        FaultPlan, KillTrigger, RecoveryReport, RetryPolicy, RoutingPolicy, ScaleAction,
+        ScalePolicy, SpiderCluster,
     };
     pub use spider_core::{
         encode::Sparse24Kernel,
@@ -102,10 +104,11 @@ pub mod prelude {
         counters::PerfCounters, specs::GpuSpecs, timing::KernelReport, GpuDevice,
     };
     pub use spider_runtime::{
-        BackpressurePolicy, CacheAutosize, CacheStats, Deadline, GridSpec, PlanStore, Priority,
-        QueueStats, RequestKernel, RequestOutcome, RequestStatus, RuntimeOptions, RuntimeReport,
-        SchedulerOptions, SpiderRuntime, SpiderScheduler, StencilRequest, StencilRequestBuilder,
-        StoreGcPolicy, StoreStats, Submit, SubmitError, TenantConfig, TenantId, Ticket,
+        BackpressurePolicy, CacheAutosize, CacheStats, Deadline, FailureReason, GridSpec,
+        PlanStore, Priority, QueueStats, RequestKernel, RequestOutcome, RequestStatus,
+        RuntimeOptions, RuntimeReport, SchedulerOptions, SpiderRuntime, SpiderScheduler,
+        StencilRequest, StencilRequestBuilder, StoreGcPolicy, StoreStats, Submit, SubmitError,
+        TenantConfig, TenantId, Ticket,
     };
     pub use spider_stencil::{
         dim3::{Grid3D, Kernel3D},

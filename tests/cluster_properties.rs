@@ -419,3 +419,141 @@ fn cluster_warm_start_from_store_is_bit_identical() {
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// id → checksum across the whole fleet, departed devices included.
+fn checksums_all(report: &ClusterReport) -> std::collections::BTreeMap<u64, u64> {
+    report
+        .all_devices()
+        .flat_map(|d| d.report.outcomes.iter())
+        .map(|o| (o.id, o.checksum))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Failure tolerance: kill a random device mid-batch under each router
+    /// policy. Every ticket must resolve — `Done` bit-identical to the
+    /// single-runtime reference, or `Failed { DeviceLost }` exactly when it
+    /// was in flight on the victim with the retry budget spent — and no
+    /// request may execute twice (requeue is exactly-once).
+    #[test]
+    fn killing_a_random_device_mid_batch_resolves_every_ticket(
+        workload in arb_workload(),
+        victim_idx in 0usize..3,
+    ) {
+        let want: std::collections::BTreeMap<u64, u64> = single_runtime()
+            .run_batch(&workload)
+            .outcomes
+            .iter()
+            .map(|o| (o.id, o.checksum))
+            .collect();
+
+        for policy in [
+            RoutingPolicy::FingerprintAffinity,
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::RoundRobin,
+        ] {
+            let cluster = SpiderCluster::new(
+                (0..3)
+                    .map(|i| {
+                        DeviceSpec::a100(format!("dev{i}")).with_scheduler_options(
+                            SchedulerOptions {
+                                workers: 1,
+                                aging_step: None,
+                                ..SchedulerOptions::default()
+                            },
+                        )
+                    })
+                    .collect(),
+                ClusterOptions {
+                    policy,
+                    ..ClusterOptions::default()
+                },
+            );
+            let tickets: Vec<(u64, spider::cluster::ClusterTicket)> = workload
+                .iter()
+                .map(|r| (r.id, cluster.submit(r.clone()).expect("Block policy admits")))
+                .collect();
+            // Mid-batch: dispatchers are already running; kill now.
+            let victim = cluster.device_names()[victim_idx].clone();
+            cluster.fail_device(&victim).expect("3 devices: never the last");
+            let report = cluster.drain_all();
+            prop_assert_eq!(report.devices_failed, 1, "policy {}", policy);
+
+            // Exactly-once: no id may complete twice anywhere in the fleet.
+            let mut seen = std::collections::BTreeSet::new();
+            for o in report.all_devices().flat_map(|d| d.report.outcomes.iter()) {
+                prop_assert!(
+                    seen.insert(o.id),
+                    "policy {}: request {} executed twice", policy, o.id
+                );
+            }
+
+            // Every ticket resolves, and Done stays bit-identical.
+            for (id, t) in tickets {
+                match cluster.poll(t) {
+                    RequestStatus::Done(o) => {
+                        prop_assert_eq!(
+                            o.checksum, want[&id],
+                            "policy {}: request {} diverged after recovery", policy, id
+                        );
+                    }
+                    RequestStatus::Failed { reason: FailureReason::DeviceLost } => {
+                        // In flight on the victim, retry budget spent.
+                    }
+                    s => return Err(TestCaseError::fail(format!(
+                        "policy {policy}: ticket {id} unresolved after kill: {s:?}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Graceful drain loses zero requests: with dispatch paused (everything
+    /// still queued), removing any device moves its whole queue to the
+    /// survivors exactly-once, and the batch completes bit-identical to the
+    /// single-runtime reference.
+    #[test]
+    fn graceful_drain_loses_zero_requests(
+        workload in arb_workload(),
+        victim_idx in 0usize..3,
+    ) {
+        let want: std::collections::BTreeMap<u64, u64> = single_runtime()
+            .run_batch(&workload)
+            .outcomes
+            .iter()
+            .map(|o| (o.id, o.checksum))
+            .collect();
+
+        let cluster = SpiderCluster::new(
+            (0..3)
+                .map(|i| {
+                    DeviceSpec::a100(format!("dev{i}")).with_scheduler_options(SchedulerOptions {
+                        workers: 1,
+                        start_paused: true,
+                        aging_step: None,
+                        ..SchedulerOptions::default()
+                    })
+                })
+                .collect(),
+            ClusterOptions::default(),
+        );
+        let tickets: Vec<(u64, spider::cluster::ClusterTicket)> = workload
+            .iter()
+            .map(|r| (r.id, cluster.submit(r.clone()).expect("Block policy admits")))
+            .collect();
+        let victim = cluster.device_names()[victim_idx].clone();
+        let moved = cluster.queue_depths()[victim_idx];
+        cluster.remove_device(&victim).expect("3 devices: never the last");
+        let report = cluster.drain_all();
+        prop_assert_eq!(report.total_completed(), workload.len(), "drain lost a request");
+        prop_assert_eq!(report.total_failed(), 0);
+        prop_assert_eq!(report.requeued as usize, moved, "queued work requeues exactly-once");
+        prop_assert_eq!(report.devices_removed, 1);
+        prop_assert_eq!(&checksums_all(&report), &want, "drain changed outputs");
+        for (_, t) in tickets {
+            prop_assert!(matches!(cluster.poll(t), RequestStatus::Done(_)));
+        }
+    }
+}
