@@ -197,6 +197,46 @@ fn emit_json() {
         ..options()
     });
 
+    // Watchtower overhead guard: the same warm workload with the full
+    // watch machinery running in the serving loop — a `SnapshotSeries`
+    // recording every batch, a burn-rate `AlertEngine` evaluated against
+    // it, and a `HealthMonitor` observed + ticked per batch. Pairs with
+    // `telemetry_on_requests_per_sec` above under the gated `_per_sec`
+    // suffix, so the watchtower creeping past the 15% tolerance fails the
+    // bench gate.
+    let watchtower_on_rps = {
+        use spider_telemetry::{
+            AlertEngine, AlertRule, HealthMonitor, HealthPolicy, SloObjective, SnapshotSeries,
+        };
+        let rt = SpiderRuntime::new(GpuDevice::a100(), options());
+        rt.run_batch(&build_batch(0, 1)); // populate caches
+        let mut series = SnapshotSeries::new(64);
+        let mut engine = AlertEngine::new(vec![AlertRule::burn_rate(
+            "warm-wait-slo",
+            "spider_runtime_wait_us",
+            SloObjective {
+                threshold_us: 4096.0,
+                objective: 0.99,
+            },
+            10.0,
+            4,
+            1,
+        )]);
+        let mut monitor = HealthMonitor::new(HealthPolicy::default());
+        let mut wall = 0.0;
+        let mut requests = 0usize;
+        for b in 1..=WARM_BATCHES {
+            let r = rt.run_batch(&build_batch(30_000 * b as u64, 2));
+            wall += r.wall_s;
+            requests += r.outcomes.len();
+            series.record(rt.telemetry().metrics().snapshot());
+            engine.evaluate_recorded(&series, rt.telemetry());
+            monitor.observe("bench-dev", b as u64, true);
+            monitor.tick();
+        }
+        requests as f64 / wall
+    };
+
     // Multi-tenant SLO scene: the canonical noisy-neighbor traffic (paced
     // victim vs closed-loop bully) under weights + admission quota. The
     // victim's p99 wait carries the inverted-gate `_p99_wait_us` suffix —
@@ -211,7 +251,7 @@ fn emit_json() {
     let fairness = slo.fairness_ratio(traffic::VICTIM, traffic::NOISY);
 
     let json = format!(
-        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"scheduler_requests_per_sec\": {:.3},\n  \"scheduler_mean_wait_ms\": {:.3},\n  \"scheduler_p99_wait_us\": {:.1},\n  \"scheduler_dispatch_waves\": {},\n  \"scheduler_coalesced_groups\": {},\n  \"volume_requests_per_sec\": {:.3},\n  \"volume_simulated_gstencils_per_sec\": {:.4},\n  \"mixed_scheduler_requests_per_sec\": {:.3},\n  \"mixed_volumetric_requests\": {},\n  \"telemetry_on_requests_per_sec\": {:.3},\n  \"telemetry_off_requests_per_sec\": {:.3},\n  \"traffic_victim_p99_wait_us\": {:.1},\n  \"traffic_noisy_p99_wait_ms\": {:.3},\n  \"traffic_victim_completed\": {},\n  \"traffic_noisy_rejected\": {},\n  \"traffic_fairness_victim_per_noisy\": {:.4},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"batch_size\": {},\n  \"warm_batches\": {},\n  \"cold_requests_per_sec\": {:.3},\n  \"warm_requests_per_sec\": {:.3},\n  \"warm_batch_hit_rate\": {:.4},\n  \"simulated_gstencils_per_sec\": {:.4},\n  \"scheduler_requests_per_sec\": {:.3},\n  \"scheduler_mean_wait_ms\": {:.3},\n  \"scheduler_p99_wait_us\": {:.1},\n  \"scheduler_dispatch_waves\": {},\n  \"scheduler_coalesced_groups\": {},\n  \"volume_requests_per_sec\": {:.3},\n  \"volume_simulated_gstencils_per_sec\": {:.4},\n  \"mixed_scheduler_requests_per_sec\": {:.3},\n  \"mixed_volumetric_requests\": {},\n  \"telemetry_on_requests_per_sec\": {:.3},\n  \"telemetry_off_requests_per_sec\": {:.3},\n  \"watchtower_on_requests_per_sec\": {:.3},\n  \"traffic_victim_p99_wait_us\": {:.1},\n  \"traffic_noisy_p99_wait_ms\": {:.3},\n  \"traffic_victim_completed\": {},\n  \"traffic_noisy_rejected\": {},\n  \"traffic_fairness_victim_per_noisy\": {:.4},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cached_plans\": {},\n  \"tuned_scenarios\": {}\n}}\n",
         cold.outcomes.len(),
         WARM_BATCHES,
         cold.requests_per_sec(),
@@ -229,6 +269,7 @@ fn emit_json() {
         mixed_report.volumetric_completed(),
         telemetry_on_rps,
         telemetry_off_rps,
+        watchtower_on_rps,
         victim.p99_wait_us,
         noisy.p99_wait_us / 1e3,
         victim.completed,

@@ -33,6 +33,7 @@ use spider_runtime::{
     PlanStore, RequestStatus, SpiderRuntime, SpiderScheduler, StencilRequest, Submit, SubmitError,
     Ticket,
 };
+use spider_telemetry::{HealthMonitor, HealthPolicy, HealthState, HealthTransition};
 
 use crate::elastic::{FaultEvent, FaultPlan, RecoveryReport, RetryPolicy};
 use crate::report::{ClusterReport, DeviceReport};
@@ -58,6 +59,10 @@ pub struct ClusterOptions {
     /// What happens to in-flight casualties when a device dies (see
     /// [`RetryPolicy`]).
     pub retry: RetryPolicy,
+    /// Missed-heartbeat thresholds for [`SpiderCluster::health_tick`];
+    /// [`HealthPolicy::disabled`] makes every health tick a no-op —
+    /// exactly the pre-watchtower behavior.
+    pub health: HealthPolicy,
 }
 
 impl Default for ClusterOptions {
@@ -68,6 +73,7 @@ impl Default for ClusterOptions {
             max_steals_per_pass: 0,
             rebalance_every: 0,
             retry: RetryPolicy::default(),
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -122,6 +128,24 @@ impl ClusterTicket {
     }
 }
 
+/// What one [`SpiderCluster::health_tick`] observed and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Shard state changes this tick produced (keyed by device name).
+    pub transitions: Vec<HealthTransition>,
+    /// Recoveries triggered by `Dead` verdicts — each ran the standard
+    /// [`SpiderCluster::fail_device`] kill/requeue/retry path, so its
+    /// accounting is identical to an operator-declared kill's.
+    pub recoveries: Vec<FaultEvent>,
+}
+
+impl HealthReport {
+    /// True when this tick changed no shard's state and killed nothing.
+    pub fn is_quiet(&self) -> bool {
+        self.transitions.is_empty() && self.recoveries.is_empty()
+    }
+}
+
 struct ClusterDevice {
     spec: DeviceSpec,
     runtime: Arc<SpiderRuntime>,
@@ -132,6 +156,10 @@ struct ClusterDevice {
     /// Left the cluster (gracefully or by death). The slot's scheduler is
     /// retired but still answers polls and reports.
     departed: AtomicBool,
+    /// Hung by an armed [`FaultPlan`] hang trigger: dispatch is paused and
+    /// stays paused — [`SpiderCluster::resume_all`] skips silenced devices,
+    /// so nothing but the health-detection kill path ends the hang.
+    silenced: AtomicBool,
 }
 
 impl ClusterDevice {
@@ -141,6 +169,10 @@ impl ClusterDevice {
 
     fn departed(&self) -> bool {
         self.departed.load(Ordering::SeqCst)
+    }
+
+    fn silenced(&self) -> bool {
+        self.silenced.load(Ordering::SeqCst)
     }
 }
 
@@ -181,6 +213,12 @@ struct Pending {
     ticket: Ticket,
     /// Device-loss retries consumed so far (see [`RetryPolicy`]).
     attempts: u32,
+    /// Prior `(slot, ticket)` segments this submission lived at before
+    /// steals/requeues/retries moved it — oldest first. Departed slots
+    /// keep answering for their history, so
+    /// [`SpiderCluster::timeline`] chains every segment's trace into one
+    /// lineage instead of losing the first life of a retried request.
+    history: Vec<(usize, Ticket)>,
 }
 
 #[derive(Default)]
@@ -242,6 +280,10 @@ pub struct SpiderCluster {
     /// [`Self::fleet_metrics`].
     metrics: spider_telemetry::MetricsRegistry,
     state: Mutex<ClusterState>,
+    /// Missed-heartbeat detector over the live shards, driven by explicit
+    /// [`Self::health_tick`] calls (leaf lock: taken after `membership`,
+    /// never while holding `state`).
+    health: Mutex<HealthMonitor>,
 }
 
 impl SpiderCluster {
@@ -286,10 +328,11 @@ impl SpiderCluster {
                 slots,
                 routable,
             }),
-            options,
             store,
             metrics: spider_telemetry::MetricsRegistry::new(),
             state: Mutex::new(state),
+            health: Mutex::new(HealthMonitor::new(options.health)),
+            options,
         }
     }
 
@@ -338,20 +381,21 @@ impl SpiderCluster {
             .read_membership()
             .slots
             .iter()
-            .filter(|d| !d.departed())
+            .filter(|d| !d.departed() && !d.silenced())
         {
             d.scheduler.pause();
         }
     }
 
     /// Resume dispatch on every live device ([`Self::drain_all`] also
-    /// resumes).
+    /// resumes). Devices a [`FaultPlan`] hang trigger silenced stay
+    /// paused — the hang persists until health detection kills them.
     pub fn resume_all(&self) {
         for d in self
             .read_membership()
             .slots
             .iter()
-            .filter(|d| !d.departed())
+            .filter(|d| !d.departed() && !d.silenced())
         {
             d.scheduler.resume();
         }
@@ -428,6 +472,7 @@ impl SpiderCluster {
                 device,
                 ticket,
                 attempts: 0,
+                history: Vec::new(),
             },
         );
         st.device_order[device].push(seq);
@@ -551,6 +596,12 @@ impl SpiderCluster {
             RequestStatus::Failed { .. } => {
                 let attempts = p.attempts;
                 if attempts < self.options.retry.max_attempts {
+                    // Stamp the retry's lifecycle events with its attempt
+                    // index so the chained timeline keeps both lives
+                    // (attempt never feeds plan_key — same plan, same
+                    // tiling, bit-identical outcome).
+                    let p = st.pending.get_mut(&seq).expect("entry exists");
+                    p.req.attempt = attempts + 1;
                     let req = p.req.clone();
                     let unplaced = self.place_on_survivors(&m, &mut st, vec![(seq, req)], true);
                     drop(st);
@@ -747,6 +798,7 @@ impl SpiderCluster {
                         Some((i, ticket)) => {
                             let d = cands[i];
                             let p = st.pending.get_mut(&seq).expect("entry exists");
+                            p.history.push((p.device, p.ticket));
                             p.device = d;
                             p.ticket = ticket;
                             if d != src {
@@ -867,6 +919,7 @@ impl SpiderCluster {
         retry: bool,
     ) {
         let p = st.pending.get_mut(&seq).expect("pending entry exists");
+        p.history.push((p.device, p.ticket));
         p.device = device;
         p.ticket = ticket;
         st.device_order[device].push(seq);
@@ -1114,8 +1167,11 @@ impl SpiderCluster {
                 let Some(&seq) = by_ticket.get(&ticket) else {
                     continue;
                 };
-                let p = st.pending.get(&seq).expect("mapped entry exists");
+                let p = st.pending.get_mut(&seq).expect("mapped entry exists");
                 if p.attempts < self.options.retry.max_attempts {
+                    // Attempt-stamp the retry (see `rescue`): the second
+                    // life's trace chains onto the first in `timeline`.
+                    p.req.attempt = p.attempts + 1;
                     retries.push((seq, p.req.clone()));
                 } else {
                     report.abandoned += 1;
@@ -1155,11 +1211,38 @@ impl SpiderCluster {
         self.lock().faults = Some(plan);
     }
 
-    /// Evaluate the armed kill trigger: if the target device has
-    /// dispatched at least `after_waves` waves, kill it (consuming the
-    /// trigger) and return the recovery report. The harness calls this
-    /// between traffic pulses — mid-batch by construction.
+    /// Evaluate the armed triggers. A **hang** trigger fires first (and
+    /// silently — that is its point): once the target has dispatched its
+    /// threshold waves, dispatch pauses and the device stops beating
+    /// without any operator declaration; only [`Self::health_tick`]
+    /// noticing the missed heartbeats ends the hang. A **kill** trigger
+    /// hard-kills the target (consuming the trigger) and returns the
+    /// recovery report. The harness calls this between traffic pulses —
+    /// mid-batch by construction.
     pub fn fault_tick(&self) -> Option<FaultEvent> {
+        // Hang trigger: pause + silence, no event (a silent failure
+        // announces nothing — detection is the watchtower's job).
+        let hung = {
+            let m = self.read_membership();
+            let mut st = self.lock();
+            st.faults.as_mut().and_then(|f| {
+                let trigger = f.hang.as_ref()?;
+                let slot = m.live_slot(&trigger.device)?;
+                let waves = m.slots[slot].scheduler.queue_stats().dispatch_waves;
+                if waves >= trigger.after_waves {
+                    f.hang.take().map(|_| Arc::clone(&m.slots[slot]))
+                } else {
+                    None
+                }
+            })
+        };
+        if let Some(dev) = hung {
+            dev.silenced.store(true, Ordering::SeqCst);
+            dev.scheduler.pause();
+            self.metrics
+                .counter("spider_cluster_fault_hangs_total")
+                .inc();
+        }
         let target = {
             let m = self.read_membership();
             let mut st = self.lock();
@@ -1178,6 +1261,84 @@ impl SpiderCluster {
             device: target,
             recovery,
         })
+    }
+
+    /// One heartbeat-detection round: observe every live shard's progress
+    /// beat ([`SpiderScheduler::last_progress`]) and busy flag, classify
+    /// (`Healthy → Suspect → Dead` under [`ClusterOptions::health`]), and
+    /// recover every shard declared `Dead` through the standard
+    /// [`Self::fail_device`] kill/requeue/retry path — detection-triggered
+    /// recovery is the *same code* an operator-declared kill runs, so
+    /// outcomes stay bit-identical.
+    ///
+    /// Deterministic and explicit, like [`Self::fault_tick`]: nothing runs
+    /// from a background thread, and a disabled [`HealthPolicy`] makes
+    /// this a no-op. Space ticks further apart than the longest healthy
+    /// dispatch wave (the thresholds count *ticks*, not wall time).
+    pub fn health_tick(&self) -> HealthReport {
+        let mut report = HealthReport::default();
+        let dead: Vec<String> = {
+            let m = self.read_membership();
+            let mut mon = self.health.lock().expect("health monitor poisoned");
+            for d in m.slots.iter() {
+                if d.departed() {
+                    // Departed shards leave monitoring — a retired
+                    // scheduler owes no beats.
+                    mon.forget(&d.spec.name);
+                } else {
+                    mon.observe(
+                        &d.spec.name,
+                        d.scheduler.last_progress(),
+                        d.scheduler.has_outstanding(),
+                    );
+                }
+            }
+            let transitions = mon.tick();
+            let mut dead = Vec::new();
+            for t in &transitions {
+                match t.to {
+                    HealthState::Suspect => {
+                        self.metrics
+                            .counter("spider_cluster_health_suspect_total")
+                            .inc();
+                    }
+                    HealthState::Dead => {
+                        self.metrics
+                            .counter("spider_cluster_health_dead_total")
+                            .inc();
+                        dead.push(t.shard.clone());
+                    }
+                    HealthState::Healthy => {}
+                }
+            }
+            report.transitions = transitions;
+            dead
+        };
+        // Act on the verdicts with no membership or monitor lock held —
+        // `fail_device` takes the membership write lock itself.
+        for name in dead {
+            if let Ok(recovery) = self.fail_device(&name) {
+                self.health
+                    .lock()
+                    .expect("health monitor poisoned")
+                    .forget(&name);
+                report.recoveries.push(FaultEvent {
+                    device: name,
+                    recovery,
+                });
+            }
+        }
+        report
+    }
+
+    /// Every monitored shard's current health classification
+    /// (name-sorted; empty before the first [`Self::health_tick`] or when
+    /// detection is disabled).
+    pub fn health_states(&self) -> Vec<(String, HealthState)> {
+        self.health
+            .lock()
+            .expect("health monitor poisoned")
+            .states()
     }
 
     /// Build one device's report slice (callable for live and departed
@@ -1279,6 +1440,7 @@ impl SpiderCluster {
         let mut merged = spider_telemetry::MetricsSnapshot::default();
         for d in &self.read_membership().slots {
             d.runtime.sync_metrics();
+            d.scheduler.sync_metrics_now();
             merged.merge(&d.runtime.telemetry().metrics().snapshot());
         }
         merged.merge(&self.metrics.snapshot());
@@ -1292,6 +1454,7 @@ impl SpiderCluster {
         let mut out = String::new();
         for d in &self.read_membership().slots {
             d.runtime.sync_metrics();
+            d.scheduler.sync_metrics_now();
             let snap = d.runtime.telemetry().metrics().snapshot();
             out.push_str(&snap.prometheus_text(&[("device", &d.spec.name)]));
         }
@@ -1312,19 +1475,59 @@ impl SpiderCluster {
         spider_telemetry::merge_profiles(&per_device)
     }
 
-    /// Render the traced lifecycle of a cluster submission on whichever
-    /// device currently owns it. A stolen request's trace lives on its
-    /// *current* device (admission events on the source device are keyed by
-    /// the same request id but sit in that device's ring). `None` for
-    /// unknown tickets or when telemetry is disabled.
+    /// Export the whole fleet's trace rings as one Chrome trace-event JSON
+    /// document, loadable in `chrome://tracing` or Perfetto: one named
+    /// track per device slot — departed devices included; their final
+    /// moments are usually the interesting part — with each coalesced
+    /// wave as a single batched slice. See
+    /// [`spider_telemetry::chrome_trace_json`] for the event mapping.
+    pub fn export_chrome_trace(&self) -> String {
+        let tracks: Vec<(String, Vec<spider_telemetry::Event>)> = self
+            .read_membership()
+            .slots
+            .iter()
+            .map(|d| {
+                (
+                    d.spec.name.clone(),
+                    d.runtime.telemetry().trace().snapshot(),
+                )
+            })
+            .collect();
+        spider_telemetry::chrome_trace_json(&tracks)
+    }
+
+    /// Render the traced lifecycle of a cluster submission across *every*
+    /// device it lived on. A request that was stolen, requeued off a
+    /// drain, or retried after a device loss renders one chained timeline
+    /// — each segment under a `── device <name> ──` banner, oldest first —
+    /// instead of losing its earlier lives (departed slots keep answering
+    /// for the history they served). Single-segment requests render with
+    /// no banner, exactly as before. `None` for unknown tickets or when
+    /// telemetry is disabled everywhere the request lived.
     pub fn timeline(&self, ticket: ClusterTicket) -> Option<String> {
         let m = self.read_membership();
-        let (device, dev_ticket) = {
+        let segments: Vec<(usize, Ticket)> = {
             let st = self.lock();
             let p = st.pending.get(&ticket.seq)?;
-            (p.device, p.ticket)
+            let mut v = p.history.clone();
+            v.push((p.device, p.ticket));
+            v
         };
-        m.slots[device].scheduler.timeline(dev_ticket)
+        if let [(device, dev_ticket)] = segments[..] {
+            return m.slots[device].scheduler.timeline(dev_ticket);
+        }
+        let mut out = String::new();
+        for (device, dev_ticket) in segments {
+            if let Some(tl) = m.slots[device].scheduler.timeline(dev_ticket) {
+                out.push_str(&format!("── device {} ──\n", m.slots[device].spec.name));
+                out.push_str(&tl);
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
     }
 }
 
@@ -1341,6 +1544,7 @@ fn make_device(spec: DeviceSpec, store: Option<&Arc<PlanStore>>) -> ClusterDevic
         scheduler,
         draining: AtomicBool::new(false),
         departed: AtomicBool::new(false),
+        silenced: AtomicBool::new(false),
     }
 }
 
@@ -1844,5 +2048,191 @@ mod tests {
         assert_eq!(snap.counter_value("spider_cluster_device_removed_total"), 1);
         let text = cluster.fleet_prometheus_text();
         assert!(text.contains("spider_cluster_device_added_total 1"));
+    }
+
+    /// One kernel → one plan key → affinity concentrates every request on
+    /// one device; returns `(cluster, victim_name, tickets)` with the
+    /// victim's queue holding all `n` requests and dispatch paused.
+    fn loaded_cluster(
+        n: usize,
+        options: ClusterOptions,
+    ) -> (SpiderCluster, String, Vec<ClusterTicket>) {
+        let cluster = SpiderCluster::new(specs(3, true), options);
+        let k = StencilKernel::jacobi_2d();
+        let tickets: Vec<ClusterTicket> = (0..n as u64)
+            .map(|i| {
+                cluster
+                    .submit(StencilRequest::new_2d(i, k.clone(), 48, 64).with_seed(i))
+                    .unwrap()
+            })
+            .collect();
+        let depths = cluster.queue_depths();
+        let names = cluster.device_names();
+        let victim_pos = depths
+            .iter()
+            .position(|&d| d == n)
+            .expect("one shard holds all");
+        (cluster, names[victim_pos].clone(), tickets)
+    }
+
+    #[test]
+    fn health_tick_detects_a_silent_device_and_recovers() {
+        // Nobody declares this failure: a hang trigger freezes the victim
+        // mid-batch, and only the missed-heartbeat monitor notices.
+        let (cluster, victim, tickets) = loaded_cluster(12, ClusterOptions::default());
+        cluster.inject_faults(FaultPlan::hang_after(&victim, 0));
+        assert!(cluster.fault_tick().is_none(), "a hang announces nothing");
+        // Survivors run normally; the silenced victim ignores the resume.
+        cluster.resume_all();
+        let mut suspected_at = None;
+        let mut dead_at = None;
+        for round in 0..10 {
+            let report = cluster.health_tick();
+            for t in &report.transitions {
+                assert_eq!(t.shard, victim, "only the hung shard transitions");
+                match t.to {
+                    HealthState::Suspect => suspected_at = Some(round),
+                    HealthState::Dead => dead_at = Some(round),
+                    HealthState::Healthy => {}
+                }
+            }
+            if let Some(r) = report.recoveries.first() {
+                assert_eq!(r.device, victim);
+                assert_eq!(r.recovery.requeued, 12, "paused queue requeues whole");
+                assert_eq!(r.recovery.retried, 0);
+                assert_eq!(r.recovery.abandoned, 0);
+                break;
+            }
+        }
+        let policy = HealthPolicy::default();
+        assert_eq!(
+            suspected_at,
+            Some(policy.suspect_after as usize),
+            "suspect after the configured missed beats (baseline tick first)"
+        );
+        assert_eq!(dead_at, Some(policy.dead_after as usize));
+        // The dead shard was forgotten after recovery; survivors stay
+        // monitored and healthy.
+        let states = cluster.health_states();
+        assert_eq!(states.len(), 2);
+        assert!(states
+            .iter()
+            .all(|(n, s)| *n != victim && *s == HealthState::Healthy));
+        let report = cluster.drain_all();
+        assert_eq!(
+            report.total_completed(),
+            12,
+            "detection loses zero requests"
+        );
+        assert_eq!(report.devices_failed, 1);
+        for t in tickets {
+            assert!(matches!(cluster.poll(t), RequestStatus::Done(_)));
+        }
+        let snap = cluster.fleet_metrics();
+        assert_eq!(snap.counter_value("spider_cluster_health_suspect_total"), 1);
+        assert_eq!(snap.counter_value("spider_cluster_health_dead_total"), 1);
+        assert_eq!(snap.counter_value("spider_cluster_fault_hangs_total"), 1);
+    }
+
+    #[test]
+    fn disabled_health_monitor_changes_nothing() {
+        // Same hang, detection off: ticks observe nothing, classify
+        // nothing, kill nothing — and drain_all (which resumes every live
+        // scheduler) serves the backlog exactly as before the watchtower.
+        let (cluster, victim, tickets) = loaded_cluster(
+            8,
+            ClusterOptions {
+                health: HealthPolicy::disabled(),
+                ..ClusterOptions::default()
+            },
+        );
+        cluster.inject_faults(FaultPlan::hang_after(&victim, 0));
+        cluster.fault_tick();
+        cluster.resume_all();
+        for _ in 0..10 {
+            assert!(cluster.health_tick().is_quiet());
+        }
+        assert!(cluster.health_states().is_empty());
+        assert_eq!(cluster.devices(), 3, "nothing was killed");
+        let report = cluster.drain_all();
+        assert_eq!(report.total_completed(), 8);
+        assert_eq!(report.devices_failed, 0);
+        for t in tickets {
+            assert!(matches!(cluster.poll(t), RequestStatus::Done(_)));
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_health_ticks_are_quiet() {
+        let cluster = SpiderCluster::new(specs(2, false), ClusterOptions::default());
+        for r in mixed_requests(8) {
+            cluster.submit(r).unwrap();
+        }
+        cluster.drain_all();
+        // Idle shards owe no beats: tick as often as you like, a drained
+        // fleet never trips the detector.
+        for _ in 0..10 {
+            assert!(cluster.health_tick().is_quiet());
+        }
+        assert!(cluster
+            .health_states()
+            .iter()
+            .all(|(_, s)| *s == HealthState::Healthy));
+    }
+
+    #[test]
+    fn timeline_chains_across_a_device_loss() {
+        let (cluster, victim, tickets) = loaded_cluster(6, ClusterOptions::default());
+        cluster.fail_device(&victim).unwrap();
+        cluster.drain_all();
+        let tl = cluster.timeline(tickets[0]).expect("timeline renders");
+        assert_eq!(
+            tl.matches("── device ").count(),
+            2,
+            "one banner per life:\n{tl}"
+        );
+        assert!(tl.contains(&victim), "first life on the victim:\n{tl}");
+        assert!(
+            tl.contains("complete: done"),
+            "second life completes:\n{tl}"
+        );
+    }
+
+    #[test]
+    fn fleet_metrics_stay_labelled_and_monotone_across_churn() {
+        // Satellite: departed devices' labelled series persist and fleet
+        // totals never move backwards across add/remove/kill churn.
+        let cluster = SpiderCluster::new(specs(3, false), ClusterOptions::default());
+        cluster.run_batch(&mixed_requests(12)).unwrap();
+        let before = cluster.fleet_metrics();
+        let completed_before = before.counter_value("spider_scheduler_completed_total");
+        assert_eq!(completed_before, 12);
+        cluster.add_device(DeviceSpec::a100("late")).unwrap();
+        cluster.run_batch(&mixed_requests(12)).unwrap();
+        let victim = cluster.device_names()[0].clone();
+        cluster.fail_device(&victim).unwrap();
+        cluster.remove_device("late").unwrap();
+        cluster.drain_all();
+        let after = cluster.fleet_metrics();
+        assert!(
+            after.counter_value("spider_scheduler_completed_total") >= completed_before,
+            "fleet totals are monotone across churn"
+        );
+        assert_eq!(
+            after.counter_value("spider_scheduler_completed_total")
+                + after.counter_value("spider_scheduler_failed_total"),
+            24,
+            "departed devices' served work stays in the totals"
+        );
+        let text = cluster.fleet_prometheus_text();
+        for name in [victim.as_str(), "late"] {
+            assert!(
+                text.contains(&format!("device=\"{name}\"")),
+                "departed {name} keeps its labelled series"
+            );
+        }
+        // The trace-ring drop counter (satellite: previously unexported)
+        // shows up in the fleet text.
+        assert!(text.contains("spider_telemetry_dropped_events_total"));
     }
 }

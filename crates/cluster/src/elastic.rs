@@ -8,9 +8,12 @@
 //!   [`crate::SpiderCluster::inject_faults`] and drive it with
 //!   [`crate::SpiderCluster::fault_tick`]: a kill trigger hard-kills a
 //!   named device once its scheduler has dispatched `after_waves` waves
-//!   (mid-batch by construction), and the `fail_submits` / `fail_steals`
-//!   budgets inject refusals into the submit and steal-placement paths so
-//!   tests can prove callers survive them.
+//!   (mid-batch by construction), a hang trigger silently freezes one —
+//!   no declaration, detected only by
+//!   [`crate::SpiderCluster::health_tick`]'s missed-heartbeat monitor —
+//!   and the `fail_submits` / `fail_steals` budgets inject refusals into
+//!   the submit and steal-placement paths so tests can prove callers
+//!   survive them.
 //! * [`RetryPolicy`] — what happens to in-flight casualties of a device
 //!   loss. Queued work is requeued exactly-once unconditionally (it never
 //!   started — nothing was lost but a queue position); *running* work
@@ -27,7 +30,7 @@
 
 use std::time::Duration;
 
-use spider_telemetry::LogHistogram;
+use spider_telemetry::{MetricsSnapshot, SnapshotSeries};
 
 use crate::cluster::SpiderCluster;
 use crate::spec::DeviceSpec;
@@ -51,6 +54,15 @@ pub struct KillTrigger {
 pub struct FaultPlan {
     /// Hard-kill a device mid-batch (consumed when it fires).
     pub kill: Option<KillTrigger>,
+    /// Silently *hang* a device mid-batch (consumed when it fires): once
+    /// the target has dispatched `after_waves` waves, its dispatch pauses
+    /// and its progress beat stops — with no kill declaration, no event
+    /// and no recovery. The hang persists (even across
+    /// [`SpiderCluster::resume_all`]) until
+    /// [`SpiderCluster::health_tick`] notices the missed heartbeats and
+    /// kills the device through the standard recovery path — the failure
+    /// mode the watchtower exists to catch.
+    pub hang: Option<KillTrigger>,
     /// Inject this many submit-path refusals: the next `fail_submits`
     /// cluster submits return [`spider_runtime::SubmitError::QueueFull`]
     /// without reaching any device.
@@ -67,6 +79,18 @@ impl FaultPlan {
     pub fn kill_after(device: impl Into<String>, after_waves: u64) -> Self {
         Self {
             kill: Some(KillTrigger {
+                device: device.into(),
+                after_waves,
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// A plan that silently hangs `device` once it has dispatched
+    /// `after_waves` waves (see [`Self::hang`]).
+    pub fn hang_after(device: impl Into<String>, after_waves: u64) -> Self {
+        Self {
+            hang: Some(KillTrigger {
                 device: device.into(),
                 after_waves,
             }),
@@ -204,8 +228,8 @@ pub enum ScaleAction {
 /// template spec.
 ///
 /// `step()` holds no state inside the cluster — the scaler owns the
-/// cooldown counter and the last histogram snapshot it diffs against —
-/// so a deterministic harness gets a deterministic scale curve for a
+/// cooldown counter and the metric time-series it windows over — so a
+/// deterministic harness gets a deterministic scale curve for a
 /// deterministic load.
 pub struct AutoScaler {
     policy: ScalePolicy,
@@ -214,20 +238,30 @@ pub struct AutoScaler {
     template: DeviceSpec,
     next_id: u64,
     cooldown_left: u32,
-    /// The fleet's cumulative wait histogram at the previous step; the
-    /// p99 trigger evaluates the delta window, not lifetime history
-    /// (a long quiet cluster must not be haunted by one old burst).
-    last_hist: LogHistogram,
+    /// Fleet metric time-series: one [`SpiderCluster::fleet_metrics`]
+    /// snapshot per `step()`. The p99 trigger reads
+    /// `spider_scheduler_wait_us` over the window since the previous step
+    /// — delta semantics come from [`SnapshotSeries::window`], the same
+    /// source the alert engine evaluates, not from hand-diffed cumulative
+    /// histograms. Lifetime history never haunts a long quiet cluster.
+    series: SnapshotSeries,
+    last_tick: u64,
 }
 
 impl AutoScaler {
     pub fn new(policy: ScalePolicy, template: DeviceSpec) -> Self {
+        // Seed the series with an empty snapshot so the first step's
+        // window covers everything served before it — the behavior the
+        // old cumulative diff (against a default histogram) had.
+        let mut series = SnapshotSeries::new(8);
+        let last_tick = series.record(MetricsSnapshot::default());
         Self {
             policy,
             template,
             next_id: 0,
             cooldown_left: 0,
-            last_hist: LogHistogram::default(),
+            series,
+            last_tick,
         }
     }
 
@@ -237,15 +271,18 @@ impl AutoScaler {
 
     /// Evaluate the signals and take at most one membership action.
     pub fn step(&mut self, cluster: &SpiderCluster) -> ScaleAction {
-        let hist = cluster.fleet_wait_hist();
-        let window = delta_hist(&hist, &self.last_hist);
-        self.last_hist = hist;
+        let since = self.last_tick;
+        self.last_tick = self.series.record(cluster.fleet_metrics());
         if self.cooldown_left > 0 {
             self.cooldown_left -= 1;
             return ScaleAction::Hold;
         }
         let devices = cluster.devices();
-        let p99_wait_us = window.p99();
+        let p99_wait_us = self
+            .series
+            .window(since)
+            .map(|w| w.histogram("spider_scheduler_wait_us").p99())
+            .unwrap_or(0.0);
         if p99_wait_us > self.policy.p99_wait_hi.as_micros() as f64
             && devices < self.policy.max_devices
         {
@@ -283,19 +320,6 @@ impl AutoScaler {
     }
 }
 
-/// Bucket-wise difference of two cumulative histograms (the observation
-/// window between two scaler steps). Saturating: a fresh device joining
-/// between steps only adds counts, but defensive clamping keeps a
-/// (never-expected) shrink from panicking.
-fn delta_hist(now: &LogHistogram, then: &LogHistogram) -> LogHistogram {
-    let mut out = LogHistogram::default();
-    for i in 0..LogHistogram::BUCKETS {
-        out.buckets[i] = now.buckets[i].saturating_sub(then.buckets[i]);
-    }
-    out.sum = (now.sum - then.sum).max(0.0);
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,15 +338,12 @@ mod tests {
     }
 
     #[test]
-    fn delta_hist_is_the_window() {
-        let mut then = LogHistogram::default();
-        then.record(10.0);
-        let mut now = then;
-        now.record(100.0);
-        now.record(200.0);
-        let d = delta_hist(&now, &then);
-        assert_eq!(d.count(), 2);
-        assert!(d.p99() >= 100.0);
+    fn hang_plan_names_its_victim() {
+        let p = FaultPlan::hang_after("dev1", 2);
+        let h = p.hang.as_ref().unwrap();
+        assert_eq!(h.device, "dev1");
+        assert_eq!(h.after_waves, 2);
+        assert!(p.kill.is_none());
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub mod report;
 pub mod router;
 pub mod spec;
 
-pub use cluster::{ClusterError, ClusterOptions, ClusterTicket, SpiderCluster};
+pub use cluster::{ClusterError, ClusterOptions, ClusterTicket, HealthReport, SpiderCluster};
 pub use elastic::{
     AutoScaler, FaultEvent, FaultPlan, KillTrigger, RecoveryReport, RetryPolicy, ScaleAction,
     ScalePolicy,
@@ -98,3 +98,6 @@ pub use elastic::{
 pub use report::{ClusterReport, DeviceReport};
 pub use router::{Router, RoutingPolicy};
 pub use spec::DeviceSpec;
+// The watchtower types cluster callers configure and consume (the cluster
+// side of `spider-telemetry`'s health machinery).
+pub use spider_telemetry::{HealthPolicy, HealthState, HealthTransition};

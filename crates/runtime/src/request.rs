@@ -277,6 +277,12 @@ pub struct StencilRequest {
     /// The tenant this request is billed to (serving layers only; see
     /// [`TenantId`]). Defaults to [`TenantId::ANONYMOUS`].
     pub tenant: TenantId,
+    /// Device-loss retry attempt (0 = first life). Stamped by the cluster's
+    /// recovery path when it re-routes an in-flight casualty, and carried
+    /// onto lifecycle events so retried requests keep one chained timeline.
+    /// Never part of [`StencilRequest::plan_key`] or
+    /// [`StencilRequest::exec_key`] — a retry reuses its plan and tiling.
+    pub attempt: u32,
 }
 
 impl StencilRequest {
@@ -311,6 +317,7 @@ impl StencilRequest {
                 priority: Priority::Normal,
                 deadline: None,
                 tenant: TenantId::ANONYMOUS,
+                attempt: 0,
             },
         }
     }

@@ -384,6 +384,11 @@ impl SpiderRuntime {
         let pool = self.pool.stats();
         m.counter("spider_pool_hits_total").set(pool.hits);
         m.counter("spider_pool_misses_total").set(pool.misses);
+        // The trace ring's drop counter, so Prometheus/JSON exports
+        // reconcile with the ring: a non-zero value means timelines may be
+        // missing their oldest events and the capacity needs raising.
+        m.counter("spider_telemetry_dropped_events_total")
+            .set(self.telemetry.trace().dropped_events());
         if let Some(store) = &self.store {
             let s = store.stats();
             m.counter("spider_plan_store_plan_loads_total")
@@ -416,16 +421,17 @@ impl SpiderRuntime {
         let start = Instant::now();
         let t = &self.telemetry;
         let plan_key = req.plan_key();
-        t.record(req.id, plan_key, EventKind::Admit, 0.0);
+        t.record_attempt(req.id, plan_key, req.attempt, EventKind::Admit, 0.0);
         if t.enabled() {
             t.profiler().touch(plan_key, &req.scenario());
         }
         match self.execute_inner(req, plan_key) {
             Ok(out) => {
                 let sim_s = out.report.time_s();
-                t.record(
+                t.record_attempt(
                     req.id,
                     plan_key,
+                    req.attempt,
                     EventKind::Complete {
                         terminal: Terminal::Done,
                     },
@@ -445,9 +451,10 @@ impl SpiderRuntime {
                 Ok(out)
             }
             Err(e) => {
-                t.record(
+                t.record_attempt(
                     req.id,
                     plan_key,
+                    req.attempt,
                     EventKind::Complete {
                         terminal: Terminal::Failed,
                     },
@@ -476,17 +483,23 @@ impl SpiderRuntime {
                 scenario: req.scenario(),
             });
         }
-        let span = t.span(req.id, plan_key, Phase::Resolve);
+        let span = t.span_attempt(req.id, plan_key, req.attempt, Phase::Resolve);
         let resolved = self.resolve_plan(plan_key, &req.kernel, req.tenant);
         span.exit();
         let (plan, cache_hit, source) = resolved?;
-        t.record(req.id, plan_key, EventKind::PlanResolve { source }, 0.0);
+        t.record_attempt(
+            req.id,
+            plan_key,
+            req.attempt,
+            EventKind::PlanResolve { source },
+            0.0,
+        );
         if source == ResolveSource::Compile && t.enabled() {
             self.meters.compiles.inc();
             t.profiler().add_compile(plan_key);
         }
 
-        let span = t.span(req.id, plan_key, Phase::Tune);
+        let span = t.span_attempt(req.id, plan_key, req.attempt, Phase::Tune);
         let (tiling, tuned, tuner_memo_hit, dry_runs) = self.select_tiling(&plan, req, plan_key);
         span.exit();
         t.record(
@@ -499,7 +512,7 @@ impl SpiderRuntime {
             0.0,
         );
 
-        let exec_span = t.span(req.id, plan_key, Phase::Exec);
+        let exec_span = t.span_attempt(req.id, plan_key, req.attempt, Phase::Exec);
 
         let config = ExecConfig {
             tiling,
@@ -550,9 +563,10 @@ impl SpiderRuntime {
             }
         };
         exec_span.exit();
-        t.record(
+        t.record_attempt(
             req.id,
             plan_key,
+            req.attempt,
             EventKind::Execute {
                 wave_id: t.next_wave_id(),
                 coalesced: false,
@@ -628,6 +642,7 @@ impl SpiderRuntime {
             telemetry: &'t Telemetry,
             head_id: u64,
             plan_key: u64,
+            head_attempt: u32,
             wave_id: u64,
         }
         impl BatchFeedback for Collect<'_> {
@@ -635,9 +650,10 @@ impl SpiderRuntime {
                 self.reports.push(report.clone());
             }
             fn on_batch_launch(&mut self, members: usize, _wave_blocks: u64, launch_share: f64) {
-                self.telemetry.record(
+                self.telemetry.record_attempt(
                     self.head_id,
                     self.plan_key,
+                    self.head_attempt,
                     EventKind::Launch {
                         wave_id: self.wave_id,
                         members,
@@ -664,9 +680,10 @@ impl SpiderRuntime {
             }
         }
         let mut fail = |i: usize, req: &StencilRequest, e: RuntimeError| {
-            t.record(
+            t.record_attempt(
                 req.id,
                 req.plan_key(),
+                req.attempt,
                 EventKind::Complete {
                     terminal: Terminal::Failed,
                 },
@@ -697,14 +714,15 @@ impl SpiderRuntime {
                 );
                 continue;
             }
-            let span = t.span(req.id, req.plan_key(), Phase::Resolve);
+            let span = t.span_attempt(req.id, req.plan_key(), req.attempt, Phase::Resolve);
             let resolved = self.resolve_plan(req.plan_key(), &req.kernel, req.tenant);
             span.exit();
             match resolved {
                 Ok((p, hit, source)) => {
-                    t.record(
+                    t.record_attempt(
                         req.id,
                         req.plan_key(),
+                        req.attempt,
                         EventKind::PlanResolve { source },
                         0.0,
                     );
@@ -733,7 +751,7 @@ impl SpiderRuntime {
 
         for members in contiguous_key_runs(&order, |i| requests[i].exec_key()) {
             let head = &requests[members[0]];
-            let span = t.span(head.id, head.plan_key(), Phase::Tune);
+            let span = t.span_attempt(head.id, head.plan_key(), head.attempt, Phase::Tune);
             let (tiling, tuned, head_memo_hit, head_dry_runs) =
                 self.select_tiling(&plan, head, head.plan_key());
             span.exit();
@@ -742,9 +760,10 @@ impl SpiderRuntime {
                 // Trace parity with the memo-hit accounting below: the head
                 // pays the dry-runs (if any); every later member rides its
                 // memo entry.
-                t.record(
+                t.record_attempt(
                     req.id,
                     req.plan_key(),
+                    req.attempt,
                     EventKind::Tune {
                         memo_hit: tuned && (slot > 0 || head_memo_hit),
                         dry_runs: if slot == 0 { head_dry_runs } else { 0 },
@@ -763,9 +782,10 @@ impl SpiderRuntime {
                 telemetry: t,
                 head_id: head.id,
                 plan_key: head.plan_key(),
+                head_attempt: head.attempt,
                 wave_id,
             };
-            let exec_span = t.span(head.id, head.plan_key(), Phase::Exec);
+            let exec_span = t.span_attempt(head.id, head.plan_key(), head.attempt, Phase::Exec);
             let run = match head.grid {
                 GridSpec::D1 { .. } => {
                     let exec = SpiderExecutor::with_shared_pool(
@@ -846,9 +866,10 @@ impl SpiderRuntime {
                         // and the subgroup shares all three).
                         let memo_hit = slot > 0 || head_memo_hit;
                         let sim_s = fb.reports[slot].time_s();
-                        t.record(
+                        t.record_attempt(
                             req.id,
                             req.plan_key(),
+                            req.attempt,
                             EventKind::Execute {
                                 wave_id,
                                 coalesced,
@@ -856,9 +877,10 @@ impl SpiderRuntime {
                             },
                             sim_s,
                         );
-                        t.record(
+                        t.record_attempt(
                             req.id,
                             req.plan_key(),
+                            req.attempt,
                             EventKind::Complete {
                                 terminal: Terminal::Done,
                             },
@@ -894,9 +916,10 @@ impl SpiderRuntime {
                     // member: the whole subgroup ran under one launch plan.
                     for &i in members {
                         let req = &requests[i];
-                        t.record(
+                        t.record_attempt(
                             req.id,
                             req.plan_key(),
+                            req.attempt,
                             EventKind::Complete {
                                 terminal: Terminal::Failed,
                             },
@@ -935,8 +958,13 @@ impl SpiderRuntime {
     pub fn run_batch(&self, requests: &[StencilRequest]) -> RuntimeReport {
         let start = Instant::now();
         for req in requests {
-            self.telemetry
-                .record(req.id, req.plan_key(), EventKind::Admit, 0.0);
+            self.telemetry.record_attempt(
+                req.id,
+                req.plan_key(),
+                req.attempt,
+                EventKind::Admit,
+                0.0,
+            );
         }
 
         // Group by plan key to amortize compile + tuning within the batch.

@@ -374,6 +374,9 @@ struct SlotEntry {
     /// The submitting tenant — kill-time accounting must land the failure
     /// in the right tenant row long after dispatch consumed the queue entry.
     tenant: TenantId,
+    /// The request's device-loss retry attempt at submission, so kill-time
+    /// terminal events chain onto the right life of a retried request.
+    attempt: u32,
     slot: Slot,
 }
 
@@ -411,6 +414,11 @@ struct State {
     completion_order: Vec<u64>,
     first_submit: Option<Instant>,
     last_terminal: Option<Instant>,
+    /// Monotone progress beat: bumped on every admission, every dispatched
+    /// wave, every completed execution group and every expiry sweep that
+    /// retired work. The heartbeat a cluster health monitor samples — a
+    /// busy scheduler whose beat stops advancing is stalled.
+    beats: u64,
 }
 
 impl State {
@@ -468,6 +476,7 @@ impl SpiderScheduler {
                 completion_order: Vec::new(),
                 first_submit: None,
                 last_terminal: None,
+                beats: 0,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
@@ -579,10 +588,17 @@ impl SpiderScheduler {
                             ts.submitted += 1;
                             ts.shed += 1;
                         }
-                        t.record(req.id, req.plan_key(), EventKind::Admit, 0.0);
-                        t.record(
+                        t.record_attempt(
                             req.id,
                             req.plan_key(),
+                            req.attempt,
+                            EventKind::Admit,
+                            0.0,
+                        );
+                        t.record_attempt(
+                            req.id,
+                            req.plan_key(),
+                            req.attempt,
                             EventKind::Complete {
                                 terminal: Terminal::Shed,
                             },
@@ -778,13 +794,14 @@ impl SpiderScheduler {
         running.sort_unstable();
         let mut lost = Vec::new();
         for seq in running {
-            let (req_id, plan_key, tenant) = {
+            let (req_id, plan_key, tenant, attempt) = {
                 let e = st.slots.get(&seq).expect("known ticket");
-                (e.req_id, e.plan_key, e.tenant)
+                (e.req_id, e.plan_key, e.tenant, e.attempt)
             };
-            t.record(
+            t.record_attempt(
                 req_id,
                 plan_key,
+                attempt,
                 EventKind::Complete {
                     terminal: Terminal::Failed,
                 },
@@ -889,7 +906,7 @@ impl SpiderScheduler {
                 );
             }
         }
-        self.sync_metrics(&stats);
+        self.sync_metrics(&stats, &tenants);
         RuntimeReport {
             outcomes,
             failures,
@@ -948,8 +965,11 @@ impl SpiderScheduler {
     /// Push the scheduler's cumulative [`QueueStats`] into the shared
     /// metrics registry as authoritative values (and sync the runtime's own
     /// counters), so an exported snapshot reconciles exactly with the drain
-    /// report. No-op when telemetry is disabled.
-    fn sync_metrics(&self, stats: &QueueStats) {
+    /// report. Per-tenant wait histograms land as
+    /// `spider_scheduler_tenant_{id}_wait_us` (anonymous traffic as
+    /// `spider_scheduler_anonymous_wait_us`) — the series tenant SLO
+    /// burn-rate monitors watch. No-op when telemetry is disabled.
+    fn sync_metrics(&self, stats: &QueueStats, tenants: &[(TenantId, QueueStats)]) {
         let t = self.runtime.telemetry();
         if !t.enabled() {
             return;
@@ -978,6 +998,45 @@ impl SpiderScheduler {
             .set(stats.max_depth as f64);
         m.histogram("spider_scheduler_wait_us")
             .set(stats.wait_hist.hist);
+        for (tenant, q) in tenants {
+            let name = format!(
+                "spider_scheduler_{}_wait_us",
+                tenant.label().replace('-', "_")
+            );
+            m.histogram(&name).set(q.wait_hist.hist);
+        }
+    }
+
+    /// Mid-run variant of the drain-time metric sync: push the *current*
+    /// cumulative queue counters and wait histograms (global and
+    /// per-tenant) into the registry without waiting for quiescence. The
+    /// sampling hook a metric time-series / alert engine calls between
+    /// waves — a registry that only reconciles at drain cannot feed
+    /// while-serving monitors. No-op when telemetry is disabled.
+    pub fn sync_metrics_now(&self) {
+        let (stats, tenants) = {
+            let st = self.lock();
+            let tenants: Vec<(TenantId, QueueStats)> =
+                st.tenant_stats.iter().map(|(&t, &q)| (t, q)).collect();
+            (st.stats, tenants)
+        };
+        self.sync_metrics(&stats, &tenants);
+    }
+
+    /// Monotone progress beat: advances on every admission, dispatched
+    /// wave, completed execution group and productive expiry sweep. The
+    /// heartbeat a fleet health monitor samples — see
+    /// `spider_telemetry::watch::HealthMonitor`.
+    pub fn last_progress(&self) -> u64 {
+        self.lock().beats
+    }
+
+    /// Whether admitted work is still outstanding (queued or running) —
+    /// the *busy* flag for missed-beat gating: an idle scheduler owes no
+    /// beats, a busy one whose beat stops advancing is stalled.
+    pub fn has_outstanding(&self) -> bool {
+        let st = self.lock();
+        !st.queue.is_empty() || st.running > 0
     }
 
     /// Render the traced lifecycle of a submitted request — every event
@@ -1080,11 +1139,13 @@ fn admit(st: &mut State, req: StencilRequest, t: &Telemetry) -> u64 {
     if st.first_submit.is_none() {
         st.first_submit = Some(Instant::now());
     }
-    t.record(req.id, req.plan_key(), EventKind::Admit, 0.0);
-    t.record(req.id, req.plan_key(), EventKind::Queued, 0.0);
-    t.record(
+    st.beats += 1;
+    t.record_attempt(req.id, req.plan_key(), req.attempt, EventKind::Admit, 0.0);
+    t.record_attempt(req.id, req.plan_key(), req.attempt, EventKind::Queued, 0.0);
+    t.record_attempt(
         req.id,
         req.plan_key(),
+        req.attempt,
         EventKind::SpanEnter {
             phase: Phase::Queue,
         },
@@ -1102,18 +1163,20 @@ fn admit(st: &mut State, req: StencilRequest, t: &Telemetry) -> u64 {
 /// Trace a queued request leaving the queue without executing: close its
 /// queue span and record the terminal verdict.
 fn trace_queue_exit(t: &Telemetry, req: &StencilRequest, waited_s: f64, terminal: Terminal) {
-    t.record(
+    t.record_attempt(
         req.id,
         req.plan_key(),
+        req.attempt,
         EventKind::SpanExit {
             phase: Phase::Queue,
             elapsed_s: waited_s,
         },
         0.0,
     );
-    t.record(
+    t.record_attempt(
         req.id,
         req.plan_key(),
+        req.attempt,
         EventKind::Complete { terminal },
         0.0,
     );
@@ -1129,6 +1192,7 @@ fn alloc_ticket(st: &mut State, req: &StencilRequest) -> u64 {
             req_id: req.id,
             plan_key: req.plan_key(),
             tenant: req.tenant,
+            attempt: req.attempt,
             slot: Slot::Queued,
         },
     );
@@ -1166,6 +1230,11 @@ fn expire_due(st: &mut State, t: &Telemetry) -> usize {
         } else {
             i += 1;
         }
+    }
+    if expired > 0 {
+        // Retiring due work is progress too — lazy expiry driven by a poll
+        // or submit must keep the heartbeat advancing.
+        st.beats += 1;
     }
     expired
 }
@@ -1333,9 +1402,10 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
                         st.dec_queued(entry.req.tenant);
                         // Close the queue span opened at admission and fold
                         // the wait into the plan's queue-phase accumulator.
-                        telemetry.record(
+                        telemetry.record_attempt(
                             entry.req.id,
                             entry.req.plan_key(),
+                            entry.req.attempt,
                             EventKind::SpanExit {
                                 phase: Phase::Queue,
                                 elapsed_s: wait,
@@ -1356,6 +1426,7 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
             }
             st.queue = remaining;
             st.running += wave.iter().map(|g| g.tickets.len()).sum::<usize>();
+            st.beats += 1;
             st.stats.dispatch_waves += 1;
             st.stats.coalesced_groups += wave.len() as u64;
             wave
@@ -1383,6 +1454,7 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
                     let group = &wave[g];
                     let results = runtime.run_group(&group.requests);
                     let mut st = shared.state.lock().expect("scheduler state poisoned");
+                    let mut finished = 0u64;
                     for ((&ticket, result), req) in
                         group.tickets.iter().zip(results).zip(&group.requests)
                     {
@@ -1411,6 +1483,13 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
                             }
                         }
                         st.running -= 1;
+                        finished += 1;
+                    }
+                    if finished > 0 {
+                        // Completions are progress; a kill that already
+                        // discarded the results (finished == 0) is not —
+                        // the corpse must not look alive.
+                        st.beats += 1;
                     }
                     drop(st);
                     shared.idle.notify_all();

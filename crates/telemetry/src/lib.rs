@@ -44,18 +44,25 @@
 //! assert!(t.metrics().prometheus_text().contains("requests_completed_total 1"));
 //! ```
 
+pub mod export;
 pub mod hist;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
+pub mod watch;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+pub use export::{chrome_trace_json, validate_json};
 pub use hist::LogHistogram;
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use profile::{merge_profiles, render_top_profiles, PhaseProfiler, PhaseStats, PlanProfile};
 pub use trace::{Event, EventKind, Phase, ResolveSource, Terminal, TraceLog};
+pub use watch::{
+    alert_rule_id, AlertEngine, AlertKind, AlertRule, AlertTransition, HealthMonitor, HealthPolicy,
+    HealthState, HealthTransition, SeriesPoint, SeriesWindow, SloObjective, SnapshotSeries,
+};
 
 /// Telemetry configuration, carried inside `RuntimeOptions`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,7 +164,23 @@ impl Telemetry {
 
     /// Append one lifecycle event (no-op when disabled). `sim_s` is the
     /// simulated-GPU time attributable to the event (0 where none exists).
+    /// Stamps retry attempt 0 — a request's first life; recovery paths use
+    /// [`Self::record_attempt`].
     pub fn record(&self, request_id: u64, plan_key: u64, kind: EventKind, sim_s: f64) {
+        self.record_attempt(request_id, plan_key, 0, kind, sim_s);
+    }
+
+    /// [`Self::record`] with an explicit device-loss retry `attempt` index,
+    /// so a re-routed request's second life chains onto its first in the
+    /// rendered timeline instead of losing lineage.
+    pub fn record_attempt(
+        &self,
+        request_id: u64,
+        plan_key: u64,
+        attempt: u32,
+        kind: EventKind,
+        sim_s: f64,
+    ) {
         if !self.config.enabled {
             return;
         }
@@ -167,6 +190,7 @@ impl Telemetry {
             plan_key,
             wall_s: self.now_s(),
             sim_s,
+            attempt,
             kind,
         });
     }
@@ -177,11 +201,30 @@ impl Telemetry {
     /// When telemetry is disabled the guard still measures (so callers can
     /// use the returned duration) but records nothing.
     pub fn span(&self, request_id: u64, plan_key: u64, phase: Phase) -> Span<'_> {
-        self.record(request_id, plan_key, EventKind::SpanEnter { phase }, 0.0);
+        self.span_attempt(request_id, plan_key, 0, phase)
+    }
+
+    /// [`Self::span`] with an explicit retry `attempt` index stamped on the
+    /// enter/exit events (see [`Self::record_attempt`]).
+    pub fn span_attempt(
+        &self,
+        request_id: u64,
+        plan_key: u64,
+        attempt: u32,
+        phase: Phase,
+    ) -> Span<'_> {
+        self.record_attempt(
+            request_id,
+            plan_key,
+            attempt,
+            EventKind::SpanEnter { phase },
+            0.0,
+        );
         Span {
             telemetry: self,
             request_id,
             plan_key,
+            attempt,
             phase,
             start: Instant::now(),
             armed: true,
@@ -197,6 +240,7 @@ pub struct Span<'t> {
     telemetry: &'t Telemetry,
     request_id: u64,
     plan_key: u64,
+    attempt: u32,
     phase: Phase,
     start: Instant,
     armed: bool,
@@ -207,9 +251,10 @@ impl Span<'_> {
         self.armed = false;
         let elapsed = self.start.elapsed().as_secs_f64();
         if self.telemetry.config.enabled {
-            self.telemetry.record(
+            self.telemetry.record_attempt(
                 self.request_id,
                 self.plan_key,
+                self.attempt,
                 EventKind::SpanExit {
                     phase: self.phase,
                     elapsed_s: elapsed,

@@ -136,6 +136,13 @@ pub enum EventKind {
     SpanEnter { phase: Phase },
     /// The matching span closed; `elapsed_s` is its wall duration.
     SpanExit { phase: Phase, elapsed_s: f64 },
+    /// An alert rule transitioned to *firing* (`rule` is the stable FNV
+    /// hash of the rule name — see `watch::alert_rule_id` — and `value`
+    /// the observation that crossed the threshold). Recorded with
+    /// `request_id = 0`: alerts belong to the fleet, not one request.
+    AlertFired { rule: u64, value: f64 },
+    /// The matching alert rule transitioned back to *resolved*.
+    AlertResolved { rule: u64, value: f64 },
 }
 
 impl EventKind {
@@ -180,6 +187,12 @@ impl EventKind {
             EventKind::SpanExit { phase, elapsed_s } => {
                 format!("\u{25c0} {phase} ({:.3}ms)", elapsed_s * 1e3)
             }
+            EventKind::AlertFired { rule, value } => {
+                format!("alert-fired: rule {rule:#018x} (value {value:.3})")
+            }
+            EventKind::AlertResolved { rule, value } => {
+                format!("alert-resolved: rule {rule:#018x} (value {value:.3})")
+            }
         }
     }
 }
@@ -199,6 +212,11 @@ pub struct Event {
     /// Simulated GPU clock attributable to this event (kernel time for
     /// `Execute`/`Launch`, 0 elsewhere).
     pub sim_s: f64,
+    /// Device-loss retry attempt this event belongs to: 0 for a request's
+    /// first life, bumped by the cluster's recovery path each time an
+    /// in-flight casualty is re-routed. Lets a chained timeline render
+    /// "attempt 0 failed → attempt 1 done" instead of losing lineage.
+    pub attempt: u32,
     pub kind: EventKind,
 }
 
@@ -296,8 +314,20 @@ impl TraceLog {
             "request {request_id} timeline (plan {plan_key:#018x}, {} events):\n",
             events.len()
         );
+        // Attempt banners appear only when the trace actually spans device-
+        // loss retries — single-life requests render exactly as before.
+        let multi_attempt = events.iter().any(|e| e.attempt > 0);
+        let mut current_attempt: Option<u32> = None;
         let mut depth: usize = 0;
         for e in &events {
+            if multi_attempt && current_attempt != Some(e.attempt) {
+                current_attempt = Some(e.attempt);
+                out.push_str(&format!(
+                    "  \u{2500}\u{2500} attempt {} \u{2500}\u{2500}\n",
+                    e.attempt
+                ));
+                depth = 0;
+            }
             if matches!(e.kind, EventKind::SpanExit { .. }) {
                 depth = depth.saturating_sub(1);
             }
@@ -331,6 +361,7 @@ mod tests {
             plan_key: 0xabc,
             wall_s: 0.0,
             sim_s: 0.0,
+            attempt: 0,
             kind,
         }
     }
@@ -419,5 +450,69 @@ mod tests {
         );
         assert!(text.contains("\u{25c0} exec (1.000ms)"), "{text}");
         assert!(text.contains("complete: done"), "{text}");
+        // Single-life requests carry no attempt banners.
+        assert!(!text.contains("attempt"), "{text}");
+    }
+
+    #[test]
+    fn retried_requests_render_one_chained_timeline() {
+        let log = TraceLog::new(16);
+        log.push(ev(9, EventKind::Admit));
+        log.push(ev(
+            9,
+            EventKind::Complete {
+                terminal: Terminal::Failed,
+            },
+        ));
+        let mut retry = ev(9, EventKind::Admit);
+        retry.attempt = 1;
+        log.push(retry);
+        let mut done = ev(
+            9,
+            EventKind::Complete {
+                terminal: Terminal::Done,
+            },
+        );
+        done.attempt = 1;
+        log.push(done);
+        let text = log.render_timeline(9).unwrap();
+        let fail_at = text.find("complete: failed").unwrap();
+        let banner1 = text
+            .find("\u{2500}\u{2500} attempt 1 \u{2500}\u{2500}")
+            .unwrap();
+        let done_at = text.find("complete: done").unwrap();
+        assert!(
+            text.contains("\u{2500}\u{2500} attempt 0 \u{2500}\u{2500}"),
+            "{text}"
+        );
+        assert!(fail_at < banner1 && banner1 < done_at, "{text}");
+    }
+
+    #[test]
+    fn alert_transitions_describe_with_rule_ids() {
+        let log = TraceLog::new(4);
+        log.push(ev(
+            0,
+            EventKind::AlertFired {
+                rule: 0xab,
+                value: 3.5,
+            },
+        ));
+        log.push(ev(
+            0,
+            EventKind::AlertResolved {
+                rule: 0xab,
+                value: 0.1,
+            },
+        ));
+        let text = log.render_timeline(0).unwrap();
+        assert!(
+            text.contains("alert-fired: rule 0x00000000000000ab (value 3.500)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("alert-resolved: rule 0x00000000000000ab (value 0.100)"),
+            "{text}"
+        );
     }
 }

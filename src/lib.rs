@@ -89,8 +89,8 @@ pub use spider_telemetry as telemetry;
 pub mod prelude {
     pub use spider_cluster::{
         AutoScaler, ClusterError, ClusterOptions, ClusterReport, ClusterTicket, DeviceSpec,
-        FaultPlan, KillTrigger, RecoveryReport, RetryPolicy, RoutingPolicy, ScaleAction,
-        ScalePolicy, SpiderCluster,
+        FaultPlan, HealthReport, KillTrigger, RecoveryReport, RetryPolicy, RoutingPolicy,
+        ScaleAction, ScalePolicy, SpiderCluster,
     };
     pub use spider_core::{
         encode::Sparse24Kernel,
@@ -117,5 +117,8 @@ pub mod prelude {
         kernel::StencilKernel,
         shape::{ShapeKind, StencilShape},
     };
-    pub use spider_telemetry::{Telemetry, TelemetryConfig};
+    pub use spider_telemetry::{
+        AlertEngine, AlertRule, HealthMonitor, HealthPolicy, HealthState, SloObjective,
+        SnapshotSeries, Telemetry, TelemetryConfig,
+    };
 }

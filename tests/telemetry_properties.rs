@@ -164,6 +164,7 @@ proptest! {
                 plan_key: 0,
                 wall_s: 0.0,
                 sim_s: 0.0,
+                attempt: 0,
                 kind: EventKind::Admit,
             });
         }
