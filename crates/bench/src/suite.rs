@@ -36,7 +36,7 @@ pub fn benchmark_kernel(shape: StencilShape, seed: u64) -> StencilKernel {
         }
         Dim::D2 => {
             let r = shape.radius as isize;
-            let mut vals = std::collections::HashMap::new();
+            let mut vals = std::collections::BTreeMap::new();
             for lo in 0..=r {
                 for hi in lo..=r {
                     vals.insert((lo, hi), next());

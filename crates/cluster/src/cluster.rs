@@ -24,9 +24,12 @@
 //! telemetry locks (leaves). Blocking scheduler submits happen with *no*
 //! cluster lock held.
 
+use spider_core::sync::{
+    LockRank, OrderedMutex, OrderedMutexGuard, OrderedReadGuard, OrderedRwLock, OrderedWriteGuard,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 use std::time::Instant;
 
 use spider_runtime::{
@@ -269,7 +272,7 @@ struct ClusterState {
 /// are bit-identical to one runtime serving the same requests (the property
 /// tests pin this for every routing policy, membership churn included).
 pub struct SpiderCluster {
-    membership: RwLock<Membership>,
+    membership: OrderedRwLock<Membership>,
     options: ClusterOptions,
     /// The shared store new devices warm-start from (None = no
     /// persistence).
@@ -279,11 +282,11 @@ pub struct SpiderCluster {
     /// `spider_cluster_{requeued,retried}_total`), merged into
     /// [`Self::fleet_metrics`].
     metrics: spider_telemetry::MetricsRegistry,
-    state: Mutex<ClusterState>,
+    state: OrderedMutex<ClusterState>,
     /// Missed-heartbeat detector over the live shards, driven by explicit
     /// [`Self::health_tick`] calls (leaf lock: taken after `membership`,
     /// never while holding `state`).
-    health: Mutex<HealthMonitor>,
+    health: OrderedMutex<HealthMonitor>,
 }
 
 impl SpiderCluster {
@@ -323,15 +326,23 @@ impl SpiderCluster {
         };
         let routable: Vec<usize> = (0..slots.len()).collect();
         Self {
-            membership: RwLock::new(Membership {
-                router: Router::new(options.policy, &names),
-                slots,
-                routable,
-            }),
+            membership: OrderedRwLock::new(
+                LockRank::ClusterMembership,
+                "cluster.membership",
+                Membership {
+                    router: Router::new(options.policy, &names),
+                    slots,
+                    routable,
+                },
+            ),
             store,
             metrics: spider_telemetry::MetricsRegistry::new(),
-            state: Mutex::new(state),
-            health: Mutex::new(HealthMonitor::new(options.health)),
+            state: OrderedMutex::new(LockRank::ClusterState, "cluster.state", state),
+            health: OrderedMutex::new(
+                LockRank::ClusterHealth,
+                "cluster.health",
+                HealthMonitor::new(options.health),
+            ),
             options,
         }
     }
@@ -423,18 +434,16 @@ impl SpiderCluster {
         h
     }
 
-    fn lock(&self) -> MutexGuard<'_, ClusterState> {
-        self.state.lock().expect("cluster state poisoned")
+    fn lock(&self) -> OrderedMutexGuard<'_, ClusterState> {
+        self.state.lock()
     }
 
-    fn read_membership(&self) -> RwLockReadGuard<'_, Membership> {
-        self.membership.read().expect("cluster membership poisoned")
+    fn read_membership(&self) -> OrderedReadGuard<'_, Membership> {
+        self.membership.read()
     }
 
-    fn write_membership(&self) -> RwLockWriteGuard<'_, Membership> {
-        self.membership
-            .write()
-            .expect("cluster membership poisoned")
+    fn write_membership(&self) -> OrderedWriteGuard<'_, Membership> {
+        self.membership.write()
     }
 
     /// Pick the destination device for `req` under the configured policy.
@@ -600,7 +609,7 @@ impl SpiderCluster {
                     // index so the chained timeline keeps both lives
                     // (attempt never feeds plan_key — same plan, same
                     // tiling, bit-identical outcome).
-                    let p = st.pending.get_mut(&seq).expect("entry exists");
+                    let p = st.pending.get_mut(&seq).expect("entry exists"); // guard: seq taken from pending under this same lock
                     p.req.attempt = attempts + 1;
                     let req = p.req.clone();
                     let unplaced = self.place_on_survivors(&m, &mut st, vec![(seq, req)], true);
@@ -755,7 +764,7 @@ impl SpiderCluster {
                                 .filter(|&(i, _)| i != src_pos)
                                 .min_by_key(|&(i, &d)| (d, i))
                                 .map(|(i, _)| i)
-                                .expect("at least two candidates");
+                                .expect("at least two candidates"); // guard: cands.len() >= 2 checked at function entry
                             chunk_dest = Some(d);
                             d
                         }
@@ -786,7 +795,7 @@ impl SpiderCluster {
                         order.insert(0, dest_pos);
                     }
                     order.push(src_pos);
-                    let req = st.pending.get(&seq).expect("entry exists").req.clone();
+                    let req = st.pending.get(&seq).expect("entry exists").req.clone(); // guard: seq survived the pending.get() probe just above
                     let placed = order.into_iter().find_map(|i| {
                         m.slots[cands[i]]
                             .scheduler
@@ -797,7 +806,7 @@ impl SpiderCluster {
                     match placed {
                         Some((i, ticket)) => {
                             let d = cands[i];
-                            let p = st.pending.get_mut(&seq).expect("entry exists");
+                            let p = st.pending.get_mut(&seq).expect("entry exists"); // guard: same entry fetched two statements earlier
                             p.history.push((p.device, p.ticket));
                             p.device = d;
                             p.ticket = ticket;
@@ -879,7 +888,7 @@ impl SpiderCluster {
                 .enumerate()
                 .min_by_key(|&(i, &d)| (d, i))
                 .map(|(i, _)| i)
-                .expect("non-empty dests");
+                .expect("non-empty dests"); // guard: dests verified non-empty before this point
             for (seq, req) in chunk {
                 let mut order: Vec<usize> = (0..dests.len()).filter(|&i| i != dest_pos).collect();
                 order.sort_by_key(|&i| (depths[i], i));
@@ -918,7 +927,7 @@ impl SpiderCluster {
         ticket: Ticket,
         retry: bool,
     ) {
-        let p = st.pending.get_mut(&seq).expect("pending entry exists");
+        let p = st.pending.get_mut(&seq).expect("pending entry exists"); // guard: callers pass a seq they just found in pending
         p.history.push((p.device, p.ticket));
         p.device = device;
         p.ticket = ticket;
@@ -1167,7 +1176,7 @@ impl SpiderCluster {
                 let Some(&seq) = by_ticket.get(&ticket) else {
                     continue;
                 };
-                let p = st.pending.get_mut(&seq).expect("mapped entry exists");
+                let p = st.pending.get_mut(&seq).expect("mapped entry exists"); // guard: seq comes from iterating this very map
                 if p.attempts < self.options.retry.max_attempts {
                     // Attempt-stamp the retry (see `rescue`): the second
                     // life's trace chains onto the first in `timeline`.
@@ -1279,7 +1288,7 @@ impl SpiderCluster {
         let mut report = HealthReport::default();
         let dead: Vec<String> = {
             let m = self.read_membership();
-            let mut mon = self.health.lock().expect("health monitor poisoned");
+            let mut mon = self.health.lock();
             for d in m.slots.iter() {
                 if d.departed() {
                     // Departed shards leave monitoring — a retired
@@ -1318,10 +1327,7 @@ impl SpiderCluster {
         // `fail_device` takes the membership write lock itself.
         for name in dead {
             if let Ok(recovery) = self.fail_device(&name) {
-                self.health
-                    .lock()
-                    .expect("health monitor poisoned")
-                    .forget(&name);
+                self.health.lock().forget(&name);
                 report.recoveries.push(FaultEvent {
                     device: name,
                     recovery,
@@ -1335,10 +1341,7 @@ impl SpiderCluster {
     /// (name-sorted; empty before the first [`Self::health_tick`] or when
     /// detection is disabled).
     pub fn health_states(&self) -> Vec<(String, HealthState)> {
-        self.health
-            .lock()
-            .expect("health monitor poisoned")
-            .states()
+        self.health.lock().states()
     }
 
     /// Build one device's report slice (callable for live and departed

@@ -112,7 +112,7 @@ impl Router {
                 .enumerate()
                 .min_by_key(|&(i, &depth)| (depth, i))
                 .map(|(i, _)| i)
-                .expect("non-empty device list"),
+                .expect("non-empty device list"), // guard: router is only consulted with a non-empty routable set
             RoutingPolicy::RoundRobin => {
                 self.rr.fetch_add(1, Ordering::Relaxed) % self.identities.len()
             }
@@ -126,7 +126,7 @@ impl Router {
             .enumerate()
             .max_by_key(|&(i, &id)| (mix(plan_key ^ id), i))
             .map(|(i, _)| i)
-            .expect("non-empty device list")
+            .expect("non-empty device list") // guard: router is only consulted with a non-empty routable set
     }
 }
 

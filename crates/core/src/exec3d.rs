@@ -203,7 +203,11 @@ impl<'d> Spider3DExecutor<'d> {
         let blocks_per_plane = plan.slices().len() as u64 * t.blocks_2d(rows, cols);
         let mut next = grid.clone();
         let mut report: Option<KernelReport> = None;
-        let sweep_err = std::sync::Mutex::new(None::<String>);
+        let sweep_err = crate::sync::OrderedMutex::new(
+            crate::sync::LockRank::ExecErrorSlot,
+            "exec3d.sweep_err",
+            None::<String>,
+        );
         for _ in 0..steps.max(1) {
             let mut jobs: Vec<PlaneJob> = (0..grid.planes())
                 .map(|z| PlaneJob {
@@ -232,10 +236,7 @@ impl<'d> Spider3DExecutor<'d> {
                         match self.exec.sweep_plane_into(plan2d, &src_plane, &mut partial) {
                             Ok(c) => counters += c,
                             Err(e) => {
-                                sweep_err
-                                    .lock()
-                                    .expect("sweep_err poisoned")
-                                    .get_or_insert(e);
+                                sweep_err.lock().get_or_insert(e);
                                 break;
                             }
                         }
@@ -250,7 +251,7 @@ impl<'d> Spider3DExecutor<'d> {
                     (vec![counters], (rows * cols) as u64)
                 },
             )?;
-            if let Some(e) = sweep_err.lock().expect("sweep_err poisoned").take() {
+            if let Some(e) = sweep_err.lock().take() {
                 return Err(e);
             }
             for job in jobs {

@@ -45,6 +45,7 @@ pub mod pool;
 pub mod row_swap;
 pub mod serial;
 pub mod swap;
+pub mod sync;
 pub mod tiling;
 
 pub use exec::{BatchFeedback, ExecConfig, ExecMode, NoFeedback, SpiderExecutor};
@@ -53,6 +54,7 @@ pub use pool::{BufferPool, PoolStats};
 pub use row_swap::RowSwapStrategy;
 pub use serial::SerialError;
 pub use swap::SwapParity;
+pub use sync::{LockRank, OrderedMutex, OrderedRwLock};
 pub use tiling::TilingConfig;
 
 /// The MMA M-extent: output positions produced per kernel-matrix row tile.

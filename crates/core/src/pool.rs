@@ -25,7 +25,9 @@
 //! two-method API.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::sync::{LockRank, OrderedMutex};
 
 /// Cumulative pool counters ([`BufferPool::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,14 +38,24 @@ pub struct PoolStats {
     pub misses: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PoolInner {
     /// Free buffers, sorted ascending by capacity, so best-fit lookup is a
     /// binary search instead of a linear scan under the lock (`take` runs
     /// once per simulated block on the hot path).
-    free: Mutex<Vec<Vec<f32>>>,
+    free: OrderedMutex<Vec<Vec<f32>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for PoolInner {
+    fn default() -> Self {
+        Self {
+            free: OrderedMutex::new(LockRank::BufferPool, "pool.free", Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl PoolInner {
@@ -51,7 +63,7 @@ impl PoolInner {
     /// (best fit); `None` when nothing fits. Counts the hit/miss.
     fn reuse(&self, len: usize) -> Option<Vec<f32>> {
         let reused = {
-            let mut free = self.free.lock().expect("buffer pool poisoned");
+            let mut free = self.free.lock();
             let idx = free.partition_point(|b| b.capacity() < len);
             (idx < free.len()).then(|| free.remove(idx))
         };
@@ -111,14 +123,14 @@ impl BufferPool {
         if buf.capacity() == 0 {
             return;
         }
-        let mut free = self.inner.free.lock().expect("buffer pool poisoned");
+        let mut free = self.inner.free.lock();
         let idx = free.partition_point(|b| b.capacity() < buf.capacity());
         free.insert(idx, buf);
     }
 
     /// Buffers currently sitting in the free list.
     pub fn free_buffers(&self) -> usize {
-        self.inner.free.lock().expect("buffer pool poisoned").len()
+        self.inner.free.lock().len()
     }
 
     /// Cumulative hit/miss counters since construction.

@@ -1,0 +1,13 @@
+//! Seeded-bad fixture: metric names violating the naming scheme.
+//! Linted by tests/guard_properties.rs; excluded from workspace scans.
+
+fn register(reg: &MetricsRegistry) {
+    reg.counter("runtime_requests_total").inc(); // BAD: missing spider_ prefix
+    reg.counter("spider_requests").inc(); // BAD: one segment + no _total
+    reg.gauge("spider_Sched_depth").set(1.0); // BAD: uppercase segment
+    reg.histogram("spider_runtime_queue_time").observe(4.0); // BAD: no _us
+
+    reg.counter("spider_runtime_requests_total").inc(); // fine
+    reg.gauge("spider_scheduler_queue_depth").set(2.0); // fine
+    reg.histogram("spider_runtime_exec_time_us").observe(8.0); // fine
+}

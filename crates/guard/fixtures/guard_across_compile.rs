@@ -1,0 +1,42 @@
+//! Seeded-bad fixture: lock guards held across expensive calls.
+//! Linted by tests/guard_properties.rs; excluded from workspace scans.
+
+/// Flat shape: the guard binding and the compile call share a block.
+fn flat(cache: &Cache) -> Plan {
+    let mut inner = cache.inner.lock();
+    let plan = compile_plan(&inner.key); // BAD: `inner` live here
+    inner.insert(plan.clone());
+    plan
+}
+
+/// Nested-let shape — the original PR 5 bug: the guard is bound inside a
+/// block expression whose result initialises the outer binding.
+fn nested(cache: &Cache) -> Plan {
+    let plan = {
+        let mut inner = cache.inner.lock();
+        let compiled = CachedPlan::compile(inner.kernel()); // BAD: `inner` live
+        inner.store(compiled.clone());
+        compiled
+    };
+    plan
+}
+
+/// Clean shape: guard scoped to the lookup, compile outside the block.
+fn clean(cache: &Cache) -> Plan {
+    let kernel = {
+        let inner = cache.inner.lock();
+        inner.kernel()
+    };
+    let plan = compile_plan(&kernel); // fine: no guard live
+    let mut inner = cache.inner.lock();
+    inner.store(plan.clone());
+    plan
+}
+
+/// Clean shape: explicit drop before the expensive call.
+fn dropped(cluster: &Cluster, req: Request) {
+    let st = cluster.state.lock();
+    let dest = st.pick_destination();
+    drop(st);
+    cluster.devices[dest].submit(req); // fine: guard dropped
+}

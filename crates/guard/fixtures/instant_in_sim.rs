@@ -1,0 +1,26 @@
+//! Seeded-bad fixture: nondeterminism in a simulator module (lint this
+//! under a `crates/gpu-sim/src/…` path to arm the determinism rule).
+//! Linted by tests/guard_properties.rs; excluded from workspace scans.
+
+use std::collections::HashMap; // BAD: order-sensitive iteration
+use std::time::Instant; // BAD: wall-clock in a deterministic module
+
+fn step(sim: &mut Sim) {
+    let started = Instant::now(); // BAD
+    let mut seen: HashMap<u64, u64> = HashMap::new(); // BAD (twice)
+    for ev in sim.events() {
+        *seen.entry(ev.key).or_default() += 1;
+    }
+    sim.record(started.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    // Fine: test regions are exempt from the determinism rule.
+    use std::time::Instant;
+
+    #[test]
+    fn timing_smoke() {
+        let _t = Instant::now();
+    }
+}

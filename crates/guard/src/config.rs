@@ -1,0 +1,116 @@
+//! Rule scoping and the allowlist file.
+//!
+//! `guard-allow.txt` (next to this crate's `Cargo.toml`) holds the
+//! reviewed exceptions. Line format, whitespace-separated:
+//!
+//! ```text
+//! <rule> <path-substring> <token> [justification…]
+//! # comment lines and blank lines are ignored
+//! ```
+//!
+//! An entry suppresses violations of `rule` whose file path contains
+//! `path-substring` and whose offending token equals `token`. The
+//! justification trail is for reviewers; the tool ignores it. Prefer the
+//! inline `// guard: <reason>` annotation for one-off sites — the file is
+//! for patterns that recur across a module (e.g. every non-blocking
+//! `try_submit` under the cluster lock).
+
+use crate::rules::Violation;
+use std::path::Path;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_substring: String,
+    pub token: String,
+}
+
+/// Scoping + allowlist for a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct GuardConfig {
+    /// Path prefixes (workspace-relative, `/`-separated) where the
+    /// determinism rule applies: simulation, planning and the
+    /// deterministic bench library.
+    pub deterministic_prefixes: Vec<String>,
+    /// Path prefixes under the panic audit: the serving crates whose
+    /// panics take down live traffic. The compute crates are out of scope
+    /// by decision — their `unwrap`s encode mathematical invariants of the
+    /// transformation pipeline (see crates/guard/README.md).
+    pub panic_audit_prefixes: Vec<String>,
+    /// Reviewed exceptions from `guard-allow.txt`.
+    pub allow: Vec<AllowEntry>,
+}
+
+impl GuardConfig {
+    /// The workspace's standard scoping (allowlist not yet loaded).
+    pub fn workspace_defaults() -> Self {
+        let dets = [
+            "crates/core/src",
+            "crates/gpu-sim/src",
+            "crates/stencil/src",
+            "crates/analysis/src",
+            "crates/baselines/src",
+            "crates/fft/src",
+            "crates/bench/src",
+        ];
+        let audited = [
+            "crates/runtime/src",
+            "crates/cluster/src",
+            "crates/telemetry/src",
+        ];
+        Self {
+            deterministic_prefixes: dets.iter().map(|s| s.to_string()).collect(),
+            panic_audit_prefixes: audited.iter().map(|s| s.to_string()).collect(),
+            allow: Vec::new(),
+        }
+    }
+
+    /// Workspace defaults plus the allowlist at
+    /// `<root>/crates/guard/guard-allow.txt` (a missing file is an empty
+    /// allowlist, not an error).
+    pub fn load(root: &Path) -> Self {
+        let mut cfg = Self::workspace_defaults();
+        let path = root.join("crates/guard/guard-allow.txt");
+        if let Ok(text) = std::fs::read_to_string(path) {
+            cfg.allow = parse_allowlist(&text);
+        }
+        cfg
+    }
+
+    pub fn is_deterministic_module(&self, path: &str) -> bool {
+        self.deterministic_prefixes
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+
+    pub fn is_panic_audited(&self, path: &str) -> bool {
+        self.panic_audit_prefixes
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+
+    pub fn is_allowed(&self, v: &Violation) -> bool {
+        self.allow
+            .iter()
+            .any(|a| a.rule == v.rule && v.file.contains(&a.path_substring) && a.token == v.token)
+    }
+}
+
+/// Parse `guard-allow.txt` content; malformed lines are ignored rather
+/// than fatal (the linter must not fail open *or* crash on a typo — a
+/// malformed entry simply allows nothing).
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.split_whitespace();
+            Some(AllowEntry {
+                rule: parts.next()?.to_string(),
+                path_substring: parts.next()?.to_string(),
+                token: parts.next()?.to_string(),
+            })
+        })
+        .collect()
+}

@@ -1,0 +1,353 @@
+//! A hand-rolled Rust token scanner — deliberately *not* a full parser.
+//!
+//! The build environment has no crates.io access, so `syn` is off the
+//! table; the rules in [`crate::rules`] only need a stream of tokens that
+//! is **comment- and string-aware** (a `compile(` inside a doc comment or
+//! string literal must never look like a call) plus line numbers and brace
+//! depths. The scanner is lossless: every non-whitespace byte of the input
+//! belongs to exactly one token, a property the round-trip proptest in
+//! `tests/guard_properties.rs` hammers with arbitrary comment/string
+//! nesting.
+//!
+//! Handled surface: line comments, *nested* block comments, string
+//! literals with escapes, raw strings `r#"…"#` with any hash count, byte
+//! and byte-raw strings, char literals (including escapes), the
+//! lifetime-vs-char-literal ambiguity (`'a` vs `'a'`), identifiers,
+//! numbers, and single-character punctuation.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'a` — no closing quote.
+    Lifetime,
+    /// Any string literal (`"…"`, `r#"…"#`, `b"…"`, `br"…"`). `text`
+    /// includes the delimiters.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Number,
+    /// One punctuation character.
+    Punct,
+    /// `// …` through end of line (text keeps the slashes).
+    LineComment,
+    /// `/* … */`, nesting respected.
+    BlockComment,
+}
+
+/// One lexed token: a byte-slice of the source plus position metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+}
+
+impl Token<'_> {
+    /// Is this token a comment (skipped by most rules, read by `// guard:`
+    /// annotation handling)?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scan `src` into tokens. Non-ASCII bytes outside strings/comments are
+/// treated as punctuation (they only occur in this workspace inside
+/// comments and string literals anyway).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $start:expr, $start_line:expr) => {
+            out.push(Token {
+                kind: $kind,
+                text: &src[$start..i],
+                line: $start_line,
+                start: $start,
+            })
+        };
+    }
+
+    // Count newlines inside src[from..to] into `line`.
+    macro_rules! count_lines {
+        ($from:expr, $to:expr) => {
+            line += b[$from..$to].iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && i + 1 < b.len() {
+            match b[i + 1] {
+                b'/' => {
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    push!(TokenKind::LineComment, start, start_line);
+                    continue;
+                }
+                b'*' => {
+                    i += 2;
+                    let mut depth = 1u32;
+                    while i < b.len() && depth > 0 {
+                        if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                            depth += 1;
+                            i += 2;
+                        } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    count_lines!(start, i);
+                    push!(TokenKind::BlockComment, start, start_line);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Raw strings and byte variants: r"…", r#"…"#, br#"…"#, b"…".
+        // Checked before plain identifiers so the prefix letters don't lex
+        // as an ident.
+        if c == b'r' || c == b'b' {
+            let mut j = i + 1;
+            if c == b'b' && j < b.len() && b[j] == b'r' {
+                j += 1;
+            }
+            let is_raw = b[i] == b'r' || (b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'r');
+            if is_raw {
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    // Raw string body: ends at `"` followed by `hashes` #s.
+                    i = j + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let close = &b[i + 1..];
+                            if close.len() >= hashes && close[..hashes].iter().all(|&h| h == b'#') {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    count_lines!(start, i);
+                    push!(TokenKind::Str, start, start_line);
+                    continue;
+                }
+            } else if c == b'b' && i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'\'') {
+                // b"…" / b'…': skip the prefix and fall through to the
+                // quote handling below by bumping past `b`.
+                i += 1;
+                // Handled by the general quote arms on the next iteration…
+                // except that would lose the prefix byte from the token.
+                // Lex the literal inline instead.
+                let quote = b[i];
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == quote {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                count_lines!(start, i);
+                let kind = if quote == b'"' {
+                    TokenKind::Str
+                } else {
+                    TokenKind::Char
+                };
+                push!(kind, start, start_line);
+                continue;
+            }
+            // Not a raw/byte literal: falls through to ident handling.
+        }
+
+        // String literal.
+        if c == b'"' {
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            count_lines!(start, i);
+            push!(TokenKind::Str, start, start_line);
+            continue;
+        }
+
+        // Char literal vs lifetime. `'` then ident-start then no closing
+        // quote is a lifetime (`'a`, `'static`); anything else (`'x'`,
+        // `'\n'`, `'\''`) is a char literal.
+        if c == b'\'' {
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            let lifetime = match (next, after) {
+                (Some(n), a) if is_ident_start(n) => a != Some(b'\''),
+                _ => false,
+            };
+            if lifetime {
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                push!(TokenKind::Lifetime, start, start_line);
+            } else {
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == b'\'' {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                push!(TokenKind::Char, start, start_line);
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            i += 1;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            push!(TokenKind::Ident, start, start_line);
+            continue;
+        }
+
+        // Number (loose: digits then any ident-ish/dot continuation, which
+        // swallows suffixes, underscores and float forms — precision the
+        // rules don't need).
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < b.len() && (is_ident_continue(b[i]) || b[i] == b'.') {
+                // Don't swallow `..` range punctuation.
+                if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                    break;
+                }
+                i += 1;
+            }
+            push!(TokenKind::Number, start, start_line);
+            continue;
+        }
+
+        // Everything else: one punctuation byte (multi-byte UTF-8 chars
+        // are consumed whole so slicing stays on char boundaries).
+        let ch_len = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+        i += ch_len;
+        push!(TokenKind::Punct, start, start_line);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_inside_comments_and_strings_are_not_tokens() {
+        let src = r##"
+            // compile( in a line comment
+            /* submit( in /* a nested */ block */
+            let s = "compile(\"escaped\")";
+            let r = r#"save_plan( inside raw "quotes" "#;
+            real_ident();
+        "##;
+        let idents: Vec<&str> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "r", "real_ident"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokenKind::Char, "'a'")));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'")));
+    }
+
+    #[test]
+    fn lossless_partition_of_non_whitespace() {
+        let src = "let x = r#\"a \"# + 'b' /* c */ // d\n+ 1.5e3;";
+        let toks = lex(src);
+        let mut covered = vec![false; src.len()];
+        for t in &toks {
+            for flag in covered[t.start..t.start + t.text.len()].iter_mut() {
+                assert!(!*flag, "token overlap at {}", t.start);
+                *flag = true;
+            }
+        }
+        for (i, c) in src.char_indices() {
+            if !c.is_whitespace() {
+                assert!(covered[i], "byte {i} ({c:?}) not covered");
+            }
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_every_literal_form() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let by_text: Vec<(&str, u32)> = lex(src).into_iter().map(|t| (t.text, t.line)).collect();
+        assert!(by_text.contains(&("a", 1)));
+        assert!(by_text.contains(&("\"two\nlines\"", 2)));
+        assert!(by_text.contains(&("b", 4)));
+        assert!(by_text.contains(&("e", 5)));
+    }
+}

@@ -45,8 +45,9 @@
 //! Zipf-concentrated working set shrinks its plan footprint while a flat
 //! one grows it, no hand tuning.
 
+use spider_core::sync::{LockRank, OrderedMutex};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use spider_core::exec3d::Spider3DPlan;
 use spider_core::plan::{PlanError, SpiderPlan};
@@ -206,12 +207,12 @@ struct Inner {
 impl Inner {
     /// Touch an existing entry: move it to the back of the recency order.
     fn touch(&mut self, key: u64) {
-        let old_tick = self.map.get(&key).expect("touched entry exists").tick;
+        let old_tick = self.map.get(&key).expect("touched entry exists").tick; // guard: touch() callers hold the lock and just probed the key
         let tick = self.next_tick;
         self.next_tick += 1;
         self.recency.remove(&old_tick);
         self.recency.insert(tick, key);
-        self.map.get_mut(&key).expect("entry vanished").tick = tick;
+        self.map.get_mut(&key).expect("entry vanished").tick = tick; // guard: map and recency mutate in lockstep under one lock
     }
 
     fn reserve_of(&self, tenant: TenantId) -> usize {
@@ -228,7 +229,7 @@ impl Inner {
 
     /// Remove `key` and account the eviction.
     fn evict_key(&mut self, key: u64) {
-        let entry = self.map.remove(&key).expect("evicted entry exists");
+        let entry = self.map.remove(&key).expect("evicted entry exists"); // guard: evict_key() is fed keys from the recency index
         self.recency.remove(&entry.tick);
         if let Some(n) = self.owned.get_mut(&entry.owner) {
             *n = n.saturating_sub(1);
@@ -242,7 +243,7 @@ impl Inner {
     /// reserve. `None` when every entry is reserve-protected.
     fn pick_victim(&self, for_tenant: Option<TenantId>) -> Option<u64> {
         for &key in self.recency.values() {
-            let owner = self.map.get(&key).expect("recency entry exists").owner;
+            let owner = self.map.get(&key).expect("recency entry exists").owner; // guard: recency holds only keys present in map
             let evictable =
                 for_tenant == Some(owner) || self.owned_count(owner) > self.reserve_of(owner);
             if evictable {
@@ -257,6 +258,7 @@ impl Inner {
         self.recency
             .values()
             .copied()
+            // guard: recency holds only keys present in map
             .find(|k| self.map.get(k).expect("recency entry exists").owner == tenant)
     }
 
@@ -309,7 +311,7 @@ impl Inner {
 /// LRU-bounded, thread-safe cache of compiled plans. See the module docs
 /// for the lock-scope contract.
 pub struct PlanCache {
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
 }
 
 impl PlanCache {
@@ -317,18 +319,22 @@ impl PlanCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "plan cache capacity must be at least 1");
         Self {
-            inner: Mutex::new(Inner {
-                capacity,
-                next_tick: 0,
-                map: HashMap::new(),
-                recency: BTreeMap::new(),
-                stats: CacheStats::default(),
-                policies: HashMap::new(),
-                owned: HashMap::new(),
-                access_counts: HashMap::new(),
-                total_accesses: 0,
-                autosize: None,
-            }),
+            inner: OrderedMutex::new(
+                LockRank::PlanCache,
+                "plan.cache",
+                Inner {
+                    capacity,
+                    next_tick: 0,
+                    map: HashMap::new(),
+                    recency: BTreeMap::new(),
+                    stats: CacheStats::default(),
+                    policies: HashMap::new(),
+                    owned: HashMap::new(),
+                    access_counts: HashMap::new(),
+                    total_accesses: 0,
+                    autosize: None,
+                },
+            ),
         }
     }
 
@@ -339,7 +345,7 @@ impl PlanCache {
         if let Some(cap) = cap {
             assert!(cap >= 1, "tenant cache cap must be at least 1");
         }
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = self.inner.lock();
         inner.policies.insert(tenant, TenantPolicy { reserve, cap });
     }
 
@@ -350,13 +356,13 @@ impl PlanCache {
             cfg.min_capacity >= 1 && cfg.max_capacity >= cfg.min_capacity,
             "autosize bounds must be 1 ≤ min ≤ max"
         );
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = self.inner.lock();
         inner.autosize = Some(cfg);
     }
 
     /// Entries currently owned by each tenant (sorted by tenant id).
     pub fn tenant_footprint(&self) -> Vec<(TenantId, usize)> {
-        let inner = self.inner.lock().expect("plan cache poisoned");
+        let inner = self.inner.lock();
         let mut v: Vec<_> = inner
             .owned
             .iter()
@@ -417,7 +423,7 @@ impl PlanCache {
         loader: Option<&dyn Fn(u64) -> Option<CachedPlan>>,
     ) -> Result<(CachedPlan, bool, bool), PlanError> {
         {
-            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            let mut inner = self.inner.lock();
             inner.note_access(key);
             if let Some(entry) = inner.map.get(&key) {
                 let plan = entry.plan.clone();
@@ -433,12 +439,12 @@ impl PlanCache {
             Some(loaded) => (loaded, true),
             None => (CachedPlan::compile(kernel)?, false),
         };
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = self.inner.lock();
         if inner.map.contains_key(&key) {
             // Another thread resolved the same key while we were unlocked:
             // first writer wins. Adopt its plan (ours is dropped), report
             // no fresh compile so the caller does not double write-through.
-            let winner = inner.map.get(&key).expect("present").plan.clone();
+            let winner = inner.map.get(&key).expect("present").plan.clone(); // guard: losing the insert race means the winner is present
             inner.touch(key);
             return Ok((winner, false, false));
         }
@@ -481,7 +487,7 @@ impl PlanCache {
     /// Snapshot of every cached `(key, plan)` pair, in no particular order —
     /// the iteration [`crate::SpiderRuntime::persist`] writes to the store.
     pub fn entries(&self) -> Vec<(u64, CachedPlan)> {
-        let inner = self.inner.lock().expect("plan cache poisoned");
+        let inner = self.inner.lock();
         inner
             .map
             .iter()
@@ -491,12 +497,12 @@ impl PlanCache {
 
     /// Peek without compiling or recording a hit/miss (test/introspection).
     pub fn peek(&self, key: u64) -> Option<CachedPlan> {
-        let inner = self.inner.lock().expect("plan cache poisoned");
+        let inner = self.inner.lock();
         inner.map.get(&key).map(|e| e.plan.clone())
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("plan cache poisoned").map.len()
+        self.inner.lock().map.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -504,17 +510,17 @@ impl PlanCache {
     }
 
     pub fn capacity(&self) -> usize {
-        self.inner.lock().expect("plan cache poisoned").capacity
+        self.inner.lock().capacity
     }
 
     /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("plan cache poisoned").stats
+        self.inner.lock().stats
     }
 
     /// Drop every entry (statistics are preserved).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = self.inner.lock();
         inner.map.clear();
         inner.recency.clear();
         inner.owned.clear();

@@ -1,8 +1,9 @@
 //! The runtime itself: plan cache + autotuner + batched worker-pool
 //! scheduler behind one handle.
 
+use spider_core::sync::{LockRank, OrderedMutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use spider_core::exec::{BatchFeedback, ExecConfig, SpiderExecutor};
@@ -526,7 +527,7 @@ impl SpiderRuntime {
                     config,
                     self.pool.clone(),
                 );
-                let plan = plan.planar().expect("dims checked: planar plan");
+                let plan = plan.planar().expect("dims checked: planar plan"); // guard: plan variant follows the dims match arm
                 let mut grid = req.materialize_1d();
                 let report = exec
                     .run_1d(plan, &mut grid, req.steps)
@@ -540,7 +541,7 @@ impl SpiderRuntime {
                     config,
                     self.pool.clone(),
                 );
-                let plan = plan.planar().expect("dims checked: planar plan");
+                let plan = plan.planar().expect("dims checked: planar plan"); // guard: plan variant follows the dims match arm
                 let mut grid = req.materialize_2d();
                 let report = exec
                     .run_2d(plan, &mut grid, req.steps)
@@ -554,7 +555,7 @@ impl SpiderRuntime {
                     config,
                     self.pool.clone(),
                 );
-                let plan = plan.volumetric().expect("dims checked: volumetric plan");
+                let plan = plan.volumetric().expect("dims checked: volumetric plan"); // guard: plan variant follows the dims match arm
                 let mut grid = req.materialize_3d();
                 let report = exec
                     .run(plan, &mut grid, req.steps)
@@ -739,7 +740,7 @@ impl SpiderRuntime {
         let Some(plan) = plan else {
             return results
                 .into_iter()
-                .map(|r| r.expect("all failed"))
+                .map(|r| r.expect("all failed")) // guard: fallback loop above filled every slot
                 .collect();
         };
 
@@ -794,7 +795,7 @@ impl SpiderRuntime {
                         config,
                         self.pool.clone(),
                     );
-                    let plan = plan.planar().expect("dims checked: planar plan");
+                    let plan = plan.planar().expect("dims checked: planar plan"); // guard: plan variant follows the dims match arm
                     let mut grids: Vec<_> = members
                         .iter()
                         .map(|&i| requests[i].materialize_1d())
@@ -809,7 +810,7 @@ impl SpiderRuntime {
                         config,
                         self.pool.clone(),
                     );
-                    let plan = plan.planar().expect("dims checked: planar plan");
+                    let plan = plan.planar().expect("dims checked: planar plan"); // guard: plan variant follows the dims match arm
                     let mut grids: Vec<_> = members
                         .iter()
                         .map(|&i| requests[i].materialize_2d())
@@ -830,7 +831,7 @@ impl SpiderRuntime {
                         config,
                         self.pool.clone(),
                     );
-                    let plan = plan.volumetric().expect("dims checked: volumetric plan");
+                    let plan = plan.volumetric().expect("dims checked: volumetric plan"); // guard: plan variant follows the dims match arm
                     let mut checksums = Vec::with_capacity(members.len());
                     let mut err = None;
                     for (slot, &i) in members.iter().enumerate() {
@@ -900,7 +901,7 @@ impl SpiderRuntime {
                         results[i] = Some(Ok(RequestOutcome {
                             id: req.id,
                             scenario: req.scenario(),
-                            cache_hit: lookups[i].expect("looked up"),
+                            cache_hit: lookups[i].expect("looked up"), // guard: lookup phase populated one entry per request
                             tuned,
                             tuner_memo_hit: tuned && memo_hit,
                             coalesced,
@@ -938,7 +939,7 @@ impl SpiderRuntime {
         }
         results
             .into_iter()
-            .map(|r| r.expect("every request resolved"))
+            .map(|r| r.expect("every request resolved")) // guard: every request resolved by the phases above
             .collect()
     }
 
@@ -982,8 +983,12 @@ impl SpiderRuntime {
         .min(groups.len().max(1));
 
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<Result<RequestOutcome, RuntimeError>>>> =
-            Mutex::new((0..requests.len()).map(|_| None).collect());
+        let results: OrderedMutex<Vec<Option<Result<RequestOutcome, RuntimeError>>>> =
+            OrderedMutex::new(
+                LockRank::RuntimeResults,
+                "runtime.results",
+                (0..requests.len()).map(|_| None).collect(),
+            );
 
         std::thread::scope(|s| {
             for _ in 0..workers {
@@ -996,7 +1001,7 @@ impl SpiderRuntime {
                     let reqs: Vec<StencilRequest> =
                         members.iter().map(|&i| requests[i].clone()).collect();
                     let group_results = self.run_group(&reqs);
-                    let mut slots = results.lock().expect("results poisoned");
+                    let mut slots = results.lock();
                     for (&idx, result) in members.iter().zip(group_results) {
                         slots[idx] = Some(result);
                     }
@@ -1006,12 +1011,8 @@ impl SpiderRuntime {
 
         let mut outcomes = Vec::with_capacity(requests.len());
         let mut failures = Vec::new();
-        for (idx, result) in results
-            .into_inner()
-            .expect("results poisoned")
-            .into_iter()
-            .enumerate()
-        {
+        for (idx, result) in results.into_inner().into_iter().enumerate() {
+            // guard: scope join means every worker wrote its slot
             match result.expect("every slot executed") {
                 Ok(outcome) => outcomes.push(outcome),
                 Err(e) => failures.push((requests[idx].id, e.to_string())),

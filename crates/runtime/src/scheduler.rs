@@ -37,9 +37,10 @@
 //! deterministic (cohort submission order) — the configuration the property
 //! tests and the demo use.
 
+use spider_core::sync::{LockRank, OrderedMutex, OrderedMutexGuard};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -437,7 +438,7 @@ impl State {
 }
 
 struct Shared {
-    state: Mutex<State>,
+    state: OrderedMutex<State>,
     /// Signals the dispatcher: work queued / resumed / shutdown.
     work: Condvar,
     /// Signals blocked submitters: queue space freed.
@@ -461,23 +462,27 @@ impl SpiderScheduler {
             "scheduler queue capacity must be at least 1"
         );
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: Vec::new(),
-                slots: HashMap::new(),
-                next_ticket: 0,
-                paused: options.start_paused,
-                shutdown: false,
-                killed: false,
-                running: 0,
-                stats: QueueStats::default(),
-                tenant_stats: BTreeMap::new(),
-                tenant_queued: HashMap::new(),
-                deficits: BTreeMap::new(),
-                completion_order: Vec::new(),
-                first_submit: None,
-                last_terminal: None,
-                beats: 0,
-            }),
+            state: OrderedMutex::new(
+                LockRank::SchedulerState,
+                "scheduler.state",
+                State {
+                    queue: Vec::new(),
+                    slots: HashMap::new(),
+                    next_ticket: 0,
+                    paused: options.start_paused,
+                    shutdown: false,
+                    killed: false,
+                    running: 0,
+                    stats: QueueStats::default(),
+                    tenant_stats: BTreeMap::new(),
+                    tenant_queued: HashMap::new(),
+                    deficits: BTreeMap::new(),
+                    completion_order: Vec::new(),
+                    first_submit: None,
+                    last_terminal: None,
+                    beats: 0,
+                },
+            ),
             work: Condvar::new(),
             space: Condvar::new(),
             idle: Condvar::new(),
@@ -553,11 +558,7 @@ impl SpiderScheduler {
             }
             match self.options.policy {
                 BackpressurePolicy::Block => {
-                    st = self
-                        .shared
-                        .space
-                        .wait(st)
-                        .expect("scheduler state poisoned");
+                    st = st.wait_on(&self.shared.space);
                 }
                 BackpressurePolicy::Reject => {
                     st.stats.rejected += 1;
@@ -577,7 +578,7 @@ impl SpiderScheduler {
                             (effective_level(q, now, aging), std::cmp::Reverse(q.ticket))
                         })
                         .map(|(i, q)| (i, effective_level(q, now, aging)))
-                        .expect("full queue has a victim");
+                        .expect("full queue has a victim"); // guard: branch is only taken when the queue is full
                     if req.priority.level() <= victim_level {
                         // The newcomer is the least important: shed on
                         // arrival, but still hand back a pollable ticket.
@@ -686,7 +687,7 @@ impl SpiderScheduler {
                     .queue
                     .iter()
                     .position(|q| q.ticket == ticket.seq)
-                    .expect("queued slot has a queue entry");
+                    .expect("queued slot has a queue entry"); // guard: Queued status implies a live queue entry
                 RequestStatus::Queued {
                     position,
                     effective_priority: Priority::from_level(effective_level(
@@ -795,7 +796,7 @@ impl SpiderScheduler {
         let mut lost = Vec::new();
         for seq in running {
             let (req_id, plan_key, tenant, attempt) = {
-                let e = st.slots.get(&seq).expect("known ticket");
+                let e = st.slots.get(&seq).expect("known ticket"); // guard: running list was built from slots moments ago
                 (e.req_id, e.plan_key, e.tenant, e.attempt)
             };
             t.record_attempt(
@@ -856,7 +857,7 @@ impl SpiderScheduler {
             if st.queue.is_empty() && st.running == 0 {
                 break;
             }
-            st = self.shared.idle.wait(st).expect("scheduler state poisoned");
+            st = st.wait_on(&self.shared.idle);
         }
         let mut done: Vec<(u64, &SlotEntry)> =
             st.slots.iter().map(|(&seq, entry)| (seq, entry)).collect();
@@ -1089,8 +1090,8 @@ impl SpiderScheduler {
             .collect()
     }
 
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.shared.state.lock().expect("scheduler state poisoned")
+    fn lock(&self) -> OrderedMutexGuard<'_, State> {
+        self.shared.state.lock()
     }
 }
 
@@ -1202,7 +1203,7 @@ fn alloc_ticket(st: &mut State, req: &StencilRequest) -> u64 {
 /// Move a ticket to a terminal slot and record the completion.
 fn finish(st: &mut State, ticket: u64, slot: Slot) {
     debug_assert!(!matches!(slot, Slot::Queued | Slot::Running));
-    st.slots.get_mut(&ticket).expect("known ticket").slot = slot;
+    st.slots.get_mut(&ticket).expect("known ticket").slot = slot; // guard: finish() is called with tickets from slots
     st.completion_order.push(ticket);
     st.last_terminal = Some(Instant::now());
 }
@@ -1327,7 +1328,7 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
     let telemetry = Arc::clone(runtime.telemetry());
     loop {
         let wave: Vec<WaveGroup> = {
-            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            let mut st = shared.state.lock();
             loop {
                 if st.shutdown {
                     return;
@@ -1339,7 +1340,7 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
                 if !st.paused && !st.queue.is_empty() {
                     break;
                 }
-                st = shared.work.wait(st).expect("scheduler state poisoned");
+                st = st.wait_on(&shared.work);
             }
             let now = Instant::now();
             let top = st
@@ -1347,7 +1348,7 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
                 .iter()
                 .map(|q| effective_level(q, now, options.aging_step))
                 .max()
-                .expect("non-empty queue");
+                .expect("non-empty queue"); // guard: guarded by the non-empty check above
             let cohort: Vec<usize> = (0..st.queue.len())
                 .filter(|&i| effective_level(&st.queue[i], now, options.aging_step) == top)
                 .collect();
@@ -1417,7 +1418,7 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
                             telemetry.profiler().touch(key, &entry.req.scenario());
                             telemetry.profiler().add_phase(key, Phase::Queue, wait);
                         }
-                        st.slots.get_mut(&entry.ticket).expect("known ticket").slot = Slot::Running;
+                        st.slots.get_mut(&entry.ticket).expect("known ticket").slot = Slot::Running; // guard: entry was popped from the queue of this state
                         wave[g].tickets.push(entry.ticket);
                         wave[g].requests.push(entry.req);
                     }
@@ -1453,7 +1454,7 @@ fn dispatcher_loop(shared: &Shared, runtime: &SpiderRuntime, options: &Scheduler
                     }
                     let group = &wave[g];
                     let results = runtime.run_group(&group.requests);
-                    let mut st = shared.state.lock().expect("scheduler state poisoned");
+                    let mut st = shared.state.lock();
                     let mut finished = 0u64;
                     for ((&ticket, result), req) in
                         group.tickets.iter().zip(results).zip(&group.requests)

@@ -27,8 +27,9 @@
 //! truncated file is treated as absent (and counted in [`StoreStats`]),
 //! never as an error that takes serving down.
 
+use spider_core::sync::{LockRank, OrderedMutex};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use spider_core::exec3d::Spider3DPlan;
 use spider_core::plan::SpiderPlan;
@@ -126,11 +127,11 @@ pub struct PersistedMemo {
 pub struct PlanStore {
     dir: PathBuf,
     gc: StoreGcPolicy,
-    stats: Mutex<StoreStats>,
+    stats: OrderedMutex<StoreStats>,
     /// Serializes intra-process memo read-merge-write cycles.
-    memo_write: Mutex<()>,
+    memo_write: OrderedMutex<()>,
     /// Serializes intra-process GC passes (save → enforce cycles).
-    gc_lock: Mutex<()>,
+    gc_lock: OrderedMutex<()>,
     /// Uniquifies temp-file names across threads of this process.
     tmp_counter: std::sync::atomic::AtomicU64,
 }
@@ -151,9 +152,9 @@ impl PlanStore {
         Ok(Self {
             dir,
             gc: policy,
-            stats: Mutex::new(StoreStats::default()),
-            memo_write: Mutex::new(()),
-            gc_lock: Mutex::new(()),
+            stats: OrderedMutex::new(LockRank::StoreStats, "store.stats", StoreStats::default()),
+            memo_write: OrderedMutex::new(LockRank::StoreMemoWrite, "store.memo_write", ()),
+            gc_lock: OrderedMutex::new(LockRank::StoreGc, "store.gc", ()),
             tmp_counter: std::sync::atomic::AtomicU64::new(0),
         })
     }
@@ -170,7 +171,7 @@ impl PlanStore {
 
     /// Snapshot of the traffic counters.
     pub fn stats(&self) -> StoreStats {
-        *self.stats.lock().expect("store stats poisoned")
+        *self.stats.lock()
     }
 
     fn plan_path(&self, plan_key: u64) -> PathBuf {
@@ -257,22 +258,19 @@ impl PlanStore {
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(_) => {
-                self.stats.lock().expect("store stats poisoned").plan_absent += 1;
+                self.stats.lock().plan_absent += 1;
                 return None;
             }
         };
         match parse(&bytes) {
             Some(plan) => {
-                let mut stats = self.stats.lock().expect("store stats poisoned");
+                let mut stats = self.stats.lock();
                 stats.plan_loads += 1;
                 stats.plan_bytes_loaded += bytes.len() as u64;
                 Some((plan, bytes.len() as u64))
             }
             None => {
-                self.stats
-                    .lock()
-                    .expect("store stats poisoned")
-                    .plan_rejected += 1;
+                self.stats.lock().plan_rejected += 1;
                 None
             }
         }
@@ -302,7 +300,7 @@ impl PlanStore {
     fn save_plan_bytes(&self, plan_key: u64, bytes: &[u8]) -> std::io::Result<()> {
         let path = self.plan_path(plan_key);
         self.write_atomic(&path, bytes)?;
-        self.stats.lock().expect("store stats poisoned").plan_saves += 1;
+        self.stats.lock().plan_saves += 1;
         self.enforce_gc(&path);
         Ok(())
     }
@@ -346,7 +344,7 @@ impl PlanStore {
         if !self.gc.is_bounded() {
             return;
         }
-        let _one_pass = self.gc_lock.lock().expect("store gc lock poisoned");
+        let _one_pass = self.gc_lock.lock();
         let files = self.plan_files();
         let mut count = files.len();
         let mut bytes: u64 = files.iter().map(|f| f.bytes).sum();
@@ -362,10 +360,7 @@ impl PlanStore {
             if std::fs::remove_file(&f.path).is_ok() {
                 count -= 1;
                 bytes = bytes.saturating_sub(f.bytes);
-                self.stats
-                    .lock()
-                    .expect("store stats poisoned")
-                    .plan_evictions += 1;
+                self.stats.lock().plan_evictions += 1;
             }
         }
     }
@@ -386,7 +381,7 @@ impl PlanStore {
     /// wrote in that window are dropped (not corrupted) and come back the
     /// next time their runtime persists.
     pub fn save_memos(&self, spec_key: u64, memos: &[PersistedMemo]) -> std::io::Result<()> {
-        let _serialize_savers = self.memo_write.lock().expect("memo write lock poisoned");
+        let _serialize_savers = self.memo_write.lock();
         let mut merged = self.load_memos_silent(spec_key);
         for m in memos {
             match merged
@@ -425,7 +420,7 @@ impl PlanStore {
             out.extend_from_slice(&(m.outcome.dry_runs as u64).to_le_bytes());
         }
         self.write_atomic(&self.memo_path(spec_key), &out)?;
-        self.stats.lock().expect("store stats poisoned").memo_saves += memos.len() as u64;
+        self.stats.lock().memo_saves += memos.len() as u64;
         Ok(())
     }
 
@@ -433,7 +428,7 @@ impl PlanStore {
     /// wrong-version file yields an empty set.
     pub fn load_memos(&self, spec_key: u64) -> Vec<PersistedMemo> {
         let memos = self.load_memos_silent(spec_key);
-        self.stats.lock().expect("store stats poisoned").memo_loads += memos.len() as u64;
+        self.stats.lock().memo_loads += memos.len() as u64;
         memos
     }
 
@@ -447,10 +442,10 @@ impl PlanStore {
     }
 
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-        let file = path.file_name().expect("store paths have file names");
-        // The temp name must be unique per *writer*, not just per process:
-        // two threads saving the same key with a shared tmp path could
-        // rename each other's half-written bytes into place.
+        let file = path.file_name().expect("store paths have file names"); // guard: store paths are built with Path::join(file_name)
+                                                                           // The temp name must be unique per *writer*, not just per process:
+                                                                           // two threads saving the same key with a shared tmp path could
+                                                                           // rename each other's half-written bytes into place.
         let nonce = self
             .tmp_counter
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -476,12 +471,12 @@ fn parse_memos(bytes: &[u8]) -> Option<Vec<PersistedMemo>> {
         Some(out)
     };
     let u64_at = |pos: &mut usize| -> Option<u64> {
-        take(pos, 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        take(pos, 8).map(|b| u64::from_le_bytes(b.try_into().unwrap())) // guard: take() returned exactly 8 bytes
     };
     if take(&mut pos, 8)? != MEMO_MAGIC {
         return None;
     }
-    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()); // guard: take() returned exactly 4 bytes
     if version != MEMO_FORMAT_VERSION {
         return None;
     }

@@ -17,8 +17,8 @@
 //! default under the simulator's own metric — the invariant the serving
 //! example asserts per scenario.
 
+use spider_core::sync::{LockRank, OrderedMutex};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 use spider_analysis::tuning::{assess_1d, assess_2d, TuningProblem};
 use spider_core::exec::{ExecConfig, ExecMode, SpiderExecutor};
@@ -56,7 +56,7 @@ impl TuneOutcome {
 /// Memoizing autotuner. One instance serves one device (the memo key does
 /// not include the GPU because a [`crate::SpiderRuntime`] owns exactly one).
 pub struct AutoTuner {
-    memo: Mutex<MemoTable>,
+    memo: OrderedMutex<MemoTable>,
     /// Functional measurement cap for dry-runs (points); small by design.
     dry_run_cap: usize,
     /// How many top-ranked candidates (beyond the default) to dry-run.
@@ -72,7 +72,18 @@ type ScenarioKey = (u64, GridSpec);
 /// workers tuning the *same* scenario serialize on the slot (the second
 /// blocks briefly, then reads the winner) instead of duplicating the
 /// simulator dry-runs, while distinct scenarios never contend.
-type MemoSlot = std::sync::Arc<Mutex<Option<TuneOutcome>>>;
+type MemoSlot = std::sync::Arc<OrderedMutex<Option<TuneOutcome>>>;
+
+/// A fresh memo slot (ranked just above the memo table it lives in, because
+/// `tune` locks table-then-slot and `export_memos` try-locks slots under the
+/// table lock).
+fn new_slot(initial: Option<TuneOutcome>) -> MemoSlot {
+    std::sync::Arc::new(OrderedMutex::new(
+        LockRank::TunerSlot,
+        "tuner.slot",
+        initial,
+    ))
+}
 
 /// FIFO-bounded memo table (a long-lived runtime serving many distinct
 /// scenarios must not grow without bound; FIFO is enough because tuning a
@@ -92,11 +103,15 @@ impl AutoTuner {
     /// An autotuner remembering at most `memo_capacity` scenarios.
     pub fn with_memo_capacity(dry_run_cap: usize, shortlist: usize, memo_capacity: usize) -> Self {
         Self {
-            memo: Mutex::new(MemoTable {
-                capacity: memo_capacity.max(1),
-                slots: HashMap::new(),
-                arrival: std::collections::VecDeque::new(),
-            }),
+            memo: OrderedMutex::new(
+                LockRank::TunerMemo,
+                "tuner.memo",
+                MemoTable {
+                    capacity: memo_capacity.max(1),
+                    slots: HashMap::new(),
+                    arrival: std::collections::VecDeque::new(),
+                },
+            ),
             dry_run_cap: dry_run_cap.max(1),
             shortlist: shortlist.max(1),
             pool: spider_core::pool::BufferPool::new(),
@@ -105,7 +120,7 @@ impl AutoTuner {
 
     /// Scenarios tuned so far.
     pub fn memo_len(&self) -> usize {
-        self.memo.lock().expect("tuner memo poisoned").slots.len()
+        self.memo.lock().slots.len()
     }
 
     /// Snapshot every settled memo as `((plan_key, grid), outcome)`, in
@@ -113,12 +128,12 @@ impl AutoTuner {
     /// [`crate::PlanStore::save_memos`]. Scenarios whose slot is still being
     /// tuned by another thread are skipped rather than waited for.
     pub fn export_memos(&self) -> Vec<((u64, GridSpec), TuneOutcome)> {
-        let memo = self.memo.lock().expect("tuner memo poisoned");
+        let memo = self.memo.lock();
         memo.arrival
             .iter()
             .filter_map(|key| {
                 let slot = memo.slots.get(key)?;
-                let guard = slot.try_lock().ok()?;
+                let guard = slot.try_lock()?;
                 (*guard).map(|outcome| (*key, outcome))
             })
             .collect()
@@ -131,7 +146,7 @@ impl AutoTuner {
     /// Restored entries report `memoized = true` when served, because the
     /// dry-runs they stand for were already paid in a previous process.
     pub fn import_memos(&self, memos: impl IntoIterator<Item = ((u64, GridSpec), TuneOutcome)>) {
-        let mut memo = self.memo.lock().expect("tuner memo poisoned");
+        let mut memo = self.memo.lock();
         for ((plan_key, grid), outcome) in memos {
             let key = (plan_key, Self::memo_grid(grid));
             if memo.slots.contains_key(&key) {
@@ -142,7 +157,7 @@ impl AutoTuner {
                     memo.slots.remove(&victim);
                 }
             }
-            let slot = MemoSlot::new(Mutex::new(Some(outcome)));
+            let slot = new_slot(Some(outcome));
             memo.slots.insert(key, slot);
             memo.arrival.push_back(key);
         }
@@ -176,7 +191,7 @@ impl AutoTuner {
     ) -> TuneOutcome {
         let key: ScenarioKey = (plan_key, Self::memo_grid(grid));
         let slot: MemoSlot = {
-            let mut memo = self.memo.lock().expect("tuner memo poisoned");
+            let mut memo = self.memo.lock();
             if let Some(slot) = memo.slots.get(&key) {
                 std::sync::Arc::clone(slot)
             } else {
@@ -185,7 +200,7 @@ impl AutoTuner {
                         memo.slots.remove(&victim);
                     }
                 }
-                let slot = MemoSlot::default();
+                let slot = new_slot(None);
                 memo.slots.insert(key, std::sync::Arc::clone(&slot));
                 memo.arrival.push_back(key);
                 slot
@@ -193,7 +208,7 @@ impl AutoTuner {
         };
         // Outer lock released: other scenarios proceed freely. Same-scenario
         // callers serialize here; whoever arrives second reads the winner.
-        let mut guard = slot.lock().expect("tuner slot poisoned");
+        let mut guard = slot.lock();
         if let Some(done) = *guard {
             let mut out = done;
             out.memoized = true;
@@ -268,7 +283,7 @@ impl AutoTuner {
                 _ => best = Some((time_s, t)),
             }
         }
-        let (predicted_time_s, tiling) = best.expect("shortlist is never empty");
+        let (predicted_time_s, tiling) = best.expect("shortlist is never empty"); // guard: shortlist is seeded with the default tiling
         TuneOutcome {
             tiling,
             predicted_time_s,

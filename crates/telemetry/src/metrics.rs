@@ -20,7 +20,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use spider_core::sync::{LockRank, OrderedMutex};
 
 use crate::hist::LogHistogram;
 
@@ -69,24 +71,34 @@ impl Gauge {
 }
 
 /// Shared handle to a [`LogHistogram`].
-#[derive(Debug, Clone, Default)]
-pub struct Histogram(Arc<Mutex<LogHistogram>>);
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<OrderedMutex<LogHistogram>>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(OrderedMutex::new(
+            LockRank::MetricSeries,
+            "metrics.series",
+            LogHistogram::default(),
+        )))
+    }
+}
 
 impl Histogram {
     /// Record one value (microseconds for `_us`-named metrics).
     pub fn record(&self, v: f64) {
-        self.0.lock().unwrap().record(v);
+        self.0.lock().record(v);
     }
 
     /// Replace the whole distribution (reconciling with an authoritative
     /// histogram such as `QueueStats::wait_hist`).
     pub fn set(&self, h: LogHistogram) {
-        *self.0.lock().unwrap() = h;
+        *self.0.lock() = h;
     }
 
     /// Copy out the current distribution.
     pub fn get(&self) -> LogHistogram {
-        *self.0.lock().unwrap()
+        *self.0.lock()
     }
 }
 
@@ -116,9 +128,21 @@ pub enum MetricValue {
 }
 
 /// Registry of named metrics. `BTreeMap` keeps every export deterministic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
-    metrics: Mutex<BTreeMap<String, Stored>>,
+    metrics: OrderedMutex<BTreeMap<String, Stored>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self {
+            metrics: OrderedMutex::new(
+                LockRank::MetricsRegistry,
+                "metrics.registry",
+                BTreeMap::new(),
+            ),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -127,7 +151,7 @@ impl MetricsRegistry {
     }
 
     fn resolve(&self, name: &str, make: impl FnOnce() -> Stored) -> Stored {
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = self.metrics.lock();
         map.entry(name.to_string()).or_insert_with(make).clone()
     }
 
@@ -161,7 +185,9 @@ impl MetricsRegistry {
 
     /// Point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let map = self.metrics.lock().unwrap();
+        // Reads each histogram's series lock (rank 740) under the registry
+        // lock (rank 720) — the one sanctioned registry→series nesting.
+        let map = self.metrics.lock();
         let values = map
             .iter()
             .map(|(name, stored)| {

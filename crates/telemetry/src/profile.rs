@@ -11,8 +11,8 @@
 //! * [`PhaseProfiler::folded`] — folded-stack lines
 //!   (`scenario;phase <µs>`) consumable by standard flamegraph tooling.
 
+use spider_core::sync::{LockRank, OrderedMutex};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 use crate::trace::Phase;
 
@@ -80,9 +80,17 @@ pub struct PlanProfile {
 }
 
 /// Thread-safe per-plan_key accumulator.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PhaseProfiler {
-    inner: Mutex<HashMap<u64, (String, PhaseStats)>>,
+    inner: OrderedMutex<HashMap<u64, (String, PhaseStats)>>,
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        Self {
+            inner: OrderedMutex::new(LockRank::Profiler, "profiler.table", HashMap::new()),
+        }
+    }
 }
 
 impl PhaseProfiler {
@@ -91,7 +99,7 @@ impl PhaseProfiler {
     }
 
     fn with_entry(&self, plan_key: u64, f: impl FnOnce(&mut (String, PhaseStats))) {
-        let mut map = self.inner.lock().unwrap();
+        let mut map = self.inner.lock();
         f(map.entry(plan_key).or_default())
     }
 
@@ -136,7 +144,7 @@ impl PhaseProfiler {
     /// All profiles, heaviest (total wall time) first; ties break by plan
     /// key so the order is deterministic.
     pub fn snapshot(&self) -> Vec<PlanProfile> {
-        let map = self.inner.lock().unwrap();
+        let map = self.inner.lock();
         let mut out: Vec<PlanProfile> = map
             .iter()
             .map(|(&plan_key, (label, stats))| PlanProfile {

@@ -20,9 +20,9 @@
 //!
 //! [`Span`]: crate::Span
 
+use spider_core::sync::{LockRank, OrderedMutex};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::Mutex;
 
 /// Where a plan resolution was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,7 +233,7 @@ struct TraceInner {
 /// has reached capacity.
 #[derive(Debug)]
 pub struct TraceLog {
-    inner: Mutex<TraceInner>,
+    inner: OrderedMutex<TraceInner>,
     capacity: usize,
 }
 
@@ -241,7 +241,7 @@ impl TraceLog {
     /// A trace log holding at most `capacity` events (floored at 1).
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(TraceInner::default()),
+            inner: OrderedMutex::new(LockRank::TraceRing, "trace.ring", TraceInner::default()),
             capacity: capacity.max(1),
         }
     }
@@ -254,7 +254,7 @@ impl TraceLog {
     /// Append one event; assigns and returns its `seq`. Drops the oldest
     /// resident event when full.
     pub fn push(&self, mut event: Event) -> u64 {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         event.seq = inner.next_seq;
         inner.next_seq += 1;
         if inner.ring.len() == self.capacity {
@@ -267,7 +267,7 @@ impl TraceLog {
 
     /// Events currently resident.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().ring.len()
+        self.inner.lock().ring.len()
     }
 
     /// Whether nothing has been recorded (or everything was dropped).
@@ -277,19 +277,18 @@ impl TraceLog {
 
     /// Events evicted oldest-first because the ring was full.
     pub fn dropped_events(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        self.inner.lock().dropped
     }
 
     /// Copy of the resident events, oldest first.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.inner.lock().unwrap().ring.iter().copied().collect()
+        self.inner.lock().ring.iter().copied().collect()
     }
 
     /// Resident events for one request, oldest first.
     pub fn timeline(&self, request_id: u64) -> Vec<Event> {
         self.inner
             .lock()
-            .unwrap()
             .ring
             .iter()
             .filter(|e| e.request_id == request_id)

@@ -696,11 +696,11 @@ mod tests {
         let mut s = SnapshotSeries::new(8);
         let r = MetricsRegistry::new();
         r.counter("spider_c_total").set(10);
-        r.gauge("spider_depth").set(3.0);
+        r.gauge("spider_watch_depth").set(3.0);
         r.histogram("spider_wait_us").record(100.0);
         s.record(r.snapshot());
         r.counter("spider_c_total").set(25);
-        r.gauge("spider_depth").set(7.0);
+        r.gauge("spider_watch_depth").set(7.0);
         r.histogram("spider_wait_us").record(400.0);
         r.histogram("spider_wait_us").record(900.0);
         s.record(r.snapshot());
@@ -708,7 +708,7 @@ mod tests {
         let w = s.window(0).unwrap();
         assert_eq!((w.from_tick, w.to_tick), (0, 1));
         assert_eq!(w.counter("spider_c_total"), 15);
-        assert_eq!(w.delta.gauge_value("spider_depth"), 7.0);
+        assert_eq!(w.delta.gauge_value("spider_watch_depth"), 7.0);
         let h = w.histogram("spider_wait_us");
         assert_eq!(h.count(), 2); // the window's two samples, not three
         assert!(h.p99() >= 400.0);
@@ -735,12 +735,12 @@ mod tests {
         let mut s = SnapshotSeries::new(8);
         let mut e = AlertEngine::new(vec![AlertRule::threshold(
             "queue-deep",
-            "spider_depth",
+            "spider_watch_depth",
             5.0,
         )]);
         let gauge = |v: f64| {
             let r = MetricsRegistry::new();
-            r.gauge("spider_depth").set(v);
+            r.gauge("spider_watch_depth").set(v);
             r.snapshot()
         };
         s.record(gauge(3.0));
@@ -827,10 +827,10 @@ mod tests {
     fn recorded_evaluation_writes_trace_events_and_metrics() {
         let telemetry = Telemetry::default();
         let mut s = SnapshotSeries::new(4);
-        let mut e = AlertEngine::new(vec![AlertRule::threshold("hot", "spider_g", 1.0)]);
+        let mut e = AlertEngine::new(vec![AlertRule::threshold("hot", "spider_watch_load", 1.0)]);
         let gauge = |v: f64| {
             let r = MetricsRegistry::new();
-            r.gauge("spider_g").set(v);
+            r.gauge("spider_watch_load").set(v);
             r.snapshot()
         };
         s.record(gauge(5.0));
